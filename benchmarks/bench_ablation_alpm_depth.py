@@ -1,0 +1,65 @@
+"""Ablation: the ALPM first-level depth trade-off (§4.4).
+
+"The tradeoff between TCAM occupancy and table lookup efficiency can be
+made by adjusting the depth of the first level." We sweep the bucket
+capacity (the dual of first-level depth) over a fixed composite route
+table and measure the real carve's TCAM pivots, SRAM bucket words and
+bucket-scan width (the lookup-efficiency proxy). Benchmarks a carve.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.net.addr import Prefix
+from repro.sim.rand import derive
+from repro.tables.alpm import AlpmTable
+from repro.tables.vxlan_routing import RouteAction, Scope, VxlanRoutingTable
+
+CAPACITIES = (4, 8, 16, 22, 32, 64)
+
+
+def _routing_table(num_vnis=100, routes_per_vni=10, seed=33):
+    rng = derive(seed, "routes")
+    table = VxlanRoutingTable()
+    for vni in range(1000, 1000 + num_vnis):
+        for _ in range(routes_per_vni):
+            plen = rng.choice((16, 20, 24, 28))
+            net = rng.randrange(1 << plen) << (32 - plen)
+            table.insert(vni, Prefix.of(net, plen, 4), RouteAction(Scope.LOCAL),
+                         replace=True)
+    return table
+
+
+def test_alpm_depth_sweep(benchmark):
+    routing = _routing_table()
+    routes = routing.to_composite_routes()
+    width = VxlanRoutingTable.composite_width()
+
+    results = {}
+    for capacity in CAPACITIES:
+        table = AlpmTable.build(width, routes, bucket_capacity=capacity)
+        fp = table.footprint()
+        stats = table.stats()
+        results[capacity] = (len(table.partitions), fp.tcam_slices, fp.sram_words,
+                             stats.mean_bucket_occupancy)
+
+    rows = [
+        (f"bucket={capacity}",
+         f"pivots {parts}, util {util:.2f}",
+         f"TCAM {tcam} slices, SRAM {sram} words")
+        for capacity, (parts, tcam, sram, util) in results.items()
+    ]
+    emit("Ablation: ALPM bucket capacity sweep", rows,
+         header=("config", "carve", "memory"))
+
+    # The trade: larger buckets -> monotonically fewer TCAM pivots...
+    pivots = [results[c][0] for c in CAPACITIES]
+    assert pivots == sorted(pivots, reverse=True)
+    # ...and wider per-lookup bucket scans (lookup efficiency cost).
+    assert CAPACITIES[-1] / CAPACITIES[0] > 1
+    # Flat TCAM LPM as the baseline: any ALPM config saves a lot.
+    flat_slices = len(routes) * 4
+    for capacity in CAPACITIES:
+        assert results[capacity][1] < flat_slices / 2
+
+    benchmark(AlpmTable.build, width, routes, bucket_capacity=22)

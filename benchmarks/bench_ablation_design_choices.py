@@ -1,0 +1,129 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench quantifies what one choice buys, beyond the headline
+occupancy numbers: metadata-aware placement (bridging cost), pooling
+under mix drift, resilient steering, the hardware/software economics,
+and the table-install story that motivated fewer, denser gateways.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.cluster.ecmp import EcmpGroup, ResilientEcmpGroup, flow_churn
+from repro.core.economics import compare_region
+from repro.core.occupancy import ALL_STEPS, OccupancyModel, Step
+from repro.core.planner import bridge_cost, sailfish_table_layout
+from repro.core.provisioning import (
+    full_region_install_sailfish,
+    full_region_install_x86,
+)
+from repro.net.flow import FlowKey
+
+
+def test_ablation_bridge_placement(benchmark):
+    """Metadata-aware placement vs a worst-case spread of the same tables."""
+    layout = sailfish_table_layout()
+    good = benchmark(bridge_cost, layout)
+
+    from dataclasses import replace
+    from repro.tofino.pipeline import Gress
+
+    # Worst case: leave the producers where they are, push the metadata
+    # *consumers* to the far end of the folded path so every field rides
+    # across the maximum number of gress boundaries.
+    consumers = {"tenant-acl", "service-redirect"}
+    worst = [
+        replace(t, preferred_pipe=(0, Gress.EGRESS), depends_on=t.depends_on)
+        if t.name in consumers else t
+        for t in layout
+    ]
+    bad = bridge_cost(worst)
+    rows = [
+        ("bridge crossings (production layout)", "minimized",
+         f"{good.crossings}"),
+        ("bridge bytes/packet", "small", f"{good.bytes_per_packet}"),
+        ("throughput loss @256B", "<5%", f"{good.throughput_loss(256):.2%}"),
+        ("worst-case layout loss @256B", "larger",
+         f"{bad.throughput_loss(256):.2%}"),
+    ]
+    emit("Ablation: metadata bridging by placement", rows)
+    assert good.bytes_per_packet < bad.bytes_per_packet
+    assert good.throughput_loss(256) < 0.05
+
+
+def test_ablation_pooling_under_mix_drift(benchmark):
+    """Sustainable capacity as the IPv6 mix drifts from the provisioning."""
+    model = OccupancyModel.paper_scale()
+    dedicated_steps = set(ALL_STEPS) - {Step.POOLING}
+
+    def sweep():
+        return {
+            mix: (
+                model.capacity_under_mix(ALL_STEPS, 0.25, mix),
+                model.capacity_under_mix(dedicated_steps, 0.25, mix),
+            )
+            for mix in (0.25, 0.4, 0.6, 0.8)
+        }
+
+    capacities = benchmark(sweep)
+    rows = [
+        (f"IPv6 mix {mix:.0%}", f"pooled {pooled:.0%}", f"dedicated {dedicated:.0%}")
+        for mix, (pooled, dedicated) in capacities.items()
+    ]
+    emit("Ablation: capacity under mix drift (provisioned at 25% IPv6)", rows,
+         header=("operating point", "pooled", "dedicated"))
+    assert all(pooled == 1.0 for pooled, _d in capacities.values())
+    assert capacities[0.8][1] < 0.5
+
+
+def test_ablation_resilient_steering(benchmark):
+    """HRW vs modulo: connection churn when one gateway fails."""
+    hops = [f"gw{i}" for i in range(8)]
+    flows = [FlowKey(0x0A000000 + i, 2, 6, 1000 + i, 80) for i in range(500)]
+
+    def churn_pair():
+        modulo = flow_churn(EcmpGroup(next_hops=list(hops)),
+                            EcmpGroup(next_hops=hops[:-1]), flows)
+        hrw = flow_churn(ResilientEcmpGroup(next_hops=list(hops)),
+                         ResilientEcmpGroup(next_hops=hops[:-1]), flows)
+        return modulo, hrw
+
+    modulo, hrw = benchmark(churn_pair)
+    rows = [
+        ("modulo hashing churn", "~(n-1)/n", f"{modulo:.0%}"),
+        ("resilient (HRW) churn", "~1/n", f"{hrw:.0%}"),
+    ]
+    emit("Ablation: steering resilience on node failure", rows)
+    assert hrw < modulo / 3
+
+
+def test_ablation_economics(benchmark):
+    """§2.3/§4.2: the fleet-size and CapEx arithmetic."""
+    comparison = benchmark(compare_region)
+    rows = [
+        ("all-x86 fleet", "600 boxes", f"{comparison.software.nodes}"),
+        ("Sailfish fleet", "10 XGW-H + 4 XGW-x86 (x2 backup)",
+         f"{comparison.sailfish_hw.nodes} + {comparison.sailfish_sw_nodes}"),
+        ("CapEx reduction", ">90%", f"{comparison.capex_reduction:.0%}"),
+    ]
+    emit("Ablation: region economics", rows)
+    assert comparison.capex_reduction > 0.9
+
+
+def test_ablation_install_times(benchmark):
+    """§2.3: full-table install on 600 x86 boxes vs the Sailfish fleet."""
+    x86 = benchmark(full_region_install_x86)
+    sailfish = full_region_install_sailfish()
+    rows = [
+        ("per-gateway install (x86)", ">10 min",
+         f"{x86.per_gateway_seconds / 60:.1f} min"),
+        ("fleet install (600 x86)", "hours",
+         f"{x86.total_seconds / 3600:.1f} h"),
+        ("fleet install (Sailfish)", "minutes",
+         f"{sailfish.total_seconds / 60:.1f} min"),
+        ("inconsistency window shrink", "large",
+         f"{x86.inconsistency_window_seconds / max(1e-9, sailfish.inconsistency_window_seconds):.0f}x"),
+    ]
+    emit("Ablation: table install and consistency window", rows)
+    assert x86.per_gateway_seconds > 600
+    assert sailfish.total_seconds < x86.total_seconds / 10

@@ -1,0 +1,90 @@
+"""Fig. 17: memory usage after step-by-step compression.
+
+Regenerates all five bars (SRAM and TCAM) and cross-checks the ALPM
+calibration against a real carve. Benchmarks the plan application plus
+an ablation sweep over the design choices.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.compression import CompressionPlan, calibrate_alpm
+from repro.core.occupancy import ALL_STEPS, OccupancyModel, Step
+from repro.net.addr import Prefix
+from repro.sim.rand import derive
+from repro.tables.vxlan_routing import RouteAction, Scope, VxlanRoutingTable
+
+PAPER_BARS = {
+    "Initial": (102, 389),
+    "a": (51, 194),
+    "a+b": (26, 97),
+    "a+b+c+d": (18, 156),
+    "a+b+c+d+e": (36, 11),
+}
+
+
+def test_fig17_compression_steps(benchmark):
+    model = OccupancyModel.paper_scale()
+    benchmark(lambda: CompressionPlan.full().apply(model))
+
+    rows = []
+    for label, occupancy in model.figure17():
+        paper_sram, paper_tcam = PAPER_BARS[label]
+        rows.append((f"{label} SRAM", f"{paper_sram}%", f"{occupancy.sram_percent:.1f}%"))
+        rows.append((f"{label} TCAM", f"{paper_tcam}%", f"{occupancy.tcam_percent:.1f}%"))
+        assert occupancy.sram_percent == pytest.approx(paper_sram, abs=1.5), label
+        assert occupancy.tcam_percent == pytest.approx(paper_tcam, abs=1.5), label
+    emit("Fig. 17: step-by-step compression", rows)
+
+
+def test_fig17_ablation(benchmark):
+    """Ablation bench: the final occupancy with each step removed —
+    quantifying what each design choice buys."""
+    model = OccupancyModel.paper_scale()
+
+    def sweep():
+        out = {}
+        for step in ALL_STEPS:
+            out[step] = CompressionPlan.full().without(step).apply(model).final
+        return out
+
+    ablated = benchmark(sweep)
+    full = CompressionPlan.full().apply(model).final
+    rows = [("full plan", "36% / 11%",
+             f"{full.sram_percent:.0f}% / {full.tcam_percent:.0f}%")]
+    for step, occ in ablated.items():
+        rows.append((f"without {step.value} ({step.name.lower()})", "worse",
+                     f"{occ.sram_percent:.0f}% / {occ.tcam_percent:.0f}%"))
+    emit("Fig. 17 ablation: final SRAM/TCAM per removed step", rows,
+         header=("configuration", "paper", "SRAM/TCAM"))
+
+    for step in (Step.FOLDING, Step.SPLIT, Step.ALPM):
+        assert (ablated[step].sram > full.sram * 1.2
+                or ablated[step].tcam > full.tcam * 1.2)
+    # Pooling pays off in provisioned memory under a shifting mix.
+    dedicated = model.provisioned_occupancy(set(ALL_STEPS) - {Step.POOLING})
+    pooled = model.provisioned_occupancy(set(ALL_STEPS))
+    assert dedicated.sram > pooled.sram * 1.3
+
+
+def test_fig17_alpm_calibration(benchmark):
+    """The 'e' bar depends on bucket utilization; measure it for real."""
+    rng = derive(17, "routes")
+    routing = VxlanRoutingTable()
+    for vni in range(1000, 1120):
+        for _ in range(10):
+            net = rng.randrange(1 << 20) << 12
+            routing.insert(vni, Prefix.of(net, 20, 4), RouteAction(Scope.LOCAL),
+                           replace=True)
+    model = OccupancyModel.paper_scale()
+    calibration = benchmark(calibrate_alpm, routing, model)
+    rows = [
+        ("bucket capacity", "tunable (22)", f"{calibration.stats.bucket_capacity}"),
+        ("bucket utilization", f"{calibration.calibrated_utilization:.3f} (calibrated)",
+         f"{calibration.measured_utilization:.3f}"),
+        ("TCAM conservation", ">10x",
+         f"{calibration.stats.routes / calibration.stats.partitions:.1f}x"),
+    ]
+    emit("Fig. 17(e): ALPM calibration cross-check", rows)
+    assert calibration.utilization_error < 0.4
+    assert calibration.stats.routes / calibration.stats.partitions > 8

@@ -1,0 +1,97 @@
+"""Fig. 18: XGW-H vs XGW-x86 forwarding performance.
+
+(a) throughput, (b) packet rate (pressure test over packet sizes),
+(c) latency — from the calibrated chip/box models, plus a real packet
+pushed through both functional data paths as a sanity check.
+Benchmarks both functional forwarding paths.
+"""
+
+import ipaddress
+
+import pytest
+
+from conftest import emit
+from repro.core.xgw_h import XgwH
+from repro.dataplane.gateway_logic import ForwardAction, GatewayTables
+from repro.net.addr import Prefix
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.traffic import build_vxlan_packet
+from repro.x86.gateway import FORWARDING_LATENCY_US, XgwX86
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+def _loaded_pair():
+    hw = XgwH(gateway_ip=ip("10.0.0.254"))
+    sw_tables = GatewayTables()
+    hw.install_route(100, Prefix.parse("192.168.10.0/24"), RouteAction(Scope.LOCAL))
+    hw.install_vm(100, ip("192.168.10.3"), 4, NcBinding(ip("10.1.1.12")))
+    sw_tables.routing.insert(100, Prefix.parse("192.168.10.0/24"),
+                             RouteAction(Scope.LOCAL))
+    sw_tables.vm_nc.insert(100, ip("192.168.10.3"), 4, NcBinding(ip("10.1.1.12")))
+    sw = XgwX86(gateway_ip=ip("10.0.0.253"), tables=sw_tables)
+    return hw, sw
+
+
+def test_fig18a_throughput(benchmark):
+    hw, sw = _loaded_pair()
+    ratio = hw.throughput_bps() / sw.nic.bandwidth_bps
+    rows = [
+        ("XGW-H throughput", "3.2 Tbps", f"{hw.throughput_bps() / 1e12:.1f} Tbps"),
+        ("XGW-x86 throughput", "1x baseline", f"{sw.nic.bandwidth_bps / 1e9:.0f} Gbps"),
+        ("ratio", ">20x", f"{ratio:.0f}x"),
+    ]
+    emit("Fig. 18(a): throughput", rows)
+    assert ratio > 20
+
+    packet = build_vxlan_packet(100, ip("192.168.10.2"), ip("192.168.10.3"))
+    result = benchmark(hw.forward, packet)
+    assert result.action is ForwardAction.DELIVER_NC
+
+
+def test_fig18b_packet_rate(benchmark):
+    hw, sw = _loaded_pair()
+    hw_pps = hw.chip.rate_at(192).packet_rate_pps
+    sw_pps = sw.max_pps(192)
+    rows = [
+        ("XGW-H pps (<256B)", "1800 Mpps", f"{hw_pps / 1e6:.0f} Mpps"),
+        ("XGW-x86 pps", "25 Mpps", f"{sw_pps / 1e6:.0f} Mpps"),
+        ("ratio", "71-72x", f"{hw_pps / sw_pps:.0f}x"),
+        ("XGW-H line rate down to", "<256B", f"{hw.chip.min_line_rate_packet()}B"),
+        ("XGW-x86 line rate above", ">512B", f"{sw.min_line_rate_packet()}B"),
+    ]
+    emit("Fig. 18(b): packet forwarding rate", rows)
+    assert hw_pps == pytest.approx(1.8e9, rel=0.1)
+    assert sw_pps == pytest.approx(25e6, rel=0.05)
+    assert 60 <= hw_pps / sw_pps <= 85
+    assert hw.chip.min_line_rate_packet() < 256
+    assert 256 < sw.min_line_rate_packet() <= 512
+
+    print("\npressure-test series (packet size -> Gpps, line rate?):")
+    for size in (64, 128, 192, 256, 512, 1024):
+        report = hw.chip.rate_at(size)
+        print(f"  {size:>5}B  {report.packet_rate_pps / 1e9:5.2f} Gpps  "
+              f"line_rate={report.line_rate}")
+
+    benchmark(hw.chip.rate_at, 192)
+
+
+def test_fig18c_latency(benchmark):
+    hw, sw = _loaded_pair()
+    hw_latency = hw.latency_us()
+    reduction = 1 - hw_latency / FORWARDING_LATENCY_US
+    rows = [
+        ("XGW-H latency", "2 us (2.17-2.31)", f"{hw_latency:.2f} us"),
+        ("XGW-x86 latency", "40 us", f"{FORWARDING_LATENCY_US:.0f} us"),
+        ("reduction", "95%", f"{reduction:.0%}"),
+    ]
+    emit("Fig. 18(c): forwarding latency", rows)
+    assert 2.0 <= hw_latency <= 2.35
+    assert reduction >= 0.93
+
+    packet = build_vxlan_packet(100, ip("192.168.10.2"), ip("192.168.10.3"))
+    result = benchmark(sw.forward, packet)
+    assert result.action is ForwardAction.DELIVER_NC

@@ -1,0 +1,73 @@
+"""Figs. 20/21: balanced traffic distribution between pipeline pairs.
+
+Pushes a realistic traffic sample through every XGW-H of the region and
+measures the egress pipe 1 vs pipe 3 split per gateway (the "view of
+clusters") and over time windows (the "view of time"). The parity split
+keeps both within a few percent of 50/50. Benchmarks sample forwarding.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.telemetry.stats import jains_fairness
+from repro.workloads.traffic import RegionTrafficGenerator
+
+PACKETS = 4000
+WINDOWS = 8
+
+
+def test_fig20_pipe_balance_across_gateways(benchmark, region):
+    generator = RegionTrafficGenerator(region.topology, seed=20, internet_share=0.01)
+    benchmark.pedantic(
+        lambda: [region.forward(s.packet) for s in generator.packets(200)],
+        rounds=3, iterations=1,
+    )
+    # A full pass for the measurement itself.
+    for sample in generator.packets(PACKETS):
+        region.forward(sample.packet)
+
+    rows = []
+    shares = []
+    for cluster_id in sorted(region.controller.clusters):
+        cluster = region.controller.clusters[cluster_id]
+        for member in cluster.active_members():
+            pipe_counts = member.gateway.egress_pipe_share()
+            pipe1, pipe3 = pipe_counts.get(1, 0), pipe_counts.get(3, 0)
+            total = pipe1 + pipe3
+            if total < 100:
+                continue
+            share = pipe1 / total
+            shares.append(share)
+            rows.append((f"{cluster_id}/{member.name}", "~50% / ~50%",
+                         f"{share:.1%} / {1 - share:.1%}"))
+    emit("Fig. 20: egress pipe 1 vs pipe 3 per gateway", rows,
+         header=("gateway", "paper", "pipe1/pipe3"))
+
+    assert shares, "no gateway saw enough traffic"
+    for share in shares:
+        assert 0.4 < share < 0.6
+    assert jains_fairness([s for s in shares] + [1 - s for s in shares]) > 0.95
+
+
+def test_fig21_pipe_balance_over_time(benchmark, region):
+    generator = RegionTrafficGenerator(region.topology, seed=21, internet_share=0.01)
+
+    def window():
+        counts = {0: 0, 1: 0}
+        for sample in generator.packets(PACKETS // WINDOWS):
+            result = region.forward(sample.packet)
+            if result.packet.is_vxlan:
+                counts[sample.packet.inner_dst % 2] += 1
+        return counts
+
+    rows = []
+    for w in range(WINDOWS):
+        counts = window()
+        total = counts[0] + counts[1]
+        share = counts[0] / total if total else 0.5
+        rows.append((f"window {w}", "~50% / ~50%", f"{share:.1%} / {1 - share:.1%}"))
+        assert 0.38 < share < 0.62
+    emit("Fig. 21: pipe-pair split over time", rows,
+         header=("time window", "paper", "even/odd parity"))
+
+    benchmark(window)

@@ -1,0 +1,73 @@
+"""Fig. 23: VXLAN routing-table update pattern over a month.
+
+Generates the update event stream (slow regular churn + rare sudden
+top-customer batches), integrates it into per-cluster entry-count
+curves, and checks the paper's observations: low regular update rates,
+and sudden jumps that dominate the curve's total variation. Benchmarks
+event generation + integration.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.workloads.updates import (
+    UpdateKind,
+    entry_count_series,
+    generate_update_events,
+    sudden_events,
+    update_rate_per_day,
+)
+
+DAYS = 30
+CLUSTERS = 4
+
+
+def _cluster_month(seed):
+    events = generate_update_events(DAYS, seed=seed)
+    series = entry_count_series(events, initial_entries=100_000)
+    return events, series
+
+
+def test_fig23_table_updates(benchmark):
+    benchmark(_cluster_month, 23)
+
+    rows = []
+    for cluster in range(CLUSTERS):
+        events, series = _cluster_month(seed=(23, cluster))
+        sudden = sudden_events(events)
+        regular = [e for e in events if e.kind is UpdateKind.REGULAR]
+        growth = series.values[-1] - series.values[0]
+        sudden_delta = sum(e.delta_entries for e in sudden)
+        rows.append((
+            f"cluster {chr(ord('A') + cluster)}",
+            "slow + rare jumps",
+            f"{update_rate_per_day(regular, DAYS):.0f}/day regular, "
+            f"{len(sudden)} jumps, growth {growth:+,.0f}",
+        ))
+        # Regular updates are "relatively low frequency".
+        assert update_rate_per_day(regular, DAYS) < 100
+        # Sudden events are rare...
+        assert len(sudden) <= DAYS * 0.3
+        # ...but dominate net growth when they occur.
+        if sudden:
+            assert sudden_delta > abs(growth - sudden_delta) * 0.5
+
+    emit("Fig. 23: routing-table updates over a month", rows,
+         header=("cluster", "paper", "measured"))
+
+
+def test_fig23_controller_records_series(benchmark, small_region):
+    """The controller's own table-size series shows onboarding jumps."""
+    controller = small_region.controller
+    rows = []
+    for cluster_id in sorted(controller.clusters):
+        series = controller.table_size_series[cluster_id]
+        rows.append((cluster_id, "stepwise growth",
+                     f"{len(series)} updates to {series.values[-1]:,.0f} entries"))
+        assert series.values[-1] > 0
+        # Entry counts never go negative and only change at updates.
+        assert all(v >= 0 for v in series.values)
+    emit("Fig. 23: controller-recorded table sizes", rows)
+
+    benchmark(lambda: [controller.table_size_series[c].maximum()
+                       for c in controller.clusters])

@@ -1,0 +1,50 @@
+"""Fig. 7: overloaded cores are dominated by their top-1/top-2 flows.
+
+Reconstructs 12 "CPU overload scenes": for each, find the saturated core
+and measure what fraction of its packets belong to the top-1 and top-2
+flows. The paper: "in most cases, the top-1 and top-2 flows dominate".
+Benchmarks the overload-scene analysis.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.telemetry.stats import top_n_share
+from repro.workloads.flows import heavy_hitter_flows
+from repro.x86.gateway import XgwX86
+
+SCENES = 12
+
+
+def _overload_scene(seed):
+    """Offer skewed flows until some core saturates; return its flow mix."""
+    gw = XgwX86(gateway_ip=1)
+    flows = heavy_hitter_flows(100, gw.total_capacity_pps * 0.5, seed=seed,
+                               alpha=1.5)
+    report = gw.serve_interval([(f.flow, f.pps) for f in flows])
+    hot = max(report.core_intervals, key=lambda ci: ci.offered_pps)
+    shares = sorted(hot.flow_share.values(), reverse=True)
+    return shares, hot.utilization
+
+
+def test_fig7_heavy_hitter_domination(benchmark):
+    top1_shares, top2_shares = [], []
+    for scene in range(SCENES):
+        shares, _util = _overload_scene(seed=(7, scene))
+        top1_shares.append(top_n_share(shares, 1))
+        top2_shares.append(top_n_share(shares, 2))
+
+    dominated = sum(1 for s in top2_shares if s > 0.5)
+    rows = [
+        ("scenes", "12", f"{SCENES}"),
+        ("mean top-1 flow share", "dominant", f"{sum(top1_shares) / SCENES:.0%}"),
+        ("mean top-2 flow share", "dominant", f"{sum(top2_shares) / SCENES:.0%}"),
+        ("scenes with top-2 > 50%", "most", f"{dominated}/{SCENES}"),
+    ]
+    emit("Fig. 7: flow mix on the overloaded core", rows)
+
+    # The paper's claim: in most scenes the top-2 flows dominate.
+    assert dominated >= SCENES * 2 // 3
+    assert sum(top2_shares) / SCENES > 0.5
+
+    benchmark(_overload_scene, (7, 0))

@@ -1,0 +1,48 @@
+"""Fig. 8: CPU performance vs switch port speed, 2010-2020.
+
+Regenerates the figure's three series from the embedded dataset and
+asserts the stated growth factors: port speed 40x, multi-core ~4x,
+single-core ~2.5x — i.e. traffic growth beyond Moore's law, single-core
+growth below it.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.workloads.datasets import (
+    CPU_VS_PORT_TREND,
+    growth_factors,
+    moores_law_factor,
+    series,
+    years,
+)
+
+
+def test_fig8_trends(benchmark):
+    single, multi, port = benchmark(growth_factors)
+
+    print("\n=== Fig. 8 series ===")
+    print(f"{'year':>6} {'single-core':>12} {'multi-core':>11} {'port Gbps':>10}")
+    for point in CPU_VS_PORT_TREND:
+        print(f"{point.year:>6} {point.single_core:>12.0f} "
+              f"{point.multi_core:>11.0f} {point.port_speed_gbps:>10.0f}"
+              f"  {point.switch_example}")
+
+    rows = [
+        ("port speed growth", "40x", f"{port:.1f}x"),
+        ("multi-core growth", "4x", f"{multi:.1f}x"),
+        ("single-core growth", "2.5x", f"{single:.1f}x"),
+        ("Moore's law (10y)", "32x", f"{moores_law_factor(10):.0f}x"),
+    ]
+    emit("Fig. 8: growth factors 2010-2020", rows)
+
+    assert port == pytest.approx(40, abs=1)
+    assert multi == pytest.approx(4, abs=0.5)
+    assert single == pytest.approx(2.5, abs=0.3)
+    # The ordering that motivates the paper:
+    assert single < multi < moores_law_factor(10) < port
+    # Monotone series.
+    for name in ("single", "multi", "port"):
+        values = series(name)
+        assert all(a <= b for a, b in zip(values, values[1:]))
+    assert years() == sorted(years())

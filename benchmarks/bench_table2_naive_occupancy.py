@@ -1,0 +1,50 @@
+"""Table 2: naive table occupancy on the chip (the problem statement).
+
+Regenerates every cell of Table 2 from the calibrated occupancy model
+and asserts each within the paper's rounding. Benchmarks the model
+evaluation.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.occupancy import OccupancyModel
+
+PAPER = {
+    ("vxlan_routing", "ipv4", "tcam"): 311.0,
+    ("vxlan_routing", "ipv6", "tcam"): 622.0,
+    ("vm_nc", "ipv4", "sram"): 58.0,
+    ("vm_nc", "ipv6", "sram"): 233.0,
+    ("sum", "sram"): 102.0,
+    ("sum", "tcam"): 388.75,
+}
+
+
+def test_table2_naive_occupancy(benchmark):
+    model = OccupancyModel.paper_scale()
+    t2 = benchmark(model.table2)
+
+    rows = [
+        ("VXLAN routing TCAM (IPv4)", "311%",
+         f"{t2['vxlan_routing']['ipv4'].tcam_percent:.0f}%"),
+        ("VXLAN routing TCAM (IPv6)", "622%",
+         f"{t2['vxlan_routing']['ipv6'].tcam_percent:.0f}%"),
+        ("VM-NC SRAM (IPv4)", "58%",
+         f"{t2['vm_nc']['ipv4'].sram_percent:.0f}%"),
+        ("VM-NC SRAM (IPv6)", "233%",
+         f"{t2['vm_nc']['ipv6'].sram_percent:.0f}%"),
+        ("Sum SRAM (75/25)", "102%",
+         f"{t2['sum']['mixed'].sram_percent:.1f}%"),
+        ("Sum TCAM (75/25)", "388.75%",
+         f"{t2['sum']['mixed'].tcam_percent:.2f}%"),
+    ]
+    emit("Table 2: naive occupancy", rows)
+
+    assert t2["vxlan_routing"]["ipv4"].tcam_percent == pytest.approx(311, abs=1.5)
+    assert t2["vxlan_routing"]["ipv6"].tcam_percent == pytest.approx(622, abs=1.5)
+    assert t2["vm_nc"]["ipv4"].sram_percent == pytest.approx(58, abs=1.5)
+    assert t2["vm_nc"]["ipv6"].sram_percent == pytest.approx(233, abs=2.0)
+    assert t2["sum"]["mixed"].sram_percent == pytest.approx(102, abs=1.5)
+    assert t2["sum"]["mixed"].tcam_percent == pytest.approx(388.75, abs=1.5)
+    # The point of the table: it does not fit.
+    assert not t2["sum"]["mixed"].fits()

@@ -1,0 +1,33 @@
+"""Table 3: occupancy of the two major tables after all optimizations.
+
+Benchmarks the full compression-plan application.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.compression import CompressionPlan
+from repro.core.occupancy import OccupancyModel
+
+
+def test_table3_optimized_occupancy(benchmark):
+    model = OccupancyModel.paper_scale()
+    plan = CompressionPlan.full()
+    benchmark(plan.apply, model)
+
+    t3 = model.table3()
+    rows = [
+        ("VXLAN routing SRAM", "18%", f"{t3['vxlan_routing'].sram_percent:.1f}%"),
+        ("VXLAN routing TCAM", "11%", f"{t3['vxlan_routing'].tcam_percent:.1f}%"),
+        ("VM-NC SRAM", "18%", f"{t3['vm_nc'].sram_percent:.1f}%"),
+        ("Sum SRAM", "36%", f"{t3['sum'].sram_percent:.1f}%"),
+        ("Sum TCAM", "11%", f"{t3['sum'].tcam_percent:.1f}%"),
+    ]
+    emit("Table 3: optimized occupancy", rows)
+
+    assert t3["vxlan_routing"].sram_percent == pytest.approx(18, abs=1.5)
+    assert t3["vxlan_routing"].tcam_percent == pytest.approx(11, abs=1.5)
+    assert t3["vm_nc"].sram_percent == pytest.approx(18, abs=1.5)
+    assert t3["sum"].sram_percent == pytest.approx(36, abs=1.5)
+    assert t3["sum"].tcam_percent == pytest.approx(11, abs=1.5)
+    assert t3["sum"].fits()

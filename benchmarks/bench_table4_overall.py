@@ -1,0 +1,59 @@
+"""Table 4: overall memory consumption with the full table set.
+
+Regenerates the per-pipe-pair occupancy both analytically and by
+actually placing the representative table set on the simulated fabric
+(block-granular, stage by stage). Benchmarks the placement planner.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.planner import PlacementPlanner, sailfish_table_layout, table4_occupancy
+from repro.tofino.pipeline import PipelineFabric
+
+PAPER = {
+    "pipeline_0_2": (70, 41),
+    "pipeline_1_3": (68, 22),
+    "sum": (69, 32),
+}
+
+
+def _place():
+    fabric = PipelineFabric(folded=True)
+    planner = PlacementPlanner(fabric)
+    planner.plan(sailfish_table_layout())
+    return fabric
+
+
+def test_table4_overall_occupancy(benchmark):
+    analytic = table4_occupancy()
+    fabric = benchmark(_place)
+
+    placed = {
+        "pipeline_0_2": (fabric.memory[0].sram_occupancy(),
+                         fabric.memory[0].tcam_occupancy()),
+        "pipeline_1_3": (fabric.memory[1].sram_occupancy(),
+                         fabric.memory[1].tcam_occupancy()),
+    }
+    rows = []
+    for key, (paper_sram, paper_tcam) in PAPER.items():
+        a_sram, a_tcam = analytic[key]
+        rows.append((f"{key} SRAM", f"{paper_sram}%", f"{a_sram * 100:.1f}%"))
+        rows.append((f"{key} TCAM", f"{paper_tcam}%", f"{a_tcam * 100:.1f}%"))
+    emit("Table 4: overall occupancy (analytic)", rows)
+
+    rows = [
+        (f"{key} {kind}", f"{analytic[key][i] * 100:.1f}%",
+         f"{placed[key][i] * 100:.1f}%")
+        for key in ("pipeline_0_2", "pipeline_1_3")
+        for i, kind in ((0, "SRAM"), (1, "TCAM"))
+    ]
+    emit("Table 4: block-granular placement vs analytic", rows,
+         header=("pipe pair", "analytic", "placed"))
+
+    for key, (paper_sram, paper_tcam) in PAPER.items():
+        assert analytic[key][0] * 100 == pytest.approx(paper_sram, abs=2.0), key
+        assert analytic[key][1] * 100 == pytest.approx(paper_tcam, abs=2.0), key
+    for key in ("pipeline_0_2", "pipeline_1_3"):
+        assert placed[key][0] == pytest.approx(analytic[key][0], abs=0.03)
+        assert placed[key][1] == pytest.approx(analytic[key][1], abs=0.03)

@@ -1,0 +1,31 @@
+"""Shared fixtures and reporting helpers for the paper benchmarks.
+
+Every bench regenerates one of the paper's tables/figures, prints a
+paper-vs-measured comparison (visible with ``pytest -s`` and in the
+captured output), asserts the *shape* holds, and times the experiment's
+hot operation via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.core.sailfish import RegionSpec, Sailfish
+
+
+def emit(title, rows, header=("metric", "paper", "measured")):
+    """Print an aligned paper-vs-measured table."""
+    width = max(len(str(r[0])) for r in rows + [header])
+    print(f"\n=== {title} ===")
+    print(f"{header[0]:<{width}}  {header[1]:>16}  {header[2]:>16}")
+    for name, paper, measured in rows:
+        print(f"{str(name):<{width}}  {str(paper):>16}  {str(measured):>16}")
+
+
+@pytest.fixture(scope="session")
+def region():
+    """One medium Sailfish region shared by the region-scale benches."""
+    return Sailfish.build(RegionSpec.medium(), seed=2021)
+
+
+@pytest.fixture(scope="session")
+def small_region():
+    return Sailfish.build(RegionSpec.small(), seed=2021)

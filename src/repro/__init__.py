@@ -1,0 +1,44 @@
+"""repro — a reproduction of Sailfish (SIGCOMM 2021).
+
+Sailfish is Alibaba Cloud's multi-tenant multi-service cloud gateway
+built on programmable switches. This package implements the paper's
+contribution — hardware/software table sharing, horizontal table
+splitting among clusters, and pipeline-aware single-node table
+compression — together with every substrate it depends on: a Tofino-like
+pipeline/memory simulator, an XGW-x86 software-gateway simulator, the
+VXLAN packet model, the forwarding tables (LPM, TCAM, ALPM, pooled,
+compressed), region-level clustering, and synthetic workload generators.
+
+Quickstart::
+
+    from repro import OccupancyModel, CompressionPlan
+    model = OccupancyModel.paper_scale()
+    plan = CompressionPlan.full()
+    report = plan.apply(model)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from .core import (
+    CompressionPlan,
+    CompressionStep,
+    OccupancyModel,
+    RegionSpec,
+    Sailfish,
+    SharingPolicy,
+    TableSplitter,
+)
+
+__all__ = [
+    "Sailfish",
+    "RegionSpec",
+    "CompressionPlan",
+    "CompressionStep",
+    "OccupancyModel",
+    "SharingPolicy",
+    "TableSplitter",
+    "__version__",
+]

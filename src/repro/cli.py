@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compression`` — print Tables 2-4 and the Fig. 17 trajectory from the
+  calibrated occupancy model.
+* ``region`` — build a synthetic region, run a traffic sample, print the
+  forwarding report.
+* ``trace`` — build a region and print a VTrace-style path for one
+  generated packet of each outcome class.
+* ``economics`` — the §2.3 fleet-sizing and CapEx comparison.
+* ``export-pcap`` — write a synthetic traffic sample to a pcap file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_compression(args: argparse.Namespace) -> int:
+    from .core.compression import CompressionPlan
+    from .core.occupancy import OccupancyModel
+    from .core.planner import table4_occupancy
+
+    model = OccupancyModel.paper_scale(ipv6_fraction=args.ipv6)
+    print(f"workload: {model.scale.routes:,} routes, {model.scale.vms:,} VMs, "
+          f"{model.scale.ipv6_fraction:.0%} IPv6")
+    print(f"\n{'step':12s} {'SRAM':>8s} {'TCAM':>8s}")
+    for label, occ in CompressionPlan.full().apply(model).rows:
+        print(f"{label:12s} {occ.sram_percent:7.1f}% {occ.tcam_percent:7.1f}%")
+    print("\nTable 4 (all tables):")
+    for key, (sram, tcam) in table4_occupancy(model).items():
+        print(f"  {key:16s} SRAM {sram * 100:5.1f}%  TCAM {tcam * 100:5.1f}%")
+    return 0
+
+
+def _cmd_region(args: argparse.Namespace) -> int:
+    from .core.sailfish import RegionSpec, Sailfish
+    from .workloads.traffic import RegionTrafficGenerator
+
+    spec = RegionSpec.medium() if args.size == "medium" else RegionSpec.small()
+    region = Sailfish.build(spec, seed=args.seed)
+    print(f"region: {len(region.topology.vpcs)} VPCs, {region.topology.total_vms} VMs, "
+          f"clusters {sorted(region.controller.clusters)}")
+    generator = RegionTrafficGenerator(region.topology, seed=args.seed,
+                                       internet_share=args.internet_share)
+    report = region.forward_sample(packets=args.packets, generator=generator)
+    print(f"packets {report.packets}: delivered {report.delivered}, "
+          f"uplinked {report.uplinked}, dropped {report.dropped}")
+    print(f"software share: {report.software_ratio:.3%}")
+    return 1 if report.dropped else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.sailfish import RegionSpec, Sailfish
+    from .workloads.traffic import RegionTrafficGenerator
+
+    region = Sailfish.build(RegionSpec.small(), seed=args.seed)
+    generator = RegionTrafficGenerator(region.topology, seed=args.seed,
+                                       internet_share=0.2)
+    seen = set()
+    for sample in generator.packets(200):
+        result, trace = region.trace(sample.packet)
+        if result.action.value in seen:
+            continue
+        seen.add(result.action.value)
+        print(f"\n--- {sample.route} -> {result.action.value} ---")
+        print(trace.describe())
+        if len(seen) >= 3:
+            break
+    return 0
+
+
+def _cmd_economics(args: argparse.Namespace) -> int:
+    from .core.economics import compare_region
+    from .core.provisioning import (
+        full_region_install_sailfish,
+        full_region_install_x86,
+    )
+
+    comparison = compare_region(region_traffic_bps=args.tbps * 1e12)
+    print(f"region traffic: {args.tbps:.0f} Tbps, 50% water level, 1:1 backup")
+    print(f"all-x86 fleet:   {comparison.software.nodes} boxes "
+          f"(${comparison.software.capex_usd / 1e6:.1f}M)")
+    print(f"Sailfish fleet:  {comparison.sailfish_hw.nodes} XGW-H + "
+          f"{comparison.sailfish_sw_nodes} XGW-x86 "
+          f"(${comparison.sailfish_capex_usd / 1e6:.2f}M)")
+    print(f"CapEx reduction: {comparison.capex_reduction:.0%}")
+    x86 = full_region_install_x86()
+    sailfish = full_region_install_sailfish()
+    print(f"full table install: {x86.total_seconds / 3600:.1f} h (x86 fleet) vs "
+          f"{sailfish.total_seconds / 60:.1f} min (Sailfish)")
+    return 0
+
+
+def _cmd_export_pcap(args: argparse.Namespace) -> int:
+    from .workloads.pcap import export_sample
+    from .workloads.topology import generate_topology
+    from .workloads.traffic import RegionTrafficGenerator
+
+    topology = generate_topology(num_vpcs=8, total_vms=64, seed=args.seed)
+    generator = RegionTrafficGenerator(topology, seed=args.seed)
+    count = export_sample(args.path, generator.packets(args.packets))
+    print(f"wrote {count} packets to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Sailfish (SIGCOMM 2021) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compression = sub.add_parser("compression", help="Tables 2-4 + Fig. 17")
+    compression.add_argument("--ipv6", type=float, default=0.25,
+                             help="IPv6 fraction of the workload")
+    compression.set_defaults(func=_cmd_compression)
+
+    region = sub.add_parser("region", help="build a region and forward traffic")
+    region.add_argument("--size", choices=("small", "medium"), default="small")
+    region.add_argument("--packets", type=int, default=1000)
+    region.add_argument("--seed", type=int, default=7)
+    region.add_argument("--internet-share", type=float, default=0.02)
+    region.set_defaults(func=_cmd_region)
+
+    trace = sub.add_parser("trace", help="VTrace-style path traces")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=_cmd_trace)
+
+    economics = sub.add_parser("economics", help="fleet sizing and CapEx")
+    economics.add_argument("--tbps", type=float, default=15.0)
+    economics.set_defaults(func=_cmd_economics)
+
+    export = sub.add_parser("export-pcap", help="write synthetic traffic to pcap")
+    export.add_argument("path")
+    export.add_argument("--packets", type=int, default=100)
+    export.add_argument("--seed", type=int, default=7)
+    export.set_defaults(func=_cmd_export_pcap)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

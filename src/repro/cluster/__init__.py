@@ -1,0 +1,34 @@
+"""Region-level clustering: ECMP steering, clusters, failover, health."""
+
+from .cluster import ClusterError, GatewayCluster, Member, NodeState
+from .ecmp import (
+    DEFAULT_MAX_NEXT_HOPS,
+    EcmpGroup,
+    JUNIPER_MAX_NEXT_HOPS,
+    NextHopLimitError,
+    ResilientEcmpGroup,
+    VniSteeredBalancer,
+    flow_churn,
+)
+from .failover import DisasterRecovery, RecoveryEvent
+from .health import Alert, HealthMonitor, Signal, WaterLevel
+
+__all__ = [
+    "ClusterError",
+    "GatewayCluster",
+    "Member",
+    "NodeState",
+    "EcmpGroup",
+    "ResilientEcmpGroup",
+    "flow_churn",
+    "VniSteeredBalancer",
+    "NextHopLimitError",
+    "DEFAULT_MAX_NEXT_HOPS",
+    "JUNIPER_MAX_NEXT_HOPS",
+    "DisasterRecovery",
+    "RecoveryEvent",
+    "Alert",
+    "HealthMonitor",
+    "Signal",
+    "WaterLevel",
+]

@@ -1,0 +1,163 @@
+"""ECMP load balancer in front of gateway clusters (§2.3, §4.3).
+
+Commercial load balancers cap the ECMP next-hop set (Juniper security
+devices: 16; generally < 64), which bounds how many gateways can sit
+behind one balancer — one of the scale-out pain points that pushed
+Sailfish towards fewer, faster nodes.
+
+Two steering modes:
+
+* ``flow`` — classic 5-tuple hash over the next-hop set;
+* ``vni`` — Sailfish's table-splitting mode: an explicit VNI -> cluster
+  map managed by the controller, with flow-hash only *within* the
+  chosen cluster's nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Optional, Sequence, TypeVar
+
+from ..net.flow import FlowKey, toeplitz_hash
+
+T = TypeVar("T")
+
+#: Paper: "commercial load balancers are generally limited to allowing
+#: fewer than 64 possible next-hops".
+DEFAULT_MAX_NEXT_HOPS = 64
+JUNIPER_MAX_NEXT_HOPS = 16
+
+
+class NextHopLimitError(Exception):
+    """Raised when the ECMP set would exceed the device limit."""
+
+
+@dataclass
+class EcmpGroup(Generic[T]):
+    """One ECMP next-hop set with a hardware size limit."""
+
+    max_next_hops: int = DEFAULT_MAX_NEXT_HOPS
+    next_hops: List[T] = field(default_factory=list)
+
+    def add(self, hop: T) -> None:
+        if len(self.next_hops) >= self.max_next_hops:
+            raise NextHopLimitError(
+                f"ECMP set full ({self.max_next_hops} next-hops)"
+            )
+        self.next_hops.append(hop)
+
+    def remove(self, hop: T) -> None:
+        self.next_hops.remove(hop)
+
+    def __len__(self) -> int:
+        return len(self.next_hops)
+
+    def pick(self, flow: FlowKey) -> T:
+        """Flow-hash steering (resilient modulo)."""
+        if not self.next_hops:
+            raise NextHopLimitError("ECMP set is empty")
+        index = toeplitz_hash(flow.to_rss_input()) % len(self.next_hops)
+        return self.next_hops[index]
+
+
+def _hrw_weight(flow_bytes: bytes, hop) -> int:
+    """Deterministic 64-bit rendezvous weight for (flow, hop)."""
+    import hashlib
+
+    digest = hashlib.sha256(flow_bytes + repr(hop).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class ResilientEcmpGroup(Generic[T]):
+    """ECMP with highest-random-weight (rendezvous) hashing.
+
+    Plain modulo hashing remaps ~(n-1)/n of flows when a next-hop set
+    changes — every remapped flow lands on a gateway without its
+    connection state. HRW only moves the failed member's flows, which is
+    why production balancers prefer resilient hashing for stateful
+    next-hops.
+    """
+
+    max_next_hops: int = DEFAULT_MAX_NEXT_HOPS
+    next_hops: List[T] = field(default_factory=list)
+
+    def add(self, hop: T) -> None:
+        if len(self.next_hops) >= self.max_next_hops:
+            raise NextHopLimitError(f"ECMP set full ({self.max_next_hops} next-hops)")
+        self.next_hops.append(hop)
+
+    def remove(self, hop: T) -> None:
+        self.next_hops.remove(hop)
+
+    def __len__(self) -> int:
+        return len(self.next_hops)
+
+    def pick(self, flow: FlowKey) -> T:
+        """Highest-random-weight choice over the current members."""
+        if not self.next_hops:
+            raise NextHopLimitError("ECMP set is empty")
+        flow_bytes = flow.to_rss_input()
+        return max(self.next_hops, key=lambda hop: _hrw_weight(flow_bytes, hop))
+
+
+def flow_churn(before, after, flows: "list[FlowKey]") -> float:
+    """Fraction of *flows* whose next-hop changed between two groups."""
+    if not flows:
+        raise ValueError("flows must be non-empty")
+    moved = sum(1 for flow in flows if before.pick(flow) != after.pick(flow))
+    return moved / len(flows)
+
+
+class VniSteeredBalancer(Generic[T]):
+    """The Sailfish balancer: VNI -> cluster, flow-hash within the cluster.
+
+    >>> lb = VniSteeredBalancer()
+    >>> lb.register_cluster("A", ["gw1", "gw2"])
+    >>> lb.assign_vni(7, "A")
+    >>> lb.cluster_for_vni(7)
+    'A'
+    """
+
+    def __init__(self, max_next_hops: int = DEFAULT_MAX_NEXT_HOPS):
+        self.max_next_hops = max_next_hops
+        self._clusters: Dict[str, EcmpGroup[T]] = {}
+        self._vni_map: Dict[int, str] = {}
+
+    def register_cluster(self, cluster_id: str, nodes: Sequence[T]) -> None:
+        group: EcmpGroup[T] = EcmpGroup(max_next_hops=self.max_next_hops)
+        for node in nodes:
+            group.add(node)
+        self._clusters[cluster_id] = group
+
+    def unregister_cluster(self, cluster_id: str) -> None:
+        self._clusters.pop(cluster_id, None)
+        stale = [vni for vni, cid in self._vni_map.items() if cid == cluster_id]
+        for vni in stale:
+            del self._vni_map[vni]
+
+    def assign_vni(self, vni: int, cluster_id: str) -> None:
+        """Install the controller's VNI -> cluster decision."""
+        if cluster_id not in self._clusters:
+            raise KeyError(f"unknown cluster {cluster_id}")
+        self._vni_map[vni] = cluster_id
+
+    def cluster_for_vni(self, vni: int) -> Optional[str]:
+        return self._vni_map.get(vni)
+
+    def clusters(self) -> List[str]:
+        return sorted(self._clusters)
+
+    def nodes_of(self, cluster_id: str) -> List[T]:
+        return list(self._clusters[cluster_id].next_hops)
+
+    def steer(self, vni: int, flow: FlowKey) -> T:
+        """Pick the node for a packet: VNI map then intra-cluster hash."""
+        cluster_id = self._vni_map.get(vni)
+        if cluster_id is None:
+            raise KeyError(f"no cluster assigned for VNI {vni}")
+        return self._clusters[cluster_id].pick(flow)
+
+    def rebalance_vni(self, vni: int, to_cluster: str) -> None:
+        """Tractable load balancing: move one tenant's traffic precisely."""
+        self.assign_vni(vni, to_cluster)

@@ -1,0 +1,115 @@
+"""Disaster recovery at cluster, node and port level (§6.1).
+
+* **Cluster**: every main cluster has a 1:1 hot-standby backup with the
+  same configuration; on anomaly the upstream routes flip to the backup.
+* **Node**: a failing gateway is taken offline and its share spreads
+  over the survivors; if a cluster runs out of members, globally
+  reserved cold-standby gateways are attached.
+* **Port**: a port with jitter/persistent loss is isolated and its
+  traffic migrated by the upstream device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+from .cluster import ClusterError, GatewayCluster
+from .ecmp import VniSteeredBalancer
+from .health import Alert, Signal
+
+G = TypeVar("G")
+
+
+@dataclass
+class RecoveryEvent:
+    """One recovery action taken, for the audit log."""
+
+    level: str  # "cluster" | "node" | "port"
+    subject: str
+    action: str
+    time: float
+
+
+class DisasterRecovery(Generic[G]):
+    """Executes the three-level recovery policy against a balancer.
+
+    >>> # wired up in repro.core.sailfish; see tests/cluster/test_failover.py
+    """
+
+    def __init__(
+        self,
+        balancer: VniSteeredBalancer,
+        clusters: Dict[str, GatewayCluster[G]],
+        cold_standby: Optional[List[G]] = None,
+    ):
+        self.balancer = balancer
+        self.clusters = clusters
+        self.cold_standby: List[G] = list(cold_standby or [])
+        self.events: List[RecoveryEvent] = []
+        self.active_backups: Dict[str, GatewayCluster[G]] = {}
+
+    # -- cluster level -------------------------------------------------------
+
+    def fail_over_cluster(self, cluster_id: str, time: float = 0.0) -> GatewayCluster[G]:
+        """Reroute a failed main cluster's traffic to its hot backup."""
+        main = self.clusters.get(cluster_id)
+        if main is None:
+            raise ClusterError(f"unknown cluster {cluster_id}")
+        if main.backup is None:
+            raise ClusterError(f"cluster {cluster_id} has no backup")
+        backup = main.backup
+        node_names = [m.name for m in backup.active_members()]
+        # Re-point the balancer's next-hops at the backup members; VNI
+        # assignments are untouched (same cluster_id, new nodes).
+        self.balancer.register_cluster(cluster_id, node_names)
+        self.active_backups[cluster_id] = backup
+        self.events.append(RecoveryEvent("cluster", cluster_id, "switch-to-backup", time))
+        return backup
+
+    def serving_cluster(self, cluster_id: str) -> GatewayCluster[G]:
+        """The cluster currently carrying *cluster_id*'s traffic."""
+        return self.active_backups.get(cluster_id, self.clusters[cluster_id])
+
+    # -- node level ------------------------------------------------------------
+
+    def fail_node(self, cluster_id: str, node_name: str, time: float = 0.0) -> None:
+        """Take a node offline; pull cold standby if the cluster drains."""
+        cluster = self.serving_cluster(cluster_id)
+        cluster.take_offline(node_name)
+        self.events.append(RecoveryEvent("node", f"{cluster_id}/{node_name}", "offline", time))
+        if not cluster.active_members():
+            if not self.cold_standby:
+                raise ClusterError(
+                    f"cluster {cluster_id} drained and no cold standby remains"
+                )
+            standby = self.cold_standby.pop(0)
+            standby_name = f"standby-{len(cluster.members())}"
+            cluster.add_node(standby_name, standby)
+            self.events.append(
+                RecoveryEvent("node", f"{cluster_id}/{standby_name}", "cold-standby-attached", time)
+            )
+
+    # -- port level ---------------------------------------------------------------
+
+    def isolate_port(self, cluster_id: str, node_name: str, port: int, time: float = 0.0) -> None:
+        cluster = self.serving_cluster(cluster_id)
+        cluster.isolate_port(node_name, port)
+        self.events.append(
+            RecoveryEvent("port", f"{cluster_id}/{node_name}:{port}", "isolated", time)
+        )
+
+    # -- controller hook --------------------------------------------------------------
+
+    def alert_handler(self) -> Callable[[Alert], None]:
+        """A HealthMonitor callback implementing the §6.1 reactions."""
+
+        def handle(alert: Alert) -> None:
+            if alert.signal is Signal.PACKET_LOSS and alert.subject in self.clusters:
+                self.fail_over_cluster(alert.subject, time=alert.time)
+            elif alert.signal is Signal.PORT_JITTER and ":" in alert.subject:
+                where, port = alert.subject.rsplit(":", 1)
+                cluster_id, node = where.split("/", 1)
+                self.isolate_port(cluster_id, node, int(port), time=alert.time)
+
+        return handle

@@ -1,0 +1,94 @@
+"""Water levels and health monitoring (§6.1 "Cluster management").
+
+The operators "periodically monitor the table water level, traffic rate
+and packet loss rate" against safe thresholds; crossing one alerts the
+controller (close sales, add clusters, isolate ports). During shopping
+festivals the safe water level is deliberately raised to cut alert
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+
+class Signal(Enum):
+    TABLE_WATER_LEVEL = "table-water-level"
+    TRAFFIC_RATE = "traffic-rate"
+    PACKET_LOSS = "packet-loss"
+    PORT_JITTER = "port-jitter"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One threshold crossing reported to the controller."""
+
+    signal: Signal
+    subject: str  # cluster/node/port identifier
+    value: float
+    threshold: float
+    time: float
+
+
+@dataclass
+class WaterLevel:
+    """A monitored value with a safe threshold."""
+
+    signal: Signal
+    threshold: float
+    festival_threshold: Optional[float] = None
+
+    def effective_threshold(self, festival: bool) -> float:
+        if festival and self.festival_threshold is not None:
+            return self.festival_threshold
+        return self.threshold
+
+    def breached(self, value: float, festival: bool = False) -> bool:
+        return value >= self.effective_threshold(festival)
+
+
+class HealthMonitor:
+    """Evaluates water levels and collects alerts.
+
+    >>> monitor = HealthMonitor()
+    >>> monitor.set_level(Signal.TABLE_WATER_LEVEL, threshold=0.85)
+    >>> monitor.observe("cluster-A", Signal.TABLE_WATER_LEVEL, 0.9, time=1.0)
+    >>> len(monitor.alerts)
+    1
+    """
+
+    def __init__(self, festival_mode: bool = False):
+        self.festival_mode = festival_mode
+        self._levels: Dict[Signal, WaterLevel] = {}
+        self.alerts: List[Alert] = []
+        self._handlers: List[Callable[[Alert], None]] = []
+
+    def set_level(self, signal: Signal, threshold: float,
+                  festival_threshold: Optional[float] = None) -> None:
+        self._levels[signal] = WaterLevel(signal, threshold, festival_threshold)
+
+    def on_alert(self, handler: Callable[[Alert], None]) -> None:
+        """Register a controller callback."""
+        self._handlers.append(handler)
+
+    def observe(self, subject: str, signal: Signal, value: float, time: float) -> Optional[Alert]:
+        """Feed one sample; returns the alert if the level was breached."""
+        level = self._levels.get(signal)
+        if level is None or not level.breached(value, self.festival_mode):
+            return None
+        alert = Alert(
+            signal=signal,
+            subject=subject,
+            value=value,
+            threshold=level.effective_threshold(self.festival_mode),
+            time=time,
+        )
+        self.alerts.append(alert)
+        for handler in self._handlers:
+            handler(alert)
+        return alert
+
+    def alerts_for(self, subject: str) -> List[Alert]:
+        return [a for a in self.alerts if a.subject == subject]

@@ -1,0 +1,173 @@
+"""Single-node table compression (§4.4): the step pipeline of Fig. 17.
+
+Wraps the analytic :class:`~repro.core.occupancy.OccupancyModel` in an
+ordered, composable plan, and provides the *executable* counterparts —
+building a real ALPM over a routing table's composite key space and
+measuring what the carve actually achieves, so the calibrated constants
+can be cross-checked rather than trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..tables.alpm import AlpmStats, AlpmTable
+from ..tables.vxlan_routing import RouteAction, VxlanRoutingTable
+from .occupancy import ALL_STEPS, Occupancy, OccupancyModel, Step
+
+_DESCRIPTIONS = {
+    Step.FOLDING: "Pipeline folding: loop Egress 1/3 back into Ingress 1/3; "
+                  "half the throughput, double the memory pool",
+    Step.SPLIT: "Table splitting between pipelines: parity-hash entries over "
+                "the pipe pairs",
+    Step.POOLING: "IPv4/IPv6 table pooling: one table, one budget, any family mix",
+    Step.COMPRESSION: "Compressing longer table entries: 128-to-32-bit digests "
+                      "with a conflict table",
+    Step.ALPM: "TCAM conservation for large FIBs: algorithmic LPM pivots in "
+               "TCAM, route buckets in SRAM",
+}
+
+
+@dataclass(frozen=True)
+class CompressionStep:
+    """One optimization step with its paper description."""
+
+    step: Step
+
+    @property
+    def label(self) -> str:
+        return self.step.value
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self.step]
+
+
+@dataclass
+class CompressionReport:
+    """Occupancy trajectory over cumulative steps (Fig. 17's bars)."""
+
+    rows: List[Tuple[str, Occupancy]]
+
+    @property
+    def initial(self) -> Occupancy:
+        return self.rows[0][1]
+
+    @property
+    def final(self) -> Occupancy:
+        return self.rows[-1][1]
+
+    def fits_after(self, max_utilization: float = 1.0) -> Optional[str]:
+        """Label of the first cumulative step where both memories fit
+        under *max_utilization* (production keeps a safe water level —
+        §6.1 — so 1.0 means "technically fits", ~0.5 means "deployable").
+        """
+        for label, occupancy in self.rows:
+            if occupancy.sram <= max_utilization and occupancy.tcam <= max_utilization:
+                return label
+        return None
+
+    def as_percent_table(self) -> List[Tuple[str, float, float]]:
+        return [
+            (label, occ.sram_percent, occ.tcam_percent) for label, occ in self.rows
+        ]
+
+
+class CompressionPlan:
+    """An ordered list of compression steps applied cumulatively.
+
+    >>> plan = CompressionPlan.full()
+    >>> report = plan.apply(OccupancyModel.paper_scale())
+    >>> report.final.fits()
+    True
+    """
+
+    def __init__(self, steps: Sequence[Step]):
+        seen: Set[Step] = set()
+        for step in steps:
+            if step in seen:
+                raise ValueError(f"duplicate step {step}")
+            seen.add(step)
+        self.steps = [CompressionStep(s) for s in steps]
+
+    @classmethod
+    def full(cls) -> "CompressionPlan":
+        """All five steps in the paper's order a-e."""
+        return cls(list(ALL_STEPS))
+
+    @classmethod
+    def none(cls) -> "CompressionPlan":
+        return cls([])
+
+    def without(self, step: Step) -> "CompressionPlan":
+        """Ablation helper: the plan minus one step."""
+        return CompressionPlan([s.step for s in self.steps if s.step is not step])
+
+    def apply(self, model: OccupancyModel) -> CompressionReport:
+        """Cumulative occupancy after each step (first row = no steps)."""
+        rows: List[Tuple[str, Occupancy]] = [("Initial", model.total(set()))]
+        active: Set[Step] = set()
+        label_parts: List[str] = []
+        for comp_step in self.steps:
+            active.add(comp_step.step)
+            label_parts.append(comp_step.label)
+            rows.append(("+".join(label_parts), model.total(active)))
+        return CompressionReport(rows=rows)
+
+
+# -- executable cross-checks -------------------------------------------------
+
+
+def build_composite_alpm(
+    routing: VxlanRoutingTable, bucket_capacity: int = 22
+) -> AlpmTable[RouteAction]:
+    """Build a real ALPM over the routing table's pooled composite keys.
+
+    The key space is ``VNI(24) || AF(1) || address(128)`` — the pooled
+    layout — so partitions form across tenants exactly as on the switch.
+    """
+    routes = routing.to_composite_routes()
+    return AlpmTable.build(
+        VxlanRoutingTable.composite_width(), routes, bucket_capacity=bucket_capacity
+    )
+
+
+@dataclass
+class AlpmCalibration:
+    """Measured-vs-calibrated ALPM parameters for one routing table."""
+
+    stats: AlpmStats
+    measured_utilization: float
+    calibrated_utilization: float
+
+    @property
+    def utilization_error(self) -> float:
+        return abs(self.measured_utilization - self.calibrated_utilization)
+
+
+def calibrate_alpm(
+    routing: VxlanRoutingTable,
+    model: OccupancyModel,
+    bucket_capacity: Optional[int] = None,
+) -> AlpmCalibration:
+    """Carve a real ALPM and compare its bucket utilisation with the
+    model's calibrated constant."""
+    capacity = bucket_capacity or model.costs.alpm_bucket_capacity
+    table = build_composite_alpm(routing, bucket_capacity=capacity)
+    stats = table.stats()
+    return AlpmCalibration(
+        stats=stats,
+        measured_utilization=stats.mean_bucket_occupancy,
+        calibrated_utilization=model.costs.alpm_bucket_utilization,
+    )
+
+
+def split_routing_by_parity(
+    routing: VxlanRoutingTable,
+) -> Dict[int, VxlanRoutingTable]:
+    """Step b, executable: split a routing table into parity halves."""
+    halves = {0: VxlanRoutingTable(name="routing-even"), 1: VxlanRoutingTable(name="routing-odd")}
+    for vni, prefix, action in routing.items():
+        halves[vni % 2].insert(vni, prefix, action)
+    return halves

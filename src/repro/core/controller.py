@@ -1,0 +1,301 @@
+"""The central controller (§4.2-4.3, §6.1).
+
+Owns the desired table state, drives placement (via the splitter and the
+VNI-steered balancer), downloads tables to gateways before they go
+online, runs periodic consistency checks ("table entry inconsistency
+between the controller and the gateways may occur ... due to
+software/hardware bugs, misconfiguration or insufficient gateway
+memory"), and generates probe packets before admitting user traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cluster.cluster import GatewayCluster
+from ..cluster.ecmp import VniSteeredBalancer
+from ..dataplane.gateway_logic import ForwardAction
+from ..net.addr import Prefix
+from ..net.headers import Ethernet, IPv4, UDP, ETHERTYPE_IPV4, PROTO_UDP
+from ..net.packet import InnerFrame, Packet
+from ..tables.errors import TableError
+from ..tables.vm_nc import NcBinding
+from ..tables.vxlan_routing import RouteAction, Scope
+from ..telemetry.timeseries import SeriesBundle
+from .splitting import SplitPlan, TableSplitter, TenantProfile
+from .xgw_h import XgwH
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    vni: int
+    prefix: Prefix
+    action: RouteAction
+
+
+@dataclass(frozen=True)
+class VmEntry:
+    vni: int
+    vm_ip: int
+    version: int
+    binding: NcBinding
+
+
+@dataclass
+class Inconsistency:
+    """One divergence found by a consistency check."""
+
+    cluster_id: str
+    node: str
+    kind: str  # "missing-route" | "missing-vm" | "extra-route"
+    detail: str
+
+
+@dataclass
+class ProbeReport:
+    """Outcome of a probe sweep over installed state."""
+
+    sent: int = 0
+    passed: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.sent > 0 and not self.failures
+
+
+class Controller:
+    """Central control plane over the region's clusters.
+
+    >>> # assembled by repro.core.sailfish.Sailfish; unit tests drive it
+    >>> # directly in tests/core/test_controller.py.
+    """
+
+    def __init__(
+        self,
+        splitter: TableSplitter,
+        balancer: VniSteeredBalancer,
+        clusters: Optional[Dict[str, GatewayCluster[XgwH]]] = None,
+    ):
+        self.splitter = splitter
+        self.balancer = balancer
+        self.clusters: Dict[str, GatewayCluster[XgwH]] = dict(clusters or {})
+        self.plan = SplitPlan(assignments={}, usage={})
+        # Desired state per cluster.
+        self._routes: Dict[str, Dict[Tuple[int, Prefix], RouteAction]] = {}
+        self._vms: Dict[str, Dict[Tuple[int, int, int], NcBinding]] = {}
+        self.version = 0
+        self.table_size_series = SeriesBundle()
+        self._cluster_factory = None
+        self._profiles: Dict[int, TenantProfile] = {}
+
+    # -- cluster lifecycle -----------------------------------------------
+
+    def set_cluster_factory(self, factory) -> None:
+        """Install a callable ``factory(cluster_id) -> GatewayCluster`` used
+        when placement allocates a new cluster."""
+        self._cluster_factory = factory
+
+    def _ensure_cluster(self, cluster_id: str) -> GatewayCluster[XgwH]:
+        if cluster_id not in self.clusters:
+            if self._cluster_factory is None:
+                raise TableError(f"no cluster {cluster_id} and no factory configured")
+            cluster = self._cluster_factory(cluster_id)
+            self.clusters[cluster_id] = cluster
+            self.balancer.register_cluster(
+                cluster_id, [m.name for m in cluster.active_members()]
+            )
+        self._routes.setdefault(cluster_id, {})
+        self._vms.setdefault(cluster_id, {})
+        return self.clusters[cluster_id]
+
+    # -- tenant onboarding --------------------------------------------------
+
+    def add_tenant(
+        self,
+        profile: TenantProfile,
+        routes: Iterable[RouteEntry],
+        vms: Iterable[VmEntry],
+        time: float = 0.0,
+    ) -> str:
+        """Place a tenant, install its entries, and steer its VNI."""
+        cluster_id = self.splitter.place(self.plan, profile)
+        cluster = self._ensure_cluster(cluster_id)
+        self._profiles[profile.vni] = profile
+        self.balancer.assign_vni(profile.vni, cluster_id)
+        for route in routes:
+            self.install_route(cluster_id, route, time=time)
+        for vm in vms:
+            self.install_vm(cluster_id, vm, time=time)
+        self.version += 1
+        return cluster_id
+
+    def install_route(self, cluster_id: str, route: RouteEntry, time: float = 0.0) -> None:
+        cluster = self._ensure_cluster(cluster_id)
+        self._routes[cluster_id][(route.vni, route.prefix)] = route.action
+        cluster.for_each_gateway(
+            lambda gw: gw.install_route(route.vni, route.prefix, route.action, replace=True)
+        )
+        self._record_size(cluster_id, time)
+
+    def install_vm(self, cluster_id: str, vm: VmEntry, time: float = 0.0) -> None:
+        cluster = self._ensure_cluster(cluster_id)
+        self._vms[cluster_id][(vm.vni, vm.vm_ip, vm.version)] = vm.binding
+        cluster.for_each_gateway(
+            lambda gw: gw.install_vm(vm.vni, vm.vm_ip, vm.version, vm.binding, replace=True)
+        )
+        self._record_size(cluster_id, time)
+
+    def remove_route(self, cluster_id: str, vni: int, prefix: Prefix,
+                     time: float = 0.0) -> None:
+        """Withdraw one route from desired state and every gateway."""
+        cluster = self.clusters[cluster_id]
+        if (vni, prefix) not in self._routes.get(cluster_id, {}):
+            raise TableError(f"route vni={vni} {prefix} not in desired state")
+        del self._routes[cluster_id][(vni, prefix)]
+        cluster.for_each_gateway(lambda gw: gw.remove_route(vni, prefix))
+        self._record_size(cluster_id, time)
+
+    def remove_vm(self, cluster_id: str, vni: int, vm_ip: int, version: int,
+                  time: float = 0.0) -> None:
+        """Remove a VM binding from desired state and every gateway."""
+        cluster = self.clusters[cluster_id]
+        key = (vni, vm_ip, version)
+        if key not in self._vms.get(cluster_id, {}):
+            raise TableError(f"vm ({vni}, {vm_ip:#x}) not in desired state")
+        del self._vms[cluster_id][key]
+        cluster.for_each_gateway(
+            lambda gw: gw.split_vm_nc.half_for_ip(vm_ip).remove(vni, vm_ip, version)
+        )
+        self._record_size(cluster_id, time)
+
+    def remove_tenant(self, vni: int, time: float = 0.0) -> int:
+        """Offboard a tenant completely; returns the entries removed."""
+        cluster_id = self.plan.assignments.get(vni)
+        if cluster_id is None:
+            raise TableError(f"VNI {vni} is not placed")
+        removed = 0
+        for (route_vni, prefix) in [k for k in self._routes.get(cluster_id, {})
+                                    if k[0] == vni]:
+            self.remove_route(cluster_id, route_vni, prefix, time=time)
+            removed += 1
+        for (vm_vni, vm_ip, version) in [k for k in self._vms.get(cluster_id, {})
+                                         if k[0] == vni]:
+            self.remove_vm(cluster_id, vm_vni, vm_ip, version, time=time)
+            removed += 1
+        # Release the placement reservation and the steering entry.
+        profile = self._profiles.pop(vni, None)
+        if profile is not None:
+            self.plan.usage[cluster_id].remove(profile)
+        else:
+            self.plan.usage[cluster_id].tenants.remove(vni)
+        del self.plan.assignments[vni]
+        self.balancer._vni_map.pop(vni, None)
+        self.version += 1
+        return removed
+
+    def _record_size(self, cluster_id: str, time: float) -> None:
+        size = len(self._routes[cluster_id]) + len(self._vms[cluster_id])
+        self.table_size_series.record(cluster_id, time, size)
+
+    def route_count(self, cluster_id: str) -> int:
+        return len(self._routes.get(cluster_id, {}))
+
+    # -- consistency ------------------------------------------------------------
+
+    def consistency_check(self, cluster_id: str) -> List[Inconsistency]:
+        """Compare desired state against every gateway of one cluster —
+        including the hot backup, which must hold identical tables."""
+        cluster = self.clusters[cluster_id]
+        findings: List[Inconsistency] = []
+        desired_routes = self._routes.get(cluster_id, {})
+        desired_vms = self._vms.get(cluster_id, {})
+        members = list(cluster.members())
+        if cluster.backup is not None:
+            members += cluster.backup.members()
+        for member in members:
+            gw = member.gateway
+            installed = {
+                (vni, prefix): action for vni, prefix, action in gw.tables.routing.items()
+            }
+            for key, action in desired_routes.items():
+                if installed.get(key) != action:
+                    findings.append(
+                        Inconsistency(cluster_id, member.name, "missing-route", f"{key}")
+                    )
+            for key in installed:
+                if key not in desired_routes:
+                    findings.append(
+                        Inconsistency(cluster_id, member.name, "extra-route", f"{key}")
+                    )
+            for (vni, vm_ip, version), binding in desired_vms.items():
+                if gw.split_vm_nc.lookup(vni, vm_ip, version) != binding:
+                    findings.append(
+                        Inconsistency(
+                            cluster_id, member.name, "missing-vm", f"({vni}, {vm_ip:#x})"
+                        )
+                    )
+        return findings
+
+    def repair(self, cluster_id: str) -> int:
+        """Re-push desired state to a divergent cluster; returns fixes."""
+        findings = self.consistency_check(cluster_id)
+        if not findings:
+            return 0
+        cluster = self.clusters[cluster_id]
+        for (vni, prefix), action in self._routes.get(cluster_id, {}).items():
+            cluster.for_each_gateway(
+                lambda gw, v=vni, p=prefix, a=action: gw.install_route(v, p, a, replace=True)
+            )
+        for (vni, vm_ip, version), binding in self._vms.get(cluster_id, {}).items():
+            cluster.for_each_gateway(
+                lambda gw, v=vni, ip=vm_ip, ver=version, b=binding: gw.install_vm(
+                    v, ip, ver, b, replace=True
+                )
+            )
+        return len(findings)
+
+    # -- probing --------------------------------------------------------------------
+
+    def probe(self, cluster_id: str, limit: int = 64) -> ProbeReport:
+        """Send synthetic probes for installed LOCAL VMs ("deploy probe
+        generators ... covering as many test scenarios as possible")."""
+        report = ProbeReport()
+        cluster = self.clusters[cluster_id]
+        desired_vms = self._vms.get(cluster_id, {})
+        desired_routes = self._routes.get(cluster_id, {})
+        local_vnis = {
+            vni for (vni, _prefix), action in desired_routes.items()
+            if action.scope is Scope.LOCAL
+        }
+        for (vni, vm_ip, version), binding in list(desired_vms.items())[:limit]:
+            if version != 4 or vni not in local_vnis:
+                continue
+            packet = build_probe_packet(vni, vm_ip)
+            report.sent += 1
+            result = cluster.members()[0].gateway.forward(packet)
+            if result.action is ForwardAction.DELIVER_NC and result.nc_ip == binding.nc_ip:
+                report.passed += 1
+            else:
+                report.failures.append(
+                    f"vni={vni} vm={vm_ip:#x}: {result.action.value} ({result.detail})"
+                )
+        return report
+
+
+def build_probe_packet(vni: int, vm_ip: int, src_ip: int = 0x0A0A0A0A) -> Packet:
+    """A minimal IPv4-in-VXLAN probe towards *vm_ip* in *vni*."""
+    inner = InnerFrame(
+        eth=Ethernet(dst=0x0000DEADBEEF, src=0x0000CAFEBABE, ethertype=ETHERTYPE_IPV4),
+        ip=IPv4(src=src_ip, dst=vm_ip, proto=PROTO_UDP),
+        l4=UDP(src_port=49152, dst_port=7),
+        payload=b"probe",
+    )
+    return Packet.vxlan_encap(
+        inner,
+        outer_eth=Ethernet(dst=0x0000AAAAAAAA, src=0x0000BBBBBBBB, ethertype=ETHERTYPE_IPV4),
+        outer_src=0x0A000001,
+        outer_dst=0x0A0000FE,
+        vni=vni,
+    )

@@ -1,0 +1,168 @@
+"""Deployment economics: the CapEx/OpEx arithmetic of §2.3 and §4.2.
+
+The paper's region sizing: 15 Tbps of traffic, gateways provisioned at a
+50% water level, 1:1 disaster-recovery backup — "150 gateways ... the
+number will be further doubled to 600!" at O($10K) each, versus "ten
+XGW-Hs for major traffic processing and four XGW-x86s" after Sailfish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: §2.3's example region load.
+REGION_TRAFFIC_BPS = 15e12
+#: Both box kinds cost roughly the same (§3.1: "the Tofino-based switch
+#: has roughly the same unit price as XGW-x86").
+UNIT_PRICE_USD = 10_000.0
+
+
+@dataclass(frozen=True)
+class GatewayKind:
+    """A deployable gateway model."""
+
+    name: str
+    throughput_bps: float
+    unit_price_usd: float = UNIT_PRICE_USD
+
+
+XGW_X86 = GatewayKind("XGW-x86", throughput_bps=100e9)
+XGW_H = GatewayKind("XGW-H", throughput_bps=3.2e12)
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """How many boxes a region needs and what they cost."""
+
+    kind: GatewayKind
+    nodes: int
+    water_level: float
+    backup_factor: int
+
+    @property
+    def capex_usd(self) -> float:
+        return self.nodes * self.kind.unit_price_usd
+
+    @property
+    def usable_capacity_bps(self) -> float:
+        return (
+            self.nodes / self.backup_factor * self.kind.throughput_bps * self.water_level
+        )
+
+
+def size_fleet(
+    kind: GatewayKind,
+    region_traffic_bps: float = REGION_TRAFFIC_BPS,
+    water_level: float = 0.5,
+    backup_factor: int = 2,
+) -> FleetPlan:
+    """Boxes needed to carry *region_traffic_bps* with headroom and backup.
+
+    >>> size_fleet(XGW_X86).nodes
+    600
+    >>> size_fleet(XGW_H).nodes
+    20
+    """
+    if not 0 < water_level <= 1:
+        raise ValueError("water_level must be in (0, 1]")
+    if backup_factor < 1:
+        raise ValueError("backup_factor must be >= 1")
+    per_node = kind.throughput_bps * water_level
+    nodes = math.ceil(region_traffic_bps / per_node) * backup_factor
+    return FleetPlan(kind=kind, nodes=nodes, water_level=water_level,
+                     backup_factor=backup_factor)
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Sailfish vs all-software for one region."""
+
+    software: FleetPlan
+    sailfish_hw: FleetPlan
+    sailfish_sw_nodes: int
+
+    @property
+    def sailfish_capex_usd(self) -> float:
+        return self.sailfish_hw.capex_usd + self.sailfish_sw_nodes * XGW_X86.unit_price_usd
+
+    @property
+    def capex_reduction(self) -> float:
+        """Fraction of hardware-acquisition cost saved (paper: > 90%)."""
+        return 1.0 - self.sailfish_capex_usd / self.software.capex_usd
+
+    @property
+    def node_reduction(self) -> float:
+        total = self.sailfish_hw.nodes + self.sailfish_sw_nodes
+        return 1.0 - total / self.software.nodes
+
+
+@dataclass(frozen=True)
+class ConsolidationComparison:
+    """Fig. 3 / §2.2: per-service ad hoc clusters vs one unified gateway."""
+
+    dedicated_nodes: int
+    consolidated_nodes: int
+    codebases_before: int
+    codebases_after: int = 1
+
+    @property
+    def node_savings(self) -> float:
+        if self.dedicated_nodes == 0:
+            return 0.0
+        return 1.0 - self.consolidated_nodes / self.dedicated_nodes
+
+
+def consolidation_savings(
+    service_loads_bps,
+    kind: GatewayKind = XGW_X86,
+    water_level: float = 0.5,
+    backup_factor: int = 2,
+    min_cluster_nodes: int = 2,
+) -> ConsolidationComparison:
+    """Quantify §2.2's service integration.
+
+    Ad hoc mode sizes one cluster per service — each with its own
+    rounding waste, safety margin and 1:1 backup ("some clusters expanded
+    rapidly while other clusters were underutilized"). The unified
+    gateway pools the same loads into one fleet, so rounding and
+    headroom are paid once.
+
+    >>> comparison = consolidation_savings([20e9, 5e9, 3e9, 1e9])
+    >>> comparison.node_savings > 0
+    True
+    """
+    loads = list(service_loads_bps)
+    if not loads or any(load < 0 for load in loads):
+        raise ValueError("service loads must be non-empty and non-negative")
+    per_node = kind.throughput_bps * water_level
+    dedicated = sum(
+        max(min_cluster_nodes, math.ceil(load / per_node)) * backup_factor
+        for load in loads
+    )
+    consolidated = max(
+        min_cluster_nodes, math.ceil(sum(loads) / per_node)
+    ) * backup_factor
+    return ConsolidationComparison(
+        dedicated_nodes=dedicated,
+        consolidated_nodes=consolidated,
+        codebases_before=len(loads),
+    )
+
+
+def compare_region(
+    region_traffic_bps: float = REGION_TRAFFIC_BPS,
+    water_level: float = 0.5,
+    software_traffic_share: float = 0.0002,
+) -> CostComparison:
+    """The paper's comparison: an all-x86 region vs Sailfish.
+
+    Sailfish's x86 tail is sized for the redirected slice (Fig. 22's
+    < 0.02% of traffic) with generous headroom, floor of 4 boxes ("four
+    XGW-x86s for fallback traffic processing").
+    """
+    software = size_fleet(XGW_X86, region_traffic_bps, water_level)
+    hw = size_fleet(XGW_H, region_traffic_bps, water_level)
+    sw_traffic = region_traffic_bps * software_traffic_share
+    sw_nodes = max(4, math.ceil(sw_traffic / (XGW_X86.throughput_bps * water_level)) * 2)
+    return CostComparison(software=software, sailfish_hw=hw, sailfish_sw_nodes=sw_nodes)

@@ -1,0 +1,118 @@
+"""The "N+1" hierarchical clusters from the paper's future work (§8).
+
+"We plan to build the N+1 hierarchical XGW-H clusters with N cache
+clusters at the front serving only active entries and 1 backup cluster
+storing entries of all tenants to handle the cache miss traffic. ...
+if only 25% of the tenants' entries are active, we can build 4 cache
+clusters ... and 1 backup cluster ... to provide 4x performance at the
+cost of only 2x the number of XGW-H nodes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class HierarchyPlan:
+    """Sizing of an N+1 deployment.
+
+    A "full" cluster needs ``nodes_for_full_tables`` gateways to hold
+    every tenant's entries; a cache cluster holds only the active
+    fraction, so it needs proportionally fewer nodes. Memory, not
+    throughput, is the binding constraint — which is exactly why the
+    trade works.
+    """
+
+    cache_clusters: int
+    active_fraction: float
+    nodes_for_full_tables: int = 4
+
+    def __post_init__(self):
+        if not 0 < self.active_fraction <= 1:
+            raise ValueError("active_fraction must be in (0, 1]")
+        if self.cache_clusters <= 0 or self.nodes_for_full_tables <= 0:
+            raise ValueError("cluster/node counts must be positive")
+
+    @property
+    def nodes_per_cache_cluster(self) -> int:
+        return max(1, round(self.nodes_for_full_tables * self.active_fraction))
+
+    @property
+    def total_nodes(self) -> int:
+        """N cache clusters + the one full backup cluster."""
+        return self.cache_clusters * self.nodes_per_cache_cluster + self.nodes_for_full_tables
+
+    @property
+    def performance_multiplier(self) -> float:
+        """Full-table serving capacity relative to one flat cluster: each
+        cache cluster independently serves (active) traffic at cluster
+        rate."""
+        return float(self.cache_clusters)
+
+    @property
+    def node_cost_multiplier(self) -> float:
+        """Nodes relative to one flat full cluster. The paper's example:
+        4 x 0.25 + 1 = 2x nodes for 4x performance."""
+        return self.total_nodes / self.nodes_for_full_tables
+
+    @property
+    def flat_nodes_for_same_performance(self) -> int:
+        """Nodes a flat deployment needs for the same throughput: each
+        flat cluster holds all entries and contributes 1x, so matching N
+        cache clusters takes N full clusters of nodes."""
+        return self.cache_clusters * self.nodes_for_full_tables
+
+    @classmethod
+    def paper_example(cls) -> "HierarchyPlan":
+        """4 cache clusters at 25% active entries -> 4x perf, 2x nodes."""
+        return cls(cache_clusters=4, active_fraction=0.25, nodes_for_full_tables=4)
+
+
+class ActiveEntryCache:
+    """The cache-cluster entry selector: which tenants' entries are active.
+
+    Tracks per-entry hit counts over a sliding epoch; the top
+    ``active_fraction`` of entries form the cache working set, the rest
+    fall through to the backup cluster (the "cache miss traffic").
+    """
+
+    def __init__(self, active_fraction: float = 0.25):
+        if not 0 < active_fraction <= 1:
+            raise ValueError("active_fraction must be in (0, 1]")
+        self.active_fraction = active_fraction
+        self._hits: Dict[object, int] = {}
+        self._active: Set[object] = set()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def record_hit(self, entry_key) -> None:
+        self._hits[entry_key] = self._hits.get(entry_key, 0) + 1
+
+    def refresh(self) -> None:
+        """Recompute the active set from the epoch's hit counts
+        ("identified through data mining")."""
+        if not self._hits:
+            self._active = set()
+            return
+        ordered = sorted(self._hits, key=lambda k: -self._hits[k])
+        keep = max(1, round(len(ordered) * self.active_fraction))
+        self._active = set(ordered[:keep])
+        self._hits.clear()
+
+    def lookup(self, entry_key) -> bool:
+        """True on cache hit (served by a cache cluster)."""
+        if entry_key in self._active:
+            self.cache_hits += 1
+            return True
+        self.cache_misses += 1
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def active_entries(self) -> Set[object]:
+        return set(self._active)

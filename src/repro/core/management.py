@@ -1,0 +1,160 @@
+"""The cluster-management control loop (§6.1), on the event engine.
+
+"During the runtime of gateway clusters, we periodically monitor the
+table water level, traffic rate and packet loss rate. We have to deploy
+new clusters in two cases: (1) the table size exceeds the available
+memory, and (2) the traffic volume exceeds the available processing
+power. ... When the water level is close to the safe threshold, we will
+temporarily close the sale of the cluster's resources and consider
+putting new users in another cluster or constructing a new cluster."
+
+:class:`ClusterManager` runs that loop: tenant-arrival and update events
+flow in on a discrete-event clock; the manager places tenants through
+the controller, watches per-cluster water levels, closes sales on hot
+clusters, and opens new ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.health import HealthMonitor, Signal
+from ..sim.engine import Engine
+from ..telemetry.timeseries import SeriesBundle
+from .controller import Controller
+from .splitting import SplitError, TenantProfile
+
+
+@dataclass
+class ManagementEvent:
+    """One audit-log entry of the control loop."""
+
+    time: float
+    action: str  # "placed", "sales-closed", "sales-reopened", "rejected"
+    subject: str
+    detail: str = ""
+
+
+class ClusterManager:
+    """Periodic water-level management over a controller's clusters.
+
+    >>> # assembled in tests/core/test_management.py
+    """
+
+    def __init__(
+        self,
+        controller: Controller,
+        engine: Engine,
+        monitor: Optional[HealthMonitor] = None,
+        safe_water_level: float = 0.85,
+        reopen_water_level: float = 0.7,
+        check_interval: float = 1.0,
+    ):
+        if not 0 < reopen_water_level <= safe_water_level <= 1:
+            raise ValueError("need 0 < reopen <= safe <= 1")
+        self.controller = controller
+        self.engine = engine
+        self.monitor = monitor or HealthMonitor()
+        self.monitor.set_level(Signal.TABLE_WATER_LEVEL, threshold=safe_water_level)
+        self.safe_water_level = safe_water_level
+        self.reopen_water_level = reopen_water_level
+        self.check_interval = check_interval
+        self.closed_for_sale: set = set()
+        self.events: List[ManagementEvent] = []
+        self.water_levels = SeriesBundle()
+        self.rejected_tenants: List[TenantProfile] = []
+
+    # -- water levels -------------------------------------------------------
+
+    def cluster_water_level(self, cluster_id: str) -> float:
+        """Entry occupancy of a cluster against the splitter's capacity."""
+        usage = self.controller.plan.usage.get(cluster_id)
+        if usage is None:
+            return 0.0
+        capacity = self.controller.splitter.capacity
+        return max(
+            usage.routes / capacity.routes if capacity.routes else 0.0,
+            usage.vms / capacity.vms if capacity.vms else 0.0,
+        )
+
+    def check_water_levels(self) -> None:
+        """One periodic sweep: record levels, close/reopen sales."""
+        now = self.engine.now
+        for cluster_id in sorted(self.controller.clusters):
+            level = self.cluster_water_level(cluster_id)
+            self.water_levels.record(cluster_id, now, level)
+            self.monitor.observe(cluster_id, Signal.TABLE_WATER_LEVEL, level, now)
+            if level >= self.safe_water_level and cluster_id not in self.closed_for_sale:
+                self.closed_for_sale.add(cluster_id)
+                self.events.append(
+                    ManagementEvent(now, "sales-closed", cluster_id, f"level={level:.2f}")
+                )
+            elif level <= self.reopen_water_level and cluster_id in self.closed_for_sale:
+                self.closed_for_sale.discard(cluster_id)
+                self.events.append(
+                    ManagementEvent(now, "sales-reopened", cluster_id, f"level={level:.2f}")
+                )
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Arm the periodic check on the engine."""
+        self.engine.schedule_every(self.check_interval, self.check_water_levels,
+                                   until=until)
+
+    # -- tenant arrivals --------------------------------------------------------
+
+    def admit_tenant(self, profile: TenantProfile, routes, vms) -> Optional[str]:
+        """Place an arriving tenant, honouring closed-for-sale clusters.
+
+        The splitter would happily fill a hot cluster to 100%; the
+        manager instead steers new tenants to open clusters, creating a
+        new one if every open cluster is full.
+        """
+        now = self.engine.now
+        plan = self.controller.plan
+        capacity = self.controller.splitter.capacity
+        if (
+            profile.routes > capacity.routes
+            or profile.vms > capacity.vms
+            or profile.traffic_bps > capacity.traffic_bps
+        ):
+            self.rejected_tenants.append(profile)
+            self.events.append(ManagementEvent(
+                now, "rejected", str(profile.vni), "exceeds whole-cluster capacity"
+            ))
+            return None
+        cluster_id = None
+        for candidate in sorted(plan.usage):
+            if candidate in self.closed_for_sale:
+                continue
+            if capacity.can_fit(plan.usage[candidate], profile):
+                cluster_id = candidate
+                break
+        if cluster_id is None:
+            # Every open cluster is full (or closed): construct a new one
+            # rather than topping up a hot cluster.
+            from .splitting import ClusterUsage
+
+            cluster_id = self.controller.splitter._new_cluster_id(len(plan.usage))
+            plan.usage[cluster_id] = ClusterUsage()
+            self.events.append(
+                ManagementEvent(now, "cluster-built", cluster_id, "")
+            )
+        plan.usage[cluster_id].add(profile)
+        plan.assignments[profile.vni] = cluster_id
+        self.controller._ensure_cluster(cluster_id)
+        self.controller.balancer.assign_vni(profile.vni, cluster_id)
+        for route in routes:
+            self.controller.install_route(cluster_id, route, time=now)
+        for vm in vms:
+            self.controller.install_vm(cluster_id, vm, time=now)
+        self.controller.version += 1
+        self.events.append(
+            ManagementEvent(now, "placed", str(profile.vni), f"-> {cluster_id}")
+        )
+        return cluster_id
+
+    # -- reporting -----------------------------------------------------------------
+
+    def actions(self, kind: str) -> List[ManagementEvent]:
+        return [e for e in self.events if e.action == kind]

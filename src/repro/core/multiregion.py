@@ -1,0 +1,134 @@
+"""Cross-region forwarding over the CEN (Fig. 1, Table 1).
+
+"CEN is a dedicated leased line network between cloud regions and IDCs,
+providing high-speed IDC/cross-region communication." A VM in one region
+reaches a VM in another through: source region gateway (CROSS_REGION
+route) → CEN link → destination region gateway → destination NC.
+
+The CEN performs VNI translation at the region boundary: the tenant's
+VPC in region A and its peered VPC in region B have independent VNIs,
+related by the mapping the central controller installs when the
+cross-region connection is sold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dataplane.gateway_logic import ForwardAction, ForwardResult
+from ..net.packet import Packet
+from ..tables.vxlan_routing import RouteAction, Scope
+from .sailfish import Sailfish
+
+#: One-way latency per CEN link (the leased line), in microseconds.
+DEFAULT_LINK_LATENCY_US = 30_000.0  # ~30 ms: a long-haul leased line
+
+
+@dataclass(frozen=True)
+class CenLink:
+    """A leased line between two regions."""
+
+    a: str
+    b: str
+    latency_us: float = DEFAULT_LINK_LATENCY_US
+    bandwidth_bps: float = 1e12
+
+    def connects(self, src: str, dst: str) -> bool:
+        return {self.a, self.b} == {src, dst}
+
+
+@dataclass
+class CrossRegionResult:
+    """Outcome of a cross-region forward, with the full hop list."""
+
+    result: ForwardResult
+    hops: List[str] = field(default_factory=list)
+    latency_us: float = 0.0
+
+
+class Cen:
+    """The inter-region network plus its VNI-translation table."""
+
+    def __init__(self):
+        self.regions: Dict[str, Sailfish] = {}
+        self.links: List[CenLink] = []
+        # (src_region, src_vni) -> (dst_region, dst_vni)
+        self._vni_map: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self.packets_carried = 0
+
+    def attach(self, name: str, region: Sailfish) -> None:
+        self.regions[name] = region
+
+    def add_link(self, a: str, b: str,
+                 latency_us: float = DEFAULT_LINK_LATENCY_US) -> None:
+        if a not in self.regions or b not in self.regions:
+            raise KeyError("both regions must be attached before linking")
+        self.links.append(CenLink(a, b, latency_us))
+
+    def link_latency(self, src: str, dst: str) -> Optional[float]:
+        for link in self.links:
+            if link.connects(src, dst):
+                return link.latency_us
+        return None
+
+    # -- provisioning -------------------------------------------------------
+
+    def connect_vpcs(self, src: Tuple[str, int], dst: Tuple[str, int]) -> None:
+        """Provision a cross-region VPC connection (both directions).
+
+        Installs CROSS_REGION routes in each region's clusters covering
+        the remote VPC's subnets, and the CEN's VNI translation entries.
+        """
+        for (from_region, from_vni), (to_region, to_vni) in (
+            (src, dst), (dst, src),
+        ):
+            if self.link_latency(from_region, to_region) is None:
+                raise KeyError(f"no CEN link between {from_region} and {to_region}")
+            self._vni_map[(from_region, from_vni)] = (to_region, to_vni)
+            region = self.regions[from_region]
+            remote = self.regions[to_region]
+            remote_vpc = remote.topology.vpcs[to_vni]
+            cluster_id = region.balancer.cluster_for_vni(from_vni)
+            if cluster_id is None:
+                raise KeyError(f"VNI {from_vni} not hosted in region {from_region}")
+            cluster = region.controller.clusters[cluster_id]
+            for subnet in remote_vpc.subnets:
+                action = RouteAction(Scope.CROSS_REGION, target=f"region:{to_region}")
+                from .controller import RouteEntry
+
+                region.controller.install_route(
+                    cluster_id, RouteEntry(from_vni, subnet, action)
+                )
+                # The x86 fleet mirrors the full table.
+                for x86 in region.x86_fleet:
+                    x86.tables.routing.insert(from_vni, subnet, action, replace=True)
+
+    # -- data path --------------------------------------------------------------
+
+    def forward(self, from_region: str, packet: Packet) -> CrossRegionResult:
+        """End-to-end forward, following at most one CEN crossing."""
+        region = self.regions[from_region]
+        out = CrossRegionResult(result=None, hops=[f"region:{from_region}"])
+        result = region.forward(packet)
+        out.result = result
+        if result.action is not ForwardAction.UPLINK or not (
+            result.detail or ""
+        ).startswith("region:"):
+            return out
+        target_name = result.detail.split(":", 1)[1]
+        mapping = self._vni_map.get((from_region, packet.vni))
+        if mapping is None or mapping[0] != target_name:
+            out.result = ForwardResult(ForwardAction.DROP, packet,
+                                       detail="cen-no-mapping")
+            out.hops.append("cen:unmapped")
+            return out
+        to_region, to_vni = mapping
+        latency = self.link_latency(from_region, to_region)
+        out.latency_us += latency if latency is not None else 0.0
+        out.hops.append(f"cen:{from_region}->{to_region}")
+        self.packets_carried += 1
+        translated = result.packet.with_vni(to_vni)
+        out.hops.append(f"region:{to_region}")
+        out.result = self.regions[to_region].forward(translated)
+        return out

@@ -1,0 +1,366 @@
+"""Analytic memory-occupancy model, calibrated to the paper (DESIGN.md §2).
+
+Reproduces Table 2 (naive placement), Fig. 17 (step-by-step compression)
+and Table 3 (final occupancy) from first principles: entry counts ×
+per-entry memory cost ÷ pipeline capacity. The per-entry costs are the
+physical key geometry (44-bit TCAM slices, 128-bit SRAM words); two
+coefficients are calibrated against the paper's own numbers and
+cross-checked by the executable structures:
+
+* ``compress_overhead`` = 1.21 — conflict table + hash fill slack after
+  key compression (Fig. 17: 26 % -> 18 %), cf.
+  :class:`repro.tables.pooled.PooledExactTable`;
+* ``alpm_bucket_utilization`` = 0.643 — mean fill of carved ALPM buckets
+  (Fig. 17: TCAM 11 %, SRAM +18 %), cf. the measured
+  :meth:`repro.tables.alpm.AlpmTable.stats`.
+
+All percentages are demand over the capacity of the pipeline *pool*
+serving the traffic: pipeline folding doubles the pool, entry splitting
+halves the demand — each step therefore halves the reported occupancy,
+exactly as the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..tofino.memory import SRAM_WORDS_PER_PIPELINE, TCAM_SLICES_PER_PIPELINE
+
+
+class Step(Enum):
+    """The single-node compression steps of §4.4 / Fig. 17."""
+
+    FOLDING = "a"  # pipeline folding
+    SPLIT = "b"  # table splitting between pipelines
+    POOLING = "c"  # IPv4/IPv6 table pooling
+    COMPRESSION = "d"  # compressing longer table entries
+    ALPM = "e"  # TCAM conservation for large FIBs
+
+
+ALL_STEPS = (Step.FOLDING, Step.SPLIT, Step.POOLING, Step.COMPRESSION, Step.ALPM)
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Entry counts for one cluster's share of a region."""
+
+    routes: int
+    vms: int
+    ipv6_fraction: float = 0.25
+
+    def __post_init__(self):
+        if not 0.0 <= self.ipv6_fraction <= 1.0:
+            raise ValueError("ipv6_fraction must be in [0, 1]")
+        if self.routes < 0 or self.vms < 0:
+            raise ValueError("counts must be non-negative")
+
+    @classmethod
+    def paper_scale(cls, ipv6_fraction: float = 0.25) -> "WorkloadScale":
+        """The scale implied by Table 2 (O(1M) VPCs/VMs per region):
+
+        311 % TCAM at 2 slices/route -> 229,306 routes;
+        58 % SRAM at 1 word/VM -> 570,163 VMs.
+        """
+        return cls(routes=229_306, vms=570_163, ipv6_fraction=ipv6_fraction)
+
+    def routes_by_family(self) -> Tuple[int, int]:
+        v6 = round(self.routes * self.ipv6_fraction)
+        return self.routes - v6, v6
+
+    def vms_by_family(self) -> Tuple[int, int]:
+        v6 = round(self.vms * self.ipv6_fraction)
+        return self.vms - v6, v6
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-entry memory costs (see module docstring for calibration)."""
+
+    v4_lpm_slices: int = 2  # 56-bit composite key / 44-bit slices
+    v6_lpm_slices: int = 4  # 152-bit composite key
+    pooled_lpm_slices: int = 4  # every key expanded to 152 bits
+    v4_exact_words: int = 1  # 88-bit entry in a 1-word way
+    v6_exact_words: int = 4  # Table 2: 233 % ≈ 4 × 58 %
+    pooled_exact_words: int = 1  # every key compressed to 32 bits
+    compress_overhead: float = 1.21  # conflict table + fill slack
+    alpm_bucket_capacity: int = 22  # routes per SRAM bucket
+    alpm_bucket_utilization: float = 0.643  # measured mean bucket fill
+    alpm_bucket_entry_words: int = 2  # 152-bit key + len + action
+    alpm_pivot_slices: int = 4  # pivots carry the pooled key width
+
+    @property
+    def alpm_routes_per_pivot(self) -> float:
+        return self.alpm_bucket_capacity * self.alpm_bucket_utilization
+
+    @property
+    def alpm_bucket_words(self) -> int:
+        return self.alpm_bucket_capacity * self.alpm_bucket_entry_words
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """SRAM/TCAM demand as a fraction of one pipeline pool."""
+
+    sram: float = 0.0
+    tcam: float = 0.0
+
+    def __add__(self, other: "Occupancy") -> "Occupancy":
+        return Occupancy(self.sram + other.sram, self.tcam + other.tcam)
+
+    @property
+    def sram_percent(self) -> float:
+        return self.sram * 100.0
+
+    @property
+    def tcam_percent(self) -> float:
+        return self.tcam * 100.0
+
+    def fits(self) -> bool:
+        return self.sram <= 1.0 and self.tcam <= 1.0
+
+
+class OccupancyModel:
+    """Computes table occupancy under any subset of compression steps.
+
+    >>> model = OccupancyModel.paper_scale()
+    >>> round(model.total(frozenset()).tcam_percent)  # Table 2 "sum" row
+    389
+    >>> round(model.total(frozenset(ALL_STEPS)).tcam_percent)  # Table 3
+    11
+    """
+
+    def __init__(
+        self,
+        scale: WorkloadScale,
+        costs: CostModel = CostModel(),
+        sram_capacity: int = SRAM_WORDS_PER_PIPELINE,
+        tcam_capacity: int = TCAM_SLICES_PER_PIPELINE,
+    ):
+        self.scale = scale
+        self.costs = costs
+        self.sram_capacity = sram_capacity
+        self.tcam_capacity = tcam_capacity
+
+    @classmethod
+    def paper_scale(cls, ipv6_fraction: float = 0.25) -> "OccupancyModel":
+        return cls(WorkloadScale.paper_scale(ipv6_fraction))
+
+    # -- demand ----------------------------------------------------------
+
+    def _pool_factor(self, steps: Set[Step]) -> float:
+        """Capacity multiplier: folding x2, entry splitting x2."""
+        factor = 1.0
+        if Step.FOLDING in steps:
+            factor *= 2.0
+        if Step.SPLIT in steps:
+            factor *= 2.0
+        return factor
+
+    def routing_occupancy(self, steps: Set[Step]) -> Occupancy:
+        """The VXLAN routing table (LPM)."""
+        c = self.costs
+        v4, v6 = self.scale.routes_by_family()
+        pooled = Step.POOLING in steps
+        if Step.ALPM in steps:
+            if pooled:
+                pivots = self.scale.routes / c.alpm_routes_per_pivot
+                tcam_slices = pivots * c.alpm_pivot_slices
+                sram_words = pivots * c.alpm_bucket_words
+            else:
+                # Dedicated per-family ALPMs: pivots at native key widths,
+                # bucket entries sized per family.
+                pivots4 = v4 / c.alpm_routes_per_pivot
+                pivots6 = v6 / c.alpm_routes_per_pivot
+                tcam_slices = pivots4 * c.v4_lpm_slices + pivots6 * c.v6_lpm_slices
+                sram_words = (
+                    pivots4 * c.alpm_bucket_capacity * 1
+                    + pivots6 * c.alpm_bucket_capacity * c.alpm_bucket_entry_words
+                )
+        elif pooled:
+            tcam_slices = self.scale.routes * c.pooled_lpm_slices
+            sram_words = 0.0
+        else:
+            tcam_slices = v4 * c.v4_lpm_slices + v6 * c.v6_lpm_slices
+            sram_words = 0.0
+        factor = self._pool_factor(steps)
+        return Occupancy(
+            sram=sram_words / (self.sram_capacity * factor),
+            tcam=tcam_slices / (self.tcam_capacity * factor),
+        )
+
+    def vm_nc_occupancy(self, steps: Set[Step]) -> Occupancy:
+        """The VM-NC mapping table (exact match)."""
+        c = self.costs
+        v4, v6 = self.scale.vms_by_family()
+        if Step.COMPRESSION in steps:
+            sram_words = self.scale.vms * c.pooled_exact_words * c.compress_overhead
+        else:
+            sram_words = v4 * c.v4_exact_words + v6 * c.v6_exact_words
+        factor = self._pool_factor(steps)
+        return Occupancy(sram=sram_words / (self.sram_capacity * factor), tcam=0.0)
+
+    def total(self, steps: Iterable[Step]) -> Occupancy:
+        """Both major tables under the given steps."""
+        step_set = set(steps)
+        return self.routing_occupancy(step_set) + self.vm_nc_occupancy(step_set)
+
+    # -- the paper's artefacts --------------------------------------------
+
+    def table2(self) -> Dict[str, Dict[str, Occupancy]]:
+        """Table 2: naive per-family occupancy plus the 75/25 sum."""
+        v4_only = OccupancyModel(
+            WorkloadScale(self.scale.routes, self.scale.vms, 0.0), self.costs,
+            self.sram_capacity, self.tcam_capacity,
+        )
+        v6_only = OccupancyModel(
+            WorkloadScale(self.scale.routes, self.scale.vms, 1.0), self.costs,
+            self.sram_capacity, self.tcam_capacity,
+        )
+        empty: Set[Step] = set()
+        return {
+            "vxlan_routing": {
+                "ipv4": v4_only.routing_occupancy(empty),
+                "ipv6": v6_only.routing_occupancy(empty),
+            },
+            "vm_nc": {
+                "ipv4": v4_only.vm_nc_occupancy(empty),
+                "ipv6": v6_only.vm_nc_occupancy(empty),
+            },
+            "sum": {"mixed": self.total(empty)},
+        }
+
+    def figure17(self) -> "list[tuple[str, Occupancy]]":
+        """Fig. 17: occupancy after each cumulative optimization step."""
+        cumulative: "list[tuple[str, Set[Step]]]" = [
+            ("Initial", set()),
+            ("a", {Step.FOLDING}),
+            ("a+b", {Step.FOLDING, Step.SPLIT}),
+            ("a+b+c+d", {Step.FOLDING, Step.SPLIT, Step.POOLING, Step.COMPRESSION}),
+            ("a+b+c+d+e", set(ALL_STEPS)),
+        ]
+        return [(label, self.total(steps)) for label, steps in cumulative]
+
+    def table3(self) -> Dict[str, Occupancy]:
+        """Table 3: per-table occupancy with every optimization applied."""
+        steps = set(ALL_STEPS)
+        return {
+            "vxlan_routing": self.routing_occupancy(steps),
+            "vm_nc": self.vm_nc_occupancy(steps),
+            "sum": self.total(steps),
+        }
+
+    def reduction_vs_naive(self, ipv6_fraction: Optional[float] = None) -> Tuple[float, float]:
+        """(SRAM, TCAM) relative reduction of optimized vs naive — the
+        headline "reduces SRAM by 38% / TCAM by 96% (IPv4)" claims.
+        """
+        scale = self.scale
+        if ipv6_fraction is not None:
+            scale = WorkloadScale(scale.routes, scale.vms, ipv6_fraction)
+        model = OccupancyModel(scale, self.costs, self.sram_capacity, self.tcam_capacity)
+        naive = model.total(set())
+        optimized = model.total(set(ALL_STEPS))
+        sram_red = 1.0 - optimized.sram / naive.sram if naive.sram else 0.0
+        tcam_red = 1.0 - optimized.tcam / naive.tcam if naive.tcam else 0.0
+        return sram_red, tcam_red
+
+    def provisioned_occupancy(
+        self,
+        steps: Iterable[Step],
+        mix_range: Tuple[float, float] = (0.0, 1.0),
+    ) -> Occupancy:
+        """Memory that must be *provisioned* to serve any IPv6 fraction in
+        *mix_range* — pooling's real contribution (§4.4: "the traffic
+        ratio of IPv4/IPv6 is changing constantly; separate tables may
+        cause memory waste or insufficient memory").
+
+        Pooled tables serve any mix from one budget. Dedicated tables
+        must each be provisioned for their own peak: IPv4 at the low end
+        of the range, IPv6 at the high end — and the peaks add up.
+        """
+        step_set = set(steps)
+        lo, hi = mix_range
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError("mix_range must satisfy 0 <= lo <= hi <= 1")
+        if Step.POOLING in step_set:
+            # Pooled cost is mix-independent; any point of the range works.
+            return self.total(step_set)
+        v4_peak = WorkloadScale(
+            routes=round(self.scale.routes * (1 - lo)),
+            vms=round(self.scale.vms * (1 - lo)),
+            ipv6_fraction=0.0,
+        )
+        v6_peak = WorkloadScale(
+            routes=round(self.scale.routes * hi),
+            vms=round(self.scale.vms * hi),
+            ipv6_fraction=1.0,
+        )
+        make = lambda scale: OccupancyModel(
+            scale, self.costs, self.sram_capacity, self.tcam_capacity
+        ).total(step_set)
+        return make(v4_peak) + make(v6_peak)
+
+    def capacity_under_mix(
+        self,
+        steps: Iterable[Step],
+        provisioned_mix: float,
+        actual_mix: float,
+    ) -> float:
+        """Sustainable workload multiplier when the IPv6 mix drifts.
+
+        Tables were provisioned (sized to exactly fit the chip) for an
+        IPv6 fraction of *provisioned_mix*; the live mix is *actual_mix*.
+        Returns the largest multiple of the base workload that still
+        fits. Pooled tables are mix-blind; dedicated per-family tables
+        strand capacity as the mix drifts ("memory waste or insufficient
+        memory", §4.4).
+        """
+        step_set = set(steps)
+
+        def family_demand(fraction: float, family: int) -> Occupancy:
+            """Demand of one family's dedicated table at a given mix."""
+            only = 0.0 if family == 4 else 1.0
+            share = (1 - fraction) if family == 4 else fraction
+            scale = WorkloadScale(
+                routes=max(0, round(self.scale.routes * share)),
+                vms=max(0, round(self.scale.vms * share)),
+                ipv6_fraction=only,
+            )
+            model = OccupancyModel(scale, self.costs, self.sram_capacity, self.tcam_capacity)
+            return model.total(step_set)
+
+        if Step.POOLING in step_set:
+            # Pooled cost is mix-invariant: the provisioning always fits.
+            return 1.0
+
+        limit = math.inf
+        for family in (4, 6):
+            budget = family_demand(provisioned_mix, family)
+            demand = family_demand(actual_mix, family)
+            for attr in ("sram", "tcam"):
+                b = getattr(budget, attr)
+                d = getattr(demand, attr)
+                if d > 0:
+                    limit = min(limit, b / d)
+        return min(1.0, limit) if limit is not math.inf else 1.0
+
+    def max_entries_that_fit(self, steps: Iterable[Step], vm_per_route: float) -> WorkloadScale:
+        """Largest workload (preserving vms = vm_per_route x routes and the
+        v6 mix) that fits under the given steps — the controller's cluster
+        sizing primitive.
+        """
+        step_set = set(steps)
+        lo, hi = 0, 1 << 28
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            scale = WorkloadScale(mid, int(mid * vm_per_route), self.scale.ipv6_fraction)
+            occ = OccupancyModel(
+                scale, self.costs, self.sram_capacity, self.tcam_capacity
+            ).total(step_set)
+            if occ.fits():
+                lo = mid
+            else:
+                hi = mid - 1
+        return WorkloadScale(lo, int(lo * vm_per_route), self.scale.ipv6_fraction)

@@ -1,0 +1,257 @@
+"""Placement planning: mapping large tables across pipelines (§4.4, Fig. 15).
+
+The Tofino compiler splits tables across stages *within* a pipeline but
+never across pipelines. Sailfish's planner does the cross-pipeline part:
+tables are assigned a preferred pipe on the folded path; when the
+preferred pipeline is out of memory the remainder spills to a later pipe
+with free space — Table D in Fig. 15 sits partly in Ingress 1/3 and
+partly in Egress 0/2.
+
+The module also defines the **representative service-table set** used to
+reproduce Table 4's overall occupancy (sizes documented in DESIGN.md):
+besides the two major tables, a region's gateway carries an underlay
+FIB, per-tenant ACLs, meters/counters and service-redirect state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tables.geometry import MemoryFootprint
+from ..tofino.compiler import Compiler, PlacementError, PlacementReport, Segment, TableSpec
+from ..tofino.memory import (
+    SRAM_WORDS_PER_BLOCK,
+    SRAM_WORDS_PER_PIPELINE,
+    TCAM_SLICES_PER_BLOCK,
+    TCAM_SLICES_PER_PIPELINE,
+    blocks_for_footprint,
+)
+from ..tofino.pipeline import Gress, PipelineFabric, PipeRef, folded_path
+from .occupancy import ALL_STEPS, OccupancyModel
+
+
+@dataclass(frozen=True)
+class LogicalTable:
+    """A table the planner must place, with its preferred pipe.
+
+    *metadata_bits* is the width of the lookup result this table produces
+    for its dependents; when a dependent sits in a later pipe, those bits
+    must be **bridged** — appended to the packet across each gress
+    boundary in between (§4.4).
+    """
+
+    name: str
+    footprint: MemoryFootprint
+    preferred_pipe: PipeRef
+    depends_on: Tuple[str, ...] = ()
+    spillable: bool = True
+    metadata_bits: int = 0
+
+
+@dataclass(frozen=True)
+class BridgeCost:
+    """Wire overhead of a placement's metadata bridging."""
+
+    crossings: int  # total gress-boundary crossings of metadata
+    bytes_per_packet: int  # bytes appended to each packet on the wire
+
+    def throughput_loss(self, packet_bytes: int) -> float:
+        """Fraction of line rate lost to the bridged bytes."""
+        if packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        return self.bytes_per_packet / (packet_bytes + self.bytes_per_packet)
+
+
+def max_possible_bridges(folded: bool) -> int:
+    """§4.4: folding raises the possible bridge points from 1 to 3."""
+    return 3 if folded else 1
+
+
+def bridge_cost(tables: Sequence[LogicalTable], entry_pipeline: int = 0) -> BridgeCost:
+    """Bridging implied by the tables' preferred pipes on the folded path.
+
+    Metadata produced by table A and consumed by a dependent B placed
+    *n* pipes later crosses *n* gress boundaries, costing
+    ``ceil(bits / 8)`` bytes at each crossing.
+    """
+    path = folded_path(entry_pipeline)
+    order = {pipe: i for i, pipe in enumerate(path)}
+    position = {t.name: order[t.preferred_pipe] for t in tables}
+    producers = {t.name: t for t in tables}
+    crossings = 0
+    bytes_per_packet = 0
+    for table in tables:
+        for dep in table.depends_on:
+            producer = producers[dep]
+            if producer.metadata_bits <= 0:
+                continue
+            span = position[table.name] - position[dep]
+            if span > 0:
+                crossings += span
+                bytes_per_packet += span * ((producer.metadata_bits + 7) // 8)
+    return BridgeCost(crossings=crossings, bytes_per_packet=bytes_per_packet)
+
+
+class PlacementPlanner:
+    """Places logical tables with cross-pipeline spilling.
+
+    >>> fabric = PipelineFabric(folded=True)
+    >>> planner = PlacementPlanner(fabric)
+    >>> # see tests/core/test_planner.py for spill scenarios
+    """
+
+    def __init__(self, fabric: PipelineFabric):
+        if not fabric.folded:
+            raise ValueError("the planner targets the folded layout")
+        self.fabric = fabric
+        self.compiler = Compiler(fabric)
+
+    def _free_blocks(self, pipeline: int) -> Tuple[int, int]:
+        memory = self.fabric.memory[pipeline]
+        sram = sum(stage.sram_blocks_free for stage in memory.stages)
+        tcam = sum(stage.tcam_blocks_free for stage in memory.stages)
+        return sram, tcam
+
+    def plan(self, tables: Sequence[LogicalTable], entry_pipeline: int = 0) -> PlacementReport:
+        """Compute segments (with spills) and place them; all-or-nothing."""
+        path = folded_path(entry_pipeline)
+        segments: List[Segment] = []
+        # Track planned blocks so later tables see earlier reservations.
+        planned: Dict[int, Tuple[int, int]] = {}
+
+        def free_after_planned(pipeline: int) -> Tuple[int, int]:
+            sram, tcam = self._free_blocks(pipeline)
+            used_s, used_t = planned.get(pipeline, (0, 0))
+            return sram - used_s, tcam - used_t
+
+        for table in tables:
+            if table.preferred_pipe not in path:
+                raise PlacementError(
+                    f"{table.name}: preferred pipe {table.preferred_pipe} not on path"
+                )
+            need_sram, need_tcam = blocks_for_footprint(table.footprint)
+            start = path.index(table.preferred_pipe)
+            for pipe in path[start:]:
+                if need_sram == 0 and need_tcam == 0:
+                    break
+                pipeline = pipe[0]
+                avail_sram, avail_tcam = free_after_planned(pipeline)
+                take_sram = min(need_sram, avail_sram)
+                take_tcam = min(need_tcam, avail_tcam)
+                if take_sram == 0 and take_tcam == 0:
+                    continue
+                segments.append(
+                    Segment(
+                        table=table.name,
+                        pipe=pipe,
+                        footprint=MemoryFootprint(
+                            sram_words=take_sram * SRAM_WORDS_PER_BLOCK,
+                            tcam_slices=take_tcam * TCAM_SLICES_PER_BLOCK,
+                        ),
+                    )
+                )
+                used_s, used_t = planned.get(pipeline, (0, 0))
+                planned[pipeline] = (used_s + take_sram, used_t + take_tcam)
+                need_sram -= take_sram
+                need_tcam -= take_tcam
+                if not table.spillable:
+                    break
+            if need_sram > 0 or need_tcam > 0:
+                raise PlacementError(
+                    f"{table.name}: {need_sram} SRAM / {need_tcam} TCAM blocks do not fit "
+                    f"anywhere on the path"
+                )
+        specs = [
+            TableSpec(name=t.name, footprint=t.footprint, depends_on=t.depends_on)
+            for t in tables
+        ]
+        return self.compiler.place(specs, segments)
+
+
+# -- Table 4: the representative full table set -------------------------------
+
+
+def _fraction_footprint(sram_frac: float = 0.0, tcam_frac: float = 0.0) -> MemoryFootprint:
+    return MemoryFootprint(
+        sram_words=int(round(sram_frac * SRAM_WORDS_PER_PIPELINE)),
+        tcam_slices=int(round(tcam_frac * TCAM_SLICES_PER_PIPELINE)),
+    )
+
+
+def sailfish_table_layout(model: Optional[OccupancyModel] = None) -> List[LogicalTable]:
+    """The full XGW-H table set for one role pipe-pair (entry pipeline 0).
+
+    Major tables are sized by the occupancy model (per physical pipeline:
+    the pool occupancy times two, since each parity half owns one
+    pipe-pair). Service tables use the representative region set from
+    DESIGN.md: an underlay FIB (~14 K prefixes), per-tenant ACLs (~10.8 K
+    rules), and region-scale meters/counters/redirect state.
+    """
+    model = model or OccupancyModel.paper_scale()
+    steps = set(ALL_STEPS)
+    routing = model.routing_occupancy(steps)
+    vm_nc = model.vm_nc_occupancy(steps)
+    return [
+        LogicalTable(
+            name="vxlan-routing-alpm",
+            footprint=_fraction_footprint(routing.sram * 2, routing.tcam * 2),
+            preferred_pipe=(0, Gress.INGRESS),
+            metadata_bits=27,  # resolved VNI (24) + scope (3)
+        ),
+        LogicalTable(
+            name="vm-nc-pooled",
+            footprint=_fraction_footprint(vm_nc.sram * 2, 0.0),
+            preferred_pipe=(1, Gress.EGRESS),
+            depends_on=("vxlan-routing-alpm",),
+            metadata_bits=32,  # NC IP for the final rewrite
+        ),
+        LogicalTable(
+            name="tenant-acl",
+            footprint=_fraction_footprint(0.011, 0.22),  # ~10.8K 128-bit rules
+            preferred_pipe=(1, Gress.INGRESS),
+            depends_on=("vm-nc-pooled",),
+        ),
+        LogicalTable(
+            name="service-redirect",
+            footprint=_fraction_footprint(0.318, 0.0),  # SNAT tags, LB state
+            preferred_pipe=(1, Gress.INGRESS),
+            depends_on=("vm-nc-pooled",),
+        ),
+        LogicalTable(
+            name="underlay-fib",
+            footprint=_fraction_footprint(0.007, 0.19),  # ~14K NC prefixes
+            preferred_pipe=(0, Gress.EGRESS),
+            depends_on=("tenant-acl",),
+        ),
+        LogicalTable(
+            name="qos-meters-counters",
+            footprint=_fraction_footprint(0.33, 0.0),  # region-scale stats
+            preferred_pipe=(0, Gress.EGRESS),
+            depends_on=("tenant-acl",),
+        ),
+    ]
+
+
+def table4_occupancy(model: Optional[OccupancyModel] = None) -> Dict[str, Tuple[float, float]]:
+    """Analytic Table 4: (SRAM, TCAM) occupancy per pipe pair."""
+    tables = sailfish_table_layout(model)
+    by_pipeline: Dict[int, MemoryFootprint] = {0: MemoryFootprint.zero(), 1: MemoryFootprint.zero()}
+    for table in tables:
+        by_pipeline[table.preferred_pipe[0]] = (
+            by_pipeline[table.preferred_pipe[0]] + table.footprint
+        )
+    def frac(fp: MemoryFootprint) -> Tuple[float, float]:
+        return (
+            fp.sram_words / SRAM_WORDS_PER_PIPELINE,
+            fp.tcam_slices / TCAM_SLICES_PER_PIPELINE,
+        )
+    p02 = frac(by_pipeline[0])
+    p13 = frac(by_pipeline[1])
+    total = frac(by_pipeline[0] + by_pipeline[1])
+    return {
+        "pipeline_0_2": p02,
+        "pipeline_1_3": p13,
+        "sum": (total[0] / 2, total[1] / 2),  # averaged over the two pools
+    }

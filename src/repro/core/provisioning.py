@@ -1,0 +1,85 @@
+"""Table installation timing: the controller's update problem (§2.3, §6.1).
+
+"It takes more than ten minutes to install all the tables into one
+XGW-x86 gateway and it is time-consuming to update hundreds of gateways
+even though some degree of multi-threading is enabled at the
+controller." Fewer, denser gateways shrink both the install time and the
+inconsistency window during which some gateways have new state and
+others do not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Entries installed per second into one gateway. Calibrated to the
+#: paper: ~2M entries (routes + VMs) in "more than ten minutes" on an
+#: XGW-x86 -> ~3,000 entries/s. The switch driver batches gRPC table
+#: programming at a similar order.
+X86_INSTALL_RATE = 3_000.0
+XGWH_INSTALL_RATE = 5_000.0
+
+
+@dataclass(frozen=True)
+class InstallJob:
+    """Push *entries* to *gateways*, *threads* gateways at a time."""
+
+    entries: int
+    gateways: int
+    install_rate: float
+    controller_threads: int = 8
+
+    def __post_init__(self):
+        if self.entries < 0 or self.gateways <= 0:
+            raise ValueError("need entries >= 0 and gateways > 0")
+        if self.install_rate <= 0 or self.controller_threads <= 0:
+            raise ValueError("rates and threads must be positive")
+
+    @property
+    def per_gateway_seconds(self) -> float:
+        """Wall time to fill one gateway."""
+        return self.entries / self.install_rate
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time to fill the whole fleet with a bounded thread pool."""
+        waves = math.ceil(self.gateways / self.controller_threads)
+        return waves * self.per_gateway_seconds
+
+    @property
+    def inconsistency_window_seconds(self) -> float:
+        """Time during which gateway states diverge mid-rollout: from the
+        first gateway finishing to the last one finishing."""
+        if self.gateways == 1:
+            return 0.0
+        return self.total_seconds - self.per_gateway_seconds
+
+
+def full_region_install_x86(entries: int = 2_000_000, gateways: int = 600,
+                            threads: int = 8) -> InstallJob:
+    """§2.3's pain: a full table download to an all-x86 region."""
+    return InstallJob(entries=entries, gateways=gateways,
+                      install_rate=X86_INSTALL_RATE, controller_threads=threads)
+
+
+def full_region_install_sailfish(entries_per_cluster: int = 500_000,
+                                 gateways: int = 14, threads: int = 8) -> InstallJob:
+    """The same region after Sailfish: ten XGW-H (each holding only its
+    cluster's shard, thanks to horizontal splitting) + four XGW-x86."""
+    return InstallJob(entries=entries_per_cluster, gateways=gateways,
+                      install_rate=XGWH_INSTALL_RATE, controller_threads=threads)
+
+
+@dataclass(frozen=True)
+class UpdatePropagation:
+    """One incremental update fanned out to a cluster."""
+
+    gateways: int
+    per_update_seconds: float = 0.002  # one RPC + table write
+
+    @property
+    def propagation_seconds(self) -> float:
+        """Sequential worst case (a cautious controller updates one
+        gateway at a time and verifies)."""
+        return self.gateways * self.per_update_seconds

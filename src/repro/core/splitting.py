@@ -1,0 +1,157 @@
+"""Horizontal table splitting among XGW-H clusters (§4.3).
+
+Each cluster keeps *all* the tables but only some tenants' entries; the
+VPC (VNI) is the smallest split unit. The controller packs tenants into
+clusters under entry- and traffic-capacity constraints, adds clusters
+when an insert would overflow, and can enumerate the blast radius of a
+faulty entry (exactly one cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One VPC's demand as the controller tracks it."""
+
+    vni: int
+    routes: int
+    vms: int
+    traffic_bps: float = 0.0
+
+
+@dataclass(frozen=True)
+class ClusterCapacity:
+    """What one XGW-H cluster can hold/carry after compression."""
+
+    routes: int
+    vms: int
+    traffic_bps: float
+
+    def can_fit(self, used: "ClusterUsage", tenant: TenantProfile) -> bool:
+        return (
+            used.routes + tenant.routes <= self.routes
+            and used.vms + tenant.vms <= self.vms
+            and used.traffic_bps + tenant.traffic_bps <= self.traffic_bps
+        )
+
+
+@dataclass
+class ClusterUsage:
+    routes: int = 0
+    vms: int = 0
+    traffic_bps: float = 0.0
+    tenants: List[int] = field(default_factory=list)
+
+    def add(self, tenant: TenantProfile) -> None:
+        self.routes += tenant.routes
+        self.vms += tenant.vms
+        self.traffic_bps += tenant.traffic_bps
+        self.tenants.append(tenant.vni)
+
+    def remove(self, tenant: TenantProfile) -> None:
+        self.routes -= tenant.routes
+        self.vms -= tenant.vms
+        self.traffic_bps -= tenant.traffic_bps
+        self.tenants.remove(tenant.vni)
+
+
+class SplitError(Exception):
+    """Raised when a tenant cannot be placed (bigger than a whole cluster)."""
+
+
+@dataclass
+class SplitPlan:
+    """The resulting VNI -> cluster assignment."""
+
+    assignments: Dict[int, str]
+    usage: Dict[str, ClusterUsage]
+
+    def cluster_of(self, vni: int) -> str:
+        return self.assignments[vni]
+
+    def clusters(self) -> List[str]:
+        return sorted(self.usage)
+
+    def blast_radius(self, vni: int) -> List[int]:
+        """Tenants affected if *vni*'s entries are faulty: exactly the
+        co-residents of its cluster (fault isolation, §4.3)."""
+        cluster = self.assignments[vni]
+        return sorted(self.usage[cluster].tenants)
+
+
+class TableSplitter:
+    """Greedy first-fit tenant packing with on-demand cluster creation.
+
+    >>> splitter = TableSplitter(ClusterCapacity(routes=100, vms=100, traffic_bps=1e12))
+    >>> plan = splitter.assign([TenantProfile(1, 10, 10), TenantProfile(2, 95, 10)])
+    >>> len(plan.clusters())
+    2
+    """
+
+    def __init__(self, capacity: ClusterCapacity, cluster_prefix: str = "cluster"):
+        self.capacity = capacity
+        self.cluster_prefix = cluster_prefix
+
+    def _new_cluster_id(self, count: int) -> str:
+        return f"{self.cluster_prefix}-{chr(ord('A') + count) if count < 26 else count}"
+
+    def assign(self, tenants: Sequence[TenantProfile]) -> SplitPlan:
+        """Pack *tenants* (heaviest-traffic first) into clusters."""
+        plan = SplitPlan(assignments={}, usage={})
+        order = sorted(tenants, key=lambda t: (-t.traffic_bps, -t.routes, t.vni))
+        for tenant in order:
+            self.place(plan, tenant)
+        return plan
+
+    def place(self, plan: SplitPlan, tenant: TenantProfile) -> str:
+        """Place one (possibly new) tenant into the plan, growing it if
+        needed — "insert new table entries into one cluster or allocate a
+        new cluster if the original cluster is out of memory"."""
+        if tenant.vni in plan.assignments:
+            raise SplitError(f"VNI {tenant.vni} already placed")
+        if (
+            tenant.routes > self.capacity.routes
+            or tenant.vms > self.capacity.vms
+            or tenant.traffic_bps > self.capacity.traffic_bps
+        ):
+            raise SplitError(
+                f"tenant VNI {tenant.vni} exceeds a whole cluster's capacity"
+            )
+        for cluster_id in sorted(plan.usage):
+            if self.capacity.can_fit(plan.usage[cluster_id], tenant):
+                plan.usage[cluster_id].add(tenant)
+                plan.assignments[tenant.vni] = cluster_id
+                return cluster_id
+        cluster_id = self._new_cluster_id(len(plan.usage))
+        plan.usage[cluster_id] = ClusterUsage()
+        plan.usage[cluster_id].add(tenant)
+        plan.assignments[tenant.vni] = cluster_id
+        return cluster_id
+
+    def rebalance_tenant(self, plan: SplitPlan, tenant: TenantProfile, to_cluster: str) -> None:
+        """Move a tenant between clusters ("tractable traffic load
+        balancing ... simply by adding or deleting the corresponding
+        entries")."""
+        current = plan.assignments.get(tenant.vni)
+        if current is None:
+            raise SplitError(f"VNI {tenant.vni} is not placed")
+        if to_cluster not in plan.usage:
+            raise SplitError(f"unknown cluster {to_cluster}")
+        if current == to_cluster:
+            return
+        if not self.capacity.can_fit(plan.usage[to_cluster], tenant):
+            raise SplitError(f"cluster {to_cluster} cannot fit VNI {tenant.vni}")
+        plan.usage[current].remove(tenant)
+        plan.usage[to_cluster].add(tenant)
+        plan.assignments[tenant.vni] = to_cluster
+
+
+def vertical_split_blast_radius(num_tenants: int) -> int:
+    """The comparison point from §4.3: with *vertical* splitting (tables,
+    not tenants, split across clusters), a faulty table's failure touches
+    every tenant — the whole region."""
+    return num_tenants

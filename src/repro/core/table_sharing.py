@@ -1,0 +1,131 @@
+"""Hardware/software co-design: the table-sharing policy (§4.2).
+
+The paper's principles, verbatim and encoded here:
+
+* XGW-H is the default gateway and absorbs the majority of traffic;
+* XGW-H stores a few key tables frequently hit by the majority of
+  traffic; it guides the rest to XGW-x86;
+* XGW-x86 keeps volatile tables, huge stateful tables (SNAT), and
+  unstable newborn services;
+* all sharing decisions are predetermined by the central controller;
+* traffic redirected to XGW-x86 is rate-limited for overload protection.
+
+Traffic obeys the 80/20 rule the paper measured: "5% of the table
+entries carry 95% of the traffic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """One cloud service as the controller sees it."""
+
+    name: str
+    traffic_share: float  # fraction of region traffic
+    entries: int  # forwarding entries the service needs
+    stateful: bool = False  # per-session state (SNAT-like)
+    volatile: bool = False  # tables churn rapidly (festival LB etc.)
+    maturity: float = 1.0  # 0 = newborn, 1 = battle-tested
+
+    def __post_init__(self):
+        if not 0.0 <= self.traffic_share <= 1.0:
+            raise ValueError("traffic_share must be in [0, 1]")
+        if not 0.0 <= self.maturity <= 1.0:
+            raise ValueError("maturity must be in [0, 1]")
+        if self.entries < 0:
+            raise ValueError("entries must be non-negative")
+
+
+@dataclass
+class SharingDecision:
+    """The controller's placement verdict."""
+
+    hardware: List[ServiceProfile] = field(default_factory=list)
+    software: List[ServiceProfile] = field(default_factory=list)
+    redirect_rate_limit_bps: float = 0.0
+
+    @property
+    def software_traffic_share(self) -> float:
+        """Predicted fraction of traffic that will hit XGW-x86 (Fig. 22)."""
+        return sum(s.traffic_share for s in self.software)
+
+    @property
+    def hardware_traffic_share(self) -> float:
+        return sum(s.traffic_share for s in self.hardware)
+
+    def placed_in_hardware(self, name: str) -> bool:
+        return any(s.name == name for s in self.hardware)
+
+
+class SharingPolicy:
+    """Decides which services (and hence tables) live on XGW-H.
+
+    >>> policy = SharingPolicy(hardware_entry_budget=1_000_000)
+    >>> decision = policy.decide([
+    ...     ServiceProfile("vpc-routing", 0.95, 800_000),
+    ...     ServiceProfile("snat", 0.04, 100_000_000, stateful=True),
+    ... ])
+    >>> decision.placed_in_hardware("vpc-routing")
+    True
+    """
+
+    def __init__(
+        self,
+        hardware_entry_budget: int,
+        maturity_threshold: float = 0.5,
+        redirect_headroom: float = 2.0,
+    ):
+        if hardware_entry_budget <= 0:
+            raise ValueError("hardware_entry_budget must be positive")
+        self.hardware_entry_budget = hardware_entry_budget
+        self.maturity_threshold = maturity_threshold
+        self.redirect_headroom = redirect_headroom
+
+    def decide(
+        self,
+        services: Sequence[ServiceProfile],
+        region_traffic_bps: float = 0.0,
+    ) -> SharingDecision:
+        """Apply the §4.2 principles to a service mix."""
+        decision = SharingDecision()
+        budget = self.hardware_entry_budget
+        # Mature, stateless, stable services first, heaviest traffic first:
+        # they are the "few key tables frequently hit by the majority".
+        candidates = sorted(services, key=lambda s: -s.traffic_share)
+        for service in candidates:
+            must_stay_soft = (
+                service.stateful
+                or service.volatile
+                or service.maturity < self.maturity_threshold
+                or service.entries > budget
+            )
+            if must_stay_soft:
+                decision.software.append(service)
+            else:
+                decision.hardware.append(service)
+                budget -= service.entries
+        # Rate-limit the redirect path with headroom over its expected load.
+        decision.redirect_rate_limit_bps = (
+            decision.software_traffic_share * region_traffic_bps * self.redirect_headroom
+        )
+        return decision
+
+
+def eighty_twenty_entries(
+    total_entries: int,
+    hot_entry_fraction: float = 0.05,
+    hot_traffic_fraction: float = 0.95,
+) -> Tuple[int, float, float]:
+    """The paper's measured skew: (hot entries, their traffic, cold traffic).
+
+    >>> eighty_twenty_entries(1000)
+    (50, 0.95, 0.05)
+    """
+    if not 0 < hot_entry_fraction < 1 or not 0 < hot_traffic_fraction <= 1:
+        raise ValueError("fractions must be in (0, 1)")
+    hot = max(1, round(total_entries * hot_entry_fraction))
+    return hot, hot_traffic_fraction, 1.0 - hot_traffic_fraction

@@ -1,0 +1,31 @@
+"""Gateway forwarding semantics shared by hardware and software gateways."""
+
+from .gateway_logic import (
+    ForwardAction,
+    ForwardResult,
+    GatewayTables,
+    forward,
+    inner_flow_key,
+)
+from .pipeline_program import (
+    SplitVmNc,
+    XgwHProgram,
+    parity_pipeline,
+    scope_from_code,
+    vni_parity_pipeline,
+)
+from .services import SnatService
+
+__all__ = [
+    "ForwardAction",
+    "ForwardResult",
+    "GatewayTables",
+    "forward",
+    "inner_flow_key",
+    "SplitVmNc",
+    "XgwHProgram",
+    "scope_from_code",
+    "parity_pipeline",
+    "vni_parity_pipeline",
+    "SnatService",
+]

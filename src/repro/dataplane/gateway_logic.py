@@ -1,0 +1,133 @@
+"""The gateway forwarding semantics, shared by XGW-H and XGW-x86 (§2.1).
+
+Both gateway kinds run the same logical program (Fig. 2):
+
+1. look up the VXLAN routing table with (VNI, inner dst IP), following
+   PEER next-hop VNIs until a terminal scope;
+2. for LOCAL scope, look up the VM-NC mapping table and rewrite the
+   outer destination IP to the hosting server (NC);
+3. for SERVICE scope (e.g. SNAT), redirect to the software gateway;
+4. for INTERNET / IDC / CROSS_REGION, hand the packet to the uplink.
+
+ACLs, meters and counters run around the routing steps. The hardware
+gateway executes this same logic split across pipes (see
+:mod:`repro.dataplane.pipeline_program`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..net.flow import FlowKey
+from ..net.packet import Packet
+from ..tables.acl import AclTable, AclVerdict
+from ..tables.errors import MissingEntryError
+from ..tables.counter import CounterTable
+from ..tables.meter import MeterColor, MeterTable
+from ..tables.vm_nc import VmNcTable
+from ..tables.vxlan_routing import RoutingLoopError, Scope, VxlanRoutingTable
+
+
+class ForwardAction(Enum):
+    """Terminal outcome of the gateway program for one packet."""
+
+    DELIVER_NC = "deliver-nc"  # rewritten towards the destination VM's server
+    REDIRECT_X86 = "redirect-x86"  # needs a software-gateway service
+    UPLINK = "uplink"  # leaves the region (Internet / IDC / cross-region)
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class ForwardResult:
+    """Outcome + (possibly rewritten) packet + diagnostic detail."""
+
+    action: ForwardAction
+    packet: Packet
+    detail: str = ""
+    resolved_vni: Optional[int] = None
+    nc_ip: Optional[int] = None
+
+
+@dataclass
+class GatewayTables:
+    """The table bundle one gateway forwards with."""
+
+    routing: VxlanRoutingTable = field(default_factory=VxlanRoutingTable)
+    vm_nc: VmNcTable = field(default_factory=VmNcTable)
+    acl: AclTable = field(default_factory=AclTable)
+    meters: MeterTable = field(default_factory=MeterTable)
+    counters: CounterTable = field(default_factory=CounterTable)
+
+
+def inner_flow_key(packet: Packet) -> FlowKey:
+    """The inner 5-tuple as a :class:`FlowKey`."""
+    src, dst, proto, sport, dport = packet.inner.five_tuple()
+    return FlowKey(src, dst, proto, sport, dport, version=packet.inner_version)
+
+
+def forward(
+    tables: GatewayTables,
+    packet: Packet,
+    gateway_ip: int,
+    now: float = 0.0,
+) -> ForwardResult:
+    """Run the full gateway program on one VXLAN packet.
+
+    >>> # see examples/quickstart.py for an end-to-end walkthrough
+    """
+    if not packet.is_vxlan:
+        return ForwardResult(ForwardAction.DROP, packet, detail="not-vxlan")
+
+    vni = packet.vni
+    flow = inner_flow_key(packet)
+    tables.counters.count(("vni", vni), packet.wire_length())
+
+    if tables.acl.evaluate(vni, flow) is AclVerdict.DENY:
+        return ForwardResult(ForwardAction.DROP, packet, detail="acl-deny")
+
+    if tables.meters.charge(("vni", vni), now, packet.wire_length()) is MeterColor.RED:
+        return ForwardResult(ForwardAction.DROP, packet, detail="meter-red")
+
+    try:
+        resolution = tables.routing.resolve(vni, packet.inner_dst, packet.inner_version)
+    except MissingEntryError:
+        return ForwardResult(ForwardAction.DROP, packet, detail="no-route")
+    except RoutingLoopError:
+        return ForwardResult(ForwardAction.DROP, packet, detail="peer-loop")
+
+    scope = resolution.action.scope
+    if scope is Scope.LOCAL:
+        binding = tables.vm_nc.lookup(resolution.vni, packet.inner_dst, packet.inner_version)
+        if binding is None:
+            return ForwardResult(
+                ForwardAction.DROP, packet, detail="no-vm", resolved_vni=resolution.vni
+            )
+        out = packet
+        if resolution.vni != vni:
+            out = out.with_vni(resolution.vni)
+        out = out.with_outer_src(gateway_ip).with_outer_dst(binding.nc_ip)
+        return ForwardResult(
+            ForwardAction.DELIVER_NC,
+            out,
+            detail="local",
+            resolved_vni=resolution.vni,
+            nc_ip=binding.nc_ip,
+        )
+
+    if scope is Scope.SERVICE:
+        return ForwardResult(
+            ForwardAction.REDIRECT_X86,
+            packet,
+            detail=resolution.action.target or "service",
+            resolved_vni=resolution.vni,
+        )
+
+    # INTERNET / IDC / CROSS_REGION all leave through an uplink.
+    return ForwardResult(
+        ForwardAction.UPLINK,
+        packet,
+        detail=resolution.action.target or scope.value,
+        resolved_vni=resolution.vni,
+    )

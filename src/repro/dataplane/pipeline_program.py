@@ -1,0 +1,179 @@
+"""The XGW-H gateway program laid out over the folded pipeline (§4.4).
+
+Table placement follows the paper's folding principles (Fig. 13/15):
+
+* **Ingress 0/2** — parser checks + VXLAN routing table (Table A);
+  resolved VNI and scope are bridged onward.
+* **Egress 1/3** (loopback pipes) — VM-NC mapping table (Table B), with
+  entries *split between pipelines* by VNI parity (Fig. 14): pipe 1
+  holds even-VNI entries, pipe 3 odd-VNI entries; the load balancer
+  steers traffic to entry pipeline 0 or 2 accordingly.
+* **Ingress 1/3** — ACL + meters (Table C).
+* **Egress 0/2** — final header rewrite + counters (Table D).
+
+Metadata crossing a gress boundary is bridged explicitly; the traversal
+records the bridge bytes so the throughput cost is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..net.packet import Packet
+from ..tables.acl import AclVerdict
+from ..tables.errors import MissingEntryError
+from ..tables.meter import MeterColor
+from ..tables.vm_nc import VmNcTable
+from ..tables.vxlan_routing import RoutingLoopError, Scope
+from ..tofino.phv import Metadata
+from ..tofino.pipeline import Gress, PipeRef, PipeResult, Verdict
+from .gateway_logic import GatewayTables, inner_flow_key
+
+_SCOPE_CODE = {scope: i for i, scope in enumerate(Scope)}
+_CODE_SCOPE = {i: scope for scope, i in _SCOPE_CODE.items()}
+
+
+def parity_pipeline(inner_dst_ip: int) -> int:
+    """Entry pipeline under the parity split: even inner dst IP -> 0,
+    odd -> 2.
+
+    The split key must survive PEER-VPC resolution (the VNI changes along
+    the chain, the inner destination IP does not), which is why we use
+    the paper's "parity of ... inner Dst IP" option.
+    """
+    return 0 if inner_dst_ip % 2 == 0 else 2
+
+
+# Backwards-compatible alias used by steering call sites.
+vni_parity_pipeline = parity_pipeline
+
+
+@dataclass
+class SplitVmNc:
+    """The VM-NC table split between the two loopback pipes (Fig. 14),
+    keyed by the parity of the VM (inner destination) IP."""
+
+    halves: Dict[int, VmNcTable]
+
+    @classmethod
+    def empty(cls) -> "SplitVmNc":
+        return cls(halves={0: VmNcTable(name="vm-nc-even"), 1: VmNcTable(name="vm-nc-odd")})
+
+    def half_for_ip(self, vm_ip: int) -> VmNcTable:
+        return self.halves[vm_ip % 2]
+
+    def half_for_pipe(self, pipeline: int) -> VmNcTable:
+        """Pipe 1 serves even IPs (entry 0), pipe 3 odd IPs (entry 2)."""
+        if pipeline in (0, 1):
+            return self.halves[0]
+        return self.halves[1]
+
+    def insert(self, vni: int, vm_ip: int, version: int, binding, replace: bool = False) -> None:
+        self.half_for_ip(vm_ip).insert(vni, vm_ip, version, binding, replace)
+
+    def lookup(self, vni: int, vm_ip: int, version: int):
+        return self.half_for_ip(vm_ip).lookup(vni, vm_ip, version)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.halves.values())
+
+
+class XgwHProgram:
+    """Builds the four pipe programs from one table bundle.
+
+    *clock* supplies the data-plane time used by meters (defaults to a
+    zero clock; the region simulator installs a real one).
+    """
+
+    def __init__(self, tables: GatewayTables, split_vm_nc: SplitVmNc, gateway_ip: int,
+                 clock=None):
+        self.tables = tables
+        self.vm_nc = split_vm_nc
+        self.gateway_ip = gateway_ip
+        self._clock = clock if clock is not None else (lambda: 0.0)
+
+    # -- pipe programs ------------------------------------------------------
+
+    def ingress_entry(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:
+        """Ingress 0/2: validate + VXLAN routing (Table A)."""
+        if not packet.is_vxlan:
+            return PipeResult(Verdict.DROP, drop_reason="not-vxlan")
+        try:
+            resolution = self.tables.routing.resolve(
+                packet.vni, packet.inner_dst, packet.inner_version
+            )
+        except MissingEntryError:
+            return PipeResult(Verdict.DROP, drop_reason="no-route")
+        except RoutingLoopError:
+            return PipeResult(Verdict.DROP, drop_reason="peer-loop")
+        scope = resolution.action.scope
+        md.set("resolved_vni", resolution.vni, bits=24)
+        md.set("scope", _SCOPE_CODE[scope], bits=3)
+        if scope is Scope.SERVICE:
+            # §4.2: "rate limiting is necessary at XGW-H before forwarding
+            # the traffic to XGW-x86 for overload protection".
+            color = self.tables.meters.charge(
+                "redirect-x86", self._clock(), packet.wire_length()
+            )
+            if color is MeterColor.RED:
+                return PipeResult(Verdict.DROP, drop_reason="redirect-rate-limited")
+            # Hand off to the software gateway without touching VM-NC.
+            return PipeResult(
+                Verdict.REDIRECT_X86, drop_reason=resolution.action.target or "service"
+            )
+        if scope is not Scope.LOCAL:
+            # Uplink traffic leaves without an NC rewrite.
+            return PipeResult(
+                Verdict.FORWARD, drop_reason=resolution.action.target or scope.value
+            )
+        return PipeResult(Verdict.CONTINUE, bridge_fields=["resolved_vni", "scope"])
+
+    def egress_loopback(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:
+        """Egress 1/3: VM-NC lookup (Table B, parity half of this pipe)."""
+        resolved_vni = md.get("resolved_vni")
+        half = self.vm_nc.half_for_pipe(ref[0])
+        binding = half.lookup(resolved_vni, packet.inner_dst, packet.inner_version)
+        if binding is None:
+            return PipeResult(Verdict.DROP, drop_reason="no-vm")
+        md.set("nc_ip", binding.nc_ip, bits=32)
+        return PipeResult(Verdict.CONTINUE, bridge_fields=["resolved_vni", "scope", "nc_ip"])
+
+    def ingress_loopback(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:
+        """Ingress 1/3: ACL + meter (Table C)."""
+        flow = inner_flow_key(packet)
+        if self.tables.acl.evaluate(packet.vni, flow) is AclVerdict.DENY:
+            return PipeResult(Verdict.DROP, drop_reason="acl-deny")
+        color = self.tables.meters.charge(
+            ("vni", packet.vni), self._clock(), packet.wire_length()
+        )
+        if color is MeterColor.RED:
+            return PipeResult(Verdict.DROP, drop_reason="meter-red")
+        return PipeResult(Verdict.CONTINUE, bridge_fields=["resolved_vni", "scope", "nc_ip"])
+
+    def egress_exit(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:
+        """Egress 0/2: final rewrite + counters (Table D)."""
+        resolved_vni = md.get("resolved_vni")
+        nc_ip = md.get("nc_ip")
+        out = packet
+        if resolved_vni != packet.vni:
+            out = out.with_vni(resolved_vni)
+        out = out.with_outer_src(self.gateway_ip).with_outer_dst(nc_ip)
+        self.tables.counters.count(("vni", packet.vni), out.wire_length())
+        return PipeResult(Verdict.FORWARD, packet=out)
+
+    # -- installation ---------------------------------------------------------
+
+    def programs(self) -> Dict[Tuple[int, Gress], "PipeProgramType"]:
+        """The role-pipe program map for :meth:`Chip.attach_symmetric`."""
+        return {
+            (0, Gress.INGRESS): self.ingress_entry,
+            (1, Gress.EGRESS): self.egress_loopback,
+            (1, Gress.INGRESS): self.ingress_loopback,
+            (0, Gress.EGRESS): self.egress_exit,
+        }
+
+
+def scope_from_code(code: int) -> Scope:
+    """Reverse of the metadata scope encoding."""
+    return _CODE_SCOPE[code]

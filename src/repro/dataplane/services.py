@@ -1,0 +1,136 @@
+"""Stateful services on the software gateway — SNAT (§4.2, Fig. 11).
+
+The switch cannot hold the O(100M)-entry SNAT session table, so XGW-H
+tags SNAT-bound traffic (SERVICE scope) and redirects it to XGW-x86.
+This module implements both directions:
+
+* **request** (red arrow in Fig. 11): VM -> Internet. The VXLAN tunnel
+  is removed, the inner source IP/port are rewritten to an allocated
+  public IP/port, and the packet leaves as plain IP.
+* **response** (blue arrow): Internet -> public IP. The session is found
+  by reverse lookup, the original VM addressing restored, the packet
+  re-encapsulated toward the VM's NC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..net.flow import FlowKey
+from ..net.headers import Ethernet, HeaderError
+from ..net.packet import InnerFrame, Packet
+from ..tables.errors import TableFullError
+from ..tables.snat import SnatSession, SnatTable
+from .gateway_logic import ForwardAction, ForwardResult, GatewayTables, inner_flow_key
+
+
+@dataclass
+class _SessionContext:
+    """What the response path needs that the 5-tuple alone cannot supply."""
+
+    vni: int
+    inner_eth: Ethernet
+
+
+class SnatService:
+    """SNAT request/response handling bound to one gateway's tables."""
+
+    def __init__(self, snat: SnatTable, tables: GatewayTables, gateway_ip: int):
+        self.snat = snat
+        self.tables = tables
+        self.gateway_ip = gateway_ip
+        self._contexts: Dict[FlowKey, _SessionContext] = {}
+        self.requests = 0
+        self.responses = 0
+        self.failures = 0
+
+    def handle_request(self, packet: Packet, now: float = 0.0) -> ForwardResult:
+        """VM -> Internet: decap, translate source, emit plain IP."""
+        if not packet.is_vxlan:
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-not-vxlan")
+        flow = inner_flow_key(packet)
+        if flow.version != 4:
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-v6-unsupported")
+        try:
+            session = self.snat.translate(flow, now)
+        except TableFullError:
+            self.failures += 1
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-pool-exhausted")
+        self._contexts.setdefault(
+            flow, _SessionContext(vni=packet.vni, inner_eth=packet.inner.eth)
+        )
+        plain = packet.decap()
+        plain = replace(
+            plain,
+            ip=plain.ip.replace_src(session.public_ip),
+            l4=plain.l4.replace_src_port(session.public_port) if plain.l4 is not None else None,
+        )
+        self.requests += 1
+        return ForwardResult(ForwardAction.UPLINK, plain, detail="snat-request")
+
+    def handle_response(self, packet: Packet, now: float = 0.0) -> ForwardResult:
+        """Internet -> VM: reverse-translate and re-encapsulate to the NC."""
+        if packet.is_vxlan or packet.l4 is None:
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-bad-response")
+        session = self.snat.reverse(
+            public_ip=packet.ip.dst,
+            public_port=packet.l4.dst_port,
+            remote_ip=packet.ip.src,
+            remote_port=packet.l4.src_port,
+            proto=packet.ip.proto,
+        )
+        if session is None:
+            self.failures += 1
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-no-session")
+        session.touch(now)
+        context = self._contexts.get(session.flow)
+        if context is None:
+            self.failures += 1
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-lost-context")
+
+        binding = self.tables.vm_nc.lookup(context.vni, session.flow.src_ip, 4)
+        if binding is None:
+            self.failures += 1
+            return ForwardResult(ForwardAction.DROP, packet, detail="snat-no-vm")
+
+        restored_l4 = None
+        if packet.l4 is not None:
+            # Restore the VM's original destination port on the way back.
+            if hasattr(packet.l4, "dst_port"):
+                restored_l4 = type(packet.l4)(
+                    src_port=packet.l4.src_port,
+                    dst_port=session.flow.src_port,
+                )
+        inner_ip = packet.ip.replace_dst(session.flow.src_ip)
+        # Swap the original inner Ethernet for the return direction.
+        inner_eth = Ethernet(
+            dst=context.inner_eth.src,
+            src=context.inner_eth.dst,
+            ethertype=context.inner_eth.ethertype,
+        )
+        inner = InnerFrame(eth=inner_eth, ip=inner_ip, l4=restored_l4, payload=packet.payload)
+        encapped = Packet.vxlan_encap(
+            inner,
+            outer_eth=packet.eth,
+            outer_src=self.gateway_ip,
+            outer_dst=binding.nc_ip,
+            vni=context.vni,
+        )
+        self.responses += 1
+        return ForwardResult(
+            ForwardAction.DELIVER_NC,
+            encapped,
+            detail="snat-response",
+            resolved_vni=context.vni,
+            nc_ip=binding.nc_ip,
+        )
+
+    def expire(self, now: float) -> int:
+        """Expire idle sessions and their contexts; returns the count."""
+        before = set(self._contexts)
+        count = self.snat.expire_idle(now)
+        for flow in before:
+            if self.snat.lookup(flow) is None:
+                self._contexts.pop(flow, None)
+        return count

@@ -1,0 +1,298 @@
+"""Wire-format header codecs for the protocols the gateway handles.
+
+Each header is a small dataclass with ``pack()``/``unpack()`` implementing
+the real wire format, so the simulated data plane operates on byte-accurate
+packets (VXLAN per RFC 7348). Only the fields the gateway touches are
+modelled as attributes; everything else is carried verbatim.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .checksum import internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+VXLAN_PORT = 4789
+VXLAN_FLAG_VNI_VALID = 0x08
+
+ETH_LEN = 14
+IPV4_MIN_LEN = 20
+IPV6_LEN = 40
+UDP_LEN = 8
+TCP_MIN_LEN = 20
+VXLAN_LEN = 8
+
+
+class HeaderError(ValueError):
+    """Raised when bytes cannot be decoded as the expected header."""
+
+
+def parse_mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise HeaderError(f"bad MAC address: {text!r}")
+    return int("".join(parts), 16)
+
+
+def format_mac(value: int) -> str:
+    """Format a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    raw = value.to_bytes(6, "big")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+@dataclass(frozen=True)
+class Ethernet:
+    """Ethernet II header."""
+
+    dst: int
+    src: int
+    ethertype: int
+
+    def pack(self) -> bytes:
+        return self.dst.to_bytes(6, "big") + self.src.to_bytes(6, "big") + struct.pack(
+            "!H", self.ethertype
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["Ethernet", bytes]:
+        if len(raw) < ETH_LEN:
+            raise HeaderError("truncated Ethernet header")
+        dst = int.from_bytes(raw[0:6], "big")
+        src = int.from_bytes(raw[6:12], "big")
+        (ethertype,) = struct.unpack("!H", raw[12:14])
+        return cls(dst, src, ethertype), raw[ETH_LEN:]
+
+
+@dataclass(frozen=True)
+class IPv4:
+    """IPv4 header (no options)."""
+
+    src: int
+    dst: int
+    proto: int
+    ttl: int = 64
+    tos: int = 0
+    ident: int = 0
+    flags: int = 0
+    total_length: int = 0  # filled by pack() from payload_len when zero
+
+    version: int = field(default=4, init=False, repr=False)
+
+    def pack(self, payload_len: int) -> bytes:
+        total = self.total_length or (IPV4_MIN_LEN + payload_len)
+        head = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,
+            self.tos,
+            total,
+            self.ident,
+            self.flags << 13,
+            self.ttl,
+            self.proto,
+            0,
+            self.src.to_bytes(4, "big"),
+            self.dst.to_bytes(4, "big"),
+        )
+        csum = internet_checksum(head)
+        return head[:10] + struct.pack("!H", csum) + head[12:]
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["IPv4", bytes]:
+        if len(raw) < IPV4_MIN_LEN:
+            raise HeaderError("truncated IPv4 header")
+        ver_ihl = raw[0]
+        if ver_ihl >> 4 != 4:
+            raise HeaderError(f"not IPv4 (version={ver_ihl >> 4})")
+        ihl = (ver_ihl & 0xF) * 4
+        if ihl < IPV4_MIN_LEN or len(raw) < ihl:
+            raise HeaderError("bad IPv4 IHL")
+        tos = raw[1]
+        (total,) = struct.unpack("!H", raw[2:4])
+        (ident,) = struct.unpack("!H", raw[4:6])
+        (frag,) = struct.unpack("!H", raw[6:8])
+        ttl, proto = raw[8], raw[9]
+        src = int.from_bytes(raw[12:16], "big")
+        dst = int.from_bytes(raw[16:20], "big")
+        hdr = cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            ttl=ttl,
+            tos=tos,
+            ident=ident,
+            flags=frag >> 13,
+            total_length=total,
+        )
+        return hdr, raw[ihl:]
+
+    def replace_dst(self, dst: int) -> "IPv4":
+        return IPv4(self.src, dst, self.proto, self.ttl, self.tos, self.ident, self.flags)
+
+    def replace_src(self, src: int) -> "IPv4":
+        return IPv4(src, self.dst, self.proto, self.ttl, self.tos, self.ident, self.flags)
+
+    def decrement_ttl(self) -> "IPv4":
+        if self.ttl <= 0:
+            raise HeaderError("TTL exceeded")
+        return IPv4(self.src, self.dst, self.proto, self.ttl - 1, self.tos, self.ident, self.flags)
+
+
+@dataclass(frozen=True)
+class IPv6:
+    """IPv6 fixed header."""
+
+    src: int
+    dst: int
+    next_header: int
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+    payload_length: int = 0  # filled by pack() when zero
+
+    version: int = field(default=6, init=False, repr=False)
+
+    def pack(self, payload_len: int) -> bytes:
+        plen = self.payload_length or payload_len
+        first = (6 << 28) | (self.traffic_class << 20) | self.flow_label
+        return (
+            struct.pack("!IHBB", first, plen, self.next_header, self.hop_limit)
+            + self.src.to_bytes(16, "big")
+            + self.dst.to_bytes(16, "big")
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["IPv6", bytes]:
+        if len(raw) < IPV6_LEN:
+            raise HeaderError("truncated IPv6 header")
+        (first,) = struct.unpack("!I", raw[0:4])
+        if first >> 28 != 6:
+            raise HeaderError(f"not IPv6 (version={first >> 28})")
+        (plen,) = struct.unpack("!H", raw[4:6])
+        next_header, hop_limit = raw[6], raw[7]
+        src = int.from_bytes(raw[8:24], "big")
+        dst = int.from_bytes(raw[24:40], "big")
+        hdr = cls(
+            src=src,
+            dst=dst,
+            next_header=next_header,
+            hop_limit=hop_limit,
+            traffic_class=(first >> 20) & 0xFF,
+            flow_label=first & 0xFFFFF,
+            payload_length=plen,
+        )
+        return hdr, raw[IPV6_LEN:]
+
+    @property
+    def proto(self) -> int:
+        """Alias matching :class:`IPv4` for uniform handling."""
+        return self.next_header
+
+    def replace_dst(self, dst: int) -> "IPv6":
+        return IPv6(self.src, dst, self.next_header, self.hop_limit, self.traffic_class, self.flow_label)
+
+    def replace_src(self, src: int) -> "IPv6":
+        return IPv6(src, self.dst, self.next_header, self.hop_limit, self.traffic_class, self.flow_label)
+
+    def decrement_ttl(self) -> "IPv6":
+        if self.hop_limit <= 0:
+            raise HeaderError("hop limit exceeded")
+        return IPv6(self.src, self.dst, self.next_header, self.hop_limit - 1, self.traffic_class, self.flow_label)
+
+
+@dataclass(frozen=True)
+class UDP:
+    """UDP header (checksum optional in the simulator: 0 when unset)."""
+
+    src_port: int
+    dst_port: int
+    length: int = 0  # filled by pack() when zero
+    checksum: int = 0
+
+    def pack(self, payload_len: int) -> bytes:
+        length = self.length or (UDP_LEN + payload_len)
+        return struct.pack("!HHHH", self.src_port, self.dst_port, length, self.checksum)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["UDP", bytes]:
+        if len(raw) < UDP_LEN:
+            raise HeaderError("truncated UDP header")
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", raw[:UDP_LEN])
+        return cls(src_port, dst_port, length, checksum), raw[UDP_LEN:]
+
+    def replace_src_port(self, port: int) -> "UDP":
+        return UDP(port, self.dst_port, 0, 0)
+
+
+@dataclass(frozen=True)
+class TCP:
+    """TCP header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    checksum: int = 0
+
+    def pack(self, payload_len: int = 0) -> bytes:
+        offset_flags = (5 << 12) | (self.flags & 0x1FF)
+        return struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            self.checksum,
+            0,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["TCP", bytes]:
+        if len(raw) < TCP_MIN_LEN:
+            raise HeaderError("truncated TCP header")
+        src_port, dst_port, seq, ack, offset_flags, window, checksum, _urg = struct.unpack(
+            "!HHIIHHHH", raw[:TCP_MIN_LEN]
+        )
+        data_offset = (offset_flags >> 12) * 4
+        if data_offset < TCP_MIN_LEN or len(raw) < data_offset:
+            raise HeaderError("bad TCP data offset")
+        hdr = cls(src_port, dst_port, seq, ack, offset_flags & 0x1FF, window, checksum)
+        return hdr, raw[data_offset:]
+
+    def replace_src_port(self, port: int) -> "TCP":
+        return TCP(port, self.dst_port, self.seq, self.ack, self.flags, self.window, 0)
+
+
+@dataclass(frozen=True)
+class VXLAN:
+    """VXLAN header per RFC 7348: flags byte, 24-bit VNI, reserved fields."""
+
+    vni: int
+    flags: int = VXLAN_FLAG_VNI_VALID
+
+    def pack(self) -> bytes:
+        if not 0 <= self.vni < (1 << 24):
+            raise HeaderError(f"VNI {self.vni} out of 24-bit range")
+        return struct.pack("!BBHI", self.flags, 0, 0, self.vni << 8)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["VXLAN", bytes]:
+        if len(raw) < VXLAN_LEN:
+            raise HeaderError("truncated VXLAN header")
+        flags = raw[0]
+        (word,) = struct.unpack("!I", raw[4:8])
+        if not flags & VXLAN_FLAG_VNI_VALID:
+            raise HeaderError("VXLAN I-flag not set")
+        return cls(vni=word >> 8, flags=flags), raw[VXLAN_LEN:]

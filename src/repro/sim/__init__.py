@@ -1,0 +1,22 @@
+"""Deterministic simulation substrate: event engine and seeded randomness."""
+
+from .engine import Engine, SimulationError
+from .rand import (
+    WeightedSampler,
+    derive,
+    make_rng,
+    sample_without_replacement,
+    shuffled,
+    zipf_weights,
+)
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "WeightedSampler",
+    "derive",
+    "make_rng",
+    "zipf_weights",
+    "sample_without_replacement",
+    "shuffled",
+]

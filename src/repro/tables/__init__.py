@@ -1,0 +1,88 @@
+"""Forwarding tables: LPM/TCAM/ALPM structures and the gateway's tables."""
+
+from .acl import AclRule, AclTable, AclVerdict
+from .alpm import AlpmStats, AlpmTable, DEFAULT_BUCKET_CAPACITY, Partition
+from .bittrie import GenericLpmTrie
+from .compress import CompressedExactMap, digest32
+from .counter import CounterCell, CounterTable
+from .cuckoo import CuckooTable, achievable_load_factor
+from .errors import (
+    DuplicateEntryError,
+    MissingEntryError,
+    TableError,
+    TableFullError,
+)
+from .exact import ExactTable
+from .geometry import (
+    IPV4_BITS,
+    IPV6_BITS,
+    MemoryFootprint,
+    SRAM_WORD_BITS,
+    TCAM_SLICE_BITS,
+    VNI_BITS,
+    exact_entry_words,
+    sram_words_for,
+    tcam_slices_for,
+)
+from .lpm import LpmTrie
+from .meter import MeterColor, MeterTable, TokenBucket
+from .pooled import PooledExactTable, PooledLpmTable
+from .snat import SnatSession, SnatTable
+from .tcam import Tcam, TcamEntry, prefix_to_match_mask
+from .vm_nc import NcBinding, VmNcTable
+from .vxlan_routing import (
+    Resolution,
+    RouteAction,
+    RoutingLoopError,
+    Scope,
+    VxlanRoutingTable,
+)
+
+__all__ = [
+    "AclRule",
+    "AclTable",
+    "AclVerdict",
+    "AlpmStats",
+    "AlpmTable",
+    "DEFAULT_BUCKET_CAPACITY",
+    "Partition",
+    "GenericLpmTrie",
+    "CompressedExactMap",
+    "digest32",
+    "CounterCell",
+    "CuckooTable",
+    "achievable_load_factor",
+    "CounterTable",
+    "TableError",
+    "TableFullError",
+    "DuplicateEntryError",
+    "MissingEntryError",
+    "ExactTable",
+    "MemoryFootprint",
+    "SRAM_WORD_BITS",
+    "TCAM_SLICE_BITS",
+    "VNI_BITS",
+    "IPV4_BITS",
+    "IPV6_BITS",
+    "exact_entry_words",
+    "sram_words_for",
+    "tcam_slices_for",
+    "LpmTrie",
+    "MeterColor",
+    "MeterTable",
+    "TokenBucket",
+    "PooledExactTable",
+    "PooledLpmTable",
+    "SnatSession",
+    "SnatTable",
+    "Tcam",
+    "TcamEntry",
+    "prefix_to_match_mask",
+    "NcBinding",
+    "VmNcTable",
+    "Resolution",
+    "RouteAction",
+    "RoutingLoopError",
+    "Scope",
+    "VxlanRoutingTable",
+]

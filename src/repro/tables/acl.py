@@ -1,0 +1,108 @@
+"""ACL table — a QoS/SLA service table (§3.3 "diverse cloud services").
+
+Priority-ordered 5-tuple rules with ternary IP fields and port ranges,
+evaluated first-match, as installed per tenant SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..net.flow import FlowKey
+from .errors import DuplicateEntryError, MissingEntryError, TableFullError
+from .geometry import MemoryFootprint, tcam_slices_for
+
+
+class AclVerdict(Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One ACL rule; None fields are wildcards, port fields are ranges."""
+
+    priority: int
+    verdict: AclVerdict
+    vni: Optional[int] = None
+    src_net: Optional[Tuple[int, int]] = None  # (network, mask)
+    dst_net: Optional[Tuple[int, int]] = None
+    proto: Optional[int] = None
+    src_ports: Optional[Tuple[int, int]] = None  # inclusive range
+    dst_ports: Optional[Tuple[int, int]] = None
+
+    def matches(self, vni: int, flow: FlowKey) -> bool:
+        if self.vni is not None and self.vni != vni:
+            return False
+        if self.src_net is not None and (flow.src_ip & self.src_net[1]) != self.src_net[0]:
+            return False
+        if self.dst_net is not None and (flow.dst_ip & self.dst_net[1]) != self.dst_net[0]:
+            return False
+        if self.proto is not None and self.proto != flow.proto:
+            return False
+        if self.src_ports is not None and not (
+            self.src_ports[0] <= flow.src_port <= self.src_ports[1]
+        ):
+            return False
+        if self.dst_ports is not None and not (
+            self.dst_ports[0] <= flow.dst_port <= self.dst_ports[1]
+        ):
+            return False
+        return True
+
+
+class AclTable:
+    """First-match ACL with a default verdict and TCAM accounting.
+
+    ACL keys on the switch burn TCAM: VNI + src/dst IP + proto + ports.
+    """
+
+    #: VNI 24 + 2×32 IPv4 + proto 8 + 2×16 ports = 128 key bits.
+    KEY_BITS = 24 + 32 + 32 + 8 + 16 + 16
+
+    def __init__(
+        self,
+        default_verdict: AclVerdict = AclVerdict.PERMIT,
+        capacity_rules: Optional[int] = None,
+        name: str = "acl",
+    ):
+        self.name = name
+        self.default_verdict = default_verdict
+        self.capacity_rules = capacity_rules
+        self._rules: List[AclRule] = []
+        self.lookups = 0
+        self.matched = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def insert(self, rule: AclRule) -> None:
+        """Install *rule*, keeping rules sorted by descending priority."""
+        if any(r == rule for r in self._rules):
+            raise DuplicateEntryError(repr(rule))
+        if self.capacity_rules is not None and len(self._rules) >= self.capacity_rules:
+            raise TableFullError(f"{self.name}: rule capacity reached")
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: -r.priority)
+
+    def remove(self, rule: AclRule) -> None:
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            raise MissingEntryError(repr(rule)) from None
+
+    def evaluate(self, vni: int, flow: FlowKey) -> AclVerdict:
+        """First matching rule's verdict, else the default."""
+        self.lookups += 1
+        for rule in self._rules:
+            if rule.matches(vni, flow):
+                self.matched += 1
+                return rule.verdict
+        return self.default_verdict
+
+    def footprint(self) -> MemoryFootprint:
+        return MemoryFootprint(
+            tcam_slices=len(self._rules) * tcam_slices_for(self.KEY_BITS)
+        )

@@ -1,0 +1,286 @@
+"""Algorithmic LPM (ALPM) — the paper's "TCAM conservation for large FIBs".
+
+Plain LPM puts every route in TCAM. ALPM (§4.4, after US patent
+10,511,532) partitions the route trie into subtrees of at most
+``bucket_capacity`` routes; only each subtree's **pivot** prefix goes
+into TCAM, while the subtree's routes live in an SRAM bucket. Lookup is
+two-level: longest pivot match in TCAM selects a bucket, then the bucket
+is searched for the longest matching route.
+
+Correctness argument (tested against the trie oracle): subtrees are
+carved disjointly bottom-up, so for any key the longest matching pivot's
+bucket contains *every* route matching the key with length >= the pivot
+length (a longer route carved elsewhere would sit under a longer
+matching pivot — contradiction). Routes shorter than the pivot that
+could still match are, by the prefix property, prefixes of the pivot
+itself, so the single best of them is replicated into the partition as
+its *default route*.
+
+The table works over any key width, so composite keys (VNI || address)
+partition across tenants exactly as on the real switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from .bittrie import GenericLpmTrie, _Node
+from .errors import TableFullError
+from .geometry import MemoryFootprint, sram_words_for, tcam_slices_for
+
+V = TypeVar("V")
+
+#: Default routes per SRAM bucket; the paper tunes "the depth of the first
+#: level" — larger buckets mean fewer TCAM pivots but more SRAM slack.
+DEFAULT_BUCKET_CAPACITY = 16
+
+
+def _mask(length: int, width: int) -> int:
+    return ((1 << length) - 1) << (width - length) if length else 0
+
+
+@dataclass
+class Partition(Generic[V]):
+    """One carved subtree: a TCAM pivot plus its SRAM route bucket."""
+
+    pivot_network: int
+    pivot_length: int
+    width: int
+    routes: List[Tuple[int, int, V]]
+    default: Optional[Tuple[int, int, V]] = None
+
+    def pivot_matches(self, key: int) -> bool:
+        return (key & _mask(self.pivot_length, self.width)) == self.pivot_network
+
+    def lookup(self, key: int) -> Optional[Tuple[int, int, V]]:
+        """Longest matching route in the bucket, else the default route."""
+        best: Optional[Tuple[int, int, V]] = None
+        for network, length, value in self.routes:
+            if (key & _mask(length, self.width)) == network:
+                if best is None or length > best[1]:
+                    best = (network, length, value)
+        if best is not None:
+            return best
+        return self.default
+
+
+@dataclass
+class AlpmStats:
+    """Build statistics reported by the compression benchmarks."""
+
+    routes: int = 0
+    partitions: int = 0
+    bucket_capacity: int = 0
+    replicated_defaults: int = 0
+    occupancy_histogram: List[int] = field(default_factory=list)
+
+    @property
+    def mean_bucket_occupancy(self) -> float:
+        """Mean fill of allocated buckets — the SRAM slack driver."""
+        if not self.partitions:
+            return 0.0
+        return self.routes / (self.partitions * self.bucket_capacity)
+
+
+class AlpmTable(Generic[V]):
+    """A two-level LPM over a *width*-bit key space.
+
+    Built from a route list; rebuilds on churn are the controller's job —
+    the paper pre-downloads tables rather than updating in place.
+
+    >>> table = AlpmTable.build(8, [(0b10000000, 1, "a"), (0b10100000, 3, "b")],
+    ...                         bucket_capacity=1)
+    >>> table.lookup(0b10111111)[2]
+    'b'
+    """
+
+    def __init__(self, width: int, bucket_capacity: int = DEFAULT_BUCKET_CAPACITY):
+        if bucket_capacity <= 0:
+            raise ValueError("bucket_capacity must be positive")
+        self.width = width
+        self.trie: GenericLpmTrie[V] = GenericLpmTrie(width)
+        self.bucket_capacity = bucket_capacity
+        self.partitions: List[Partition[V]] = []
+        self._pivot_order: List[Partition[V]] = []
+        self.lookups = 0
+
+    @classmethod
+    def build(
+        cls,
+        width: int,
+        routes: Sequence[Tuple[int, int, V]],
+        bucket_capacity: int = DEFAULT_BUCKET_CAPACITY,
+    ) -> "AlpmTable[V]":
+        """Construct the two-level structure from ``(network, length, value)``."""
+        table = cls(width, bucket_capacity)
+        for network, length, value in routes:
+            table.trie.insert(network, length, value, replace=True)
+        table.rebuild()
+        return table
+
+    # -- construction ----------------------------------------------------
+
+    def rebuild(self) -> None:
+        """(Re-)partition the trie bottom-up into <=capacity subtrees."""
+        self.partitions = []
+        width = self.width
+
+        def recurse(node: _Node, path: int, depth: int) -> List[Tuple[int, int, V]]:
+            remaining: List[List[Tuple[int, int, V]]] = [[], []]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    remaining[bit] = recurse(child, (path << 1) | bit, depth + 1)
+            own: List[Tuple[int, int, V]] = []
+            if node.has_value:
+                network = path << (width - depth) if depth < width else path
+                own.append((network, depth, node.value))
+            total = len(remaining[0]) + len(remaining[1]) + len(own)
+            while total > self.bucket_capacity:
+                heavy = 0 if len(remaining[0]) >= len(remaining[1]) else 1
+                if not remaining[heavy]:
+                    break
+                child_path = (path << 1) | heavy
+                child_depth = depth + 1
+                network = (
+                    child_path << (width - child_depth) if child_depth < width else child_path
+                )
+                self._make_partition(network, child_depth, remaining[heavy])
+                remaining[heavy] = []
+                total = len(remaining[0]) + len(remaining[1]) + len(own)
+            return remaining[0] + remaining[1] + own
+
+        leftovers = recurse(self.trie._root, 0, 0)
+        if leftovers or not self.partitions:
+            self._make_partition(0, 0, leftovers)
+        # Longest pivot first for the priority lookup.
+        self._pivot_order = sorted(self.partitions, key=lambda p: -p.pivot_length)
+
+    def _make_partition(self, network: int, length: int, routes: List[Tuple[int, int, V]]) -> None:
+        if len(routes) > self.bucket_capacity:
+            raise TableFullError(
+                f"partition at {network:#x}/{length} holds "
+                f"{len(routes)} > {self.bucket_capacity} routes"
+            )
+        covering = [
+            entry
+            for entry in self.trie.covering_entries(network, length)
+            if entry[1] < length
+        ]
+        default = covering[-1] if covering else None
+        self.partitions.append(Partition(network, length, self.width, list(routes), default))
+
+    # -- incremental updates ----------------------------------------------
+
+    def _partition_for(self, network: int, length: int) -> Partition[V]:
+        """The partition whose pivot is the longest prefix of this route.
+
+        For a route shorter than every matching pivot this is still
+        correct: such a route is a *covering* route for deeper pivots and
+        is handled by the default-refresh in :meth:`insert`/:meth:`remove`.
+        """
+        best: Optional[Partition[V]] = None
+        for partition in self.partitions:
+            if partition.pivot_length <= length and (
+                network & _mask(partition.pivot_length, self.width)
+            ) == partition.pivot_network:
+                if best is None or partition.pivot_length > best.pivot_length:
+                    best = partition
+        if best is None:  # pragma: no cover - root partition always exists
+            raise TableFullError("no partition covers the route")
+        return best
+
+    def _refresh_defaults(self) -> None:
+        """Recompute every partition's replicated default route."""
+        for partition in self.partitions:
+            covering = [
+                entry
+                for entry in self.trie.covering_entries(
+                    partition.pivot_network, partition.pivot_length
+                )
+                if entry[1] < partition.pivot_length
+            ]
+            partition.default = covering[-1] if covering else None
+
+    def insert(self, network: int, length: int, value: V, replace: bool = False) -> None:
+        """Add one route incrementally.
+
+        The route joins the deepest covering partition; if that bucket
+        overflows, the partition's subtree is re-carved locally (split
+        into smaller partitions) without touching the rest of the table.
+        """
+        existed = self.trie.contains(network, length)
+        self.trie.insert(network, length, value, replace=replace)
+        if existed:
+            # Value update in place.
+            target = self._partition_for(network, length)
+            target.routes = [
+                (network, length, value) if (n, l) == (network, length) else (n, l, v)
+                for n, l, v in target.routes
+            ]
+            self._refresh_defaults()
+            return
+        target = self._partition_for(network, length)
+        target.routes.append((network, length, value))
+        if len(target.routes) > self.bucket_capacity:
+            # Overflow: re-carve. The controller treats this as a slow-path
+            # table download (§6.1's pre-downloaded updates); steady-state
+            # inserts stay O(bucket).
+            self.rebuild()
+        self._refresh_defaults()
+
+    def remove(self, network: int, length: int) -> V:
+        """Withdraw one route incrementally (partitions are not merged;
+        periodic :meth:`rebuild` reclaims fragmentation, mirroring the
+        paper's pre-download update style)."""
+        value = self.trie.remove(network, length)
+        for partition in self.partitions:
+            for i, (n, l, _v) in enumerate(partition.routes):
+                if (n, l) == (network, length):
+                    del partition.routes[i]
+                    self._refresh_defaults()
+                    return value
+        # The route was only present as some partition's default.
+        self._refresh_defaults()
+        return value
+
+    # -- lookup ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(p.routes) for p in self.partitions)
+
+    def lookup(self, key: int) -> Optional[Tuple[int, int, V]]:
+        """Two-level longest-prefix match for full-width *key*."""
+        self.lookups += 1
+        for partition in self._pivot_order:
+            if partition.pivot_matches(key):
+                return partition.lookup(key)
+        return None
+
+    # -- accounting -------------------------------------------------------
+
+    def stats(self) -> AlpmStats:
+        hist = [0] * (self.bucket_capacity + 1)
+        for partition in self.partitions:
+            hist[len(partition.routes)] += 1
+        return AlpmStats(
+            routes=len(self),
+            partitions=len(self.partitions),
+            bucket_capacity=self.bucket_capacity,
+            replicated_defaults=sum(1 for p in self.partitions if p.default is not None),
+            occupancy_histogram=hist,
+        )
+
+    def footprint(self, key_bits: Optional[int] = None) -> MemoryFootprint:
+        """TCAM slices for pivots + SRAM words for fixed-size buckets.
+
+        *key_bits* overrides the key width carried per entry (for models
+        where the stored key is wider/narrower than the partition space).
+        """
+        kb = key_bits if key_bits is not None else self.width
+        tcam = len(self.partitions) * tcam_slices_for(kb)
+        # Bucket entries store key + length (8b) + action (32b), padded.
+        entry_words = sram_words_for(kb + 8 + 32)
+        sram = len(self.partitions) * self.bucket_capacity * entry_words
+        return MemoryFootprint(sram_words=sram, tcam_slices=tcam)

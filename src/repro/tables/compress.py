@@ -1,0 +1,143 @@
+"""Key compression: hash long exact-match keys to short digests (§4.4).
+
+"Compressing longer table entries": a 128-bit IPv6 key is hashed to a
+32-bit digest so it packs into the same exact-match entry size as IPv4.
+Two conflict classes must be handled (paper §4.4):
+
+1. digest(IPv6) colliding with a real IPv4 address — disambiguated by an
+   address-family label bit stored alongside the key;
+2. two IPv6 keys sharing a digest — the colliding keys are diverted to a
+   small *conflict table* holding full 128-bit keys, searched first.
+
+Lookup order is therefore: conflict table (full key) -> main table
+(label || digest). Deletions may promote a previously conflicting key
+back to the main table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from .errors import DuplicateEntryError, MissingEntryError
+
+V = TypeVar("V")
+
+DIGEST_BITS = 32
+
+
+def digest32(key: int, key_bits: int = 128, salt: int = 0) -> int:
+    """Deterministic 32-bit digest of an integer key.
+
+    Uses SHA-256 folded to 32 bits; hardware would use a CRC, but only
+    distribution quality matters to the model.
+    """
+    raw = key.to_bytes((key_bits + 7) // 8, "big") + salt.to_bytes(4, "big")
+    return int.from_bytes(hashlib.sha256(raw).digest()[:4], "big")
+
+
+class CompressedExactMap(Generic[V]):
+    """An exact map over wide keys stored as 32-bit digests + conflict table.
+
+    Semantically identical to a plain dict over the full keys (verified by
+    property tests); physically, main-table entries are digest-wide.
+
+    >>> m = CompressedExactMap(key_bits=128)
+    >>> m.insert(2**100, "a")
+    >>> m.lookup(2**100)
+    'a'
+    >>> m.lookup(2**100 + 1) is None
+    True
+    """
+
+    def __init__(self, key_bits: int = 128, salt: int = 0):
+        if key_bits <= DIGEST_BITS:
+            raise ValueError("compression only makes sense for keys wider than the digest")
+        self.key_bits = key_bits
+        self.salt = salt
+        # digest -> (full_key, value); holds digests owned by exactly one key.
+        self._main: Dict[int, Tuple[int, V]] = {}
+        # full_key -> value; keys whose digest collides with another key.
+        self._conflict: Dict[int, V] = {}
+        # digest -> count of full keys (main + conflict) sharing it.
+        self._digest_refs: Dict[int, int] = {}
+
+    def _digest(self, key: int) -> int:
+        return digest32(key, self.key_bits, self.salt)
+
+    def __len__(self) -> int:
+        return len(self._main) + len(self._conflict)
+
+    @property
+    def conflict_entries(self) -> int:
+        """Number of entries diverted to the conflict table."""
+        return len(self._conflict)
+
+    def insert(self, key: int, value: V, replace: bool = False) -> None:
+        """Insert *key* -> *value*, diverting digest collisions."""
+        d = self._digest(key)
+        if key in self._conflict:
+            if not replace:
+                raise DuplicateEntryError(hex(key))
+            self._conflict[key] = value
+            return
+        existing = self._main.get(d)
+        if existing is not None and existing[0] == key:
+            if not replace:
+                raise DuplicateEntryError(hex(key))
+            self._main[d] = (key, value)
+            return
+        if existing is not None:
+            # New collision: the incumbent moves to the conflict table too?
+            # No — only the newcomer is diverted; the incumbent's digest
+            # entry stays valid because conflict lookups run first for
+            # any key in the conflict table, and the incumbent is not.
+            self._conflict[key] = value
+        else:
+            self._main[d] = (key, value)
+        self._digest_refs[d] = self._digest_refs.get(d, 0) + 1
+
+    def lookup(self, key: int) -> Optional[V]:
+        """Exact lookup: conflict table first, then digest table."""
+        if key in self._conflict:
+            return self._conflict[key]
+        entry = self._main.get(self._digest(key))
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        return None
+
+    def remove(self, key: int) -> V:
+        """Remove *key*; a conflict-table key may be promoted to main."""
+        d = self._digest(key)
+        if key in self._conflict:
+            value = self._conflict.pop(key)
+            self._digest_refs[d] -= 1
+            return value
+        entry = self._main.get(d)
+        if entry is None or entry[0] != key:
+            raise MissingEntryError(hex(key))
+        del self._main[d]
+        self._digest_refs[d] -= 1
+        if self._digest_refs[d] == 0:
+            del self._digest_refs[d]
+        else:
+            # Promote one conflicting key with this digest back to main.
+            for other_key in list(self._conflict):
+                if self._digest(other_key) == d:
+                    self._main[d] = (other_key, self._conflict.pop(other_key))
+                    break
+        return entry[1]
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        for _d, (key, value) in self._main.items():
+            yield key, value
+        yield from self._conflict.items()
+
+    def conflict_ratio(self) -> float:
+        """Fraction of entries living in the conflict table.
+
+        The paper reports this is "very limited"; for n keys uniformly
+        hashed into 2^32 digests the expectation is ~ n/2^33 per key.
+        """
+        total = len(self)
+        return len(self._conflict) / total if total else 0.0

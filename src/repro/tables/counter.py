@@ -1,0 +1,65 @@
+"""Counter table — per-key packet/byte accounting (§3.3 QoS tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Tuple
+
+from .geometry import MemoryFootprint, sram_words_for
+
+
+@dataclass
+class CounterCell:
+    """One packets/bytes counter pair."""
+
+    packets: int = 0
+    bytes: int = 0
+
+
+class CounterTable:
+    """Per-key packet and byte counters, as a P4 indexed counter would be.
+
+    >>> counters = CounterTable()
+    >>> counters.count("vni:10", 128)
+    >>> counters.read("vni:10").packets
+    1
+    """
+
+    #: SRAM bits per cell: 64-bit packet + 64-bit byte counter.
+    CELL_BITS = 128
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self._cells: Dict[Hashable, CounterCell] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def count(self, key: Hashable, size: int) -> None:
+        """Charge one packet of *size* bytes to *key*."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = CounterCell()
+        cell.packets += 1
+        cell.bytes += size
+
+    def read(self, key: Hashable) -> CounterCell:
+        """Read (a live reference to) the cell for *key*; zeros if unseen."""
+        return self._cells.get(key, CounterCell())
+
+    def reset(self, key: Hashable) -> None:
+        self._cells.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[Hashable, CounterCell]]:
+        return iter(self._cells.items())
+
+    def total_packets(self) -> int:
+        return sum(cell.packets for cell in self._cells.values())
+
+    def total_bytes(self) -> int:
+        return sum(cell.bytes for cell in self._cells.values())
+
+    def footprint(self) -> MemoryFootprint:
+        return MemoryFootprint(sram_words=len(self._cells) * sram_words_for(self.CELL_BITS))

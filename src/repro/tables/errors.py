@@ -1,0 +1,23 @@
+"""Exceptions shared by the forwarding-table implementations."""
+
+from __future__ import annotations
+
+
+class TableError(Exception):
+    """Base class for forwarding-table failures."""
+
+
+class TableFullError(TableError):
+    """Raised when an insert would exceed the table's modelled capacity.
+
+    This is the signal the Sailfish controller reacts to by splitting
+    tenants to another cluster or spilling a table across pipelines.
+    """
+
+
+class DuplicateEntryError(TableError):
+    """Raised when inserting a key that is already present."""
+
+
+class MissingEntryError(TableError, KeyError):
+    """Raised when deleting or fetching a key that is not present."""

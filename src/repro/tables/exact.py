@@ -1,0 +1,129 @@
+"""Exact-match table with a hardware capacity model.
+
+Functionally a hash map; additionally models what the Tofino charges for
+it: each entry occupies a whole cuckoo way (power-of-two SRAM words, see
+:mod:`repro.tables.geometry`) and the table cannot be filled past a
+``fill_factor`` of its physical slots — cuckoo/hash tables stall on
+insertion well before 100 % utilisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+from .errors import DuplicateEntryError, MissingEntryError, TableFullError
+from .geometry import MemoryFootprint, exact_entry_words
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Default achievable load factor for a 4-way cuckoo hash table.
+DEFAULT_FILL_FACTOR = 0.95
+
+
+class ExactTable(Generic[K, V]):
+    """An exact-match table with modelled SRAM cost.
+
+    Parameters
+    ----------
+    key_bits:
+        Width of the match key (drives words-per-entry).
+    value_bits:
+        Width of the stored action data.
+    capacity:
+        Maximum number of entries (already net of fill factor), or None
+        for unbounded (the x86 gateway's DRAM tables).
+    fill_factor:
+        Fraction of physical slots usable before insertion fails; only
+        affects the reported footprint of *physical* slots backing the
+        logical capacity.
+    """
+
+    def __init__(
+        self,
+        key_bits: int,
+        value_bits: int = 0,
+        capacity: Optional[int] = None,
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+        name: str = "exact",
+    ):
+        if not 0 < fill_factor <= 1.0:
+            raise ValueError("fill_factor must be in (0, 1]")
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.name = name
+        self.key_bits = key_bits
+        self.value_bits = value_bits
+        self.capacity = capacity
+        self.fill_factor = fill_factor
+        self.words_per_entry = exact_entry_words(key_bits, value_bits)
+        self._entries: Dict[K, V] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def insert(self, key: K, value: V, replace: bool = False) -> None:
+        """Insert *key* -> *value*; raises :class:`TableFullError` at capacity."""
+        if key in self._entries:
+            if not replace:
+                raise DuplicateEntryError(repr(key))
+            self._entries[key] = value
+            return
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            raise TableFullError(
+                f"{self.name}: capacity {self.capacity} reached"
+            )
+        self._entries[key] = value
+
+    def remove(self, key: K) -> V:
+        """Remove and return the value stored at *key*."""
+        try:
+            return self._entries.pop(key)
+        except KeyError:
+            raise MissingEntryError(repr(key)) from None
+
+    def lookup(self, key: K) -> Optional[V]:
+        """Match *key*; returns the value or None. Updates hit statistics."""
+        self.lookups += 1
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def get(self, key: K) -> V:
+        """Fetch the value at *key*, raising if absent (no stats update)."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise MissingEntryError(repr(key)) from None
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        return iter(self._entries.items())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def load(self) -> float:
+        """Occupied fraction of the logical capacity (the "water level")."""
+        if self.capacity is None or self.capacity == 0:
+            return 0.0
+        return len(self._entries) / self.capacity
+
+    def footprint(self) -> MemoryFootprint:
+        """Physical SRAM demand of the *current* entries (with fill slack)."""
+        physical_entries = math.ceil(len(self._entries) / self.fill_factor)
+        return MemoryFootprint(sram_words=physical_entries * self.words_per_entry)
+
+    def capacity_footprint(self) -> MemoryFootprint:
+        """Physical SRAM demand if the table were provisioned to capacity."""
+        if self.capacity is None:
+            raise ValueError("unbounded table has no capacity footprint")
+        physical_entries = math.ceil(self.capacity / self.fill_factor)
+        return MemoryFootprint(sram_words=physical_entries * self.words_per_entry)

@@ -1,0 +1,76 @@
+"""Memory geometry shared by the table models and the Tofino simulator.
+
+All occupancy numbers in the paper reduce to counts of two physical
+units (see DESIGN.md §2 for the calibration):
+
+* **SRAM words** of 128 bits — exact-match and ALPM-bucket storage.
+* **TCAM slices** of 44 bits — ternary (LPM / ACL) storage.
+
+A key of ``k`` bits occupies ``ceil(k / unit)`` units; exact-match SRAM
+entries additionally round to whole cuckoo ways, which is why an IPv6
+exact entry costs 4 words rather than 2 (`EXACT_WAY_WORDS`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SRAM_WORD_BITS = 128
+TCAM_SLICE_BITS = 44
+
+VNI_BITS = 24
+IPV4_BITS = 32
+IPV6_BITS = 128
+
+#: Exact-match entries are packed into power-of-two cuckoo ways: an entry
+#: wider than one word is rounded up to the next power-of-two word count.
+EXACT_WAY_WORDS = (1, 2, 4, 8)
+
+
+def tcam_slices_for(key_bits: int) -> int:
+    """TCAM slices consumed by one ternary entry with *key_bits* of key."""
+    if key_bits <= 0:
+        raise ValueError("key_bits must be positive")
+    return math.ceil(key_bits / TCAM_SLICE_BITS)
+
+
+def sram_words_for(entry_bits: int) -> int:
+    """Plain (non-hashed) SRAM words for *entry_bits* of data."""
+    if entry_bits <= 0:
+        raise ValueError("entry_bits must be positive")
+    return math.ceil(entry_bits / SRAM_WORD_BITS)
+
+
+def exact_entry_words(key_bits: int, value_bits: int = 0) -> int:
+    """SRAM words for one exact-match entry, rounded to a cuckoo way size."""
+    words = sram_words_for(max(1, key_bits + value_bits))
+    for way in EXACT_WAY_WORDS:
+        if words <= way:
+            return way
+    raise ValueError(f"entry of {key_bits + value_bits} bits exceeds maximum way size")
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """A table's physical memory demand, in SRAM words and TCAM slices."""
+
+    sram_words: int = 0
+    tcam_slices: int = 0
+
+    def __add__(self, other: "MemoryFootprint") -> "MemoryFootprint":
+        return MemoryFootprint(
+            self.sram_words + other.sram_words,
+            self.tcam_slices + other.tcam_slices,
+        )
+
+    def scaled(self, factor: float) -> "MemoryFootprint":
+        """Footprint scaled by *factor* (e.g. halved after entry splitting)."""
+        return MemoryFootprint(
+            int(math.ceil(self.sram_words * factor)),
+            int(math.ceil(self.tcam_slices * factor)),
+        )
+
+    @staticmethod
+    def zero() -> "MemoryFootprint":
+        return MemoryFootprint(0, 0)

@@ -1,0 +1,82 @@
+"""IP longest-prefix-match table, typed over :class:`~repro.net.addr.Prefix`.
+
+A thin wrapper around :class:`repro.tables.bittrie.GenericLpmTrie` for one
+IP version. This is the reference LPM used (a) by the software gateway,
+(b) as the correctness oracle for the TCAM and ALPM implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..net.addr import Prefix, bits_for_version
+from .bittrie import GenericLpmTrie
+
+V = TypeVar("V")
+
+
+class LpmTrie(Generic[V]):
+    """Prefix -> value LPM for a single IP version.
+
+    >>> trie = LpmTrie(4)
+    >>> trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+    >>> trie.insert(Prefix.parse("10.1.0.0/16"), "fine")
+    >>> trie.lookup(int(__import__("ipaddress").ip_address("10.1.2.3")))[1]
+    'fine'
+    """
+
+    def __init__(self, version: int):
+        self.version = version
+        self.bits = bits_for_version(version)
+        self._trie: GenericLpmTrie[V] = GenericLpmTrie(self.bits)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def _check_version(self, prefix: Prefix) -> None:
+        if prefix.version != self.version:
+            raise ValueError(f"IPv{prefix.version} prefix in IPv{self.version} trie")
+
+    def insert(self, prefix: Prefix, value: V, replace: bool = False) -> None:
+        """Insert *prefix* -> *value*; raises on duplicates unless *replace*."""
+        self._check_version(prefix)
+        self._trie.insert(prefix.network, prefix.prefix_len, value, replace)
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove *prefix*, returning its value."""
+        self._check_version(prefix)
+        return self._trie.remove(prefix.network, prefix.prefix_len)
+
+    def get(self, prefix: Prefix) -> V:
+        """Exact fetch of the value stored at *prefix*."""
+        self._check_version(prefix)
+        return self._trie.get(prefix.network, prefix.prefix_len)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        if prefix.version != self.version:
+            return False
+        return self._trie.contains(prefix.network, prefix.prefix_len)
+
+    def lookup(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for integer *address*."""
+        hit = self._trie.lookup(address)
+        if hit is None:
+            return None
+        network, length, value = hit
+        return Prefix(network, length, self.version), value
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """All (prefix, value) pairs in trie order."""
+        for network, length, value in self._trie.items():
+            yield Prefix(network, length, self.version), value
+
+    def covering_entries(self, prefix: Prefix) -> List[Tuple[Prefix, V]]:
+        """Stored prefixes covering *prefix* from above (and itself),
+        shortest first."""
+        self._check_version(prefix)
+        return [
+            (Prefix(network, length, self.version), value)
+            for network, length, value in self._trie.covering_entries(
+                prefix.network, prefix.prefix_len
+            )
+        ]

@@ -1,0 +1,106 @@
+"""Token-bucket meters — QoS rate limiting per SLA (§3.3, §4.2).
+
+Used both for tenant bandwidth SLAs and for the mandatory rate limiting
+of traffic redirected from XGW-H to XGW-x86 ("overload protection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Hashable, Optional
+
+from .geometry import MemoryFootprint, sram_words_for
+
+
+class MeterColor(Enum):
+    """srTCM-style result colors: green passes, red drops."""
+
+    GREEN = "green"
+    YELLOW = "yellow"
+    RED = "red"
+
+
+@dataclass
+class TokenBucket:
+    """A two-rate token bucket (committed + peak)."""
+
+    committed_rate: float  # tokens (bytes) per second
+    committed_burst: float
+    peak_rate: Optional[float] = None
+    peak_burst: Optional[float] = None
+
+    def __post_init__(self):
+        if self.committed_rate <= 0 or self.committed_burst <= 0:
+            raise ValueError("committed rate/burst must be positive")
+        self._c_tokens = self.committed_burst
+        self._p_tokens = self.peak_burst if self.peak_burst is not None else 0.0
+        self._last = 0.0
+
+    def update(self, now: float, size: float) -> MeterColor:
+        """Charge *size* bytes at time *now*, returning the packet color."""
+        if now < self._last:
+            raise ValueError("meter time went backwards")
+        elapsed = now - self._last
+        self._last = now
+        self._c_tokens = min(self.committed_burst, self._c_tokens + elapsed * self.committed_rate)
+        if self.peak_rate is not None:
+            self._p_tokens = min(self.peak_burst, self._p_tokens + elapsed * self.peak_rate)
+            if size > self._p_tokens:
+                return MeterColor.RED
+        if size <= self._c_tokens:
+            self._c_tokens -= size
+            if self.peak_rate is not None:
+                self._p_tokens -= size
+            return MeterColor.GREEN
+        if self.peak_rate is not None:
+            self._p_tokens -= size
+            return MeterColor.YELLOW
+        return MeterColor.RED
+
+
+class MeterTable:
+    """Keyed meters (per tenant / per redirect path).
+
+    >>> meters = MeterTable()
+    >>> meters.configure("tenant-1", TokenBucket(committed_rate=100.0, committed_burst=200.0))
+    >>> meters.charge("tenant-1", now=0.0, size=100.0)
+    <MeterColor.GREEN: 'green'>
+    """
+
+    #: SRAM bits per meter cell: two token counters + config.
+    CELL_BITS = 128
+
+    def __init__(self, name: str = "meter"):
+        self.name = name
+        self._meters: Dict[Hashable, TokenBucket] = {}
+        self.green = 0
+        self.yellow = 0
+        self.red = 0
+
+    def __len__(self) -> int:
+        return len(self._meters)
+
+    def configure(self, key: Hashable, bucket: TokenBucket) -> None:
+        """Install or replace the meter for *key*."""
+        self._meters[key] = bucket
+
+    def charge(self, key: Hashable, now: float, size: float) -> MeterColor:
+        """Meter a packet; unmetered keys pass GREEN."""
+        bucket = self._meters.get(key)
+        if bucket is None:
+            self.green += 1
+            return MeterColor.GREEN
+        color = bucket.update(now, size)
+        if color is MeterColor.GREEN:
+            self.green += 1
+        elif color is MeterColor.YELLOW:
+            self.yellow += 1
+        else:
+            self.red += 1
+        return color
+
+    def footprint(self) -> MemoryFootprint:
+        return MemoryFootprint(
+            sram_words=len(self._meters) * sram_words_for(self.CELL_BITS)
+        )

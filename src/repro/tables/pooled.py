@@ -1,0 +1,190 @@
+"""IPv4/IPv6 table pooling (§4.4).
+
+Dedicated per-family tables waste memory when the v4/v6 traffic ratio
+drifts, so Sailfish pools them: one table, one memory budget, any family
+mix. Two alignment strategies, chosen per match kind:
+
+* **expand** (LPM tables): IPv4 keys are widened to 128 bits so every
+  entry costs the same TCAM slices; an address-family bit keeps the two
+  spaces disjoint.
+* **compress** (exact-match tables): IPv6 keys are hashed to 32-bit
+  digests (:class:`~repro.tables.compress.CompressedExactMap` semantics)
+  so every entry costs one SRAM word; conflicts go to a small full-key
+  conflict table.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, Tuple, TypeVar
+
+from ..net.addr import Prefix
+from .compress import CompressedExactMap, digest32
+from .errors import DuplicateEntryError, MissingEntryError, TableFullError
+from .exact import DEFAULT_FILL_FACTOR
+from .geometry import (
+    IPV6_BITS,
+    MemoryFootprint,
+    VNI_BITS,
+    exact_entry_words,
+    tcam_slices_for,
+)
+from .lpm import LpmTrie
+
+V = TypeVar("V")
+
+#: Key width charged for every pooled-LPM entry: AF bit + 128-bit address.
+POOLED_LPM_KEY_BITS = 1 + IPV6_BITS
+
+
+class PooledLpmTable(Generic[V]):
+    """A dual-stack LPM sharing one entry budget (expand strategy).
+
+    Functionally: per-family longest-prefix match. Physically: every
+    entry, v4 or v6, costs ``tcam_slices_for(extra_bits + 129)`` slices,
+    so the v4/v6 ratio can shift arbitrarily within ``capacity_entries``.
+    """
+
+    def __init__(
+        self,
+        capacity_entries: Optional[int] = None,
+        extra_key_bits: int = VNI_BITS,
+        name: str = "pooled-lpm",
+    ):
+        self.name = name
+        self.capacity_entries = capacity_entries
+        self.extra_key_bits = extra_key_bits
+        self.slices_per_entry = tcam_slices_for(extra_key_bits + POOLED_LPM_KEY_BITS)
+        self._tries = {4: LpmTrie(4), 6: LpmTrie(6)}
+
+    def __len__(self) -> int:
+        return len(self._tries[4]) + len(self._tries[6])
+
+    def count(self, version: int) -> int:
+        """Entries of one family."""
+        return len(self._tries[version])
+
+    def insert(self, prefix: Prefix, value: V, replace: bool = False) -> None:
+        """Insert in either family against the shared budget."""
+        trie = self._tries[prefix.version]
+        is_new = prefix not in trie
+        if is_new and self.capacity_entries is not None and len(self) >= self.capacity_entries:
+            raise TableFullError(f"{self.name}: pooled capacity {self.capacity_entries} reached")
+        trie.insert(prefix, value, replace=replace)
+
+    def remove(self, prefix: Prefix) -> V:
+        return self._tries[prefix.version].remove(prefix)
+
+    def lookup(self, address: int, version: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match within the *version* family."""
+        return self._tries[version].lookup(address)
+
+    @property
+    def load(self) -> float:
+        if not self.capacity_entries:
+            return 0.0
+        return len(self) / self.capacity_entries
+
+    def footprint(self) -> MemoryFootprint:
+        """Uniform TCAM cost: both families at expanded width."""
+        return MemoryFootprint(tcam_slices=len(self) * self.slices_per_entry)
+
+
+class PooledExactTable(Generic[V]):
+    """A dual-stack exact-match table (compress strategy).
+
+    Keys are ``(vni, address)``. IPv4 addresses are stored natively; IPv6
+    addresses are stored as 32-bit digests with an address-family label
+    and a conflict table for digest collisions — all charged to one
+    budget at one SRAM word per entry.
+    """
+
+    def __init__(
+        self,
+        capacity_entries: Optional[int] = None,
+        value_bits: int = 32,
+        fill_factor: float = DEFAULT_FILL_FACTOR,
+        name: str = "pooled-exact",
+    ):
+        if not 0 < fill_factor <= 1.0:
+            raise ValueError("fill_factor must be in (0, 1]")
+        self.name = name
+        self.capacity_entries = capacity_entries
+        self.fill_factor = fill_factor
+        # label (1b) + VNI + 32b key + value, padded to a cuckoo way.
+        self.words_per_entry = exact_entry_words(1 + VNI_BITS + 32, value_bits)
+        self._v4: dict = {}
+        self._v6: dict = {}  # vni -> CompressedExactMap
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._v4) + sum(len(m) for m in self._v6.values())
+
+    def conflict_entries(self) -> int:
+        """IPv6 digest-conflict entries across all VNIs."""
+        return sum(m.conflict_entries for m in self._v6.values())
+
+    def _check_capacity(self) -> None:
+        if self.capacity_entries is not None and len(self) >= self.capacity_entries:
+            raise TableFullError(f"{self.name}: pooled capacity {self.capacity_entries} reached")
+
+    def insert(self, vni: int, address: int, version: int, value: V, replace: bool = False) -> None:
+        """Insert ``(vni, address)`` -> *value* in either family."""
+        if version == 4:
+            key = (vni, address)
+            if key in self._v4 and not replace:
+                raise DuplicateEntryError(repr(key))
+            if key not in self._v4:
+                self._check_capacity()
+            self._v4[key] = value
+        elif version == 6:
+            per_vni = self._v6.get(vni)
+            if per_vni is None:
+                per_vni = self._v6[vni] = CompressedExactMap(key_bits=IPV6_BITS)
+            if per_vni.lookup(address) is None:
+                self._check_capacity()
+            per_vni.insert(address, value, replace=replace)
+        else:
+            raise ValueError(f"unknown IP version {version}")
+
+    def remove(self, vni: int, address: int, version: int) -> V:
+        if version == 4:
+            try:
+                return self._v4.pop((vni, address))
+            except KeyError:
+                raise MissingEntryError(repr((vni, address))) from None
+        per_vni = self._v6.get(vni)
+        if per_vni is None:
+            raise MissingEntryError(repr((vni, address)))
+        return per_vni.remove(address)
+
+    def lookup(self, vni: int, address: int, version: int) -> Optional[V]:
+        """Exact match; IPv6 goes digest-first through the conflict logic."""
+        self.lookups += 1
+        if version == 4:
+            value = self._v4.get((vni, address))
+        else:
+            per_vni = self._v6.get(vni)
+            value = per_vni.lookup(address) if per_vni is not None else None
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def digest_of(self, address: int) -> int:
+        """The 32-bit digest an IPv6 key is stored under (for inspection)."""
+        return digest32(address, IPV6_BITS)
+
+    @property
+    def load(self) -> float:
+        if not self.capacity_entries:
+            return 0.0
+        return len(self) / self.capacity_entries
+
+    def footprint(self) -> MemoryFootprint:
+        """One-word entries plus fill-factor slack; conflict entries extra."""
+        import math
+
+        physical = math.ceil(len(self) / self.fill_factor)
+        # Conflict entries hold full 128-bit keys -> 2-word ways.
+        conflict_words = self.conflict_entries() * exact_entry_words(VNI_BITS + IPV6_BITS, 32)
+        return MemoryFootprint(sram_words=physical * self.words_per_entry + conflict_words)

@@ -1,0 +1,148 @@
+"""Stateful SNAT session table (§4.2, Fig. 11).
+
+Customers with many VMs but few public IPs reach the Internet through
+SNAT at the gateway: the inner 5-tuple is mapped to a (public IP, source
+port) pair. Entry count scales with *sessions* — O(100M) in the paper —
+which is why this table lives on XGW-x86, never on the switch.
+
+Implements the full session lifecycle: allocation from a public-IP/port
+pool, forward and reverse translation, idle expiry, and pool exhaustion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.flow import FlowKey
+from .errors import TableFullError
+
+EPHEMERAL_LOW = 1024
+EPHEMERAL_HIGH = 65535
+
+
+@dataclass
+class SnatSession:
+    """One active translation."""
+
+    flow: FlowKey
+    public_ip: int
+    public_port: int
+    created_at: float
+    last_active: float
+
+    def touch(self, now: float) -> None:
+        self.last_active = now
+
+
+@dataclass
+class _PortPool:
+    """Free source ports for one public IP (LIFO reuse)."""
+
+    free: List[int] = field(default_factory=list)
+
+    @classmethod
+    def full_range(cls, low: int = EPHEMERAL_LOW, high: int = EPHEMERAL_HIGH) -> "_PortPool":
+        return cls(free=list(range(high, low - 1, -1)))
+
+    def allocate(self) -> Optional[int]:
+        return self.free.pop() if self.free else None
+
+    def release(self, port: int) -> None:
+        self.free.append(port)
+
+    def available(self) -> int:
+        return len(self.free)
+
+
+class SnatTable:
+    """The SNAT session table with its public-IP pool.
+
+    >>> table = SnatTable(public_ips=[0x01020304])
+    >>> flow = FlowKey(src_ip=0x0A000001, dst_ip=0x08080808, proto=6,
+    ...                src_port=5555, dst_port=80)
+    >>> session = table.translate(flow, now=0.0)
+    >>> table.reverse(session.public_ip, session.public_port, 0x08080808, 80, 6).flow == flow
+    True
+    """
+
+    def __init__(
+        self,
+        public_ips: Sequence[int],
+        capacity_sessions: Optional[int] = None,
+        idle_timeout: float = 300.0,
+    ):
+        if not public_ips:
+            raise ValueError("SNAT needs at least one public IP")
+        self.idle_timeout = idle_timeout
+        self.capacity_sessions = capacity_sessions
+        self._pools: Dict[int, _PortPool] = {
+            ip: _PortPool.full_range() for ip in public_ips
+        }
+        self._by_flow: Dict[FlowKey, SnatSession] = {}
+        # (public_ip, public_port, remote_ip, remote_port, proto) -> session
+        self._by_public: Dict[Tuple[int, int, int, int, int], SnatSession] = {}
+        self.allocated = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._by_flow)
+
+    def translate(self, flow: FlowKey, now: float) -> SnatSession:
+        """Find or create the session for an outbound *flow*."""
+        session = self._by_flow.get(flow)
+        if session is not None:
+            session.touch(now)
+            return session
+        if self.capacity_sessions is not None and len(self._by_flow) >= self.capacity_sessions:
+            raise TableFullError("SNAT session capacity reached")
+        # Spread new sessions over public IPs by flow hash; fall back to
+        # scanning when the hashed pool is drained.
+        ips = sorted(self._pools)
+        start = hash(flow) % len(ips)
+        for offset in range(len(ips)):
+            ip = ips[(start + offset) % len(ips)]
+            port = self._pools[ip].allocate()
+            if port is not None:
+                session = SnatSession(flow, ip, port, created_at=now, last_active=now)
+                self._by_flow[flow] = session
+                self._by_public[(ip, port, flow.dst_ip, flow.dst_port, flow.proto)] = session
+                self.allocated += 1
+                return session
+        raise TableFullError("SNAT public IP/port pool exhausted")
+
+    def reverse(
+        self, public_ip: int, public_port: int, remote_ip: int, remote_port: int, proto: int
+    ) -> Optional[SnatSession]:
+        """Match an inbound (response) packet back to its session."""
+        return self._by_public.get((public_ip, public_port, remote_ip, remote_port, proto))
+
+    def lookup(self, flow: FlowKey) -> Optional[SnatSession]:
+        """Peek at an existing session without creating one."""
+        return self._by_flow.get(flow)
+
+    def release(self, flow: FlowKey) -> None:
+        """Tear down one session, returning its port to the pool."""
+        session = self._by_flow.pop(flow, None)
+        if session is None:
+            return
+        del self._by_public[
+            (session.public_ip, session.public_port, flow.dst_ip, flow.dst_port, flow.proto)
+        ]
+        self._pools[session.public_ip].release(session.public_port)
+
+    def expire_idle(self, now: float) -> int:
+        """Drop sessions idle longer than *idle_timeout*; returns the count."""
+        stale = [
+            flow
+            for flow, session in self._by_flow.items()
+            if now - session.last_active > self.idle_timeout
+        ]
+        for flow in stale:
+            self.release(flow)
+        self.expired += len(stale)
+        return len(stale)
+
+    def available_ports(self) -> int:
+        """Total unallocated (IP, port) pairs."""
+        return sum(pool.available() for pool in self._pools.values())

@@ -1,0 +1,111 @@
+"""A TCAM model: priority-ordered ternary matching with slice accounting.
+
+Entries are ``(value, mask)`` pairs over an integer key space; lookup
+returns the highest-priority entry whose masked bits equal the search
+key's. For LPM use, longer prefixes are inserted at higher priority, as a
+switch driver would arrange. Slice accounting follows the 44-bit slice
+geometry from :mod:`repro.tables.geometry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .errors import DuplicateEntryError, MissingEntryError, TableFullError
+from .geometry import MemoryFootprint, tcam_slices_for
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class TcamEntry(Generic[V]):
+    """One ternary entry: match when ``(key & mask) == (value_bits & mask)``."""
+
+    match: int
+    mask: int
+    priority: int
+    action: V
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.match & self.mask)
+
+
+class Tcam(Generic[V]):
+    """Priority TCAM over a *key_bits*-wide key.
+
+    Lookup scans in descending priority (ties broken by insertion order,
+    oldest first — matching hardware where the lowest physical address
+    wins).
+    """
+
+    def __init__(self, key_bits: int, capacity_slices: Optional[int] = None, name: str = "tcam"):
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        self.name = name
+        self.key_bits = key_bits
+        self.slices_per_entry = tcam_slices_for(key_bits)
+        self.capacity_slices = capacity_slices
+        self._entries: List[TcamEntry[V]] = []
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def used_slices(self) -> int:
+        return len(self._entries) * self.slices_per_entry
+
+    def insert(self, match: int, mask: int, priority: int, action: V) -> None:
+        """Add an entry; raises :class:`TableFullError` when out of slices."""
+        limit = 1 << self.key_bits
+        if not 0 <= match < limit or not 0 <= mask < limit:
+            raise ValueError("match/mask wider than key_bits")
+        if any(e.match == match and e.mask == mask and e.priority == priority for e in self._entries):
+            raise DuplicateEntryError(f"{match:#x}/{mask:#x} prio={priority}")
+        if (
+            self.capacity_slices is not None
+            and self.used_slices() + self.slices_per_entry > self.capacity_slices
+        ):
+            raise TableFullError(f"{self.name}: out of TCAM slices")
+        self._entries.append(TcamEntry(match, mask, priority, action))
+        # Keep sorted by descending priority; stable sort preserves age order.
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def remove(self, match: int, mask: int, priority: int) -> V:
+        """Remove the entry identified by (match, mask, priority)."""
+        for i, entry in enumerate(self._entries):
+            if entry.match == match and entry.mask == mask and entry.priority == priority:
+                del self._entries[i]
+                return entry.action
+        raise MissingEntryError(f"{match:#x}/{mask:#x} prio={priority}")
+
+    def lookup(self, key: int) -> Optional[TcamEntry[V]]:
+        """Highest-priority matching entry for *key*, or None."""
+        self.lookups += 1
+        for entry in self._entries:
+            if entry.matches(key):
+                self.hits += 1
+                return entry
+        return None
+
+    def entries(self) -> Iterator[TcamEntry[V]]:
+        return iter(self._entries)
+
+    def footprint(self) -> MemoryFootprint:
+        return MemoryFootprint(tcam_slices=self.used_slices())
+
+
+def prefix_to_match_mask(network: int, prefix_len: int, addr_bits: int, extra_bits: int = 0, extra_value: int = 0) -> Tuple[int, int]:
+    """Encode an IP prefix (optionally concatenated after an exact field
+    such as a VNI) into TCAM (match, mask).
+
+    The key layout is ``extra_value || address``: *extra_bits* exact-match
+    bits in front of *addr_bits* of ternary address.
+    """
+    if prefix_len < 0 or prefix_len > addr_bits:
+        raise ValueError("bad prefix length")
+    addr_mask = (((1 << prefix_len) - 1) << (addr_bits - prefix_len)) if prefix_len else 0
+    extra_mask = ((1 << extra_bits) - 1) << addr_bits if extra_bits else 0
+    match = (extra_value << addr_bits) | (network & addr_mask)
+    return match, extra_mask | addr_mask

@@ -1,0 +1,88 @@
+"""The VM-NC mapping table (§2.1, Fig. 2).
+
+Maps ``(VNI, VM IP)`` by exact match to the physical server (Node
+Controller) hosting the VM. Backed by the pooled dual-stack exact table
+so IPv6 keys are digest-compressed exactly as on XGW-H.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .pooled import PooledExactTable
+
+
+@dataclass(frozen=True)
+class NcBinding:
+    """Where a VM lives: the NC's underlay IP (and its family)."""
+
+    nc_ip: int
+    nc_version: int = 4
+
+    def __post_init__(self):
+        if self.nc_version not in (4, 6):
+            raise ValueError(f"bad NC IP version {self.nc_version}")
+
+
+class VmNcTable:
+    """Exact-match (VNI, VM IP) -> NC binding.
+
+    >>> table = VmNcTable()
+    >>> table.insert(10, 0xC0A80A02, 4, NcBinding(nc_ip=0x0A010101))
+    >>> table.lookup(10, 0xC0A80A02, 4).nc_ip == 0x0A010101
+    True
+    """
+
+    def __init__(self, capacity_entries: Optional[int] = None, name: str = "vm-nc"):
+        self.name = name
+        self._table: PooledExactTable[NcBinding] = PooledExactTable(
+            capacity_entries=capacity_entries, value_bits=32, name=name
+        )
+        self._per_vni_counts: dict = {}
+
+    def insert(self, vni: int, vm_ip: int, version: int, binding: NcBinding, replace: bool = False) -> None:
+        """Register the NC hosting VM *vm_ip* in VPC *vni*."""
+        existed = self._table.lookup(vni, vm_ip, version) is not None
+        self._table.insert(vni, vm_ip, version, binding, replace=replace)
+        if not existed:
+            self._per_vni_counts[vni] = self._per_vni_counts.get(vni, 0) + 1
+
+    def remove(self, vni: int, vm_ip: int, version: int) -> NcBinding:
+        """Remove a VM's binding (VM released or migrated)."""
+        binding = self._table.remove(vni, vm_ip, version)
+        self._per_vni_counts[vni] -= 1
+        if self._per_vni_counts[vni] == 0:
+            del self._per_vni_counts[vni]
+        return binding
+
+    def lookup(self, vni: int, vm_ip: int, version: int) -> Optional[NcBinding]:
+        """Find the NC for a VM, or None if unknown."""
+        return self._table.lookup(vni, vm_ip, version)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def count_for_vni(self, vni: int) -> int:
+        """Number of VMs registered under one VNI (the split unit)."""
+        return self._per_vni_counts.get(vni, 0)
+
+    def conflict_entries(self) -> int:
+        """IPv6 digest-conflict entries (paper: "very limited")."""
+        return self._table.conflict_entries()
+
+    @property
+    def load(self) -> float:
+        return self._table.load
+
+    def footprint(self):
+        """Physical SRAM footprint (pooled, compressed)."""
+        return self._table.footprint()
+
+    @property
+    def lookups(self) -> int:
+        return self._table.lookups
+
+    @property
+    def hits(self) -> int:
+        return self._table.hits

@@ -1,0 +1,29 @@
+"""Counters, running statistics and time-series recording."""
+
+from .stats import (
+    CounterSet,
+    PercentileSketch,
+    RunningStats,
+    histogram,
+    jains_fairness,
+    loss_rate,
+    top_n_share,
+    weighted_mean,
+)
+from .timeseries import SeriesBundle, TimeSeries
+from .trace import PathTrace, TraceHop
+
+__all__ = [
+    "CounterSet",
+    "RunningStats",
+    "PercentileSketch",
+    "jains_fairness",
+    "top_n_share",
+    "histogram",
+    "loss_rate",
+    "weighted_mean",
+    "TimeSeries",
+    "PathTrace",
+    "TraceHop",
+    "SeriesBundle",
+]

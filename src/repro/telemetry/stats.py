@@ -1,0 +1,181 @@
+"""Counters and summary statistics used throughout the simulators."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class CounterSet:
+    """A named bundle of monotonically increasing counters.
+
+    >>> c = CounterSet()
+    >>> c.add("rx_packets", 3)
+    >>> c["rx_packets"]
+    3
+    """
+
+    def __init__(self):
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a gauge for decrements")
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of all counters."""
+        return dict(self._counts)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` counters, 0.0 when denominator is 0."""
+        denom = self._counts.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counts.get(numerator, 0) / denom
+
+    def merge(self, other: "CounterSet") -> None:
+        """Fold *other*'s counts into this set."""
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """stddev / mean — the balance metric used for pipe/gateway spread."""
+        return self.stddev / self.mean if self.mean else 0.0
+
+
+class PercentileSketch:
+    """Fixed-capacity reservoir for approximate percentiles.
+
+    Deterministic given the insertion order for inputs smaller than the
+    capacity; degrades to uniform reservoir sampling beyond it.
+    """
+
+    def __init__(self, capacity: int = 4096, rng=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._samples: List[float] = []
+        self._seen = 0
+        self._rng = rng
+
+    def observe(self, value: float) -> None:
+        self._seen += 1
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            if self._rng is None:
+                raise ValueError("reservoir overflow requires an rng for sampling")
+            j = self._rng.randrange(self._seen)
+            if j < self._capacity:
+                self._samples[j] = value
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]) of observed values."""
+        if not self._samples:
+            raise ValueError("no samples observed")
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q / 100 * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def jains_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index in (0, 1]; 1.0 means perfectly balanced load."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def top_n_share(values: Sequence[float], n: int) -> float:
+    """Fraction of the total contributed by the n largest values (Fig. 7)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    return sum(sorted(values, reverse=True)[:n]) / total
+
+
+def histogram(values: Sequence[float], edges: Sequence[float]) -> List[int]:
+    """Counts of *values* in half-open bins ``[edges[i], edges[i+1])``."""
+    if len(edges) < 2 or any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError("edges must be strictly increasing with >= 2 entries")
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        for i in range(len(edges) - 1):
+            if edges[i] <= value < edges[i + 1]:
+                counts[i] += 1
+                break
+    return counts
+
+
+def loss_rate(dropped: int, offered: int) -> float:
+    """Packet loss rate with a safe zero-traffic case."""
+    if offered < 0 or dropped < 0 or dropped > offered:
+        raise ValueError("need 0 <= dropped <= offered")
+    return dropped / offered if offered else 0.0
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs."""
+    num = 0.0
+    den = 0.0
+    for value, weight in pairs:
+        num += value * weight
+        den += weight
+    if den == 0:
+        raise ValueError("total weight is zero")
+    return num / den

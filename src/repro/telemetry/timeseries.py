@@ -1,0 +1,121 @@
+"""Time-series recording for the longitudinal experiments (Figs 4-6, 19-23)."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only (time, value) series with monotone timestamps."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be monotone: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> Sequence[float]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """The sub-series with timestamps in ``[start, end)``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        out = TimeSeries(self.name)
+        out._times = self._times[lo:hi]
+        out._values = self._values[lo:hi]
+        return out
+
+    def value_at(self, time: float) -> float:
+        """Last recorded value at or before *time* (step interpolation)."""
+        idx = bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self._values[idx]
+
+    def maximum(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return max(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return sum(self._values) / len(self._values)
+
+    def resample_max(self, bucket: float) -> "TimeSeries":
+        """Max-downsample into fixed *bucket*-wide intervals.
+
+        Mirrors how coarse monitoring hides sub-interval spikes: the paper
+        notes CPU plots are coarse while loss happens on instantaneous
+        100% spikes.
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        out = TimeSeries(self.name)
+        if not self._times:
+            return out
+        current_bucket = None
+        current_max = 0.0
+        for t, v in zip(self._times, self._values):
+            b = int(t // bucket)
+            if current_bucket is None:
+                current_bucket, current_max = b, v
+            elif b == current_bucket:
+                current_max = max(current_max, v)
+            else:
+                out.record(current_bucket * bucket, current_max)
+                current_bucket, current_max = b, v
+        out.record(current_bucket * bucket, current_max)
+        return out
+
+    def points(self) -> Iterable[Tuple[float, float]]:
+        return zip(self._times, self._values)
+
+
+class SeriesBundle:
+    """A named collection of :class:`TimeSeries` (one per core/pipe/node)."""
+
+    def __init__(self):
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Get (or lazily create) the series called *name*."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self._series[name]
+
+    def top_by_mean(self, n: int) -> List[TimeSeries]:
+        """The *n* series with the highest mean value (Fig. 4 top-5 cores)."""
+        ordered = sorted(
+            self._series.values(), key=lambda s: s.mean() if len(s) else 0.0, reverse=True
+        )
+        return ordered[:n]

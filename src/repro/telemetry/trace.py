@@ -1,0 +1,62 @@
+"""VTrace-style path tracing (§3.1).
+
+The paper cites VTrace — Alibaba's "automatic diagnostic system for
+persistent packet loss in cloud-scale overlay networks" — as one of the
+proprietary protocols that pushed them to programmable ASICs. This
+module provides the equivalent capability for the simulated region: a
+probe packet collects a per-hop record (balancer decision, cluster and
+gateway choice, every pipe traversed, table verdicts, the exact drop
+point), so a persistent loss can be localised to a table on a pipe of a
+gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One step of a traced packet's journey."""
+
+    component: str  # "balancer", "cluster", "gateway", "pipe", "x86", ...
+    node: str  # which instance
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.component}:{self.node}{suffix}"
+
+
+@dataclass
+class PathTrace:
+    """The collected journey of one traced packet."""
+
+    hops: List[TraceHop] = field(default_factory=list)
+    outcome: str = ""
+    drop_reason: str = ""
+
+    def add(self, component: str, node: str, detail: str = "") -> None:
+        self.hops.append(TraceHop(component, node, detail))
+
+    @property
+    def dropped(self) -> bool:
+        return self.outcome == "drop"
+
+    def drop_location(self) -> Optional[TraceHop]:
+        """Where the packet died, if it did — VTrace's core answer."""
+        if not self.dropped or not self.hops:
+            return None
+        return self.hops[-1]
+
+    def components(self) -> List[str]:
+        return [hop.component for hop in self.hops]
+
+    def describe(self) -> str:
+        """A human-readable one-trace report."""
+        lines = [f"  {i}: {hop}" for i, hop in enumerate(self.hops)]
+        tail = f"outcome: {self.outcome}"
+        if self.dropped:
+            tail += f" — {self.drop_reason} at {self.drop_location()}"
+        return "\n".join(lines + [tail])

@@ -1,0 +1,154 @@
+"""Table placement "compiler" (§3.3, §4.4).
+
+The real Tofino compiler splits a large table across stages *within* one
+pipeline but will not place across pipelines — that is Sailfish's
+planner's job. This module models the part the toolchain does do:
+
+* allocate block-granular stage memory for each table segment,
+* enforce the lookup-order constraint — a table must sit at a pipe
+  position no earlier than the tables it depends on (Fig. 15's
+  A -> B -> C -> D order through the folded path),
+* fail loudly (:class:`PlacementError`) when a pipe is out of memory,
+  which is the signal that drives cross-pipeline mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..tables.geometry import MemoryFootprint
+from .memory import AllocationError, blocks_for_footprint
+from .pipeline import Gress, PipelineFabric, PipeRef, folded_path, normal_path
+
+
+class PlacementError(Exception):
+    """Raised when tables cannot be placed under the architectural rules."""
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A logical table to place."""
+
+    name: str
+    footprint: MemoryFootprint
+    depends_on: Sequence[str] = ()
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A portion of a table bound to one pipe."""
+
+    table: str
+    pipe: PipeRef
+    footprint: MemoryFootprint
+
+
+@dataclass
+class PlacementReport:
+    """Result of a successful placement."""
+
+    segments: List[Segment]
+    stage_map: Dict[str, List[PipeRef]] = field(default_factory=dict)
+
+    def pipes_of(self, table: str) -> List[PipeRef]:
+        return self.stage_map.get(table, [])
+
+
+def pipe_order(folded: bool, entry_pipeline: int = 0) -> List[PipeRef]:
+    """The traversal order pipes are visited in (the lookup order)."""
+    if folded:
+        return folded_path(entry_pipeline)
+    return normal_path(entry_pipeline)
+
+
+class Compiler:
+    """Places table segments into a :class:`PipelineFabric`'s memory."""
+
+    def __init__(self, fabric: PipelineFabric):
+        self.fabric = fabric
+
+    def _order_index(self, pipe: PipeRef) -> int:
+        entry = 0 if pipe[0] in (0, 1) else 2
+        order = pipe_order(self.fabric.folded, entry)
+        try:
+            return order.index(pipe)
+        except ValueError:
+            raise PlacementError(
+                f"pipe {pipe} is not on the {'folded' if self.fabric.folded else 'normal'} path"
+            ) from None
+
+    def check_order(self, specs: Sequence[TableSpec], segments: Sequence[Segment]) -> None:
+        """Verify every segment respects its table's dependencies."""
+        by_table: Dict[str, List[int]] = {}
+        for segment in segments:
+            by_table.setdefault(segment.table, []).append(self._order_index(segment.pipe))
+        known = {spec.name for spec in specs}
+        for spec in specs:
+            for dep in spec.depends_on:
+                if dep not in known:
+                    raise PlacementError(f"{spec.name} depends on unknown table {dep}")
+                if dep not in by_table or spec.name not in by_table:
+                    continue
+                earliest = min(by_table[spec.name])
+                latest_dep = min(by_table[dep])
+                if earliest < latest_dep:
+                    raise PlacementError(
+                        f"{spec.name} placed at pipe order {earliest}, before its "
+                        f"dependency {dep} at order {latest_dep}"
+                    )
+
+    def place(self, specs: Sequence[TableSpec], segments: Sequence[Segment]) -> PlacementReport:
+        """Allocate stage blocks for *segments*; all-or-nothing.
+
+        Each segment is packed into its pipe's pipeline starting from the
+        first stage with room, spilling to later stages (intra-pipeline
+        table splitting, which the real compiler automates).
+        """
+        self.check_order(specs, segments)
+        taken: List[tuple] = []  # (pipeline_memory, stage, owner, sram, tcam)
+        try:
+            for segment in segments:
+                self._place_segment(segment, taken)
+        except PlacementError:
+            for memory, stage, owner, _s, _t in taken:
+                memory.stages[stage].release_all(owner)
+            raise
+        report = PlacementReport(segments=list(segments))
+        for segment in segments:
+            report.stage_map.setdefault(segment.table, []).append(segment.pipe)
+        return report
+
+    def _place_segment(self, segment: Segment, taken: List[tuple]) -> None:
+        pipeline_index, _gress = segment.pipe
+        memory = self.fabric.memory[pipeline_index]
+        sram_blocks, tcam_blocks = blocks_for_footprint(segment.footprint)
+        owner = f"{segment.table}@{segment.pipe[0]}/{segment.pipe[1].value}"
+        for stage in memory.stages:
+            take_sram = min(sram_blocks, stage.sram_blocks_free)
+            take_tcam = min(tcam_blocks, stage.tcam_blocks_free)
+            if take_sram == 0 and take_tcam == 0:
+                continue
+            try:
+                stage.allocate(owner, take_sram, take_tcam)
+            except AllocationError as exc:  # pragma: no cover - guarded by mins
+                raise PlacementError(str(exc)) from exc
+            taken.append((memory, stage.stage_index, owner, take_sram, take_tcam))
+            sram_blocks -= take_sram
+            tcam_blocks -= take_tcam
+            if sram_blocks == 0 and tcam_blocks == 0:
+                return
+        raise PlacementError(
+            f"pipeline {pipeline_index} cannot hold segment of {segment.table}: "
+            f"{sram_blocks} SRAM / {tcam_blocks} TCAM blocks short"
+        )
+
+    def occupancy(self) -> Dict[int, MemoryFootprint]:
+        """Used words/slices per pipeline after placement."""
+        return {
+            memory.pipeline_index: MemoryFootprint(
+                sram_words=memory.sram_words_used(),
+                tcam_slices=memory.tcam_slices_used(),
+            )
+            for memory in self.fabric.memory
+        }

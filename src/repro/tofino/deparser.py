@@ -1,0 +1,92 @@
+"""Deparser model (§3.2): reassemble the wire packet after rewrites.
+
+The match-action pipeline edits header fields (outer destination IP, the
+VNI, TTLs); the deparser re-emits the packet with those edits applied
+and fixes derived fields — most importantly the IPv4 header checksum,
+which hardware recomputes incrementally on every header rewrite.
+
+Works hand in hand with :mod:`repro.tofino.parser`: the parse result's
+extraction offsets tell the deparser where each header instance lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..net.checksum import internet_checksum
+from .parser import ParseResult
+
+
+@dataclass(frozen=True)
+class FieldRewrite:
+    """Overwrite *length* bytes at *field_offset* within *header*."""
+
+    header: str
+    field_offset: int
+    value: bytes
+
+    @classmethod
+    def be(cls, header: str, field_offset: int, value: int, length: int) -> "FieldRewrite":
+        """A big-endian integer rewrite of *length* bytes."""
+        return cls(header, field_offset, value.to_bytes(length, "big"))
+
+
+class DeparseError(ValueError):
+    """Raised when a rewrite does not fit its header."""
+
+
+# Well-known field positions the gateway rewrites.
+IPV4_DST = ("ipv4", 16, 4)
+IPV4_SRC = ("ipv4", 12, 4)
+VXLAN_VNI = ("vxlan", 4, 3)  # the top 3 bytes of the last word
+
+
+def rewrite_outer_dst(dst: int) -> FieldRewrite:
+    return FieldRewrite.be("ipv4", 16, dst, 4)
+
+
+def rewrite_outer_src(src: int) -> FieldRewrite:
+    return FieldRewrite.be("ipv4", 12, src, 4)
+
+
+def rewrite_vni(vni: int) -> FieldRewrite:
+    if not 0 <= vni < (1 << 24):
+        raise DeparseError("VNI out of 24-bit range")
+    return FieldRewrite("vxlan", 4, vni.to_bytes(3, "big"))
+
+
+def deparse(raw: bytes, parsed: ParseResult, rewrites: List[FieldRewrite]) -> bytes:
+    """Emit the packet with *rewrites* applied and checksums fixed.
+
+    IPv4 headers whose bytes changed (including via an applied rewrite)
+    get their header checksum recomputed, exactly as the hardware
+    deparser's checksum engine does.
+    """
+    out = bytearray(raw)
+    touched_headers = set()
+    for rewrite in rewrites:
+        extraction = parsed.find(rewrite.header)
+        if extraction is None:
+            raise DeparseError(f"header {rewrite.header} was not parsed")
+        end = rewrite.field_offset + len(rewrite.value)
+        if end > extraction.length:
+            raise DeparseError(
+                f"rewrite of {rewrite.header}+{rewrite.field_offset} "
+                f"({len(rewrite.value)}B) exceeds the {extraction.length}B header"
+            )
+        start = extraction.offset + rewrite.field_offset
+        out[start:start + len(rewrite.value)] = rewrite.value
+        touched_headers.add(rewrite.header)
+
+    for header in ("ipv4", "inner_ipv4"):
+        if header not in touched_headers:
+            continue
+        extraction = parsed.find(header)
+        if extraction is None:  # pragma: no cover - guarded above
+            continue
+        start, length = extraction.offset, extraction.length
+        out[start + 10:start + 12] = b"\x00\x00"
+        checksum = internet_checksum(bytes(out[start:start + length]))
+        out[start + 10:start + 12] = checksum.to_bytes(2, "big")
+    return bytes(out)

@@ -1,0 +1,123 @@
+"""Per-stage SRAM/TCAM memory model of the switching ASIC (§3.2).
+
+Geometry follows the publicly known Tofino 1 layout: 4 pipelines, 12
+match-action stages per pipeline, and per stage 80 SRAM blocks of
+1024 × 128-bit words plus 24 TCAM blocks of 512 × 44-bit slices. Each
+stage's memory is private — "cannot access the memory resources of other
+stages even in the same pipeline" — which is why placement (not just
+total capacity) matters.
+
+Physical allocation is **block-granular**, as on the real chip; the
+analytic occupancy model in :mod:`repro.core.occupancy` uses raw
+words/slices instead, matching how the paper reports percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..tables.geometry import MemoryFootprint
+
+STAGES_PER_PIPELINE = 12
+SRAM_BLOCKS_PER_STAGE = 80
+SRAM_WORDS_PER_BLOCK = 1024
+TCAM_BLOCKS_PER_STAGE = 24
+TCAM_SLICES_PER_BLOCK = 512
+
+SRAM_WORDS_PER_STAGE = SRAM_BLOCKS_PER_STAGE * SRAM_WORDS_PER_BLOCK
+TCAM_SLICES_PER_STAGE = TCAM_BLOCKS_PER_STAGE * TCAM_SLICES_PER_BLOCK
+
+#: Capacity of ONE pipeline — the denominator for every percentage in the
+#: paper's Tables 2-4 and Fig. 17 (see DESIGN.md §2).
+SRAM_WORDS_PER_PIPELINE = STAGES_PER_PIPELINE * SRAM_WORDS_PER_STAGE
+TCAM_SLICES_PER_PIPELINE = STAGES_PER_PIPELINE * TCAM_SLICES_PER_STAGE
+
+NUM_PIPELINES = 4
+
+
+class AllocationError(Exception):
+    """Raised when a stage cannot satisfy a block allocation."""
+
+
+@dataclass
+class StageMemory:
+    """Free/used block accounting for one MAU stage."""
+
+    stage_index: int
+    sram_blocks_free: int = SRAM_BLOCKS_PER_STAGE
+    tcam_blocks_free: int = TCAM_BLOCKS_PER_STAGE
+    allocations: Dict[str, MemoryFootprint] = field(default_factory=dict)
+
+    def sram_blocks_used(self) -> int:
+        return SRAM_BLOCKS_PER_STAGE - self.sram_blocks_free
+
+    def tcam_blocks_used(self) -> int:
+        return TCAM_BLOCKS_PER_STAGE - self.tcam_blocks_free
+
+    def allocate(self, owner: str, sram_blocks: int, tcam_blocks: int) -> None:
+        """Reserve whole blocks for *owner* (a table name)."""
+        if sram_blocks < 0 or tcam_blocks < 0:
+            raise ValueError("block counts must be non-negative")
+        if sram_blocks > self.sram_blocks_free or tcam_blocks > self.tcam_blocks_free:
+            raise AllocationError(
+                f"stage {self.stage_index}: need {sram_blocks} SRAM / {tcam_blocks} TCAM blocks, "
+                f"have {self.sram_blocks_free}/{self.tcam_blocks_free}"
+            )
+        self.sram_blocks_free -= sram_blocks
+        self.tcam_blocks_free -= tcam_blocks
+        current = self.allocations.get(owner, MemoryFootprint.zero())
+        self.allocations[owner] = current + MemoryFootprint(
+            sram_words=sram_blocks * SRAM_WORDS_PER_BLOCK,
+            tcam_slices=tcam_blocks * TCAM_SLICES_PER_BLOCK,
+        )
+
+    def release_all(self, owner: str) -> None:
+        """Return every block held by *owner* in this stage."""
+        footprint = self.allocations.pop(owner, None)
+        if footprint is None:
+            return
+        self.sram_blocks_free += footprint.sram_words // SRAM_WORDS_PER_BLOCK
+        self.tcam_blocks_free += footprint.tcam_slices // TCAM_SLICES_PER_BLOCK
+
+
+@dataclass
+class PipelineMemory:
+    """The 12 stages of one pipeline."""
+
+    pipeline_index: int
+    stages: List[StageMemory] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.stages:
+            self.stages = [StageMemory(i) for i in range(STAGES_PER_PIPELINE)]
+
+    def sram_words_used(self) -> int:
+        return sum(s.sram_blocks_used() for s in self.stages) * SRAM_WORDS_PER_BLOCK
+
+    def tcam_slices_used(self) -> int:
+        return sum(s.tcam_blocks_used() for s in self.stages) * TCAM_SLICES_PER_BLOCK
+
+    def sram_occupancy(self) -> float:
+        """Fraction of this pipeline's SRAM allocated (block-granular)."""
+        return self.sram_words_used() / SRAM_WORDS_PER_PIPELINE
+
+    def tcam_occupancy(self) -> float:
+        return self.tcam_slices_used() / TCAM_SLICES_PER_PIPELINE
+
+    def release_all(self, owner: str) -> None:
+        for stage in self.stages:
+            stage.release_all(owner)
+
+    def owners(self) -> List[str]:
+        names = set()
+        for stage in self.stages:
+            names.update(stage.allocations)
+        return sorted(names)
+
+
+def blocks_for_footprint(footprint: MemoryFootprint) -> "tuple[int, int]":
+    """Whole (SRAM, TCAM) blocks needed to hold *footprint*."""
+    sram_blocks = -(-footprint.sram_words // SRAM_WORDS_PER_BLOCK) if footprint.sram_words else 0
+    tcam_blocks = -(-footprint.tcam_slices // TCAM_SLICES_PER_BLOCK) if footprint.tcam_slices else 0
+    return sram_blocks, tcam_blocks

@@ -1,0 +1,206 @@
+"""Programmable parser model (§3.2: "Parser/Match-Action Unit/Deparser").
+
+A P4-style parse graph: states extract a header and branch on a field
+value. The gateway's graph handles Ethernet → IPv4/IPv6 → UDP/TCP →
+VXLAN → inner Ethernet → inner IP → inner L4, mirroring the parser of
+the real XGW-H P4 program. The result is a header-boundary map plus the
+accept/reject decision — tested for agreement with the byte-level
+:class:`~repro.net.packet.Packet` codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    PROTO_TCP,
+    PROTO_UDP,
+    VXLAN_PORT,
+)
+
+#: Special transition key: taken when no explicit value matches.
+DEFAULT = "default"
+ACCEPT = "accept"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """One extracted header instance."""
+
+    header: str
+    offset: int
+    length: int
+
+
+@dataclass
+class ParseState:
+    """One parser state: fixed-size extract + a select on a field.
+
+    *selector* reads the branch value from the raw header bytes;
+    *transitions* maps values (or DEFAULT) to next-state names.
+    """
+
+    name: str
+    header_length: Callable[[bytes], int]
+    selector: Optional[Callable[[bytes], int]] = None
+    transitions: Dict[object, str] = field(default_factory=dict)
+
+
+@dataclass
+class ParseResult:
+    """Outcome of one parse."""
+
+    accepted: bool
+    extractions: List[Extraction] = field(default_factory=list)
+    reject_reason: str = ""
+
+    def headers(self) -> List[str]:
+        return [e.header for e in self.extractions]
+
+    def find(self, header: str) -> Optional[Extraction]:
+        for extraction in self.extractions:
+            if extraction.header == header:
+                return extraction
+        return None
+
+
+class ParserOverrunError(Exception):
+    """Raised on a malformed parse graph (loop guard)."""
+
+
+class ParseGraph:
+    """A deterministic parse-graph interpreter.
+
+    >>> graph = gateway_parse_graph()
+    >>> from repro.workloads.traffic import build_vxlan_packet
+    >>> result = graph.parse(build_vxlan_packet(7, 1, 2).to_bytes())
+    >>> result.accepted and "vxlan" in result.headers()
+    True
+    """
+
+    MAX_STATES_VISITED = 32
+
+    def __init__(self, start: str):
+        self.start = start
+        self._states: Dict[str, ParseState] = {}
+
+    def add_state(self, state: ParseState) -> None:
+        self._states[state.name] = state
+
+    def parse(self, raw: bytes) -> ParseResult:
+        result = ParseResult(accepted=False)
+        state_name = self.start
+        offset = 0
+        for _hop in range(self.MAX_STATES_VISITED):
+            if state_name == ACCEPT:
+                result.accepted = True
+                return result
+            if state_name == REJECT:
+                result.reject_reason = result.reject_reason or "rejected"
+                return result
+            state = self._states.get(state_name)
+            if state is None:
+                raise ParserOverrunError(f"unknown parse state {state_name}")
+            body = raw[offset:]
+            try:
+                length = state.header_length(body)
+            except (IndexError, ValueError):
+                result.reject_reason = f"truncated in {state.name}"
+                return result
+            if length > len(body):
+                result.reject_reason = f"truncated in {state.name}"
+                return result
+            header_bytes = body[:length]
+            result.extractions.append(Extraction(state.name, offset, length))
+            offset += length
+            if state.selector is None:
+                state_name = state.transitions.get(DEFAULT, ACCEPT)
+                continue
+            try:
+                key = state.selector(header_bytes)
+            except (IndexError, ValueError):
+                result.reject_reason = f"bad select in {state.name}"
+                return result
+            state_name = state.transitions.get(key, state.transitions.get(DEFAULT, REJECT))
+        raise ParserOverrunError("parse graph exceeded the state budget")
+
+
+def _be16(data: bytes, at: int) -> int:
+    return (data[at] << 8) | data[at + 1]
+
+
+def _ipv4_length(body: bytes) -> int:
+    if len(body) < 1:
+        raise ValueError("empty")
+    if body[0] >> 4 != 4:
+        raise ValueError("not v4")
+    return (body[0] & 0xF) * 4
+
+
+def gateway_parse_graph() -> ParseGraph:
+    """The XGW-H parse graph: outer VXLAN encapsulation + inner frame."""
+    graph = ParseGraph(start="ethernet")
+    graph.add_state(ParseState(
+        name="ethernet",
+        header_length=lambda b: 14,
+        selector=lambda b: _be16(b, 12),
+        transitions={ETHERTYPE_IPV4: "ipv4", ETHERTYPE_IPV6: "ipv6"},
+    ))
+    graph.add_state(ParseState(
+        name="ipv4",
+        header_length=_ipv4_length,
+        selector=lambda b: b[9],
+        transitions={PROTO_UDP: "udp", PROTO_TCP: "tcp", DEFAULT: ACCEPT},
+    ))
+    graph.add_state(ParseState(
+        name="ipv6",
+        header_length=lambda b: 40,
+        selector=lambda b: b[6],
+        transitions={PROTO_UDP: "udp", PROTO_TCP: "tcp", DEFAULT: ACCEPT},
+    ))
+    graph.add_state(ParseState(
+        name="udp",
+        header_length=lambda b: 8,
+        selector=lambda b: _be16(b, 2),  # destination port
+        transitions={VXLAN_PORT: "vxlan", DEFAULT: ACCEPT},
+    ))
+    graph.add_state(ParseState(
+        name="tcp",
+        header_length=lambda b: max(20, (b[12] >> 4) * 4),
+        transitions={DEFAULT: ACCEPT},
+    ))
+    graph.add_state(ParseState(
+        name="vxlan",
+        header_length=lambda b: 8,
+        selector=lambda b: b[0] & 0x08,  # I flag
+        transitions={0x08: "inner_ethernet", DEFAULT: REJECT},
+    ))
+    graph.add_state(ParseState(
+        name="inner_ethernet",
+        header_length=lambda b: 14,
+        selector=lambda b: _be16(b, 12),
+        transitions={ETHERTYPE_IPV4: "inner_ipv4", ETHERTYPE_IPV6: "inner_ipv6",
+                     DEFAULT: REJECT},
+    ))
+    graph.add_state(ParseState(
+        name="inner_ipv4",
+        header_length=_ipv4_length,
+        selector=lambda b: b[9],
+        transitions={PROTO_UDP: "inner_l4", PROTO_TCP: "inner_l4", DEFAULT: ACCEPT},
+    ))
+    graph.add_state(ParseState(
+        name="inner_ipv6",
+        header_length=lambda b: 40,
+        selector=lambda b: b[6],
+        transitions={PROTO_UDP: "inner_l4", PROTO_TCP: "inner_l4", DEFAULT: ACCEPT},
+    ))
+    graph.add_state(ParseState(
+        name="inner_l4",
+        header_length=lambda b: 8,
+        transitions={DEFAULT: ACCEPT},
+    ))
+    return graph

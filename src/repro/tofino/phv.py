@@ -1,0 +1,107 @@
+"""PHV / metadata model (§3.2, §6.2 "metadata tweaks").
+
+Metadata produced by table lookups travels in the packet header vector.
+Two architectural constraints matter to Sailfish:
+
+* the PHV has a finite bit budget ("also scarce, although not exhausted");
+* metadata cannot cross from an ingress pipe to an egress pipe — it must
+  be **bridged**, i.e. appended to the packet, which lengthens it on the
+  wire and costs throughput. Pipeline folding raises the number of
+  possible bridge points from 1 to 3 (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Total PHV capacity in bits. Tofino 1 exposes ~4 Kb of PHV containers.
+PHV_BUDGET_BITS = 4096
+
+
+class PhvOverflowError(Exception):
+    """Raised when metadata fields exceed the PHV bit budget."""
+
+
+@dataclass
+class Metadata:
+    """Named metadata fields with a bit budget, scoped to one gress.
+
+    >>> md = Metadata()
+    >>> md.set("next_hop_vni", 42, bits=24)
+    >>> md.get("next_hop_vni")
+    42
+    """
+
+    budget_bits: int = PHV_BUDGET_BITS
+    _fields: Dict[str, int] = field(default_factory=dict)
+    _widths: Dict[str, int] = field(default_factory=dict)
+
+    def set(self, name: str, value: int, bits: int) -> None:
+        """Write a field, charging *bits* to the budget on first write."""
+        if bits <= 0:
+            raise ValueError("field width must be positive")
+        if value < 0 or value >= (1 << bits):
+            raise ValueError(f"value {value} does not fit in {bits} bits")
+        known = self._widths.get(name)
+        if known is None:
+            if self.used_bits() + bits > self.budget_bits:
+                raise PhvOverflowError(
+                    f"PHV overflow adding {name} ({bits}b) to {self.used_bits()}b used"
+                )
+            self._widths[name] = bits
+        elif bits != known:
+            raise ValueError(f"field {name} redeclared at {bits}b (was {known}b)")
+        self._fields[name] = value
+
+    def get(self, name: str, default: int = None) -> int:
+        if name in self._fields:
+            return self._fields[name]
+        if default is not None:
+            return default
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def used_bits(self) -> int:
+        return sum(self._widths.values())
+
+    def clear(self) -> None:
+        self._fields.clear()
+        self._widths.clear()
+
+
+@dataclass
+class Bridge:
+    """Metadata carried across a gress boundary by appending to the packet.
+
+    ``wire_overhead_bytes`` is what the bridge adds to every packet's
+    on-wire length — the "throughput loss" the placement principles try
+    to minimise.
+    """
+
+    fields: Dict[str, int] = field(default_factory=dict)
+    widths: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def carry(cls, metadata: Metadata, names: "list[str]") -> "Bridge":
+        """Bridge the listed *names* out of *metadata*."""
+        bridge = cls()
+        for name in names:
+            if name not in metadata:
+                raise KeyError(f"cannot bridge unset field {name}")
+            bridge.fields[name] = metadata.get(name)
+            bridge.widths[name] = metadata._widths[name]
+        return bridge
+
+    def restore_into(self, metadata: Metadata) -> None:
+        """Unpack bridged fields into the next gress's metadata."""
+        for name, value in self.fields.items():
+            metadata.set(name, value, self.widths[name])
+
+    @property
+    def wire_overhead_bytes(self) -> int:
+        """Bytes appended on the wire: bridged bits rounded up to bytes."""
+        total_bits = sum(self.widths.values())
+        return (total_bits + 7) // 8

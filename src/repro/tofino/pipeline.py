@@ -1,0 +1,173 @@
+"""Pipeline mechanics: pipes, traversal order, folding, bridging (§3.2, §4.4).
+
+The chip has four pipelines, each with an ingress and an egress pipe.
+Programs are attached per (pipeline, gress). Two traversal modes:
+
+* **normal** — ingress pipe of the arrival pipeline, traffic manager,
+  egress pipe of the departure pipeline (4 entry pipelines, full
+  throughput);
+* **folded** (Fig. 13) — packets enter at Ingress 0/2, leave through
+  Egress 1/3 whose ports are looped back, re-enter at Ingress 1/3 and
+  finally exit via Egress 0/2. Throughput halves, latency doubles, and
+  every table gets twice the memory headroom.
+
+Metadata is scoped to a single gress; a program that needs fields
+downstream must bridge them (see :mod:`repro.tofino.phv`), which adds
+bytes to the packet between pipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.packet import Packet
+from .memory import NUM_PIPELINES, PipelineMemory
+from .phv import Bridge, Metadata
+
+
+class Gress(Enum):
+    INGRESS = "ingress"
+    EGRESS = "egress"
+
+
+PipeRef = Tuple[int, Gress]
+
+
+class Verdict(Enum):
+    """What a pipe program decided for the packet."""
+
+    CONTINUE = "continue"  # proceed to the next pipe in the path
+    DROP = "drop"
+    REDIRECT_X86 = "redirect-x86"  # leave the chip towards the software gateway
+    FORWARD = "forward"  # done; send out the front panel
+
+
+@dataclass
+class PipeResult:
+    """A pipe program's output."""
+
+    verdict: Verdict = Verdict.CONTINUE
+    packet: Optional[Packet] = None  # replacement packet (header rewrites)
+    bridge_fields: List[str] = field(default_factory=list)  # carry to next gress
+    drop_reason: str = ""
+
+
+#: A pipe program: (packet, metadata, pipe_ref) -> PipeResult.
+PipeProgram = Callable[[Packet, Metadata, PipeRef], PipeResult]
+
+
+@dataclass
+class Traversal:
+    """Record of one packet's trip through the chip."""
+
+    packet: Packet
+    verdict: Verdict
+    path: List[PipeRef]
+    drop_reason: str = ""
+    bridged_bytes: int = 0
+    pipes_traversed: int = 0
+
+
+class TraversalError(Exception):
+    """Raised on structural misuse (bad entry pipeline, missing program)."""
+
+
+def folded_path(entry_pipeline: int) -> List[PipeRef]:
+    """The pipe sequence for folded mode from *entry_pipeline* (0 or 2)."""
+    if entry_pipeline == 0:
+        pair = (0, 1)
+    elif entry_pipeline == 2:
+        pair = (2, 3)
+    else:
+        raise TraversalError(f"folded entry must be pipeline 0 or 2, got {entry_pipeline}")
+    a, b = pair
+    return [
+        (a, Gress.INGRESS),
+        (b, Gress.EGRESS),  # loopback ports
+        (b, Gress.INGRESS),
+        (a, Gress.EGRESS),
+    ]
+
+
+def normal_path(entry_pipeline: int, exit_pipeline: Optional[int] = None) -> List[PipeRef]:
+    """The pipe sequence for normal mode."""
+    if not 0 <= entry_pipeline < NUM_PIPELINES:
+        raise TraversalError(f"bad entry pipeline {entry_pipeline}")
+    exit_p = entry_pipeline if exit_pipeline is None else exit_pipeline
+    if not 0 <= exit_p < NUM_PIPELINES:
+        raise TraversalError(f"bad exit pipeline {exit_p}")
+    return [(entry_pipeline, Gress.INGRESS), (exit_p, Gress.EGRESS)]
+
+
+class PipelineFabric:
+    """Programs + memory for the four pipelines, and packet traversal.
+
+    >>> fabric = PipelineFabric(folded=True)
+    >>> fabric.entry_pipelines()
+    [0, 2]
+    """
+
+    def __init__(self, folded: bool = False):
+        self.folded = folded
+        self._programs: Dict[PipeRef, PipeProgram] = {}
+        self.memory = [PipelineMemory(i) for i in range(NUM_PIPELINES)]
+        # Per-pipe packet counters, e.g. Fig. 20/21 Egress Pipe 1 vs 3.
+        self.pipe_packets: Dict[PipeRef, int] = {}
+
+    def attach(self, pipeline: int, gress: Gress, program: PipeProgram) -> None:
+        """Install *program* on one pipe."""
+        if not 0 <= pipeline < NUM_PIPELINES:
+            raise TraversalError(f"bad pipeline {pipeline}")
+        self._programs[(pipeline, gress)] = program
+
+    def entry_pipelines(self) -> List[int]:
+        """Pipelines whose front-panel ports accept traffic."""
+        return [0, 2] if self.folded else list(range(NUM_PIPELINES))
+
+    def path_for(self, entry_pipeline: int, exit_pipeline: Optional[int] = None) -> List[PipeRef]:
+        if self.folded:
+            return folded_path(entry_pipeline)
+        return normal_path(entry_pipeline, exit_pipeline)
+
+    def process(self, packet: Packet, entry_pipeline: int) -> Traversal:
+        """Run *packet* through the pipe sequence, bridging metadata."""
+        path = self.path_for(entry_pipeline)
+        metadata = Metadata()
+        pending_bridge: Optional[Bridge] = None
+        bridged_bytes = 0
+        traversed: List[PipeRef] = []
+        current = packet
+        for ref in path:
+            program = self._programs.get(ref)
+            if program is None:
+                raise TraversalError(f"no program attached at pipeline {ref[0]} {ref[1].value}")
+            # Gress boundary: metadata does not survive; bridges do.
+            metadata = Metadata()
+            if pending_bridge is not None:
+                pending_bridge.restore_into(metadata)
+                pending_bridge = None
+            result = program(current, metadata, ref)
+            traversed.append(ref)
+            self.pipe_packets[ref] = self.pipe_packets.get(ref, 0) + 1
+            if result.packet is not None:
+                current = result.packet
+            if result.verdict is Verdict.DROP:
+                return Traversal(current, Verdict.DROP, traversed, result.drop_reason,
+                                 bridged_bytes, len(traversed))
+            if result.verdict in (Verdict.FORWARD, Verdict.REDIRECT_X86):
+                return Traversal(current, result.verdict, traversed, result.drop_reason,
+                                 bridged_bytes, len(traversed))
+            if result.bridge_fields:
+                pending_bridge = Bridge.carry(metadata, result.bridge_fields)
+                bridged_bytes += pending_bridge.wire_overhead_bytes
+        return Traversal(current, Verdict.FORWARD, traversed, "", bridged_bytes, len(traversed))
+
+    def egress_pipe_share(self) -> Dict[int, int]:
+        """Packets seen by each egress pipe (Fig. 20/21's balance metric)."""
+        return {
+            pipeline: count
+            for (pipeline, gress), count in self.pipe_packets.items()
+            if gress is Gress.EGRESS
+        }

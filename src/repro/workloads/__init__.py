@@ -1,0 +1,62 @@
+"""Synthetic workloads: topologies, flows, packets, updates, datasets."""
+
+from .datasets import CPU_VS_PORT_TREND, TrendPoint, growth_factors, moores_law_factor
+from .flows import (
+    FlowSpec,
+    diurnal_multiplier,
+    festival_series,
+    heavy_hitter_flows,
+    split_flows_over_gateways,
+)
+from .topology import (
+    BASE_VNI,
+    RegionTopology,
+    SNAT_SERVICE_TARGET,
+    VmRecord,
+    VpcRecord,
+    generate_topology,
+)
+from .traffic import (
+    GATEWAY_UNDERLAY_IP,
+    RegionTrafficGenerator,
+    TrafficSample,
+    build_vxlan_packet,
+    inner_flow,
+)
+from .updates import (
+    UpdateEvent,
+    UpdateKind,
+    entry_count_series,
+    generate_update_events,
+    sudden_events,
+    update_rate_per_day,
+)
+
+__all__ = [
+    "CPU_VS_PORT_TREND",
+    "TrendPoint",
+    "growth_factors",
+    "moores_law_factor",
+    "FlowSpec",
+    "heavy_hitter_flows",
+    "diurnal_multiplier",
+    "festival_series",
+    "split_flows_over_gateways",
+    "BASE_VNI",
+    "SNAT_SERVICE_TARGET",
+    "RegionTopology",
+    "VpcRecord",
+    "VmRecord",
+    "generate_topology",
+    "RegionTrafficGenerator",
+    "TrafficSample",
+    "build_vxlan_packet",
+    "inner_flow",
+    "GATEWAY_UNDERLAY_IP",
+    "UpdateEvent",
+    "UpdateKind",
+    "generate_update_events",
+    "entry_count_series",
+    "sudden_events",
+    "update_rate_per_day",
+]

@@ -1,0 +1,70 @@
+"""Embedded historical datasets (Fig. 8).
+
+Fig. 8 plots Intel i7 single-/multi-core Geekbench scores against ToR
+switch port speeds from 2010 to 2020. The series below are transcribed
+from the figure's stated trend: port speed 10 -> 400 GbE (40x),
+multi-core ~4x, single-core ~2.5x over the decade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    year: int
+    single_core: float  # Geekbench-style score
+    multi_core: float
+    port_speed_gbps: float
+    switch_example: str = ""
+
+
+#: One point every two years, matching the figure's markers.
+CPU_VS_PORT_TREND: Tuple[TrendPoint, ...] = (
+    TrendPoint(2010, 560, 2100, 10, "Sun 10GbE Switch 72p"),
+    TrendPoint(2012, 700, 2800, 40, ""),
+    TrendPoint(2014, 850, 3600, 40, ""),
+    TrendPoint(2016, 1000, 4700, 100, "Mellanox SN2410"),
+    TrendPoint(2018, 1150, 6200, 100, "Wedge 100BF-65X"),
+    TrendPoint(2020, 1400, 8400, 400, "Cisco Nexus 9364D-GX2A"),
+)
+
+
+def growth_factors() -> Tuple[float, float, float]:
+    """(single-core, multi-core, port-speed) growth 2010 -> 2020.
+
+    >>> single, multi, port = growth_factors()
+    >>> port / single > 10  # ports outran single cores by over an order
+    True
+    """
+    first, last = CPU_VS_PORT_TREND[0], CPU_VS_PORT_TREND[-1]
+    return (
+        last.single_core / first.single_core,
+        last.multi_core / first.multi_core,
+        last.port_speed_gbps / first.port_speed_gbps,
+    )
+
+
+def years() -> List[int]:
+    return [p.year for p in CPU_VS_PORT_TREND]
+
+
+def series(name: str) -> List[float]:
+    """One named series: 'single', 'multi' or 'port'."""
+    attr = {
+        "single": "single_core",
+        "multi": "multi_core",
+        "port": "port_speed_gbps",
+    }.get(name)
+    if attr is None:
+        raise ValueError(f"unknown series {name!r}")
+    return [getattr(p, attr) for p in CPU_VS_PORT_TREND]
+
+
+def moores_law_factor(years_elapsed: float, doubling_years: float = 2.0) -> float:
+    """Transistor-count growth for comparison against the series."""
+    if years_elapsed < 0:
+        raise ValueError("years_elapsed must be non-negative")
+    return 2.0 ** (years_elapsed / doubling_years)

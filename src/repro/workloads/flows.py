@@ -1,0 +1,139 @@
+"""Flow-level workload generators: heavy hitters and festival load curves.
+
+The CPU-overload story (Figs. 4-7) is driven by two production facts the
+paper states: flow rates are Zipf-skewed ("a single flow ... can even
+reach tens of Gbps") and load peaks during shopping festivals. Both are
+generated here with seeded randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..net.flow import FlowKey
+from ..sim.rand import derive, make_rng, zipf_weights
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow with its offered rate and owning tenant."""
+
+    flow: FlowKey
+    pps: float
+    vni: int
+
+
+def heavy_hitter_flows(
+    num_flows: int,
+    total_pps: float,
+    seed,
+    alpha: float = 1.1,
+    vnis: Optional[Sequence[int]] = None,
+    version: int = 4,
+    max_pps: Optional[float] = None,
+) -> List[FlowSpec]:
+    """Zipf(alpha)-skewed flows summing to *total_pps*.
+
+    With alpha ~ 1.1 over ~100 flows the top-1/2 flows carry the bulk of
+    the traffic, matching Fig. 7's overload scenes.
+
+    *max_pps* caps any single flow's rate (physically: a flow cannot
+    exceed its sender's link — the paper's elephants reach "tens of
+    Gbps", i.e. a few Mpps, not a whole region). Capped excess is
+    redistributed over the uncapped tail, preserving ``total_pps``.
+    """
+    if num_flows <= 0:
+        raise ValueError("num_flows must be positive")
+    rng = derive(seed, "flows")
+    weights = zipf_weights(num_flows, alpha)
+    if max_pps is not None and total_pps > 0:
+        if max_pps * num_flows < total_pps:
+            raise ValueError("max_pps too small: total load infeasible")
+        cap = max_pps / total_pps
+        # Waterfill: clip heavy ranks to the cap, re-normalise the rest.
+        for _ in range(num_flows):
+            clipped = sum(min(w, cap) for w in weights)
+            free = sum(w for w in weights if w < cap)
+            if clipped >= 1.0 - 1e-12 or free == 0.0:
+                break
+            scale = (1.0 - sum(cap for w in weights if w >= cap)) / free
+            new_weights = [cap if w >= cap else w * scale for w in weights]
+            if new_weights == weights:
+                break
+            weights = new_weights
+        total_weight = sum(weights)
+        weights = [w / total_weight for w in weights]
+    vni_pool = list(vnis) if vnis else [1000]
+    specs = []
+    for rank, weight in enumerate(weights):
+        flow = FlowKey(
+            src_ip=rng.randrange(1 << 32) if version == 4 else rng.randrange(1 << 128),
+            dst_ip=rng.randrange(1 << 32) if version == 4 else rng.randrange(1 << 128),
+            proto=6,
+            src_port=rng.randrange(1024, 65536),
+            dst_port=rng.choice((80, 443, 8080, 3306)),
+            version=version,
+        )
+        specs.append(FlowSpec(flow=flow, pps=weight * total_pps, vni=rng.choice(vni_pool)))
+    return specs
+
+
+def diurnal_multiplier(hour_of_day: float, trough: float = 0.55) -> float:
+    """A smooth day/night load curve in [trough, 1.0], peaking at 21:00."""
+    if not 0.0 <= hour_of_day < 24.0:
+        raise ValueError("hour_of_day must be in [0, 24)")
+    phase = (hour_of_day - 21.0) / 24.0 * 2.0 * math.pi
+    mid = (1.0 + trough) / 2.0
+    amplitude = (1.0 - trough) / 2.0
+    return mid + amplitude * math.cos(phase)
+
+
+def festival_series(
+    days: int,
+    samples_per_day: int,
+    base_pps: float,
+    seed,
+    festival_day: Optional[int] = None,
+    festival_boost: float = 2.5,
+    jitter: float = 0.05,
+) -> List[Tuple[float, float]]:
+    """(time_days, offered_pps) samples for a (festival) week (Figs. 5, 19).
+
+    Load follows a diurnal curve with multiplicative noise; on the
+    festival day the level rises by *festival_boost* (the "Double 11"
+    midnight surge).
+    """
+    if days <= 0 or samples_per_day <= 0:
+        raise ValueError("days and samples_per_day must be positive")
+    rng = derive(seed, "festival")
+    samples = []
+    for day in range(days):
+        for s in range(samples_per_day):
+            t = day + s / samples_per_day
+            hour = (s / samples_per_day) * 24.0
+            level = base_pps * diurnal_multiplier(hour)
+            if festival_day is not None and day == festival_day:
+                level *= festival_boost
+            level *= 1.0 + rng.uniform(-jitter, jitter)
+            samples.append((t, level))
+    return samples
+
+
+def split_flows_over_gateways(
+    flows: Sequence[FlowSpec], num_gateways: int
+) -> List[List[FlowSpec]]:
+    """ECMP-style flow distribution over gateways (Fig. 6's balance).
+
+    Uses the flow hash, as the upstream balancer does, so per-gateway
+    load is balanced in aggregate but individual heavy flows stay whole.
+    """
+    from ..net.flow import toeplitz_hash
+
+    if num_gateways <= 0:
+        raise ValueError("num_gateways must be positive")
+    buckets: List[List[FlowSpec]] = [[] for _ in range(num_gateways)]
+    for spec in flows:
+        buckets[toeplitz_hash(spec.flow.to_rss_input()) % num_gateways].append(spec)
+    return buckets

@@ -1,0 +1,156 @@
+"""Synthetic region topology: VPCs, subnets, VMs, NCs, peerings.
+
+Stands in for the paper's production inventory ("a single cloud region
+can host millions of VPCs and millions of VMs ... a top customer can
+purchase millions of VMs even in a single VPC"): VPC sizes follow a
+Zipf distribution so a few tenants dominate, and VPC pairs peer with a
+configurable probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.addr import Prefix
+from ..sim.rand import derive, zipf_weights
+from ..tables.vm_nc import NcBinding
+from ..tables.vxlan_routing import RouteAction, Scope
+
+#: First tenant VNI; VNIs below this are reserved for services.
+BASE_VNI = 1000
+#: The special VNI tag marking SNAT-bound (Internet) traffic (§4.2).
+SNAT_SERVICE_TARGET = "snat"
+
+
+@dataclass(frozen=True)
+class VmRecord:
+    """One VM: overlay address + hosting NC."""
+
+    vni: int
+    ip: int
+    version: int
+    nc_ip: int
+
+    def binding(self) -> NcBinding:
+        return NcBinding(nc_ip=self.nc_ip)
+
+
+@dataclass
+class VpcRecord:
+    """One VPC: subnets, VMs and peer VPCs."""
+
+    vni: int
+    subnets: List[Prefix] = field(default_factory=list)
+    vms: List[VmRecord] = field(default_factory=list)
+    peers: List[int] = field(default_factory=list)
+
+    @property
+    def route_count(self) -> int:
+        # One LOCAL route per subnet + peer routes toward each peer subnet.
+        return len(self.subnets)
+
+
+@dataclass
+class RegionTopology:
+    """Everything the controller installs for a region."""
+
+    vpcs: Dict[int, VpcRecord] = field(default_factory=dict)
+    ncs: List[int] = field(default_factory=list)
+
+    @property
+    def total_vms(self) -> int:
+        return sum(len(v.vms) for v in self.vpcs.values())
+
+    def vnis(self) -> List[int]:
+        return sorted(self.vpcs)
+
+    def route_entries(self, vni: int) -> Iterator[Tuple[int, Prefix, RouteAction]]:
+        """All routing entries for one VPC: LOCAL subnets, PEER subnets,
+        and the SNAT default for Internet-bound traffic."""
+        vpc = self.vpcs[vni]
+        for subnet in vpc.subnets:
+            yield vni, subnet, RouteAction(Scope.LOCAL)
+        for peer_vni in vpc.peers:
+            for subnet in self.vpcs[peer_vni].subnets:
+                yield vni, subnet, RouteAction(Scope.PEER, next_hop_vni=peer_vni)
+        # IPv4 Internet access needs SNAT (few public IPs, many VMs);
+        # IPv6 VMs hold globally routable addresses and exit directly.
+        yield vni, Prefix.parse("0.0.0.0/0"), RouteAction(
+            Scope.SERVICE, target=SNAT_SERVICE_TARGET
+        )
+        yield vni, Prefix.parse("::/0"), RouteAction(Scope.INTERNET, target="v6-uplink")
+
+    def vm_entries(self, vni: int) -> Iterator[VmRecord]:
+        yield from self.vpcs[vni].vms
+
+    def total_routes(self) -> int:
+        return sum(
+            len(list(self.route_entries(vni))) for vni in self.vpcs
+        )
+
+
+def _subnet_for(index: int, version: int) -> Prefix:
+    """Deterministic non-overlapping tenant subnets."""
+    if version == 4:
+        # 172.16.0.0/12 carved into /24s: 2^12 x 2^8 subnets is plenty
+        # for simulation scale (indices wrap within the /12).
+        base = (172 << 24) | (16 << 16)
+        return Prefix(base + ((index & 0xFFFFF) << 8), 24, 4)
+    base6 = 0xFD00 << 112
+    return Prefix(base6 | (index << 64), 64, 6)
+
+
+def generate_topology(
+    num_vpcs: int,
+    total_vms: int,
+    seed,
+    subnets_per_vpc: int = 2,
+    vm_size_alpha: float = 1.2,
+    peering_fraction: float = 0.3,
+    ipv6_fraction: float = 0.25,
+    num_ncs: int = 256,
+    subnet_base_index: int = 0,
+) -> RegionTopology:
+    """Build a Zipf-skewed region.
+
+    *peering_fraction* of VPCs get one peer each; VM counts per VPC are
+    Zipf(*vm_size_alpha*) so top customers dominate (§3.3).
+    *subnet_base_index* offsets the tenant address plan so that multiple
+    regions get disjoint CIDRs (required for cross-region connections).
+    """
+    if num_vpcs <= 0 or total_vms < 0:
+        raise ValueError("need a positive number of VPCs")
+    rng = derive(seed, "topology")
+    topo = RegionTopology()
+    topo.ncs = [(10 << 24) | (1 << 16) | (i >> 8 << 8) | (i & 0xFF) for i in range(num_ncs)]
+
+    weights = zipf_weights(num_vpcs, vm_size_alpha)
+    vm_counts = [round(w * total_vms) for w in weights]
+
+    subnet_index = subnet_base_index
+    for i in range(num_vpcs):
+        vni = BASE_VNI + i
+        vpc = VpcRecord(vni=vni)
+        for s in range(subnets_per_vpc):
+            want_v6 = rng.random() < ipv6_fraction and s > 0
+            vpc.subnets.append(_subnet_for(subnet_index, 6 if want_v6 else 4))
+            subnet_index += 1
+        # Place VMs inside the v4 subnets (v6 VMs allowed in v6 subnets).
+        for v in range(max(1, vm_counts[i])):
+            subnet = vpc.subnets[v % len(vpc.subnets)]
+            host = 2 + (v // len(vpc.subnets)) % 250
+            vm_ip = subnet.network + host
+            nc_ip = topo.ncs[rng.randrange(len(topo.ncs))]
+            vpc.vms.append(VmRecord(vni=vni, ip=vm_ip, version=subnet.version, nc_ip=nc_ip))
+        topo.vpcs[vni] = vpc
+
+    # Peerings between consecutive tenants (deterministic given the rng).
+    vnis = topo.vnis()
+    for vni in vnis:
+        if rng.random() < peering_fraction and len(vnis) > 1:
+            peer = vnis[(vnis.index(vni) + 1) % len(vnis)]
+            if peer != vni and peer not in topo.vpcs[vni].peers:
+                topo.vpcs[vni].peers.append(peer)
+                topo.vpcs[peer].peers.append(vni)
+    return topo

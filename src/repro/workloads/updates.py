@@ -1,0 +1,87 @@
+"""Table-update event streams (Fig. 23, §5.2).
+
+"For most of the time, the table is updated very slowly with sudden
+increases of table entries occurring infrequently. The sudden increases
+are mainly ascribed to the arrival of top customers who purchase a large
+number of VMs or conduct a batch of route updates all at once."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence
+
+from ..sim.rand import derive
+from ..telemetry.timeseries import TimeSeries
+
+
+class UpdateKind(Enum):
+    REGULAR = "regular"  # organic adds/removes
+    SUDDEN = "sudden"  # top-customer batch
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One table mutation batch."""
+
+    time_days: float
+    kind: UpdateKind
+    delta_entries: int  # signed
+
+
+def generate_update_events(
+    days: int,
+    seed,
+    regular_per_day: float = 24.0,
+    regular_mean_delta: float = 40.0,
+    sudden_probability_per_day: float = 0.1,
+    sudden_mean_delta: float = 50_000.0,
+    removal_fraction: float = 0.35,
+) -> List[UpdateEvent]:
+    """A month of updates: Poisson regular churn + rare large batches."""
+    if days <= 0:
+        raise ValueError("days must be positive")
+    rng = derive(seed, "updates")
+    events: List[UpdateEvent] = []
+    for day in range(days):
+        # Regular churn: small adds, occasionally removals.
+        count = max(0, round(rng.gauss(regular_per_day, regular_per_day ** 0.5)))
+        for _ in range(count):
+            t = day + rng.random()
+            delta = max(1, round(rng.expovariate(1.0 / regular_mean_delta)))
+            if rng.random() < removal_fraction:
+                delta = -delta
+            events.append(UpdateEvent(t, UpdateKind.REGULAR, delta))
+        # Sudden batch: an informed-ahead-of-time top customer onboarding.
+        if rng.random() < sudden_probability_per_day:
+            t = day + rng.random()
+            delta = max(1, round(rng.expovariate(1.0 / sudden_mean_delta)))
+            events.append(UpdateEvent(t, UpdateKind.SUDDEN, delta))
+    events.sort(key=lambda e: e.time_days)
+    return events
+
+
+def entry_count_series(
+    events: Sequence[UpdateEvent], initial_entries: int, name: str = "entries"
+) -> TimeSeries:
+    """Integrate events into the Fig. 23 table-size curve."""
+    series = TimeSeries(name)
+    current = initial_entries
+    series.record(0.0, current)
+    for event in events:
+        current = max(0, current + event.delta_entries)
+        series.record(event.time_days, current)
+    return series
+
+
+def sudden_events(events: Sequence[UpdateEvent]) -> List[UpdateEvent]:
+    return [e for e in events if e.kind is UpdateKind.SUDDEN]
+
+
+def update_rate_per_day(events: Sequence[UpdateEvent], days: int) -> float:
+    """Mean mutations per day — the paper: "regular table updates occur
+    at a relatively low frequency"."""
+    if days <= 0:
+        raise ValueError("days must be positive")
+    return len(events) / days

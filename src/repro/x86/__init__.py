@@ -1,0 +1,28 @@
+"""XGW-x86 software-gateway simulator: NIC/RSS, cores, gateway box."""
+
+from .cpu import Core, CoreInterval, CpuComplex, DEFAULT_CORE_PPS
+from .gateway import (
+    DEFAULT_CORES,
+    DEFAULT_NIC_BPS,
+    FORWARDING_LATENCY_US,
+    IntervalReport,
+    XgwX86,
+)
+from .nic import Nic
+from .spray import PacketSprayModel, SprayInterval, compare_models
+
+__all__ = [
+    "Core",
+    "CoreInterval",
+    "CpuComplex",
+    "DEFAULT_CORE_PPS",
+    "DEFAULT_CORES",
+    "DEFAULT_NIC_BPS",
+    "FORWARDING_LATENCY_US",
+    "IntervalReport",
+    "XgwX86",
+    "Nic",
+    "PacketSprayModel",
+    "SprayInterval",
+    "compare_models",
+]

@@ -1,0 +1,139 @@
+"""CPU core model: run-to-completion workers with overload loss (§2.3).
+
+Each core polls one RX queue (DPDK run-to-completion). A core processes
+at most ``capacity_pps`` packets per second; offered load beyond that is
+dropped from the queue. Utilisation and drops are what Figs. 4, 5 and 7
+plot.
+
+Two loss mechanisms:
+
+* **sustained overload** — mean offered load above capacity; the excess
+  is dropped outright;
+* **micro-bursts** — the paper notes the CPU plots are coarse and "packet
+  loss will occur when CPU core utilization reaches 100% even in a very
+  short moment". We model instantaneous load as lognormal around the
+  interval mean; :func:`microburst_loss_fraction` is the closed-form
+  expected clipped excess. It vanishes for lightly loaded cores and
+  produces the ~1e-5..1e-4 region loss of Fig. 5 when one core runs hot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..net.flow import FlowKey
+
+
+def _phi(x: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * math.erfc(-x / math.sqrt(2.0))
+
+
+def microburst_loss_fraction(mean_utilization: float, sigma: float) -> float:
+    """Fraction of packets lost to instantaneous 100% spikes.
+
+    Instantaneous utilisation U is lognormal with mean
+    *mean_utilization* and log-stddev *sigma*; the lost fraction is
+    ``E[(U - 1)+] / E[U]`` (the clipped excess), which has the
+    Black-Scholes-style closed form used here.
+
+    >>> microburst_loss_fraction(0.3, 0.12) < 1e-12
+    True
+    >>> 1e-5 < microburst_loss_fraction(0.75, 0.12) < 1e-2
+    True
+    """
+    if mean_utilization <= 0.0:
+        return 0.0
+    if sigma <= 0.0:
+        return max(0.0, mean_utilization - 1.0) / mean_utilization
+    mu = math.log(mean_utilization) - sigma * sigma / 2.0
+    d1 = (mu + sigma * sigma) / sigma  # = (ln(m) + sigma^2/2 - ln(1)) / sigma
+    d2 = d1 - sigma
+    excess = mean_utilization * _phi(d1) - _phi(d2)
+    return max(0.0, excess) / mean_utilization
+
+#: Paper: "~1Mpps per CPU core" with DPDK. We use the calibrated value
+#: that makes a 32-core box sum to the measured 25 Mpps of Fig. 18(b).
+DEFAULT_CORE_PPS = 781_250.0
+
+
+@dataclass
+class CoreInterval:
+    """One core's accounting over a sampling interval."""
+
+    offered_pps: float = 0.0
+    processed_pps: float = 0.0
+    dropped_pps: float = 0.0
+    flow_share: Dict[FlowKey, float] = field(default_factory=dict)
+
+    _util: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of core capacity consumed (capped at 1.0)."""
+        return self._util
+
+
+@dataclass
+class Core:
+    """One polling core.
+
+    *burstiness* is the log-stddev of instantaneous load within an
+    interval (0.0 disables the micro-burst loss model).
+    """
+
+    index: int
+    capacity_pps: float = DEFAULT_CORE_PPS
+    burstiness: float = 0.0
+
+    def serve(self, offered: Sequence[Tuple[FlowKey, float]]) -> CoreInterval:
+        """Serve an interval of offered (flow, pps) load.
+
+        Drops are proportional across flows when the core saturates —
+        the RX queue overflows without regard to which flow a packet
+        belongs to.
+        """
+        interval = CoreInterval()
+        total = sum(pps for _flow, pps in offered)
+        interval.offered_pps = total
+        if total <= self.capacity_pps:
+            mean_util = total / self.capacity_pps if self.capacity_pps else 0.0
+            burst_loss = microburst_loss_fraction(mean_util, self.burstiness)
+            interval.dropped_pps = total * burst_loss
+            interval.processed_pps = total - interval.dropped_pps
+            interval._util = mean_util
+        else:
+            interval.processed_pps = self.capacity_pps
+            interval.dropped_pps = total - self.capacity_pps
+            interval._util = 1.0
+        for flow, pps in offered:
+            interval.flow_share[flow] = pps / total if total else 0.0
+        return interval
+
+
+class CpuComplex:
+    """All cores of one gateway box."""
+
+    def __init__(self, num_cores: int = 32, core_pps: float = DEFAULT_CORE_PPS,
+                 burstiness: float = 0.0):
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.cores = [Core(i, core_pps, burstiness) for i in range(num_cores)]
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    @property
+    def total_capacity_pps(self) -> float:
+        return sum(core.capacity_pps for core in self.cores)
+
+    def serve_queues(
+        self, per_queue: Dict[int, List[Tuple[FlowKey, float]]]
+    ) -> List[CoreInterval]:
+        """Serve one interval: queue *i* is pinned to core *i*."""
+        results = []
+        for core in self.cores:
+            results.append(core.serve(per_queue.get(core.index, [])))
+        return results

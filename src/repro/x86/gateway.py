@@ -1,0 +1,134 @@
+"""XGW-x86: the DPDK-style software gateway (§2.2-2.3).
+
+Two faces:
+
+* a **functional** gateway — full DRAM-backed tables, the shared
+  forwarding program, plus stateful services (SNAT) the hardware
+  cannot run;
+* a **capacity model** — NIC bandwidth, RSS queueing and per-core pps
+  limits, used by the longitudinal CPU-overload experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataplane.gateway_logic import ForwardAction, ForwardResult, GatewayTables, forward
+from ..dataplane.services import SnatService
+from ..net.flow import FlowKey
+from ..net.packet import Packet
+from ..tables.snat import SnatTable
+from ..telemetry.stats import CounterSet
+from .cpu import CoreInterval, CpuComplex, DEFAULT_CORE_PPS
+from .nic import Nic
+
+#: Calibration for Fig. 18 / §2.3: a ~$10K box that "can maximally handle
+#: 100Gbps", 32 cores. 3.2T / 100G > 20x bps; 1.8G / 25M = 72x pps; the
+#: CPU becomes the bottleneck below ~480B packets ("line rate with packets
+#: larger than 512B").
+DEFAULT_NIC_BPS = 100e9
+DEFAULT_CORES = 32
+#: Measured forwarding latency of the paper's XGW-x86 (Fig. 18c).
+FORWARDING_LATENCY_US = 40.0
+
+
+@dataclass
+class IntervalReport:
+    """One sampling interval of the capacity model."""
+
+    core_intervals: List[CoreInterval]
+    offered_pps: float
+    dropped_pps: float
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped_pps / self.offered_pps if self.offered_pps else 0.0
+
+    def utilizations(self) -> List[float]:
+        return [ci.utilization for ci in self.core_intervals]
+
+
+class XgwX86:
+    """One software gateway box.
+
+    >>> gw = XgwX86(gateway_ip=0x0A00000A)
+    >>> gw.total_capacity_pps > 0
+    True
+    """
+
+    def __init__(
+        self,
+        gateway_ip: int,
+        tables: Optional[GatewayTables] = None,
+        snat: Optional[SnatTable] = None,
+        num_cores: int = DEFAULT_CORES,
+        core_pps: float = DEFAULT_CORE_PPS,
+        nic_bps: float = DEFAULT_NIC_BPS,
+        burstiness: float = 0.0,
+    ):
+        self.gateway_ip = gateway_ip
+        self.tables = tables if tables is not None else GatewayTables()
+        self.cpu = CpuComplex(num_cores=num_cores, core_pps=core_pps,
+                              burstiness=burstiness)
+        self.nic = Nic(bandwidth_bps=nic_bps, num_queues=num_cores)
+        self.snat_service = (
+            SnatService(snat, self.tables, gateway_ip) if snat is not None else None
+        )
+        self.counters = CounterSet()
+
+    # -- functional path ----------------------------------------------------
+
+    def forward(self, packet: Packet, now: float = 0.0) -> ForwardResult:
+        """Forward one packet through the full software program."""
+        self.counters.add("rx_packets")
+        result = forward(self.tables, packet, self.gateway_ip, now)
+        if (
+            result.action is ForwardAction.REDIRECT_X86
+            and self.snat_service is not None
+            and result.detail == "snat"
+        ):
+            # We *are* the software gateway: run the service locally.
+            result = self.snat_service.handle_request(packet, now)
+        self.counters.add(f"action_{result.action.value.replace('-', '_')}")
+        return result
+
+    def forward_response(self, packet: Packet, now: float = 0.0) -> ForwardResult:
+        """Handle an Internet-side response (SNAT reverse path)."""
+        if self.snat_service is None:
+            return ForwardResult(ForwardAction.DROP, packet, detail="no-snat")
+        self.counters.add("rx_packets")
+        result = self.snat_service.handle_response(packet, now)
+        self.counters.add(f"action_{result.action.value.replace('-', '_')}")
+        return result
+
+    # -- capacity model -------------------------------------------------------
+
+    @property
+    def total_capacity_pps(self) -> float:
+        return self.cpu.total_capacity_pps
+
+    def max_pps(self, packet_bytes: int) -> float:
+        """Box limit at one packet size: min(NIC, CPU)."""
+        return min(self.nic.max_pps(packet_bytes), self.total_capacity_pps)
+
+    def min_line_rate_packet(self) -> int:
+        """Smallest packet size forwarded at NIC line rate (Fig. 18b).
+
+        The paper: "XGW-x86 reaches line rate with packets larger than
+        512B".
+        """
+        size = 64
+        while self.nic.max_pps(size) > self.total_capacity_pps:
+            size += 1
+        return size
+
+    def serve_interval(self, flows: Sequence[Tuple[FlowKey, float]]) -> IntervalReport:
+        """Offer (flow, pps) load for one interval through RSS + cores."""
+        per_queue: Dict[int, List[Tuple[FlowKey, float]]] = {}
+        for flow, pps in flows:
+            per_queue.setdefault(self.nic.queue_for(flow), []).append((flow, pps))
+        intervals = self.cpu.serve_queues(per_queue)
+        offered = sum(pps for _f, pps in flows)
+        dropped = sum(ci.dropped_pps for ci in intervals)
+        return IntervalReport(core_intervals=intervals, offered_pps=offered, dropped_pps=dropped)

@@ -1,0 +1,45 @@
+"""NIC model with receive-side scaling (§2.3).
+
+The NIC spreads flows over RX queues using the Toeplitz RSS hash — the
+exact mechanism that makes heavy-hitter flows stick to one unlucky core:
+"flow-based hashing guarantees intra-flow in-order packet processing;
+however, it also causes potential CPU core overuse if multiple
+heavy-hitter flows are hashed into the same CPU core, even though the
+hashing algorithm itself is perfectly random."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..net.flow import FlowKey, rss_queue
+
+
+@dataclass
+class Nic:
+    """A multi-queue NIC: fixed bandwidth, RSS to *num_queues* RX queues."""
+
+    bandwidth_bps: float
+    num_queues: int
+    _queue_cache: Dict[FlowKey, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.num_queues <= 0:
+            raise ValueError("need at least one RX queue")
+
+    def queue_for(self, flow: FlowKey) -> int:
+        """RX queue for *flow* (Toeplitz hash, memoized per flow)."""
+        queue = self._queue_cache.get(flow)
+        if queue is None:
+            queue = rss_queue(flow, self.num_queues)
+            self._queue_cache[flow] = queue
+        return queue
+
+    def max_pps(self, packet_bytes: int, wire_overhead: int = 20) -> float:
+        """Packets/s the ports can carry at one packet size."""
+        if packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        return self.bandwidth_bps / (8 * (packet_bytes + wire_overhead))

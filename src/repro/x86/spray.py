@@ -1,0 +1,140 @@
+"""The road not taken: packet-spraying / pipeline execution (§2.3).
+
+The paper explains why XGW-x86 keeps the run-to-completion model even
+though it strands capacity on heavy-hitter cores: "Changing the
+run-to-completion model to a pipeline model may ameliorate the problem,
+but the pipeline model on x86 CPUs also has its own problems such as
+inter-core transfer performance penalty at the L3 cache" — and without
+the dedicated sequence-preserving hardware of network processors,
+packet-based load balancing reorders flows.
+
+This module models that alternative so the trade-off can be measured:
+
+* spraying balances load perfectly (no per-core hotspots), but
+* every packet pays an inter-core transfer penalty, shrinking effective
+  capacity, and
+* packets of one flow served by different cores finish out of order with
+  a probability driven by service-time jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..net.flow import FlowKey
+from .cpu import DEFAULT_CORE_PPS
+
+#: Fraction of a core consumed by cross-core packet hand-off (L3 cache
+#: line transfers, software queueing) in the pipeline model.
+DEFAULT_TRANSFER_PENALTY = 0.3
+#: Coefficient of variation of per-packet service time across cores.
+DEFAULT_SERVICE_JITTER = 0.5
+
+
+@dataclass(frozen=True)
+class SprayInterval:
+    """One interval of the packet-spraying model."""
+
+    offered_pps: float
+    processed_pps: float
+    dropped_pps: float
+    reordered_fraction: float
+    mean_utilization: float
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped_pps / self.offered_pps if self.offered_pps else 0.0
+
+
+class PacketSprayModel:
+    """A pipeline-model software gateway: packets sprayed over all cores.
+
+    >>> model = PacketSprayModel(num_cores=8, core_pps=1000.0)
+    >>> interval = model.serve([(None, 4000.0)])
+    >>> interval.dropped_pps
+    0.0
+    """
+
+    def __init__(
+        self,
+        num_cores: int = 32,
+        core_pps: float = DEFAULT_CORE_PPS,
+        transfer_penalty: float = DEFAULT_TRANSFER_PENALTY,
+        service_jitter: float = DEFAULT_SERVICE_JITTER,
+    ):
+        if num_cores <= 0 or core_pps <= 0:
+            raise ValueError("cores and core_pps must be positive")
+        if not 0 <= transfer_penalty < 1:
+            raise ValueError("transfer_penalty must be in [0, 1)")
+        self.num_cores = num_cores
+        self.core_pps = core_pps
+        self.transfer_penalty = transfer_penalty
+        self.service_jitter = service_jitter
+
+    @property
+    def effective_capacity_pps(self) -> float:
+        """Aggregate capacity after the inter-core transfer tax."""
+        return self.num_cores * self.core_pps * (1.0 - self.transfer_penalty)
+
+    def reorder_probability(self, flow_pps: float) -> float:
+        """Chance that consecutive packets of one flow finish out of order.
+
+        Two consecutive packets land on different cores with probability
+        ``(n-1)/n``; given jittery service times, the later packet
+        overtakes with probability growing with the flow's packet spacing
+        relative to the service-time spread (dense flows reorder more).
+        """
+        if flow_pps <= 0:
+            return 0.0
+        different_core = (self.num_cores - 1) / self.num_cores
+        # Service-time spread vs inter-arrival gap: overtaking probability
+        # saturates at 0.5 for back-to-back packets.
+        gap = 1.0 / flow_pps
+        service = 1.0 / (self.core_pps * (1.0 - self.transfer_penalty))
+        overtake = 0.5 * (1.0 - math.exp(-self.service_jitter * service / gap))
+        return different_core * overtake
+
+    def serve(self, flows: Sequence[Tuple[object, float]]) -> SprayInterval:
+        """Serve one interval: load spreads evenly, reordering measured
+        per flow and weighted by its share of the traffic."""
+        offered = sum(pps for _flow, pps in flows)
+        capacity = self.effective_capacity_pps
+        processed = min(offered, capacity)
+        dropped = offered - processed
+        reordered = 0.0
+        if offered > 0:
+            for _flow, pps in flows:
+                reordered += (pps / offered) * self.reorder_probability(pps)
+        mean_util = offered / (self.num_cores * self.core_pps)
+        return SprayInterval(
+            offered_pps=offered,
+            processed_pps=processed,
+            dropped_pps=dropped,
+            reordered_fraction=reordered,
+            mean_utilization=min(1.0, mean_util),
+        )
+
+
+def compare_models(
+    flows: Sequence[Tuple[FlowKey, float]],
+    gateway,
+    spray: PacketSprayModel,
+) -> dict:
+    """Run the same flows through run-to-completion and spraying.
+
+    Returns the §2.3 trade-off: RTC drops on hot cores but never
+    reorders; spraying never hotspots but taxes capacity and reorders.
+    """
+    rtc = gateway.serve_interval(flows)
+    sprayed = spray.serve(flows)
+    return {
+        "rtc_loss": rtc.loss_rate,
+        "rtc_max_core_utilization": max(rtc.utilizations(), default=0.0),
+        "rtc_reordered": 0.0,  # flow-pinned cores preserve order
+        "spray_loss": sprayed.loss_rate,
+        "spray_mean_utilization": sprayed.mean_utilization,
+        "spray_reordered": sprayed.reordered_fraction,
+        "spray_capacity_tax": spray.transfer_penalty,
+    }

@@ -1,0 +1,188 @@
+"""Tests for gateway clusters, disaster recovery, and health monitoring."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterError, GatewayCluster, NodeState
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.cluster.failover import DisasterRecovery
+from repro.cluster.health import Alert, HealthMonitor, Signal, WaterLevel
+from repro.core.xgw_h import XgwH
+from repro.net.flow import FlowKey
+
+
+def flow(i=0):
+    return FlowKey(0x0A000000 + i, 0x0B000000, 6, 1000 + i, 80)
+
+
+def make_cluster(cluster_id="A", nodes=2, with_backup=True):
+    backup = None
+    if with_backup:
+        backup = GatewayCluster(
+            f"{cluster_id}-backup",
+            [(f"bk{i}", XgwH(gateway_ip=100 + i)) for i in range(nodes)],
+        )
+    return GatewayCluster(
+        cluster_id,
+        [(f"gw{i}", XgwH(gateway_ip=i + 1)) for i in range(nodes)],
+        backup=backup,
+    )
+
+
+class TestGatewayCluster:
+    def test_members_sorted(self):
+        cluster = make_cluster(nodes=3, with_backup=False)
+        assert [m.name for m in cluster.members()] == ["gw0", "gw1", "gw2"]
+
+    def test_needs_nodes(self):
+        with pytest.raises(ClusterError):
+            GatewayCluster("empty", [])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ClusterError):
+            GatewayCluster("A", [("gw", XgwH(1)), ("gw", XgwH(2))])
+
+    def test_take_offline_shifts_load(self):
+        cluster = make_cluster(nodes=2, with_backup=False)
+        cluster.take_offline("gw0")
+        assert len(cluster.active_members()) == 1
+        assert cluster.load_share() == {"gw1": 1.0}
+        cluster.bring_online("gw0")
+        assert cluster.load_share() == {"gw0": 0.5, "gw1": 0.5}
+
+    def test_pick_member_requires_active(self):
+        cluster = make_cluster(nodes=1, with_backup=False)
+        cluster.take_offline("gw0")
+        with pytest.raises(ClusterError):
+            cluster.pick_member(flow())
+
+    def test_pick_member_stable(self):
+        cluster = make_cluster(nodes=4, with_backup=False)
+        assert cluster.pick_member(flow(3)).name == cluster.pick_member(flow(3)).name
+
+    def test_replication_includes_backup(self):
+        cluster = make_cluster(nodes=2, with_backup=True)
+        seen = []
+        cluster.for_each_gateway(lambda gw: seen.append(gw))
+        assert len(seen) == 4  # 2 main + 2 backup
+
+    def test_isolate_port(self):
+        cluster = make_cluster(with_backup=False)
+        cluster.isolate_port("gw0", 5)
+        assert cluster.member("gw0").healthy_ports == 31
+        with pytest.raises(ClusterError):
+            cluster.isolate_port("gw0", 99)
+
+    def test_unknown_member(self):
+        with pytest.raises(ClusterError):
+            make_cluster(with_backup=False).member("ghost")
+
+    def test_add_node(self):
+        cluster = make_cluster(nodes=1, with_backup=False)
+        cluster.add_node("standby", XgwH(50))
+        assert len(cluster.members()) == 2
+        with pytest.raises(ClusterError):
+            cluster.add_node("standby", XgwH(51))
+
+
+class TestDisasterRecovery:
+    def _setup(self):
+        balancer = VniSteeredBalancer()
+        cluster = make_cluster("A")
+        balancer.register_cluster("A", [m.name for m in cluster.active_members()])
+        balancer.assign_vni(10, "A")
+        recovery = DisasterRecovery(balancer, {"A": cluster},
+                                    cold_standby=[XgwH(gateway_ip=999)])
+        return balancer, cluster, recovery
+
+    def test_cluster_failover_to_backup(self):
+        balancer, cluster, recovery = self._setup()
+        backup = recovery.fail_over_cluster("A", time=1.0)
+        assert backup is cluster.backup
+        assert recovery.serving_cluster("A") is backup
+        # Balancer now points at backup node names, VNI map intact.
+        assert balancer.steer(10, flow()).startswith("bk")
+        assert recovery.events[0].action == "switch-to-backup"
+
+    def test_failover_requires_backup(self):
+        balancer = VniSteeredBalancer()
+        cluster = make_cluster("A", with_backup=False)
+        recovery = DisasterRecovery(balancer, {"A": cluster})
+        with pytest.raises(ClusterError):
+            recovery.fail_over_cluster("A")
+        with pytest.raises(ClusterError):
+            recovery.fail_over_cluster("ghost")
+
+    def test_node_failure_spreads(self):
+        _balancer, cluster, recovery = self._setup()
+        recovery.fail_node("A", "gw0")
+        assert [m.name for m in cluster.active_members()] == ["gw1"]
+
+    def test_drained_cluster_pulls_cold_standby(self):
+        _balancer, cluster, recovery = self._setup()
+        recovery.fail_node("A", "gw0")
+        recovery.fail_node("A", "gw1")
+        active = cluster.active_members()
+        assert len(active) == 1 and active[0].name.startswith("standby")
+
+    def test_no_standby_left_raises(self):
+        balancer = VniSteeredBalancer()
+        cluster = make_cluster("A", nodes=1, with_backup=False)
+        recovery = DisasterRecovery(balancer, {"A": cluster}, cold_standby=[])
+        with pytest.raises(ClusterError):
+            recovery.fail_node("A", "gw0")
+
+    def test_port_isolation(self):
+        _balancer, cluster, recovery = self._setup()
+        recovery.isolate_port("A", "gw1", 3)
+        assert cluster.member("gw1").healthy_ports == 31
+        assert recovery.events[-1].level == "port"
+
+    def test_alert_handler_triggers_failover(self):
+        balancer, cluster, recovery = self._setup()
+        handler = recovery.alert_handler()
+        handler(Alert(Signal.PACKET_LOSS, "A", 1e-3, 1e-6, time=2.0))
+        assert recovery.serving_cluster("A") is cluster.backup
+
+    def test_alert_handler_port_isolation(self):
+        _balancer, cluster, recovery = self._setup()
+        handler = recovery.alert_handler()
+        handler(Alert(Signal.PORT_JITTER, "A/gw0:7", 1.0, 0.5, time=2.0))
+        assert cluster.member("gw0").healthy_ports == 31
+
+
+class TestHealthMonitor:
+    def test_alert_on_breach(self):
+        monitor = HealthMonitor()
+        monitor.set_level(Signal.PACKET_LOSS, threshold=1e-6)
+        alert = monitor.observe("region", Signal.PACKET_LOSS, 1e-5, time=1.0)
+        assert alert is not None and alert.value == 1e-5
+        assert monitor.alerts_for("region") == [alert]
+
+    def test_no_alert_under_threshold(self):
+        monitor = HealthMonitor()
+        monitor.set_level(Signal.PACKET_LOSS, threshold=1e-6)
+        assert monitor.observe("region", Signal.PACKET_LOSS, 1e-9, 1.0) is None
+
+    def test_unconfigured_signal_ignored(self):
+        monitor = HealthMonitor()
+        assert monitor.observe("x", Signal.TRAFFIC_RATE, 1e12, 0.0) is None
+
+    def test_festival_threshold_raised(self):
+        """§6.1: festivals deliberately raise the safe water level."""
+        level = WaterLevel(Signal.PACKET_LOSS, threshold=1e-6, festival_threshold=1e-4)
+        assert level.breached(1e-5, festival=False)
+        assert not level.breached(1e-5, festival=True)
+
+    def test_festival_mode_on_monitor(self):
+        monitor = HealthMonitor(festival_mode=True)
+        monitor.set_level(Signal.PACKET_LOSS, 1e-6, festival_threshold=1e-4)
+        assert monitor.observe("r", Signal.PACKET_LOSS, 1e-5, 0.0) is None
+        assert monitor.observe("r", Signal.PACKET_LOSS, 1e-3, 0.0) is not None
+
+    def test_handlers_invoked(self):
+        monitor = HealthMonitor()
+        monitor.set_level(Signal.TABLE_WATER_LEVEL, threshold=0.85)
+        fired = []
+        monitor.on_alert(fired.append)
+        monitor.observe("cluster-A", Signal.TABLE_WATER_LEVEL, 0.9, 1.0)
+        assert len(fired) == 1 and fired[0].subject == "cluster-A"

@@ -1,0 +1,110 @@
+"""Tests for the ECMP balancer and its next-hop limits."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.ecmp import (
+    DEFAULT_MAX_NEXT_HOPS,
+    EcmpGroup,
+    JUNIPER_MAX_NEXT_HOPS,
+    NextHopLimitError,
+    VniSteeredBalancer,
+)
+from repro.net.flow import FlowKey
+
+
+def flow(i=0):
+    return FlowKey(0x0A000000 + i, 0x0B000000, 6, 1000 + i, 80)
+
+
+class TestEcmpGroup:
+    def test_next_hop_limit(self):
+        group = EcmpGroup(max_next_hops=JUNIPER_MAX_NEXT_HOPS)
+        for i in range(16):
+            group.add(f"gw{i}")
+        with pytest.raises(NextHopLimitError):
+            group.add("gw16")
+
+    def test_default_limit_is_64(self):
+        group = EcmpGroup()
+        assert group.max_next_hops == DEFAULT_MAX_NEXT_HOPS == 64
+
+    def test_pick_deterministic(self):
+        group = EcmpGroup(next_hops=["a", "b", "c"])
+        assert group.pick(flow(1)) == group.pick(flow(1))
+
+    def test_pick_spreads(self):
+        group = EcmpGroup(next_hops=[f"gw{i}" for i in range(8)])
+        counts = Counter(group.pick(flow(i)) for i in range(400))
+        assert len(counts) == 8
+        assert max(counts.values()) < 150
+
+    def test_pick_empty(self):
+        with pytest.raises(NextHopLimitError):
+            EcmpGroup().pick(flow())
+
+    def test_remove(self):
+        group = EcmpGroup(next_hops=["a", "b"])
+        group.remove("a")
+        assert len(group) == 1 and group.pick(flow()) == "b"
+
+
+class TestVniSteering:
+    def test_assign_and_steer(self):
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["gw0", "gw1"])
+        lb.register_cluster("B", ["gw2"])
+        lb.assign_vni(10, "A")
+        lb.assign_vni(11, "B")
+        assert lb.steer(10, flow()) in ("gw0", "gw1")
+        assert lb.steer(11, flow()) == "gw2"
+
+    def test_unknown_cluster(self):
+        lb = VniSteeredBalancer()
+        with pytest.raises(KeyError):
+            lb.assign_vni(10, "ghost")
+
+    def test_unassigned_vni(self):
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["gw0"])
+        assert lb.cluster_for_vni(10) is None
+        with pytest.raises(KeyError):
+            lb.steer(10, flow())
+
+    def test_rebalance_moves_tenant_precisely(self):
+        """The "tractable traffic load balancing" argument of §4.3."""
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["gw0"])
+        lb.register_cluster("B", ["gw1"])
+        lb.assign_vni(10, "A")
+        lb.rebalance_vni(10, "B")
+        assert lb.cluster_for_vni(10) == "B"
+        assert lb.steer(10, flow()) == "gw1"
+
+    def test_unregister_cleans_vni_map(self):
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["gw0"])
+        lb.assign_vni(10, "A")
+        lb.unregister_cluster("A")
+        assert lb.cluster_for_vni(10) is None
+        assert lb.clusters() == []
+
+    def test_cluster_respects_next_hop_limit(self):
+        lb = VniSteeredBalancer(max_next_hops=2)
+        with pytest.raises(NextHopLimitError):
+            lb.register_cluster("A", ["gw0", "gw1", "gw2"])
+
+    def test_nodes_of(self):
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["gw0", "gw1"])
+        assert lb.nodes_of("A") == ["gw0", "gw1"]
+
+    def test_reregister_replaces_nodes(self):
+        """Cluster failover re-points the same id at backup nodes."""
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["main0"])
+        lb.assign_vni(10, "A")
+        lb.register_cluster("A", ["backup0"])
+        assert lb.steer(10, flow()) == "backup0"
+        assert lb.cluster_for_vni(10) == "A"

@@ -1,0 +1,94 @@
+"""Tests for resilient (HRW) ECMP vs plain modulo hashing."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.ecmp import (
+    EcmpGroup,
+    NextHopLimitError,
+    ResilientEcmpGroup,
+    flow_churn,
+)
+from repro.net.flow import FlowKey
+
+
+def flows(n=400):
+    return [FlowKey(0x0A000000 + i, 0x0B000000, 6, 1000 + i, 80) for i in range(n)]
+
+
+class TestResilientGroup:
+    def test_deterministic(self):
+        group = ResilientEcmpGroup(next_hops=["a", "b", "c"])
+        f = flows(1)[0]
+        assert group.pick(f) == group.pick(f)
+
+    def test_spreads(self):
+        group = ResilientEcmpGroup(next_hops=[f"gw{i}" for i in range(8)])
+        counts = Counter(group.pick(f) for f in flows(800))
+        assert len(counts) == 8
+        assert max(counts.values()) < 2.5 * min(counts.values())
+
+    def test_limit(self):
+        group = ResilientEcmpGroup(max_next_hops=2, next_hops=["a", "b"])
+        with pytest.raises(NextHopLimitError):
+            group.add("c")
+
+    def test_empty(self):
+        with pytest.raises(NextHopLimitError):
+            ResilientEcmpGroup().pick(flows(1)[0])
+
+    def test_v6_flows(self):
+        group = ResilientEcmpGroup(next_hops=["a", "b"])
+        flow = FlowKey(1 << 100, 2, 6, 3, 4, version=6)
+        assert group.pick(flow) in ("a", "b")
+
+
+class TestFailureChurn:
+    def test_hrw_only_moves_failed_members_flows(self):
+        hops = [f"gw{i}" for i in range(8)]
+        before = ResilientEcmpGroup(next_hops=list(hops))
+        after = ResilientEcmpGroup(next_hops=[h for h in hops if h != "gw3"])
+        sample = flows(600)
+        churn = flow_churn(before, after, sample)
+        # Only gw3's ~1/8 of flows should move.
+        assert churn == pytest.approx(1 / 8, abs=0.05)
+        # And every unmoved flow kept its exact gateway.
+        for flow in sample:
+            if before.pick(flow) != "gw3":
+                assert after.pick(flow) == before.pick(flow)
+
+    def test_modulo_moves_most_flows(self):
+        hops = [f"gw{i}" for i in range(8)]
+        before = EcmpGroup(next_hops=list(hops))
+        after = EcmpGroup(next_hops=hops[:-1])
+        churn = flow_churn(before, after, flows(600))
+        # Classic modulo remaps ~(n-1)/n of everything.
+        assert churn > 0.5
+
+    def test_hrw_beats_modulo(self):
+        hops = [f"gw{i}" for i in range(8)]
+        sample = flows(600)
+        hrw = flow_churn(
+            ResilientEcmpGroup(next_hops=list(hops)),
+            ResilientEcmpGroup(next_hops=hops[:-1]),
+            sample,
+        )
+        modulo = flow_churn(
+            EcmpGroup(next_hops=list(hops)),
+            EcmpGroup(next_hops=hops[:-1]),
+            sample,
+        )
+        assert hrw < modulo / 3
+
+    def test_flow_churn_validation(self):
+        with pytest.raises(ValueError):
+            flow_churn(EcmpGroup(next_hops=["a"]), EcmpGroup(next_hops=["a"]), [])
+
+    def test_member_addition_churn_small(self):
+        """Scaling out with HRW only pulls flows onto the new member."""
+        hops = [f"gw{i}" for i in range(7)]
+        before = ResilientEcmpGroup(next_hops=list(hops))
+        after = ResilientEcmpGroup(next_hops=hops + ["gw7"])
+        churn = flow_churn(before, after, flows(600))
+        assert churn == pytest.approx(1 / 8, abs=0.05)

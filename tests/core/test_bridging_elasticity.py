@@ -1,0 +1,124 @@
+"""Tests for bridging cost (metadata placement) and pooling elasticity."""
+
+import pytest
+
+from repro.core.occupancy import ALL_STEPS, OccupancyModel, Step
+from repro.core.planner import (
+    BridgeCost,
+    LogicalTable,
+    bridge_cost,
+    max_possible_bridges,
+    sailfish_table_layout,
+)
+from repro.tables.geometry import MemoryFootprint
+from repro.tofino.pipeline import Gress
+
+
+def table(name, pipe, deps=(), md_bits=0):
+    return LogicalTable(
+        name=name,
+        footprint=MemoryFootprint(sram_words=1),
+        preferred_pipe=pipe,
+        depends_on=deps,
+        metadata_bits=md_bits,
+    )
+
+
+class TestBridgeCost:
+    def test_same_pipe_no_bridge(self):
+        """§4.4: "for tables that need to share the same metadata, we
+        recommend placing them in the same pipe"."""
+        tables = [
+            table("a", (1, Gress.INGRESS), md_bits=24),
+            table("b", (1, Gress.INGRESS), deps=("a",)),
+        ]
+        cost = bridge_cost(tables)
+        assert cost.crossings == 0 and cost.bytes_per_packet == 0
+
+    def test_adjacent_pipe_one_bridge(self):
+        tables = [
+            table("a", (0, Gress.INGRESS), md_bits=24),
+            table("b", (1, Gress.EGRESS), deps=("a",)),
+        ]
+        cost = bridge_cost(tables)
+        assert cost.crossings == 1
+        assert cost.bytes_per_packet == 3  # 24 bits
+
+    def test_full_span_three_bridges(self):
+        """Folding raises possible bridge points from 1 to 3."""
+        tables = [
+            table("a", (0, Gress.INGRESS), md_bits=32),
+            table("d", (0, Gress.EGRESS), deps=("a",)),
+        ]
+        cost = bridge_cost(tables)
+        assert cost.crossings == max_possible_bridges(folded=True) == 3
+        assert cost.bytes_per_packet == 12
+
+    def test_no_metadata_no_cost(self):
+        tables = [
+            table("a", (0, Gress.INGRESS), md_bits=0),
+            table("b", (0, Gress.EGRESS), deps=("a",)),
+        ]
+        assert bridge_cost(tables).bytes_per_packet == 0
+
+    def test_throughput_loss(self):
+        cost = BridgeCost(crossings=2, bytes_per_packet=8)
+        assert cost.throughput_loss(192) == pytest.approx(8 / 200)
+        with pytest.raises(ValueError):
+            cost.throughput_loss(0)
+
+    def test_sailfish_layout_cost_is_small(self):
+        """The production layout keeps bridging under 1.5% at 256B."""
+        cost = bridge_cost(sailfish_table_layout())
+        assert cost.throughput_loss(256) < 0.05
+        assert cost.crossings <= 6
+
+    def test_bad_layout_costs_more(self):
+        """Putting the consumer at the far end multiplies the cost."""
+        good = bridge_cost([
+            table("a", (0, Gress.INGRESS), md_bits=32),
+            table("b", (1, Gress.EGRESS), deps=("a",)),
+        ])
+        bad = bridge_cost([
+            table("a", (0, Gress.INGRESS), md_bits=32),
+            table("b", (0, Gress.EGRESS), deps=("a",)),
+        ])
+        assert bad.bytes_per_packet == 3 * good.bytes_per_packet
+
+    def test_unfolded_max_bridges(self):
+        assert max_possible_bridges(folded=False) == 1
+
+
+class TestPoolingElasticity:
+    def test_pooled_always_full_capacity(self):
+        model = OccupancyModel.paper_scale()
+        for mix in (0.0, 0.25, 0.5, 0.9):
+            assert model.capacity_under_mix(ALL_STEPS, 0.25, mix) == 1.0
+
+    def test_dedicated_full_at_provisioned_point(self):
+        model = OccupancyModel.paper_scale()
+        steps = set(ALL_STEPS) - {Step.POOLING}
+        assert model.capacity_under_mix(steps, 0.25, 0.25) == pytest.approx(1.0)
+
+    def test_dedicated_degrades_on_drift(self):
+        """§4.4: "separate tables may cause memory waste or insufficient
+        memory" when the v4/v6 ratio shifts."""
+        model = OccupancyModel.paper_scale()
+        steps = set(ALL_STEPS) - {Step.POOLING}
+        drifted = model.capacity_under_mix(steps, 0.25, 0.6)
+        assert drifted < 0.6
+
+    def test_degradation_monotone_in_drift(self):
+        model = OccupancyModel.paper_scale()
+        steps = set(ALL_STEPS) - {Step.POOLING}
+        capacities = [
+            model.capacity_under_mix(steps, 0.25, mix)
+            for mix in (0.25, 0.4, 0.6, 0.8)
+        ]
+        assert capacities == sorted(capacities, reverse=True)
+
+    def test_drift_both_directions_hurts(self):
+        model = OccupancyModel.paper_scale()
+        steps = set(ALL_STEPS) - {Step.POOLING}
+        assert model.capacity_under_mix(steps, 0.5, 0.1) < 1.0
+        assert model.capacity_under_mix(steps, 0.5, 0.9) < 1.0

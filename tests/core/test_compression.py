@@ -1,0 +1,120 @@
+"""Tests for the compression plan and its executable cross-checks."""
+
+import pytest
+
+from repro.core.compression import (
+    CompressionPlan,
+    build_composite_alpm,
+    calibrate_alpm,
+    split_routing_by_parity,
+)
+from repro.core.occupancy import ALL_STEPS, OccupancyModel, Step
+from repro.net.addr import Prefix
+from repro.sim.rand import derive
+from repro.tables.vxlan_routing import RouteAction, Scope, VxlanRoutingTable
+
+
+def build_routing_table(num_vnis=40, routes_per_vni=8, seed=1):
+    rng = derive(seed, "routes")
+    table = VxlanRoutingTable()
+    for vni in range(1000, 1000 + num_vnis):
+        for _ in range(routes_per_vni):
+            net = rng.randrange(1 << 20) << 12
+            table.insert(vni, Prefix.of(net, 20, 4), RouteAction(Scope.LOCAL),
+                         replace=True)
+    return table
+
+
+class TestCompressionPlan:
+    def test_full_plan_reaches_table3(self):
+        report = CompressionPlan.full().apply(OccupancyModel.paper_scale())
+        assert report.final.sram_percent == pytest.approx(36, abs=1.5)
+        assert report.final.tcam_percent == pytest.approx(11, abs=1.5)
+        assert len(report.rows) == 6
+
+    def test_fits_after_label(self):
+        report = CompressionPlan.full().apply(OccupancyModel.paper_scale())
+        # Technically under 100% already after folding+splitting (TCAM at
+        # 97%), but only the full plan leaves a production water level.
+        assert report.fits_after() == "a+b"
+        assert report.fits_after(max_utilization=0.5) == "a+b+c+d+e"
+
+    def test_empty_plan(self):
+        report = CompressionPlan.none().apply(OccupancyModel.paper_scale())
+        assert len(report.rows) == 1
+        assert not report.final.fits()
+
+    def test_duplicate_step_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPlan([Step.FOLDING, Step.FOLDING])
+
+    def test_without_ablation(self):
+        plan = CompressionPlan.full().without(Step.ALPM)
+        assert len(plan.steps) == 4
+        report = plan.apply(OccupancyModel.paper_scale())
+        # Without ALPM the TCAM stays oversubscribed.
+        assert report.final.tcam_percent > 100
+
+    def test_step_descriptions(self):
+        for step in CompressionPlan.full().steps:
+            assert step.description and step.label in "abcde"
+
+    def test_percent_table_shape(self):
+        table = CompressionPlan.full().apply(OccupancyModel.paper_scale()).as_percent_table()
+        assert [row[0] for row in table] == [
+            "Initial", "a", "a+b", "a+b+c", "a+b+c+d", "a+b+c+d+e",
+        ]
+
+
+class TestExecutableAlpm:
+    def test_composite_alpm_resolves_correctly(self):
+        table = build_routing_table()
+        alpm = build_composite_alpm(table, bucket_capacity=8)
+        rng = derive(2, "probes")
+        checked = 0
+        for vni, prefix, action in table.items():
+            addr = prefix.network + rng.randrange(1 << 12)
+            key = VxlanRoutingTable.composite_key(vni, addr, 4)
+            hit = alpm.lookup(key)
+            direct = table.lookup(vni, addr, 4)
+            assert (hit is None) == (direct is None)
+            checked += 1
+        assert checked == len(table)
+
+    def test_calibration_reports_utilization(self):
+        table = build_routing_table(num_vnis=60, routes_per_vni=10)
+        model = OccupancyModel.paper_scale()
+        calibration = calibrate_alpm(table, model)
+        stats = calibration.stats
+        assert stats.routes == len(table)
+        assert 0.2 < calibration.measured_utilization <= 1.0
+        # The calibrated constant should be in the same regime as what the
+        # real carve achieves on synthetic routes.
+        assert calibration.utilization_error < 0.4
+
+    def test_calibration_custom_capacity(self):
+        table = build_routing_table(num_vnis=10)
+        calibration = calibrate_alpm(table, OccupancyModel.paper_scale(), bucket_capacity=4)
+        assert calibration.stats.bucket_capacity == 4
+
+
+class TestParitySplit:
+    def test_split_partitions_entries(self):
+        table = build_routing_table(num_vnis=21)
+        halves = split_routing_by_parity(table)
+        assert len(halves[0]) + len(halves[1]) == len(table)
+        assert all(vni % 2 == 0 for vni in halves[0].vnis())
+        assert all(vni % 2 == 1 for vni in halves[1].vnis())
+
+    def test_split_roughly_even(self):
+        table = build_routing_table(num_vnis=40)
+        halves = split_routing_by_parity(table)
+        assert abs(len(halves[0]) - len(halves[1])) < len(table) * 0.2
+
+    def test_lookups_preserved_in_right_half(self):
+        table = build_routing_table(num_vnis=10)
+        halves = split_routing_by_parity(table)
+        for vni, prefix, _action in table.items():
+            half = halves[vni % 2]
+            hit = half.lookup(vni, prefix.network, prefix.version)
+            assert hit is not None

@@ -1,0 +1,144 @@
+"""Tests for the deployment economics and install-time models."""
+
+import pytest
+
+from repro.core.economics import (
+    XGW_H,
+    XGW_X86,
+    GatewayKind,
+    compare_region,
+    size_fleet,
+)
+from repro.core.provisioning import (
+    InstallJob,
+    UpdatePropagation,
+    full_region_install_sailfish,
+    full_region_install_x86,
+)
+
+
+class TestFleetSizing:
+    def test_paper_600_boxes(self):
+        """§2.3: 15T / 100G at 50% water level, doubled for backup = 600."""
+        plan = size_fleet(XGW_X86)
+        assert plan.nodes == 600
+        assert plan.capex_usd == pytest.approx(6_000_000)
+
+    def test_sailfish_20_boxes(self):
+        plan = size_fleet(XGW_H)
+        assert plan.nodes == 20
+
+    def test_usable_capacity_covers_traffic(self):
+        for kind in (XGW_X86, XGW_H):
+            plan = size_fleet(kind)
+            assert plan.usable_capacity_bps >= 15e12
+
+    def test_water_level_validation(self):
+        with pytest.raises(ValueError):
+            size_fleet(XGW_X86, water_level=0.0)
+        with pytest.raises(ValueError):
+            size_fleet(XGW_X86, backup_factor=0)
+
+    def test_higher_water_level_fewer_boxes(self):
+        conservative = size_fleet(XGW_X86, water_level=0.5)
+        aggressive = size_fleet(XGW_X86, water_level=0.8)
+        assert aggressive.nodes < conservative.nodes
+
+
+class TestCostComparison:
+    def test_capex_reduction_over_90_percent(self):
+        """Abstract: "reduces the total hardware acquisition cost by more
+        than 90% for a region"."""
+        comparison = compare_region()
+        assert comparison.capex_reduction > 0.9
+
+    def test_node_counts_match_paper(self):
+        """§4.2: "from hundreds of XGW-x86s to ten XGW-Hs ... and four
+        XGW-x86s"."""
+        comparison = compare_region()
+        assert comparison.software.nodes >= 600
+        assert comparison.sailfish_hw.nodes <= 20
+        assert comparison.sailfish_sw_nodes == 4
+
+    def test_node_reduction(self):
+        assert compare_region().node_reduction > 0.9
+
+    def test_custom_kind(self):
+        cheap = GatewayKind("custom", throughput_bps=1e12, unit_price_usd=5_000)
+        plan = size_fleet(cheap)
+        assert plan.capex_usd == plan.nodes * 5_000
+
+
+class TestInstallTiming:
+    def test_x86_over_ten_minutes_per_gateway(self):
+        """§2.3: "more than ten minutes to install all the tables into
+        one XGW-x86 gateway"."""
+        job = full_region_install_x86()
+        assert job.per_gateway_seconds > 600
+
+    def test_fleet_install_dominated_by_gateway_count(self):
+        x86 = full_region_install_x86()
+        sailfish = full_region_install_sailfish()
+        assert x86.total_seconds > 10 * sailfish.total_seconds
+
+    def test_inconsistency_window(self):
+        job = InstallJob(entries=1000, gateways=16, install_rate=1000.0,
+                         controller_threads=8)
+        # Two waves of 1s each; window = total - one install.
+        assert job.total_seconds == pytest.approx(2.0)
+        assert job.inconsistency_window_seconds == pytest.approx(1.0)
+
+    def test_single_gateway_no_window(self):
+        job = InstallJob(entries=1000, gateways=1, install_rate=1000.0)
+        assert job.inconsistency_window_seconds == 0.0
+
+    def test_more_threads_faster(self):
+        slow = InstallJob(entries=1000, gateways=64, install_rate=1000.0,
+                          controller_threads=4)
+        fast = InstallJob(entries=1000, gateways=64, install_rate=1000.0,
+                          controller_threads=32)
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstallJob(entries=-1, gateways=1, install_rate=1.0)
+        with pytest.raises(ValueError):
+            InstallJob(entries=1, gateways=0, install_rate=1.0)
+        with pytest.raises(ValueError):
+            InstallJob(entries=1, gateways=1, install_rate=0.0)
+
+    def test_update_propagation_scales_with_fleet(self):
+        big = UpdatePropagation(gateways=600)
+        small = UpdatePropagation(gateways=14)
+        assert big.propagation_seconds > 40 * small.propagation_seconds
+
+
+class TestConsolidation:
+    """Fig. 3 / §2.2: merging ad hoc per-service clusters."""
+
+    def test_savings_from_pooling_small_services(self):
+        from repro.core.economics import consolidation_savings
+
+        # One big service + a tail of small ones, each previously with its
+        # own min-size cluster and backup.
+        comparison = consolidation_savings([40e9, 6e9, 4e9, 2e9, 1e9, 0.5e9])
+        assert comparison.node_savings > 0.3
+        assert comparison.codebases_before == 6
+        assert comparison.codebases_after == 1
+
+    def test_single_service_no_savings(self):
+        from repro.core.economics import consolidation_savings
+
+        comparison = consolidation_savings([100e9])
+        assert comparison.dedicated_nodes == comparison.consolidated_nodes
+        assert comparison.node_savings == 0.0
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.core.economics import consolidation_savings
+
+        with _pytest.raises(ValueError):
+            consolidation_savings([])
+        with _pytest.raises(ValueError):
+            consolidation_savings([-1.0])

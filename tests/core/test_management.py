@@ -1,0 +1,146 @@
+"""Tests for the §6.1 cluster-management control loop."""
+
+import pytest
+
+from repro.cluster.cluster import GatewayCluster
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.controller import Controller, RouteEntry, VmEntry
+from repro.core.management import ClusterManager
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.net.addr import Prefix
+from repro.sim.engine import Engine
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+
+
+def make_manager(route_capacity=100, vm_capacity=1000):
+    balancer = VniSteeredBalancer()
+    splitter = TableSplitter(
+        ClusterCapacity(routes=route_capacity, vms=vm_capacity, traffic_bps=1e15)
+    )
+    controller = Controller(splitter, balancer)
+    counter = [0]
+
+    def factory(cluster_id):
+        counter[0] += 1
+        return GatewayCluster(
+            cluster_id, [(f"{cluster_id}-gw0", XgwH(gateway_ip=counter[0]))]
+        )
+
+    controller.set_cluster_factory(factory)
+    engine = Engine()
+    return ClusterManager(controller, engine, safe_water_level=0.8,
+                          reopen_water_level=0.5), engine
+
+
+def tenant(vni, routes=10):
+    profile = TenantProfile(vni, routes=routes, vms=1, traffic_bps=1e9)
+    route_entries = [
+        RouteEntry(vni, Prefix((10 << 24) + (vni << 13) + (j << 8), 24, 4),
+                   RouteAction(Scope.LOCAL))
+        for j in range(routes)
+    ]
+    vm_entries = [VmEntry(vni, (10 << 24) + (vni << 13) + 2, 4, NcBinding(1))]
+    return profile, route_entries, vm_entries
+
+
+class TestWaterLevels:
+    def test_levels_recorded(self):
+        manager, engine = make_manager()
+        profile, routes, vms = tenant(1, routes=40)
+        manager.admit_tenant(profile, routes, vms)
+        manager.start(until=3.0)
+        engine.run()
+        series = manager.water_levels["cluster-A"]
+        assert len(series) == 3
+        assert series.values[-1] == pytest.approx(0.4)
+
+    def test_sales_close_on_high_water(self):
+        manager, engine = make_manager()
+        profile, routes, vms = tenant(1, routes=85)
+        manager.admit_tenant(profile, routes, vms)
+        manager.start(until=1.0)
+        engine.run()
+        assert "cluster-A" in manager.closed_for_sale
+        assert manager.actions("sales-closed")
+        assert manager.monitor.alerts  # water-level alert fired
+
+    def test_sales_reopen_after_drain(self):
+        manager, engine = make_manager()
+        profile, routes, vms = tenant(1, routes=85)
+        manager.admit_tenant(profile, routes, vms)
+        manager.start(until=1.0)
+        engine.run()
+        assert "cluster-A" in manager.closed_for_sale
+        # Tenant shrinks (entries removed from the plan).
+        manager.controller.plan.usage["cluster-A"].routes = 30
+        engine.schedule_every(1.0, manager.check_water_levels, until=2.0)
+        engine.run()
+        assert "cluster-A" not in manager.closed_for_sale
+        assert manager.actions("sales-reopened")
+
+    def test_validation(self):
+        manager, engine = make_manager()
+        with pytest.raises(ValueError):
+            ClusterManager(manager.controller, engine, safe_water_level=0.5,
+                           reopen_water_level=0.9)
+
+
+class TestAdmission:
+    def test_new_tenants_avoid_closed_clusters(self):
+        manager, engine = make_manager()
+        p1, r1, v1 = tenant(1, routes=85)
+        manager.admit_tenant(p1, r1, v1)
+        manager.start(until=1.0)
+        engine.run()
+        assert "cluster-A" in manager.closed_for_sale
+        # The next tenant would fit cluster-A's raw capacity (85+10 < 100)
+        # but sales are closed -> a new cluster is built.
+        p2, r2, v2 = tenant(2, routes=10)
+        placed = manager.admit_tenant(p2, r2, v2)
+        assert placed != "cluster-A"
+        assert len(manager.controller.clusters) == 2
+
+    def test_open_cluster_preferred(self):
+        manager, engine = make_manager()
+        p1, r1, v1 = tenant(1, routes=30)
+        manager.admit_tenant(p1, r1, v1)
+        p2, r2, v2 = tenant(2, routes=30)
+        placed = manager.admit_tenant(p2, r2, v2)
+        assert placed == "cluster-A"
+        assert len(manager.controller.clusters) == 1
+
+    def test_oversized_tenant_rejected(self):
+        manager, engine = make_manager()
+        profile, routes, vms = tenant(1, routes=500)
+        assert manager.admit_tenant(profile, routes, vms) is None
+        assert manager.rejected_tenants == [profile]
+        assert manager.actions("rejected")
+
+    def test_entries_actually_installed(self):
+        manager, engine = make_manager()
+        profile, routes, vms = tenant(1, routes=5)
+        cluster_id = manager.admit_tenant(profile, routes, vms)
+        gw = manager.controller.clusters[cluster_id].members()[0].gateway
+        assert gw.route_count() == 5
+        assert manager.controller.consistency_check(cluster_id) == []
+
+    def test_growth_scenario_allocates_clusters(self):
+        """A month of tenant arrivals: the manager grows the fleet."""
+        manager, engine = make_manager(route_capacity=60)
+        manager.start(until=30.0)
+        arrivals = [(float(day), tenant(100 + day, routes=20)) for day in range(12)]
+        for at, (profile, routes, vms) in arrivals:
+            engine.schedule(
+                at + 0.5,
+                lambda p=profile, r=routes, v=vms: manager.admit_tenant(p, r, v),
+            )
+        engine.run()
+        # 12 tenants x 20 routes at 60/cluster: 3 tenants fill a cluster
+        # (the 48-route close threshold fires after the third) -> 4 clusters.
+        assert len(manager.controller.clusters) == 4
+        assert len(manager.actions("placed")) == 12
+        # Every cluster stayed under its raw capacity.
+        for cluster_id, usage in manager.controller.plan.usage.items():
+            assert usage.routes <= 60

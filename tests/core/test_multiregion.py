@@ -1,0 +1,121 @@
+"""Tests for cross-region forwarding over the CEN."""
+
+import pytest
+
+from repro.core.multiregion import Cen, CrossRegionResult, DEFAULT_LINK_LATENCY_US
+from repro.core.sailfish import RegionSpec, Sailfish
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.workloads.traffic import build_vxlan_packet
+
+
+def v4_vm(region, vni):
+    for vm in region.topology.vpcs[vni].vms:
+        if vm.version == 4:
+            return vm
+    pytest.skip("no v4 VM in VPC")
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    cen = Cen()
+    from dataclasses import replace as dc_replace
+
+    china = Sailfish.build(RegionSpec.small(), seed=61)
+    # Disjoint address plan for the second region (real cross-region
+    # connections require non-overlapping CIDRs).
+    usa = Sailfish.build(dc_replace(RegionSpec.small(), subnet_base_index=4096),
+                         seed=62)
+    cen.attach("china", china)
+    cen.attach("usa", usa)
+    cen.add_link("china", "usa")
+    vni_a = china.topology.vnis()[0]
+    vni_b = usa.topology.vnis()[0]
+    cen.connect_vpcs(("china", vni_a), ("usa", vni_b))
+    return cen, china, usa, vni_a, vni_b
+
+
+class TestProvisioning:
+    def test_routes_installed_both_directions(self, deployment):
+        cen, china, usa, vni_a, vni_b = deployment
+        remote_subnet = usa.topology.vpcs[vni_b].subnets[0]
+        gw = next(iter(china.controller.clusters.values())).members()[0].gateway
+        hit = gw.tables.routing.lookup(vni_a, remote_subnet.network,
+                                       remote_subnet.version)
+        assert hit is not None
+        assert hit[1].target == "region:usa"
+        # Reverse direction too.
+        local_subnet = china.topology.vpcs[vni_a].subnets[0]
+        gw_b = next(iter(usa.controller.clusters.values())).members()[0].gateway
+        assert gw_b.tables.routing.lookup(vni_b, local_subnet.network,
+                                          local_subnet.version) is not None
+
+    def test_link_required(self):
+        cen = Cen()
+        cen.attach("a", Sailfish.build(RegionSpec.small(), seed=1))
+        with pytest.raises(KeyError):
+            cen.add_link("a", "ghost")
+
+    def test_connect_requires_link(self):
+        cen = Cen()
+        a = Sailfish.build(RegionSpec.small(), seed=1)
+        b = Sailfish.build(RegionSpec.small(), seed=2)
+        cen.attach("a", a)
+        cen.attach("b", b)
+        with pytest.raises(KeyError):
+            cen.connect_vpcs(("a", a.topology.vnis()[0]),
+                             ("b", b.topology.vnis()[0]))
+
+
+class TestCrossRegionForwarding:
+    def test_vm_to_remote_vm(self, deployment):
+        """Table 1's "VM-Cross-region" row, end to end."""
+        cen, china, usa, vni_a, vni_b = deployment
+        src = v4_vm(china, vni_a)
+        dst = v4_vm(usa, vni_b)
+        packet = build_vxlan_packet(vni_a, src.ip, dst.ip)
+        outcome = cen.forward("china", packet)
+        assert outcome.result.action is ForwardAction.DELIVER_NC
+        assert outcome.result.packet.ip.dst == dst.nc_ip
+        assert outcome.result.packet.vni == vni_b  # translated at the CEN
+        assert outcome.hops == ["region:china", "cen:china->usa", "region:usa"]
+        assert outcome.latency_us == DEFAULT_LINK_LATENCY_US
+        assert cen.packets_carried >= 1
+
+    def test_local_traffic_never_crosses(self, deployment):
+        cen, china, _usa, vni_a, _vni_b = deployment
+        src = v4_vm(china, vni_a)
+        packet = build_vxlan_packet(vni_a, src.ip ^ 1, src.ip)
+        outcome = cen.forward("china", packet)
+        assert outcome.result.action is ForwardAction.DELIVER_NC
+        assert outcome.hops == ["region:china"]
+        assert outcome.latency_us == 0.0
+
+    def test_unmapped_vni_dropped_at_cen(self, deployment):
+        cen, china, usa, vni_a, vni_b = deployment
+        # A different VPC in china has no cross-region mapping; force a
+        # cross-region route for it pointing at usa.
+        other_vni = china.topology.vnis()[1]
+        from repro.core.controller import RouteEntry
+        from repro.net.addr import Prefix
+        from repro.tables.vxlan_routing import RouteAction, Scope
+
+        cluster_id = china.balancer.cluster_for_vni(other_vni)
+        china.controller.install_route(
+            cluster_id,
+            RouteEntry(other_vni, Prefix.parse("198.18.0.0/16"),
+                       RouteAction(Scope.CROSS_REGION, target="region:usa")),
+        )
+        src = v4_vm(china, other_vni)
+        packet = build_vxlan_packet(other_vni, src.ip, 0xC6120001)
+        outcome = cen.forward("china", packet)
+        assert outcome.result.action is ForwardAction.DROP
+        assert outcome.result.detail == "cen-no-mapping"
+
+    def test_return_path_works(self, deployment):
+        cen, china, usa, vni_a, vni_b = deployment
+        src = v4_vm(usa, vni_b)
+        dst = v4_vm(china, vni_a)
+        packet = build_vxlan_packet(vni_b, src.ip, dst.ip)
+        outcome = cen.forward("usa", packet)
+        assert outcome.result.action is ForwardAction.DELIVER_NC
+        assert outcome.result.packet.vni == vni_a

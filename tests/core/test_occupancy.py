@@ -1,0 +1,166 @@
+"""Tests for the calibrated occupancy model against the paper's numbers.
+
+Tolerances: the paper reports whole percentages, so we assert within
+±1.5 percentage points (or the paper's own rounding).
+"""
+
+import pytest
+
+from repro.core.occupancy import (
+    ALL_STEPS,
+    CostModel,
+    Occupancy,
+    OccupancyModel,
+    Step,
+    WorkloadScale,
+)
+
+
+@pytest.fixture
+def model():
+    return OccupancyModel.paper_scale()
+
+
+class TestTable2:
+    """Naive placement: Table 2's per-family and sum rows."""
+
+    def test_vxlan_routing_ipv4(self, model):
+        assert model.table2()["vxlan_routing"]["ipv4"].tcam_percent == pytest.approx(311, abs=1.5)
+
+    def test_vxlan_routing_ipv6(self, model):
+        assert model.table2()["vxlan_routing"]["ipv6"].tcam_percent == pytest.approx(622, abs=1.5)
+
+    def test_vm_nc_ipv4(self, model):
+        assert model.table2()["vm_nc"]["ipv4"].sram_percent == pytest.approx(58, abs=1.5)
+
+    def test_vm_nc_ipv6(self, model):
+        assert model.table2()["vm_nc"]["ipv6"].sram_percent == pytest.approx(233, abs=2.0)
+
+    def test_sum_row(self, model):
+        total = model.table2()["sum"]["mixed"]
+        assert total.sram_percent == pytest.approx(102, abs=1.5)
+        assert total.tcam_percent == pytest.approx(388.75, abs=1.5)
+
+    def test_naive_does_not_fit(self, model):
+        assert not model.total(set()).fits()
+
+
+class TestFigure17:
+    """Step-by-step compression trajectory."""
+
+    PAPER = {
+        "Initial": (102, 389),
+        "a": (51, 194),
+        "a+b": (26, 97),
+        "a+b+c+d": (18, 156),
+        "a+b+c+d+e": (36, 11),
+    }
+
+    def test_every_bar(self, model):
+        for label, occupancy in model.figure17():
+            sram, tcam = self.PAPER[label]
+            assert occupancy.sram_percent == pytest.approx(sram, abs=1.5), label
+            assert occupancy.tcam_percent == pytest.approx(tcam, abs=1.5), label
+
+    def test_folding_halves(self, model):
+        initial = model.total(set())
+        folded = model.total({Step.FOLDING})
+        assert folded.sram == pytest.approx(initial.sram / 2)
+        assert folded.tcam == pytest.approx(initial.tcam / 2)
+
+    def test_split_halves_again(self, model):
+        folded = model.total({Step.FOLDING})
+        split = model.total({Step.FOLDING, Step.SPLIT})
+        assert split.tcam == pytest.approx(folded.tcam / 2)
+
+    def test_pooling_grows_tcam(self, model):
+        """Expanding IPv4 keys to 128 bits costs TCAM (97 -> 156)."""
+        before = model.total({Step.FOLDING, Step.SPLIT})
+        after = model.total({Step.FOLDING, Step.SPLIT, Step.POOLING})
+        assert after.tcam > before.tcam
+
+    def test_compression_shrinks_sram(self, model):
+        before = model.total({Step.FOLDING, Step.SPLIT})
+        after = model.total({Step.FOLDING, Step.SPLIT, Step.COMPRESSION})
+        assert after.sram < before.sram
+
+    def test_alpm_trades_tcam_for_sram(self, model):
+        before = model.total(set(ALL_STEPS) - {Step.ALPM})
+        after = model.total(set(ALL_STEPS))
+        assert after.tcam < before.tcam / 10
+        assert after.sram > before.sram
+
+
+class TestTable3:
+    def test_final_occupancy(self, model):
+        table3 = model.table3()
+        assert table3["sum"].sram_percent == pytest.approx(36, abs=1.5)
+        assert table3["sum"].tcam_percent == pytest.approx(11, abs=1.5)
+        assert table3["vm_nc"].sram_percent == pytest.approx(18, abs=1.5)
+        assert table3["vxlan_routing"].sram_percent == pytest.approx(18, abs=1.5)
+        assert table3["vxlan_routing"].tcam_percent == pytest.approx(11, abs=1.5)
+
+    def test_fits_only_after_all_steps(self, model):
+        report_rows = model.figure17()
+        assert not report_rows[0][1].fits()
+        assert report_rows[-1][1].fits()
+
+
+class TestHeadlineReductions:
+    """Abstract/§4.4: SRAM -38% / TCAM -96% (IPv4); -85% / -98% (IPv6)."""
+
+    def test_ipv4(self, model):
+        sram_red, tcam_red = model.reduction_vs_naive(ipv6_fraction=0.0)
+        assert sram_red == pytest.approx(0.38, abs=0.03)
+        assert tcam_red == pytest.approx(0.96, abs=0.01)
+
+    def test_ipv6(self, model):
+        sram_red, tcam_red = model.reduction_vs_naive(ipv6_fraction=1.0)
+        assert sram_red == pytest.approx(0.85, abs=0.03)
+        assert tcam_red == pytest.approx(0.98, abs=0.01)
+
+    def test_mixed(self, model):
+        """§4.4: 75/25 mix -> SRAM -65%, TCAM -97%."""
+        sram_red, tcam_red = model.reduction_vs_naive()
+        assert sram_red == pytest.approx(0.65, abs=0.03)
+        assert tcam_red == pytest.approx(0.97, abs=0.01)
+
+
+class TestModelMechanics:
+    def test_pooling_makes_mix_irrelevant(self):
+        """§4.4: after pooling, occupancy is independent of the v4/v6 mix."""
+        totals = [
+            OccupancyModel.paper_scale(ipv6_fraction=f).total(set(ALL_STEPS))
+            for f in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert all(t.sram == pytest.approx(totals[0].sram, rel=0.02) for t in totals)
+        assert all(t.tcam == pytest.approx(totals[0].tcam, rel=0.02) for t in totals)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadScale(routes=-1, vms=0)
+        with pytest.raises(ValueError):
+            WorkloadScale(routes=1, vms=1, ipv6_fraction=1.5)
+
+    def test_family_split(self):
+        scale = WorkloadScale(routes=100, vms=200, ipv6_fraction=0.25)
+        assert scale.routes_by_family() == (75, 25)
+        assert scale.vms_by_family() == (150, 50)
+
+    def test_occupancy_add(self):
+        total = Occupancy(0.1, 0.2) + Occupancy(0.3, 0.4)
+        assert total.sram == pytest.approx(0.4)
+        assert total.tcam == pytest.approx(0.6)
+
+    def test_max_entries_that_fit_grows_with_steps(self, model):
+        naive = model.max_entries_that_fit(set(), vm_per_route=2.5)
+        optimized = model.max_entries_that_fit(set(ALL_STEPS), vm_per_route=2.5)
+        assert optimized.routes > 3 * naive.routes
+        # And the returned scale actually fits.
+        check = OccupancyModel(optimized).total(set(ALL_STEPS))
+        assert check.fits()
+
+    def test_custom_cost_model(self):
+        costs = CostModel(v6_exact_words=2)
+        model = OccupancyModel(WorkloadScale.paper_scale(1.0), costs)
+        assert model.table2()["vm_nc"]["ipv6"].sram_percent == pytest.approx(116, abs=1.5)

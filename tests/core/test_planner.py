@@ -1,0 +1,129 @@
+"""Tests for the cross-pipeline placement planner and Table 4 layout."""
+
+import pytest
+
+from repro.core.occupancy import OccupancyModel
+from repro.core.planner import (
+    LogicalTable,
+    PlacementPlanner,
+    sailfish_table_layout,
+    table4_occupancy,
+)
+from repro.tables.geometry import MemoryFootprint
+from repro.tofino.compiler import PlacementError
+from repro.tofino.memory import SRAM_WORDS_PER_PIPELINE
+from repro.tofino.pipeline import Gress, PipelineFabric
+
+
+def fp(sram=0, tcam=0):
+    return MemoryFootprint(sram_words=sram, tcam_slices=tcam)
+
+
+class TestPlanner:
+    def test_requires_folded(self):
+        with pytest.raises(ValueError):
+            PlacementPlanner(PipelineFabric(folded=False))
+
+    def test_simple_plan(self):
+        planner = PlacementPlanner(PipelineFabric(folded=True))
+        report = planner.plan([
+            LogicalTable("a", fp(sram=1000), (0, Gress.INGRESS)),
+        ])
+        assert report.pipes_of("a") == [(0, Gress.INGRESS)]
+
+    def test_cross_pipeline_spill(self):
+        """Fig. 15: a table too big for its preferred pipeline spills to a
+        later pipe on the path."""
+        planner = PlacementPlanner(PipelineFabric(folded=True))
+        # Fill most of pipeline 1 with table C, then place a large D
+        # preferring pipeline 1.
+        big_c = fp(sram=int(SRAM_WORDS_PER_PIPELINE * 0.8))
+        big_d = fp(sram=int(SRAM_WORDS_PER_PIPELINE * 0.5))
+        report = planner.plan([
+            LogicalTable("c", big_c, (1, Gress.INGRESS)),
+            LogicalTable("d", big_d, (1, Gress.INGRESS), depends_on=("c",)),
+        ])
+        d_pipes = report.pipes_of("d")
+        assert (1, Gress.INGRESS) in d_pipes
+        assert (0, Gress.EGRESS) in d_pipes  # the spill segment
+
+    def test_unspillable_table_fails_when_tight(self):
+        planner = PlacementPlanner(PipelineFabric(folded=True))
+        big = fp(sram=int(SRAM_WORDS_PER_PIPELINE * 0.8))
+        with pytest.raises(PlacementError):
+            planner.plan([
+                LogicalTable("c", big, (1, Gress.INGRESS)),
+                LogicalTable("d", big, (1, Gress.INGRESS), spillable=False),
+            ])
+
+    def test_total_overflow_fails(self):
+        planner = PlacementPlanner(PipelineFabric(folded=True))
+        huge = fp(sram=3 * SRAM_WORDS_PER_PIPELINE)
+        with pytest.raises(PlacementError):
+            planner.plan([LogicalTable("x", huge, (0, Gress.INGRESS))])
+
+    def test_bad_preferred_pipe(self):
+        planner = PlacementPlanner(PipelineFabric(folded=True))
+        with pytest.raises(PlacementError):
+            planner.plan([LogicalTable("x", fp(sram=1), (3, Gress.INGRESS))])
+
+    def test_spill_respects_order_not_earlier(self):
+        """Spill only flows forward along the lookup path."""
+        planner = PlacementPlanner(PipelineFabric(folded=True))
+        report = planner.plan([
+            LogicalTable("last", fp(sram=1000), (0, Gress.EGRESS)),
+        ])
+        assert report.pipes_of("last") == [(0, Gress.EGRESS)]
+
+
+class TestTable4:
+    PAPER = {
+        "pipeline_0_2": (0.70, 0.41),
+        "pipeline_1_3": (0.68, 0.22),
+        "sum": (0.69, 0.32),
+    }
+
+    def test_analytic_numbers(self):
+        result = table4_occupancy()
+        for key, (sram, tcam) in self.PAPER.items():
+            got_sram, got_tcam = result[key]
+            assert got_sram == pytest.approx(sram, abs=0.02), key
+            assert got_tcam == pytest.approx(tcam, abs=0.02), key
+
+    def test_layout_places_on_fabric(self):
+        """The full table set physically fits the folded fabric under
+        block-granular allocation."""
+        fabric = PipelineFabric(folded=True)
+        planner = PlacementPlanner(fabric)
+        report = planner.plan(sailfish_table_layout())
+        assert set(report.stage_map) == {
+            "vxlan-routing-alpm", "vm-nc-pooled", "tenant-acl",
+            "service-redirect", "underlay-fib", "qos-meters-counters",
+        }
+        # Block-granular occupancy lands near the analytic one.
+        assert fabric.memory[0].sram_occupancy() == pytest.approx(0.70, abs=0.03)
+        assert fabric.memory[0].tcam_occupancy() == pytest.approx(0.41, abs=0.03)
+        assert fabric.memory[1].sram_occupancy() == pytest.approx(0.68, abs=0.03)
+        assert fabric.memory[1].tcam_occupancy() == pytest.approx(0.22, abs=0.03)
+
+    def test_room_for_growth(self):
+        """§5.1: "there is still room for adding future table entries"."""
+        result = table4_occupancy()
+        for key in ("pipeline_0_2", "pipeline_1_3"):
+            sram, tcam = result[key]
+            assert sram < 0.85 and tcam < 0.6
+
+    def test_layout_respects_dependencies(self):
+        tables = sailfish_table_layout()
+        names = [t.name for t in tables]
+        for table in tables:
+            for dep in table.depends_on:
+                assert names.index(dep) < names.index(table.name)
+
+    def test_custom_model_scales(self):
+        from repro.core.occupancy import WorkloadScale
+
+        small = OccupancyModel(WorkloadScale(routes=10_000, vms=20_000))
+        result = table4_occupancy(small)
+        # Main tables shrink; service tables stay constant.
+        assert result["pipeline_0_2"][1] < self.PAPER["pipeline_0_2"][1]

@@ -1,0 +1,80 @@
+"""Tests for the §4.2 redirect overload-protection meter on XGW-H."""
+
+import ipaddress
+
+import pytest
+
+from repro.core.xgw_h import XgwH
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.net.addr import Prefix
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.traffic import build_vxlan_packet
+
+VPC = 100
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+@pytest.fixture
+def gateway():
+    gw = XgwH(gateway_ip=ip("10.0.0.254"))
+    gw.install_route(VPC, Prefix.parse("0.0.0.0/0"),
+                     RouteAction(Scope.SERVICE, target="snat"))
+    return gw
+
+
+def snat_packet(i=0):
+    return build_vxlan_packet(VPC, ip("192.168.10.2"), 0x08080808 + i,
+                              payload=b"x" * 100)
+
+
+class TestRedirectRateLimit:
+    def test_unlimited_by_default(self, gateway):
+        for i in range(100):
+            result = gateway.forward(snat_packet(i), now=0.0)
+            assert result.action is ForwardAction.REDIRECT_X86
+
+    def test_flood_is_clamped(self, gateway):
+        size = snat_packet().wire_length()
+        # Allow ~10 packets per second of redirect traffic.
+        gateway.set_redirect_rate_limit(rate_bps=size * 8 * 10,
+                                        burst_bytes=size * 10)
+        outcomes = [gateway.forward(snat_packet(i), now=0.0).action
+                    for i in range(100)]
+        redirected = outcomes.count(ForwardAction.REDIRECT_X86)
+        dropped = outcomes.count(ForwardAction.DROP)
+        assert redirected <= 11
+        assert dropped >= 89
+
+    def test_drop_reason(self, gateway):
+        size = snat_packet().wire_length()
+        gateway.set_redirect_rate_limit(rate_bps=8 * size, burst_bytes=size)
+        assert gateway.forward(snat_packet(0), now=0.0).action is ForwardAction.REDIRECT_X86
+        result = gateway.forward(snat_packet(1), now=0.0)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "redirect-rate-limited"
+
+    def test_recovers_over_time(self, gateway):
+        size = snat_packet().wire_length()
+        gateway.set_redirect_rate_limit(rate_bps=8 * size, burst_bytes=size)
+        gateway.forward(snat_packet(0), now=0.0)
+        assert gateway.forward(snat_packet(1), now=0.0).action is ForwardAction.DROP
+        # One second later a full packet's worth of tokens has refilled.
+        assert gateway.forward(snat_packet(2), now=1.0).action is ForwardAction.REDIRECT_X86
+
+    def test_local_traffic_unaffected(self, gateway):
+        from repro.tables.vm_nc import NcBinding
+
+        gateway.install_route(VPC, Prefix.parse("192.168.10.0/24"),
+                              RouteAction(Scope.LOCAL), replace=False)
+        gateway.install_vm(VPC, ip("192.168.10.3"), 4, NcBinding(ip("10.1.1.12")))
+        size = snat_packet().wire_length()
+        gateway.set_redirect_rate_limit(rate_bps=8 * size, burst_bytes=size)
+        # Exhaust the redirect budget.
+        gateway.forward(snat_packet(0), now=0.0)
+        gateway.forward(snat_packet(1), now=0.0)
+        # LOCAL traffic still flows.
+        local = build_vxlan_packet(VPC, ip("192.168.10.2"), ip("192.168.10.3"))
+        assert gateway.forward(local, now=0.0).action is ForwardAction.DELIVER_NC

@@ -1,0 +1,158 @@
+"""Tests for the assembled Sailfish region and the N+1 hierarchy plan."""
+
+import pytest
+
+from repro.core.hierarchy import ActiveEntryCache, HierarchyPlan
+from repro.core.sailfish import HW_RESIDUAL_DROP_RATE, RegionSpec, Sailfish
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.workloads.traffic import RegionTrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def region():
+    return Sailfish.build(RegionSpec.small(), seed=7)
+
+
+class TestRegionBuild:
+    def test_clusters_created_and_steered(self, region):
+        assert len(region.controller.clusters) >= 1
+        for vni in region.topology.vnis():
+            assert region.balancer.cluster_for_vni(vni) is not None
+
+    def test_x86_holds_full_tables(self, region):
+        for x86 in region.x86_fleet:
+            assert len(x86.tables.routing) == region.topology.total_routes()
+            assert len(x86.tables.vm_nc) == region.topology.total_vms
+
+    def test_consistency_after_build(self, region):
+        for cluster_id in region.controller.clusters:
+            assert region.controller.consistency_check(cluster_id) == []
+
+    def test_probe_after_build(self, region):
+        for cluster_id in region.controller.clusters:
+            report = region.controller.probe(cluster_id, limit=8)
+            assert report.ok
+
+
+class TestRegionForwarding:
+    def test_no_drops_on_clean_traffic(self, region):
+        report = region.forward_sample(packets=300, seed=11)
+        assert report.dropped == 0
+        assert report.delivered + report.uplinked == report.packets
+
+    def test_software_ratio_small(self, region):
+        """Fig. 22's shape: only the SNAT slice reaches XGW-x86."""
+        generator = RegionTrafficGenerator(region.topology, seed=13,
+                                           internet_share=0.02)
+        report = region.forward_sample(packets=500, generator=generator)
+        assert 0 < report.software_ratio < 0.06
+
+    def test_zero_internet_zero_software(self):
+        region = Sailfish.build(RegionSpec.small(), seed=3)
+        generator = RegionTrafficGenerator(region.topology, seed=3,
+                                           internet_share=0.0)
+        report = region.forward_sample(packets=200, generator=generator)
+        assert report.software_packets == 0
+
+    def test_snat_roundtrip_through_region(self, region):
+        """A VM's Internet request and the response both traverse."""
+        from dataclasses import replace
+        from repro.net.headers import UDP
+        from repro.workloads.traffic import build_vxlan_packet
+
+        vni = region.topology.vnis()[0]
+        vm = region.topology.vpcs[vni].vms[0]
+        if vm.version != 4:
+            pytest.skip("v4 SNAT path")
+        request = build_vxlan_packet(vni, vm.ip, 0x5DB8D822, src_port=7777)
+        out = region.forward(request)
+        assert out.action is ForwardAction.UPLINK
+        assert not out.packet.is_vxlan
+        response = replace(
+            out.packet,
+            ip=type(out.packet.ip)(src=out.packet.ip.dst, dst=out.packet.ip.src,
+                                   proto=out.packet.ip.proto),
+            l4=UDP(src_port=out.packet.l4.dst_port, dst_port=out.packet.l4.src_port),
+        )
+        back = region.forward(response)
+        assert back.action is ForwardAction.DELIVER_NC
+        assert back.packet.inner.ip.dst == vm.ip
+
+    def test_unassigned_vni_drops(self, region):
+        from repro.workloads.traffic import build_vxlan_packet
+
+        packet = build_vxlan_packet(vni=999_999, src_ip=1, dst_ip=2)
+        result = region.forward(packet)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "unassigned-vni"
+
+
+class TestCapacityModel:
+    def test_hw_loss_floor(self, region):
+        capacity = region.hardware_capacity_pps()
+        loss = region.expected_hw_loss(capacity * 0.5)
+        assert loss == pytest.approx(HW_RESIDUAL_DROP_RATE)
+        assert 1e-11 <= loss <= 1e-10
+
+    def test_hw_loss_overload(self, region):
+        capacity = region.hardware_capacity_pps()
+        loss = region.expected_hw_loss(capacity * 2.0)
+        assert loss == pytest.approx(0.5, abs=0.01)
+
+    def test_festival_recording(self, region):
+        region.record_festival_sample(0.5, region.hardware_capacity_pps() * 0.4)
+        assert "loss_rate" in region.series
+        assert region.series["loss_rate"].values[-1] < 1e-9
+
+
+class TestHierarchy:
+    def test_paper_example_numbers(self):
+        """§8: 4 cache clusters at 25% active -> 4x perf at 2x nodes."""
+        plan = HierarchyPlan.paper_example()
+        assert plan.performance_multiplier == 4.0
+        assert plan.node_cost_multiplier == pytest.approx(2.0)
+        assert plan.flat_nodes_for_same_performance == 16
+        assert plan.total_nodes == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyPlan(cache_clusters=0, active_fraction=0.25)
+        with pytest.raises(ValueError):
+            HierarchyPlan(cache_clusters=1, active_fraction=1.5)
+
+    def test_active_entry_cache(self):
+        cache = ActiveEntryCache(active_fraction=0.25)
+        # Entry popularity: entry 0 is hot.
+        for _ in range(100):
+            cache.record_hit("hot")
+        for i in range(3):
+            cache.record_hit(f"cold-{i}")
+        cache.refresh()
+        assert cache.lookup("hot") is True
+        assert cache.lookup("cold-0") is False
+        assert cache.active_entries() == {"hot"}
+        assert 0 < cache.hit_rate < 1
+
+    def test_cache_refresh_resets_epoch(self):
+        cache = ActiveEntryCache(active_fraction=0.5)
+        cache.record_hit("a")
+        cache.refresh()
+        cache.refresh()  # no hits this epoch
+        assert cache.active_entries() == set()
+
+    def test_cache_hit_rate_with_8020_workload(self):
+        """With 25% active entries serving a 95/5 skew, hit rate ~ 95%."""
+        import random
+
+        cache = ActiveEntryCache(active_fraction=0.25)
+        rng = random.Random(5)
+        entries = [f"e{i}" for i in range(100)]
+        def draw():
+            return entries[rng.randrange(25)] if rng.random() < 0.95 else \
+                entries[25 + rng.randrange(75)]
+        for _ in range(2000):
+            cache.record_hit(draw())
+        cache.refresh()
+        for _ in range(2000):
+            cache.lookup(draw())
+        assert cache.hit_rate > 0.8

@@ -1,0 +1,169 @@
+"""Tests for the HW/SW sharing policy and horizontal table splitting."""
+
+import pytest
+
+from repro.core.splitting import (
+    ClusterCapacity,
+    SplitError,
+    TableSplitter,
+    TenantProfile,
+    vertical_split_blast_radius,
+)
+from repro.core.table_sharing import (
+    ServiceProfile,
+    SharingPolicy,
+    eighty_twenty_entries,
+)
+
+
+def services():
+    return [
+        ServiceProfile("vpc-routing", traffic_share=0.80, entries=800_000),
+        ServiceProfile("vm-nc", traffic_share=0.15, entries=600_000),
+        ServiceProfile("snat", traffic_share=0.03, entries=100_000_000, stateful=True),
+        ServiceProfile("festival-lb", traffic_share=0.01, entries=5_000, volatile=True),
+        ServiceProfile("newborn", traffic_share=0.005, entries=1_000, maturity=0.1),
+        ServiceProfile("idc", traffic_share=0.005, entries=50_000),
+    ]
+
+
+class TestSharingPolicy:
+    def test_mature_heavy_services_to_hardware(self):
+        decision = SharingPolicy(hardware_entry_budget=2_000_000).decide(services())
+        assert decision.placed_in_hardware("vpc-routing")
+        assert decision.placed_in_hardware("vm-nc")
+        assert decision.placed_in_hardware("idc")
+
+    def test_stateful_stays_soft(self):
+        decision = SharingPolicy(hardware_entry_budget=2_000_000).decide(services())
+        assert not decision.placed_in_hardware("snat")
+
+    def test_volatile_stays_soft(self):
+        decision = SharingPolicy(hardware_entry_budget=2_000_000).decide(services())
+        assert not decision.placed_in_hardware("festival-lb")
+
+    def test_newborn_stays_soft(self):
+        decision = SharingPolicy(hardware_entry_budget=2_000_000).decide(services())
+        assert not decision.placed_in_hardware("newborn")
+
+    def test_budget_enforced(self):
+        decision = SharingPolicy(hardware_entry_budget=900_000).decide(services())
+        assert decision.placed_in_hardware("vpc-routing")
+        assert not decision.placed_in_hardware("vm-nc")  # over budget
+
+    def test_software_traffic_share_small(self):
+        """Fig. 22's premise: hardware absorbs the vast majority."""
+        decision = SharingPolicy(hardware_entry_budget=2_000_000).decide(services())
+        assert decision.software_traffic_share < 0.05
+        assert decision.hardware_traffic_share > 0.95
+
+    def test_redirect_rate_limit(self):
+        decision = SharingPolicy(hardware_entry_budget=2_000_000,
+                                 redirect_headroom=2.0).decide(
+            services(), region_traffic_bps=10e12)
+        expected = decision.software_traffic_share * 10e12 * 2.0
+        assert decision.redirect_rate_limit_bps == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingPolicy(hardware_entry_budget=0)
+        with pytest.raises(ValueError):
+            ServiceProfile("x", traffic_share=1.5, entries=1)
+        with pytest.raises(ValueError):
+            ServiceProfile("x", traffic_share=0.5, entries=-1)
+
+    def test_eighty_twenty(self):
+        hot, hot_share, cold_share = eighty_twenty_entries(1000)
+        assert hot == 50 and hot_share == 0.95
+        assert cold_share == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            eighty_twenty_entries(100, hot_entry_fraction=0.0)
+
+
+class TestTableSplitter:
+    CAPACITY = ClusterCapacity(routes=100, vms=1000, traffic_bps=1e12)
+
+    def test_single_cluster_when_fits(self):
+        splitter = TableSplitter(self.CAPACITY)
+        plan = splitter.assign([TenantProfile(i, 10, 50, 1e10) for i in range(5)])
+        assert len(plan.clusters()) == 1
+
+    def test_new_cluster_on_overflow(self):
+        splitter = TableSplitter(self.CAPACITY)
+        # 50+50 routes fill a cluster; the third tenant opens a new one.
+        plan = splitter.assign([TenantProfile(i, 50, 100, 1e10) for i in range(3)])
+        assert len(plan.clusters()) == 2
+
+    def test_tenant_bigger_than_cluster_rejected(self):
+        splitter = TableSplitter(self.CAPACITY)
+        with pytest.raises(SplitError):
+            splitter.assign([TenantProfile(1, 200, 10, 1e10)])
+
+    def test_heaviest_first_order(self):
+        splitter = TableSplitter(self.CAPACITY)
+        plan = splitter.assign([
+            TenantProfile(1, 10, 10, 1e10),
+            TenantProfile(2, 90, 10, 9e11),
+        ])
+        # The heavy tenant lands in the first cluster.
+        assert plan.cluster_of(2) == "cluster-A"
+
+    def test_blast_radius_is_one_cluster(self):
+        """§4.3 fault isolation: a faulty tenant only affects co-residents."""
+        splitter = TableSplitter(self.CAPACITY)
+        tenants = [TenantProfile(i, 60, 100, 1e10) for i in range(4)]
+        plan = splitter.assign(tenants)
+        radius = plan.blast_radius(tenants[0].vni)
+        assert len(radius) < len(tenants)
+        assert vertical_split_blast_radius(len(tenants)) == len(tenants)
+
+    def test_incremental_place(self):
+        splitter = TableSplitter(self.CAPACITY)
+        plan = splitter.assign([TenantProfile(1, 10, 10, 1e10)])
+        cluster = splitter.place(plan, TenantProfile(2, 10, 10, 1e10))
+        assert cluster == "cluster-A"
+        with pytest.raises(SplitError):
+            splitter.place(plan, TenantProfile(2, 10, 10, 1e10))  # already placed
+
+    def test_usage_tracking(self):
+        splitter = TableSplitter(self.CAPACITY)
+        plan = splitter.assign([TenantProfile(1, 10, 20, 1e10)])
+        usage = plan.usage["cluster-A"]
+        assert usage.routes == 10 and usage.vms == 20
+
+    def test_rebalance(self):
+        splitter = TableSplitter(self.CAPACITY)
+        t1 = TenantProfile(1, 10, 10, 1e10)
+        t2 = TenantProfile(2, 95, 10, 1e10)
+        plan = splitter.assign([t1, t2])
+        assert len(plan.clusters()) == 2
+        source = plan.cluster_of(1)
+        target = next(c for c in plan.clusters() if c != source)
+        # Moving tenant 1 into tenant 2's cluster would overflow routes.
+        if plan.usage[target].routes + t1.routes > self.CAPACITY.routes:
+            with pytest.raises(SplitError):
+                splitter.rebalance_tenant(plan, t1, target)
+        else:
+            splitter.rebalance_tenant(plan, t1, target)
+            assert plan.cluster_of(1) == target
+
+    def test_rebalance_validation(self):
+        splitter = TableSplitter(self.CAPACITY)
+        plan = splitter.assign([TenantProfile(1, 10, 10, 1e10)])
+        with pytest.raises(SplitError):
+            splitter.rebalance_tenant(plan, TenantProfile(9, 1, 1, 1), "cluster-A")
+        with pytest.raises(SplitError):
+            splitter.rebalance_tenant(plan, TenantProfile(1, 10, 10, 1e10), "ghost")
+
+    def test_rebalance_same_cluster_noop(self):
+        splitter = TableSplitter(self.CAPACITY)
+        t1 = TenantProfile(1, 10, 10, 1e10)
+        plan = splitter.assign([t1])
+        splitter.rebalance_tenant(plan, t1, "cluster-A")
+        assert plan.cluster_of(1) == "cluster-A"
+
+    def test_cluster_naming_beyond_alphabet(self):
+        splitter = TableSplitter(ClusterCapacity(routes=1, vms=1, traffic_bps=1e12))
+        tenants = [TenantProfile(i, 1, 1, 0.0) for i in range(30)]
+        plan = splitter.assign(tenants)
+        assert len(plan.clusters()) == 30

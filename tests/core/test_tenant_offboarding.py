@@ -1,0 +1,116 @@
+"""Tests for tenant offboarding and entry withdrawal."""
+
+import ipaddress
+
+import pytest
+
+from repro.cluster.cluster import GatewayCluster
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.controller import Controller, RouteEntry, VmEntry
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.net.addr import Prefix
+from repro.tables.errors import TableError
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+@pytest.fixture
+def controller():
+    balancer = VniSteeredBalancer()
+    splitter = TableSplitter(ClusterCapacity(routes=50, vms=500, traffic_bps=1e13))
+    ctrl = Controller(splitter, balancer)
+    counter = [0]
+
+    def factory(cluster_id):
+        counter[0] += 1
+        return GatewayCluster(
+            cluster_id,
+            [(f"{cluster_id}-gw0", XgwH(gateway_ip=counter[0]))],
+            backup=GatewayCluster(
+                f"{cluster_id}-backup",
+                [(f"{cluster_id}-bk0", XgwH(gateway_ip=counter[0] + 100))],
+            ),
+        )
+
+    ctrl.set_cluster_factory(factory)
+    return ctrl
+
+
+def onboard(controller, vni=100):
+    routes = [
+        RouteEntry(vni, Prefix.parse("192.168.10.0/24"), RouteAction(Scope.LOCAL)),
+        RouteEntry(vni, Prefix.parse("0.0.0.0/0"),
+                   RouteAction(Scope.SERVICE, target="snat")),
+    ]
+    vms = [VmEntry(vni, ip("192.168.10.2"), 4, NcBinding(ip("10.1.1.11")))]
+    profile = TenantProfile(vni, len(routes), len(vms), 1e9)
+    cluster_id = controller.add_tenant(profile, routes, vms)
+    return cluster_id, routes, vms
+
+
+class TestRemoveRoute:
+    def test_removed_everywhere(self, controller):
+        cluster_id, routes, _vms = onboard(controller)
+        controller.remove_route(cluster_id, 100, routes[0].prefix)
+        cluster = controller.clusters[cluster_id]
+        for member in cluster.members() + cluster.backup.members():
+            assert member.gateway.route_count() == 1  # the SNAT default remains
+        assert controller.consistency_check(cluster_id) == []
+
+    def test_unknown_route_rejected(self, controller):
+        cluster_id, _routes, _vms = onboard(controller)
+        with pytest.raises(TableError):
+            controller.remove_route(cluster_id, 100, Prefix.parse("10.9.0.0/16"))
+
+
+class TestRemoveVm:
+    def test_removed_everywhere(self, controller):
+        cluster_id, _routes, vms = onboard(controller)
+        controller.remove_vm(cluster_id, 100, vms[0].vm_ip, 4)
+        cluster = controller.clusters[cluster_id]
+        for member in cluster.members() + cluster.backup.members():
+            assert member.gateway.vm_count() == 0
+        assert controller.consistency_check(cluster_id) == []
+
+    def test_unknown_vm_rejected(self, controller):
+        cluster_id, _routes, _vms = onboard(controller)
+        with pytest.raises(TableError):
+            controller.remove_vm(cluster_id, 100, 0xDEAD, 4)
+
+
+class TestRemoveTenant:
+    def test_full_offboarding(self, controller):
+        cluster_id, routes, vms = onboard(controller, vni=100)
+        onboard(controller, vni=101)  # a co-resident survives
+        removed = controller.remove_tenant(100)
+        assert removed == len(routes) + len(vms)
+        assert controller.balancer.cluster_for_vni(100) is None
+        assert controller.balancer.cluster_for_vni(101) == cluster_id
+        assert 100 not in controller.plan.assignments
+        # Capacity is actually released.
+        usage = controller.plan.usage[cluster_id]
+        assert usage.routes == len(routes) and usage.vms == len(vms)
+        assert controller.consistency_check(cluster_id) == []
+
+    def test_capacity_reusable_after_offboarding(self, controller):
+        """Offboard + re-onboard cycles never exhaust the cluster."""
+        for cycle in range(30):
+            onboard(controller, vni=100)
+            controller.remove_tenant(100)
+        cluster_id, _routes, _vms = onboard(controller, vni=100)
+        assert len(controller.clusters) == 1  # never overflowed to cluster-B
+
+    def test_unknown_tenant_rejected(self, controller):
+        with pytest.raises(TableError):
+            controller.remove_tenant(999)
+
+    def test_table_size_series_reflects_shrink(self, controller):
+        cluster_id, _routes, _vms = onboard(controller)
+        controller.remove_tenant(100, time=5.0)
+        series = controller.table_size_series[cluster_id]
+        assert series.values[-1] == 0

@@ -1,0 +1,130 @@
+"""Tests for the shared gateway forwarding program."""
+
+import ipaddress
+
+import pytest
+
+from repro.dataplane.gateway_logic import (
+    ForwardAction,
+    GatewayTables,
+    forward,
+    inner_flow_key,
+)
+from repro.net.addr import Prefix
+from repro.tables.acl import AclRule, AclVerdict
+from repro.tables.meter import TokenBucket
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.traffic import build_vxlan_packet
+
+GATEWAY_IP = 0x0AFFFF01
+VPC_A, VPC_B = 100, 200
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+@pytest.fixture
+def tables():
+    t = GatewayTables()
+    t.routing.insert(VPC_A, Prefix.parse("192.168.10.0/24"), RouteAction(Scope.LOCAL))
+    t.routing.insert(VPC_A, Prefix.parse("192.168.30.0/24"),
+                     RouteAction(Scope.PEER, next_hop_vni=VPC_B))
+    t.routing.insert(VPC_B, Prefix.parse("192.168.30.0/24"), RouteAction(Scope.LOCAL))
+    t.routing.insert(VPC_A, Prefix.parse("0.0.0.0/0"),
+                     RouteAction(Scope.SERVICE, target="snat"))
+    t.routing.insert(VPC_A, Prefix.parse("172.31.0.0/16"),
+                     RouteAction(Scope.IDC, target="cen-1"))
+    t.vm_nc.insert(VPC_A, ip("192.168.10.3"), 4, NcBinding(ip("10.1.1.12")))
+    t.vm_nc.insert(VPC_B, ip("192.168.30.5"), 4, NcBinding(ip("10.1.1.15")))
+    return t
+
+
+def packet(vni=VPC_A, src="192.168.10.2", dst="192.168.10.3"):
+    return build_vxlan_packet(vni=vni, src_ip=ip(src), dst_ip=ip(dst))
+
+
+class TestLocalDelivery:
+    def test_same_vpc(self, tables):
+        result = forward(tables, packet(), GATEWAY_IP)
+        assert result.action is ForwardAction.DELIVER_NC
+        assert result.nc_ip == ip("10.1.1.12")
+        assert result.packet.ip.dst == ip("10.1.1.12")
+        assert result.packet.ip.src == GATEWAY_IP
+        assert result.packet.vni == VPC_A  # unchanged for same-VPC
+
+    def test_cross_vpc_rewrites_vni(self, tables):
+        result = forward(tables, packet(dst="192.168.30.5"), GATEWAY_IP)
+        assert result.action is ForwardAction.DELIVER_NC
+        assert result.resolved_vni == VPC_B
+        assert result.packet.vni == VPC_B
+        assert result.nc_ip == ip("10.1.1.15")
+
+    def test_unknown_vm_drops(self, tables):
+        result = forward(tables, packet(dst="192.168.10.200"), GATEWAY_IP)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "no-vm"
+
+    def test_inner_payload_preserved(self, tables):
+        original = packet()
+        result = forward(tables, original, GATEWAY_IP)
+        assert result.packet.inner == original.inner
+
+
+class TestOtherScopes:
+    def test_service_redirect(self, tables):
+        result = forward(tables, packet(dst="8.8.8.8"), GATEWAY_IP)
+        assert result.action is ForwardAction.REDIRECT_X86
+        assert result.detail == "snat"
+
+    def test_idc_uplink(self, tables):
+        result = forward(tables, packet(dst="172.31.7.7"), GATEWAY_IP)
+        assert result.action is ForwardAction.UPLINK
+        assert result.detail == "cen-1"
+
+    def test_unknown_vni_drops(self, tables):
+        result = forward(tables, packet(vni=999), GATEWAY_IP)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "no-route"
+
+    def test_non_vxlan_drops(self, tables):
+        plain = packet().decap()
+        result = forward(tables, plain, GATEWAY_IP)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "not-vxlan"
+
+    def test_peer_loop_drops(self, tables):
+        tables.routing.insert(VPC_B, Prefix.parse("10.99.0.0/16"),
+                              RouteAction(Scope.PEER, next_hop_vni=VPC_A))
+        tables.routing.insert(VPC_A, Prefix.parse("10.99.0.0/16"),
+                              RouteAction(Scope.PEER, next_hop_vni=VPC_B))
+        result = forward(tables, packet(dst="10.99.1.1"), GATEWAY_IP)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "peer-loop"
+
+
+class TestServiceTables:
+    def test_acl_deny(self, tables):
+        tables.acl.insert(AclRule(priority=1, verdict=AclVerdict.DENY, vni=VPC_A))
+        result = forward(tables, packet(), GATEWAY_IP)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "acl-deny"
+
+    def test_meter_red_drops(self, tables):
+        tables.meters.configure(("vni", VPC_A),
+                                TokenBucket(committed_rate=1.0, committed_burst=1.0))
+        result = forward(tables, packet(), GATEWAY_IP, now=0.0)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "meter-red"
+
+    def test_counters_count_all_packets(self, tables):
+        forward(tables, packet(), GATEWAY_IP)
+        forward(tables, packet(dst="8.8.8.8"), GATEWAY_IP)
+        assert tables.counters.read(("vni", VPC_A)).packets == 2
+
+    def test_inner_flow_key(self, tables):
+        key = inner_flow_key(packet())
+        assert key.src_ip == ip("192.168.10.2")
+        assert key.dst_ip == ip("192.168.10.3")
+        assert key.version == 4

@@ -1,0 +1,124 @@
+"""Tests for the SNAT service: the full Fig. 11 request/response cycle."""
+
+import ipaddress
+
+import pytest
+
+from repro.dataplane.gateway_logic import ForwardAction, GatewayTables
+from repro.dataplane.services import SnatService
+from repro.net.addr import Prefix
+from repro.net.packet import Packet
+from repro.tables.snat import SnatTable
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.traffic import build_vxlan_packet
+
+GATEWAY_IP = 0x0AFFFF01
+VPC = 100
+PUBLIC_IP = 0xCB007101  # 203.0.113.1
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+@pytest.fixture
+def service():
+    tables = GatewayTables()
+    tables.routing.insert(VPC, Prefix.parse("0.0.0.0/0"),
+                          RouteAction(Scope.SERVICE, target="snat"))
+    tables.vm_nc.insert(VPC, ip("192.168.10.2"), 4, NcBinding(ip("10.1.1.11")))
+    snat = SnatTable(public_ips=[PUBLIC_IP])
+    return SnatService(snat, tables, GATEWAY_IP)
+
+
+def request_packet(src="192.168.10.2", dst="93.184.216.34", sport=5555):
+    return build_vxlan_packet(vni=VPC, src_ip=ip(src), dst_ip=ip(dst),
+                              src_port=sport, dst_port=80, payload=b"GET /")
+
+
+class TestRequestPath:
+    def test_translates_and_decaps(self, service):
+        result = service.handle_request(request_packet(), now=0.0)
+        assert result.action is ForwardAction.UPLINK
+        out = result.packet
+        assert not out.is_vxlan  # tunnel removed
+        assert out.ip.src == PUBLIC_IP  # source rewritten
+        assert out.ip.dst == ip("93.184.216.34")
+        assert out.l4.src_port != 5555 or out.l4.src_port >= 1024
+        assert out.payload == b"GET /"
+        assert service.requests == 1
+
+    def test_same_flow_reuses_session(self, service):
+        first = service.handle_request(request_packet(), now=0.0)
+        second = service.handle_request(request_packet(), now=1.0)
+        assert first.packet.l4.src_port == second.packet.l4.src_port
+        assert len(service.snat) == 1
+
+    def test_distinct_flows_distinct_ports(self, service):
+        a = service.handle_request(request_packet(sport=1111), now=0.0)
+        b = service.handle_request(request_packet(sport=2222), now=0.0)
+        assert a.packet.l4.src_port != b.packet.l4.src_port
+
+    def test_non_vxlan_rejected(self, service):
+        plain = request_packet().decap()
+        result = service.handle_request(plain, now=0.0)
+        assert result.action is ForwardAction.DROP
+
+    def test_pool_exhaustion_drops(self, service):
+        service.snat._pools[PUBLIC_IP].free = []
+        result = service.handle_request(request_packet(), now=0.0)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "snat-pool-exhausted"
+        assert service.failures == 1
+
+
+class TestResponsePath:
+    def _roundtrip(self, service):
+        request = service.handle_request(request_packet(), now=0.0)
+        out = request.packet
+        # Build the Internet's response: src/dst swapped.
+        response_bytes = out.to_bytes()
+        response = Packet.from_bytes(response_bytes)
+        from dataclasses import replace
+        from repro.net.headers import UDP
+        response = replace(
+            response,
+            ip=type(response.ip)(src=out.ip.dst, dst=out.ip.src, proto=out.ip.proto),
+            l4=UDP(src_port=out.l4.dst_port, dst_port=out.l4.src_port),
+            payload=b"200 OK",
+        )
+        return service.handle_response(response, now=1.0)
+
+    def test_response_reencapsulated_to_nc(self, service):
+        result = self._roundtrip(service)
+        assert result.action is ForwardAction.DELIVER_NC
+        packet = result.packet
+        assert packet.is_vxlan and packet.vni == VPC
+        assert packet.ip.dst == ip("10.1.1.11")  # the VM's NC
+        assert packet.inner.ip.dst == ip("192.168.10.2")  # original VM IP
+        assert packet.inner.l4.dst_port == 5555  # original source port
+        assert packet.inner.payload == b"200 OK"
+        assert service.responses == 1
+
+    def test_unknown_session_drops(self, service):
+        from repro.net.headers import Ethernet, IPv4, UDP, ETHERTYPE_IPV4
+        stray = Packet(
+            eth=Ethernet(1, 2, ETHERTYPE_IPV4),
+            ip=IPv4(src=ip("93.184.216.34"), dst=PUBLIC_IP, proto=17),
+            l4=UDP(src_port=80, dst_port=4444),
+            payload=b"stray",
+        )
+        result = service.handle_response(stray, now=0.0)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == "snat-no-session"
+
+    def test_vxlan_response_rejected(self, service):
+        result = service.handle_response(request_packet(), now=0.0)
+        assert result.action is ForwardAction.DROP
+
+    def test_expiry_clears_context(self, service):
+        service.handle_request(request_packet(), now=0.0)
+        expired = service.expire(now=10_000.0)
+        assert expired == 1
+        assert len(service._contexts) == 0

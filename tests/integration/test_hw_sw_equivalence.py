@@ -1,0 +1,91 @@
+"""Property test: the pipeline-split hardware program and the one-pass
+software program are the same function, over randomly generated tables
+and packets."""
+
+import ipaddress
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.xgw_h import XgwH
+from repro.dataplane.gateway_logic import ForwardAction, GatewayTables, forward
+from repro.net.addr import Prefix
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.traffic import build_vxlan_packet
+
+GATEWAY_IP = 0x0AFFFF01
+
+
+@st.composite
+def gateway_setup(draw):
+    """Random routing + VM-NC contents over a small VNI/address space."""
+    vnis = draw(st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                         max_size=4, unique=True))
+    routes = []
+    vms = []
+    for vni in vnis:
+        subnet_count = draw(st.integers(min_value=1, max_value=3))
+        for s in range(subnet_count):
+            net = (10 << 24) | (vni << 16) | (s << 10)
+            prefix = Prefix.of(net, 22, 4)
+            routes.append((vni, prefix, RouteAction(Scope.LOCAL)))
+            for host in draw(st.lists(st.integers(min_value=2, max_value=40),
+                                      max_size=4, unique=True)):
+                vm_ip = prefix.network + host
+                vms.append((vni, vm_ip, NcBinding((10 << 24) | host)))
+        # Optional peer route to another listed VNI.
+        if len(vnis) > 1 and draw(st.booleans()):
+            peer = draw(st.sampled_from([v for v in vnis if v != vni]))
+            peer_net = (10 << 24) | (peer << 16)
+            routes.append((vni, Prefix.of(peer_net, 22, 4),
+                           RouteAction(Scope.PEER, next_hop_vni=peer)))
+        if draw(st.booleans()):
+            routes.append((vni, Prefix.parse("0.0.0.0/0"),
+                           RouteAction(Scope.SERVICE, target="snat")))
+    return routes, vms, vnis
+
+
+@st.composite
+def probe_packets(draw, vnis):
+    vni = draw(st.sampled_from(vnis + [99]))  # sometimes an unknown VNI
+    if draw(st.booleans()):
+        # In-space destination (maybe a VM, maybe a miss in a subnet).
+        target_vni = draw(st.sampled_from(vnis))
+        subnet = draw(st.integers(min_value=0, max_value=3))
+        host = draw(st.integers(min_value=0, max_value=60))
+        dst = (10 << 24) | (target_vni << 16) | (subnet << 10) | host
+    else:
+        dst = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    src = draw(st.integers(min_value=1, max_value=(1 << 32) - 1))
+    return build_vxlan_packet(vni, src, dst)
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_hw_equals_sw(self, data):
+        routes, vms, vnis = data.draw(gateway_setup())
+        hw = XgwH(gateway_ip=GATEWAY_IP)
+        sw_tables = GatewayTables()
+        seen_routes = set()
+        for vni, prefix, action in routes:
+            if (vni, prefix) in seen_routes:
+                continue
+            seen_routes.add((vni, prefix))
+            hw.install_route(vni, prefix, action, replace=True)
+            sw_tables.routing.insert(vni, prefix, action, replace=True)
+        for vni, vm_ip, binding in vms:
+            hw.install_vm(vni, vm_ip, 4, binding, replace=True)
+            sw_tables.vm_nc.insert(vni, vm_ip, 4, binding, replace=True)
+
+        for _ in range(10):
+            packet = data.draw(probe_packets(vnis))
+            hw_result = hw.forward(packet)
+            sw_result = forward(sw_tables, packet, GATEWAY_IP)
+            assert hw_result.action == sw_result.action, packet.inner.five_tuple()
+            if hw_result.action is ForwardAction.DELIVER_NC:
+                assert hw_result.packet.ip.dst == sw_result.packet.ip.dst
+                assert hw_result.packet.vni == sw_result.packet.vni
+                assert hw_result.packet.to_bytes() == sw_result.packet.to_bytes()
+            if hw_result.action is ForwardAction.DROP:
+                assert hw_result.detail == sw_result.detail

@@ -1,0 +1,67 @@
+"""Robustness: the region must classify arbitrary traffic, never crash.
+
+Every packet — valid, stray, malformed-but-parseable — must come back
+with a ForwardAction; hostile input must never raise out of the data
+path (a gateway that crashes on a weird packet is a region outage).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sailfish import RegionSpec, Sailfish
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.net.headers import HeaderError
+from repro.net.packet import Packet
+from repro.workloads.traffic import build_vxlan_packet
+
+_REGION = Sailfish.build(RegionSpec.small(), seed=123)
+_KNOWN_VNIS = _REGION.topology.vnis()
+
+
+class TestRegionFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        vni=st.one_of(st.sampled_from(_KNOWN_VNIS),
+                      st.integers(min_value=0, max_value=(1 << 24) - 1)),
+        src=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        dst=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        sport=st.integers(min_value=0, max_value=65535),
+        dport=st.integers(min_value=0, max_value=65535),
+    )
+    def test_any_v4_vxlan_packet_classified(self, vni, src, dst, sport, dport):
+        packet = build_vxlan_packet(vni, src, dst, src_port=sport, dst_port=dport)
+        result = _REGION.forward(packet)
+        assert isinstance(result.action, ForwardAction)
+        if result.action is ForwardAction.DROP:
+            assert result.detail  # drops always carry a reason
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        vni=st.sampled_from(_KNOWN_VNIS),
+        src=st.integers(min_value=0, max_value=(1 << 128) - 1),
+        dst=st.integers(min_value=0, max_value=(1 << 128) - 1),
+    )
+    def test_any_v6_vxlan_packet_classified(self, vni, src, dst):
+        packet = build_vxlan_packet(vni, src, dst, version=6)
+        result = _REGION.forward(packet)
+        assert isinstance(result.action, ForwardAction)
+
+    @settings(max_examples=150, deadline=None)
+    @given(raw=st.binary(min_size=0, max_size=200))
+    def test_arbitrary_bytes_never_crash_region(self, raw):
+        try:
+            packet = Packet.from_bytes(raw)
+        except HeaderError:
+            return
+        result = _REGION.forward(packet)
+        assert isinstance(result.action, ForwardAction)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        vni=st.sampled_from(_KNOWN_VNIS),
+        dst=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_trace_never_crashes_and_matches_forward(self, vni, dst):
+        packet = build_vxlan_packet(vni, 0x0A000001, dst)
+        traced_result, trace = _REGION.trace(packet)
+        assert isinstance(traced_result.action, ForwardAction)
+        assert trace.outcome

@@ -1,0 +1,139 @@
+"""A month in the life of a region: the full control loop on the event
+engine — tenant arrivals, table churn, a mid-month failover, periodic
+consistency checks — ending with a healthy, probed fleet."""
+
+import pytest
+
+from repro.cluster.cluster import GatewayCluster
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.cluster.failover import DisasterRecovery
+from repro.core.controller import Controller, RouteEntry, VmEntry
+from repro.core.management import ClusterManager
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.net.addr import Prefix
+from repro.sim.engine import Engine
+from repro.sim.rand import derive
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+
+DAYS = 30
+
+
+def build_world():
+    balancer = VniSteeredBalancer()
+    splitter = TableSplitter(ClusterCapacity(routes=120, vms=2000, traffic_bps=1e15))
+    controller = Controller(splitter, balancer)
+    counter = [0]
+
+    def factory(cluster_id):
+        counter[0] += 1
+        nodes = [(f"{cluster_id}-gw{i}", XgwH(gateway_ip=counter[0] * 10 + i))
+                 for i in range(2)]
+        backup = GatewayCluster(
+            f"{cluster_id}-backup",
+            [(f"{cluster_id}-bk{i}", XgwH(gateway_ip=counter[0] * 100 + i))
+             for i in range(2)],
+        )
+        return GatewayCluster(cluster_id, nodes, backup=backup)
+
+    controller.set_cluster_factory(factory)
+    engine = Engine()
+    manager = ClusterManager(controller, engine, safe_water_level=0.8,
+                             reopen_water_level=0.5, check_interval=1.0)
+    recovery = DisasterRecovery(balancer, controller.clusters,
+                                cold_standby=[XgwH(gateway_ip=9999)])
+    return engine, controller, manager, recovery
+
+
+def tenant_payload(vni, rng, subnets=3):
+    routes, vms = [], []
+    base = (10 << 24) | (vni << 12)
+    for s in range(subnets):
+        prefix = Prefix.of(base + (s << 8), 24, 4)
+        routes.append(RouteEntry(vni, prefix, RouteAction(Scope.LOCAL)))
+        for h in range(2):
+            vms.append(VmEntry(vni, prefix.network + 2 + h, 4,
+                               NcBinding((10 << 24) | rng.randrange(1, 255))))
+    profile = TenantProfile(vni, routes=len(routes), vms=len(vms),
+                            traffic_bps=1e9)
+    return profile, routes, vms
+
+
+class TestMonthLifecycle:
+    def test_month_of_operations(self):
+        engine, controller, manager, recovery = build_world()
+        rng = derive(2026, "lifecycle")
+        manager.start(until=float(DAYS))
+
+        consistency_findings = []
+
+        def daily_consistency_check():
+            for cluster_id in list(controller.clusters):
+                consistency_findings.extend(controller.consistency_check(cluster_id))
+
+        engine.schedule_every(1.0, daily_consistency_check, until=float(DAYS))
+
+        # Tenant arrivals: two per day for the first three weeks.
+        arrivals = []
+        for day in range(21):
+            for k in range(2):
+                vni = 100 + day * 2 + k
+                arrivals.append((day + 0.2 + 0.3 * k, vni))
+        for at, vni in arrivals:
+            profile, routes, vms = tenant_payload(vni, rng)
+            engine.schedule(
+                at, lambda p=profile, r=routes, v=vms: manager.admit_tenant(p, r, v)
+            )
+
+        # Mid-month: a node failure in whichever cluster exists by then.
+        def node_failure():
+            cluster_id = sorted(controller.clusters)[0]
+            victim = controller.clusters[cluster_id].members()[0].name
+            recovery.fail_node(cluster_id, victim, time=engine.now)
+
+        engine.schedule(15.5, node_failure)
+
+        # Day 20: a full cluster failover on the first cluster.
+        engine.schedule(
+            20.5, lambda: recovery.fail_over_cluster(
+                sorted(controller.clusters)[0], time=engine.now)
+        )
+
+        engine.run()
+
+        # The fleet grew as tenants arrived.
+        assert len(controller.clusters) >= 2
+        assert len(manager.actions("placed")) == len(arrivals)
+        # Consistency never silently diverged (controller-driven installs).
+        assert consistency_findings == []
+        # Failover events were logged.
+        levels = {e.level for e in recovery.events}
+        assert levels == {"node", "cluster"}
+        # Every cluster still answers probes on its serving side.
+        for cluster_id in sorted(controller.clusters):
+            serving = recovery.serving_cluster(cluster_id)
+            probe_gateway = serving.members()[0].gateway
+            assert probe_gateway.route_count() > 0
+            report = controller.probe(cluster_id, limit=4)
+            assert report.sent > 0
+        # Water-level history was recorded for every cluster.
+        for cluster_id in controller.clusters:
+            assert cluster_id in manager.water_levels
+
+    def test_lifecycle_deterministic(self):
+        def run():
+            engine, controller, manager, _recovery = build_world()
+            rng = derive(7, "det")
+            manager.start(until=5.0)
+            for day in range(5):
+                profile, routes, vms = tenant_payload(200 + day, rng)
+                engine.schedule(day + 0.5,
+                                lambda p=profile, r=routes, v=vms:
+                                manager.admit_tenant(p, r, v))
+            engine.run()
+            return sorted(controller.clusters), [
+                (e.time, e.action, e.subject) for e in manager.events
+            ]
+
+        assert run() == run()

@@ -1,0 +1,110 @@
+"""Tests for flow keys and the Toeplitz RSS hash."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.flow import (
+    FlowKey,
+    MSFT_RSS_KEY,
+    rss_queue,
+    symmetric_flow_hash,
+    toeplitz_hash,
+)
+
+
+def reference_toeplitz(data: bytes, key: bytes) -> int:
+    """Independent bit-at-a-time reference implementation."""
+    key_bits = []
+    for byte in key:
+        for i in range(8):
+            key_bits.append((byte >> (7 - i)) & 1)
+    result = 0
+    bit_index = 0
+    for byte in data:
+        for i in range(8):
+            if (byte >> (7 - i)) & 1:
+                window = 0
+                for j in range(32):
+                    window = (window << 1) | key_bits[bit_index + j]
+                result ^= window
+            bit_index += 1
+    return result
+
+
+class TestToeplitz:
+    def test_single_first_bit_selects_key_head(self):
+        # Input 0x80...: only the first bit set -> hash = key[0:4].
+        assert toeplitz_hash(b"\x80\x00\x00\x00") == int.from_bytes(MSFT_RSS_KEY[:4], "big")
+
+    def test_zero_input(self):
+        assert toeplitz_hash(b"\x00" * 12) == 0
+
+    def test_linearity(self):
+        # Toeplitz is XOR-linear in the input bits.
+        a = toeplitz_hash(b"\x80\x00\x00\x00")
+        b = toeplitz_hash(b"\x00\x00\x00\x01")
+        combined = toeplitz_hash(b"\x80\x00\x00\x01")
+        assert combined == a ^ b
+
+    @given(st.binary(min_size=1, max_size=36))
+    def test_matches_reference(self, data):
+        assert toeplitz_hash(data) == reference_toeplitz(data, MSFT_RSS_KEY)
+
+    def test_key_too_short(self):
+        with pytest.raises(ValueError):
+            toeplitz_hash(b"\x00" * 12, key=b"\x01" * 8)
+
+    def test_deterministic(self):
+        data = bytes(range(12))
+        assert toeplitz_hash(data) == toeplitz_hash(data)
+
+
+class TestRssQueue:
+    def test_range(self):
+        flow = FlowKey(1, 2, 6, 3, 4)
+        for n in (1, 2, 7, 32):
+            assert 0 <= rss_queue(flow, n) < n
+
+    def test_v6_flows_supported(self):
+        flow = FlowKey(1 << 100, 2, 6, 3, 4, version=6)
+        assert 0 <= rss_queue(flow, 16) < 16
+
+    def test_bad_queue_count(self):
+        with pytest.raises(ValueError):
+            rss_queue(FlowKey(1, 2, 6, 3, 4), 0)
+
+    def test_spreads_over_queues(self):
+        counts = Counter(
+            rss_queue(FlowKey(src, 2, 6, 1000 + src % 100, 80), 8)
+            for src in range(400)
+        )
+        # All 8 queues see some flows, none sees more than half.
+        assert len(counts) == 8
+        assert max(counts.values()) < 200
+
+    def test_same_flow_same_queue(self):
+        flow = FlowKey(0x0A000001, 0x0A000002, 6, 1234, 80)
+        assert rss_queue(flow, 32) == rss_queue(flow, 32)
+
+
+class TestFlowKey:
+    def test_reversed(self):
+        flow = FlowKey(1, 2, 6, 30, 40)
+        rev = flow.reversed()
+        assert (rev.src_ip, rev.dst_ip, rev.src_port, rev.dst_port) == (2, 1, 40, 30)
+        assert rev.reversed() == flow
+
+    def test_rss_input_width_v4(self):
+        assert len(FlowKey(1, 2, 6, 3, 4).to_rss_input()) == 12
+
+    def test_rss_input_width_v6(self):
+        assert len(FlowKey(1, 2, 6, 3, 4, version=6).to_rss_input()) == 36
+
+    def test_symmetric_hash(self):
+        flow = FlowKey(1, 2, 6, 30, 40)
+        assert symmetric_flow_hash(flow) == symmetric_flow_hash(flow.reversed())
+
+    def test_ordering(self):
+        assert FlowKey(1, 2, 6, 3, 4) < FlowKey(2, 2, 6, 3, 4)

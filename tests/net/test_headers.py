@@ -1,0 +1,172 @@
+"""Tests for repro.net.headers wire codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    Ethernet,
+    HeaderError,
+    IPv4,
+    IPv6,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP,
+    UDP,
+    VXLAN,
+    format_mac,
+    parse_mac,
+)
+from repro.net.checksum import internet_checksum
+
+
+class TestMac:
+    def test_roundtrip(self):
+        assert format_mac(parse_mac("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_bad_format(self):
+        with pytest.raises(HeaderError):
+            parse_mac("aabbccddeeff")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        eth = Ethernet(dst=0x0000AA, src=0x0000BB, ethertype=ETHERTYPE_IPV4)
+        decoded, rest = Ethernet.unpack(eth.pack() + b"tail")
+        assert decoded == eth and rest == b"tail"
+
+    def test_truncated(self):
+        with pytest.raises(HeaderError):
+            Ethernet.unpack(b"\x00" * 10)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_roundtrip_property(self, dst, src, ethertype):
+        eth = Ethernet(dst, src, ethertype)
+        assert Ethernet.unpack(eth.pack())[0] == eth
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        hdr = IPv4(src=0x0A000001, dst=0x0A000002, proto=PROTO_UDP, ttl=61, tos=4)
+        decoded, rest = IPv4.unpack(hdr.pack(payload_len=8) + b"\x01" * 8)
+        assert decoded.src == hdr.src and decoded.dst == hdr.dst
+        assert decoded.proto == PROTO_UDP and decoded.ttl == 61 and decoded.tos == 4
+        assert decoded.total_length == 28 and len(rest) == 8
+
+    def test_checksum_valid(self):
+        raw = IPv4(src=1, dst=2, proto=6).pack(payload_len=0)
+        assert internet_checksum(raw) == 0
+
+    def test_rejects_v6(self):
+        raw = IPv6(src=1, dst=2, next_header=6).pack(payload_len=0)
+        with pytest.raises(HeaderError):
+            IPv4.unpack(raw)
+
+    def test_truncated(self):
+        with pytest.raises(HeaderError):
+            IPv4.unpack(b"\x45" + b"\x00" * 10)
+
+    def test_rewrites(self):
+        hdr = IPv4(src=1, dst=2, proto=6, ttl=10)
+        assert hdr.replace_dst(99).dst == 99
+        assert hdr.replace_src(98).src == 98
+        assert hdr.decrement_ttl().ttl == 9
+
+    def test_ttl_exceeded(self):
+        with pytest.raises(HeaderError):
+            IPv4(src=1, dst=2, proto=6, ttl=0).decrement_ttl()
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=255),
+    )
+    def test_roundtrip_property(self, src, dst, proto, ttl):
+        hdr = IPv4(src=src, dst=dst, proto=proto, ttl=ttl)
+        decoded, _ = IPv4.unpack(hdr.pack(payload_len=0))
+        assert (decoded.src, decoded.dst, decoded.proto, decoded.ttl) == (src, dst, proto, ttl)
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        hdr = IPv6(src=1 << 120, dst=2, next_header=PROTO_TCP, hop_limit=33,
+                   traffic_class=7, flow_label=0xABCDE)
+        decoded, rest = IPv6.unpack(hdr.pack(payload_len=4) + b"\x00" * 4)
+        assert decoded.src == hdr.src and decoded.dst == hdr.dst
+        assert decoded.next_header == PROTO_TCP and decoded.hop_limit == 33
+        assert decoded.traffic_class == 7 and decoded.flow_label == 0xABCDE
+        assert decoded.payload_length == 4 and len(rest) == 4
+
+    def test_proto_alias(self):
+        assert IPv6(src=1, dst=2, next_header=17).proto == 17
+
+    def test_rejects_v4(self):
+        raw = IPv4(src=1, dst=2, proto=6).pack(payload_len=0) + b"\x00" * 20
+        with pytest.raises(HeaderError):
+            IPv6.unpack(raw)
+
+    def test_rewrites(self):
+        hdr = IPv6(src=1, dst=2, next_header=6, hop_limit=5)
+        assert hdr.replace_dst(7).dst == 7
+        assert hdr.decrement_ttl().hop_limit == 4
+
+
+class TestUdpTcp:
+    def test_udp_roundtrip(self):
+        udp = UDP(src_port=4789, dst_port=80)
+        decoded, rest = UDP.unpack(udp.pack(payload_len=12) + b"x" * 12)
+        assert decoded.src_port == 4789 and decoded.dst_port == 80
+        assert decoded.length == 20 and len(rest) == 12
+
+    def test_udp_truncated(self):
+        with pytest.raises(HeaderError):
+            UDP.unpack(b"\x00" * 4)
+
+    def test_udp_replace_port(self):
+        assert UDP(1, 2).replace_src_port(99).src_port == 99
+
+    def test_tcp_roundtrip(self):
+        tcp = TCP(src_port=1234, dst_port=443, seq=7, ack=9, flags=0x18, window=1000)
+        decoded, rest = TCP.unpack(tcp.pack() + b"pp")
+        assert decoded.src_port == 1234 and decoded.dst_port == 443
+        assert decoded.seq == 7 and decoded.ack == 9
+        assert decoded.flags == 0x18 and decoded.window == 1000
+        assert rest == b"pp"
+
+    def test_tcp_truncated(self):
+        with pytest.raises(HeaderError):
+            TCP.unpack(b"\x00" * 10)
+
+    def test_tcp_replace_port(self):
+        assert TCP(1, 2).replace_src_port(99).src_port == 99
+
+
+class TestVxlan:
+    def test_roundtrip(self):
+        vx = VXLAN(vni=0xABCDEF)
+        decoded, rest = VXLAN.unpack(vx.pack() + b"inner")
+        assert decoded.vni == 0xABCDEF and rest == b"inner"
+
+    def test_vni_range(self):
+        with pytest.raises(HeaderError):
+            VXLAN(vni=1 << 24).pack()
+
+    def test_i_flag_required(self):
+        raw = bytearray(VXLAN(vni=5).pack())
+        raw[0] = 0
+        with pytest.raises(HeaderError):
+            VXLAN.unpack(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(HeaderError):
+            VXLAN.unpack(b"\x08\x00")
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_vni_roundtrip_property(self, vni):
+        assert VXLAN.unpack(VXLAN(vni=vni).pack())[0].vni == vni

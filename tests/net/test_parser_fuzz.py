@@ -1,0 +1,53 @@
+"""Fuzz the wire-format parsers: arbitrary bytes must either parse or
+raise HeaderError — never crash with anything else."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    Ethernet,
+    HeaderError,
+    IPv4,
+    IPv6,
+    TCP,
+    UDP,
+    VXLAN,
+)
+from repro.net.packet import InnerFrame, Packet
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_packet_from_bytes_total(raw):
+    try:
+        packet = Packet.from_bytes(raw)
+    except HeaderError:
+        return
+    # Anything that parsed must re-serialise without crashing, and the
+    # re-serialisation must re-parse to the same bytes (canonical form).
+    wire = packet.to_bytes()
+    assert Packet.from_bytes(wire).to_bytes() == wire
+
+
+@given(st.binary(max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_header_unpackers_total(raw):
+    for codec in (Ethernet, IPv4, IPv6, UDP, TCP, VXLAN, InnerFrame):
+        try:
+            codec.unpack(raw)
+        except HeaderError:
+            pass
+
+
+@given(st.binary(min_size=14, max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_mutated_vxlan_packets_total(raw):
+    """Valid Ethernet+IPv4 framing with random guts."""
+    framed = (
+        Ethernet(dst=1, src=2, ethertype=ETHERTYPE_IPV4).pack() + raw
+    )
+    try:
+        Packet.from_bytes(framed)
+    except HeaderError:
+        pass

@@ -1,0 +1,150 @@
+"""Tests for the event engine and seeded randomness helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.rand import (
+    WeightedSampler,
+    derive,
+    make_rng,
+    sample_without_replacement,
+    shuffled,
+    zipf_weights,
+)
+
+
+class TestEngine:
+    def test_order(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(2.0, lambda: hits.append("b"))
+        eng.schedule(1.0, lambda: hits.append("a"))
+        eng.schedule(1.0, lambda: hits.append("a2"))
+        eng.run()
+        assert hits == ["a", "a2", "b"]
+
+    def test_now_advances(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [5.0] and eng.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            eng.schedule(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            eng.schedule_in(-1.0, lambda: None)
+
+    def test_run_until(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, lambda: hits.append(1))
+        eng.schedule(10.0, lambda: hits.append(10))
+        eng.run(until=5.0)
+        assert hits == [1] and eng.now == 5.0 and eng.pending() == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        eng = Engine()
+        eng.run(until=3.0)
+        assert eng.now == 3.0
+
+    def test_periodic(self):
+        eng = Engine()
+        ticks = []
+        eng.schedule_every(1.0, lambda: ticks.append(eng.now), until=5.0)
+        eng.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_bad_interval(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_every(0.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        eng = Engine()
+        hits = []
+
+        def first():
+            hits.append("first")
+            eng.schedule_in(1.0, lambda: hits.append("second"))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert hits == ["first", "second"]
+
+    def test_step(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        assert eng.step() is True
+        assert eng.step() is False
+        assert eng.events_processed == 1
+
+
+class TestRand:
+    def test_make_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_seeded(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_derive_independent_streams(self):
+        assert derive(1, "a").random() == derive(1, "a").random()
+        assert derive(1, "a").random() != derive(1, "b").random()
+        assert derive(1, "a").random() != derive(2, "a").random()
+
+    def test_zipf_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(100, 1.1)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zipf_skew_increases_with_alpha(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_zipf_bad_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_sampler_respects_weights(self):
+        rng = random.Random(7)
+        sampler = WeightedSampler([0.9, 0.1], rng)
+        draws = sampler.sample_many(5000)
+        share = draws.count(0) / len(draws)
+        assert 0.85 < share < 0.95
+
+    def test_sampler_single_item(self):
+        sampler = WeightedSampler([1.0], random.Random(1))
+        assert sampler.sample() == 0
+
+    def test_sampler_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedSampler([], random.Random(1))
+        with pytest.raises(ValueError):
+            WeightedSampler([0.0, 0.0], random.Random(1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1,
+                    max_size=20))
+    def test_sampler_indices_in_range(self, weights):
+        sampler = WeightedSampler(weights, random.Random(3))
+        for _ in range(50):
+            assert 0 <= sampler.sample() < len(weights)
+
+    def test_sample_without_replacement(self):
+        rng = random.Random(1)
+        out = sample_without_replacement(range(10), 5, rng)
+        assert len(set(out)) == 5
+        with pytest.raises(ValueError):
+            sample_without_replacement([1], 2, rng)
+
+    def test_shuffled_is_permutation(self):
+        rng = random.Random(1)
+        items = list(range(20))
+        out = shuffled(items, rng)
+        assert sorted(out) == items and items == list(range(20))

@@ -1,0 +1,162 @@
+"""Tests for the algorithmic LPM: correctness vs the trie oracle,
+capacity invariants, and memory accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.alpm import AlpmTable, DEFAULT_BUCKET_CAPACITY
+from repro.tables.bittrie import GenericLpmTrie
+from repro.tables.errors import TableFullError
+
+
+def random_routes(width, count, seed):
+    rng = random.Random(seed)
+    routes = {}
+    while len(routes) < count:
+        length = rng.randint(0, width)
+        head = rng.randrange(1 << length) if length else 0
+        network = head << (width - length)
+        routes[(network, length)] = f"r{len(routes)}"
+    return [(n, l, v) for (n, l), v in routes.items()]
+
+
+class TestConstruction:
+    def test_small_table(self):
+        table = AlpmTable.build(8, [(0b10000000, 1, "a"), (0b10100000, 3, "b")],
+                                bucket_capacity=1)
+        assert table.lookup(0b10111111)[2] == "b"
+        assert table.lookup(0b10011111)[2] == "a"
+        assert table.lookup(0b00000001) is None
+
+    def test_empty_table(self):
+        table = AlpmTable.build(8, [])
+        assert table.lookup(0x42) is None
+        assert len(table.partitions) == 1  # the root partition
+
+    def test_single_default_route(self):
+        table = AlpmTable.build(8, [(0, 0, "default")])
+        assert table.lookup(0xFF)[2] == "default"
+
+    def test_bucket_capacity_invariant(self):
+        routes = random_routes(16, 300, seed=3)
+        for capacity in (1, 4, 16):
+            table = AlpmTable.build(16, routes, bucket_capacity=capacity)
+            assert all(len(p.routes) <= capacity for p in table.partitions)
+            assert len(table) == len(routes)
+
+    def test_partitions_disjoint(self):
+        routes = random_routes(16, 200, seed=5)
+        table = AlpmTable.build(16, routes, bucket_capacity=8)
+        seen = set()
+        for partition in table.partitions:
+            for route in partition.routes:
+                key = (route[0], route[1])
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == len(routes)
+
+    def test_pivots_unique(self):
+        routes = random_routes(16, 200, seed=7)
+        table = AlpmTable.build(16, routes, bucket_capacity=4)
+        pivots = {(p.pivot_network, p.pivot_length) for p in table.partitions}
+        assert len(pivots) == len(table.partitions)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AlpmTable(8, bucket_capacity=0)
+
+
+class TestCorrectness:
+    def test_matches_oracle_random(self):
+        width = 24
+        routes = random_routes(width, 800, seed=11)
+        oracle = GenericLpmTrie(width)
+        for n, l, v in routes:
+            oracle.insert(n, l, v)
+        table = AlpmTable.build(width, routes, bucket_capacity=13)
+        rng = random.Random(99)
+        for _ in range(3000):
+            key = rng.randrange(1 << width)
+            assert table.lookup(key) == oracle.lookup(key)
+
+    def test_matches_oracle_at_route_boundaries(self):
+        """Probe exactly at the edges of each route's range."""
+        width = 16
+        routes = random_routes(width, 150, seed=13)
+        oracle = GenericLpmTrie(width)
+        for n, l, v in routes:
+            oracle.insert(n, l, v)
+        table = AlpmTable.build(width, routes, bucket_capacity=6)
+        for network, length, _v in routes:
+            size = 1 << (width - length)
+            for key in (network, network + size - 1):
+                assert table.lookup(key) == oracle.lookup(key)
+
+    def test_default_replication_covers_sparse_subtrees(self):
+        # A short covering route and many long routes that force a carve:
+        # keys matching only the short route must still resolve inside
+        # carved partitions.
+        width = 16
+        routes = [(0, 0, "default"), (0x8000, 1, "cover")]
+        routes += [(i << 4, 12, f"leaf{i}") for i in range(0x800, 0x880)]
+        table = AlpmTable.build(width, routes, bucket_capacity=4)
+        oracle = GenericLpmTrie(width)
+        for n, l, v in routes:
+            oracle.insert(n, l, v)
+        for key in range(0x8000, 0x9000, 7):
+            assert table.lookup(key) == oracle.lookup(key)
+        assert table.lookup(0x0001)[2] == "default"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(min_value=1, max_value=24))
+    def test_oracle_equivalence_property(self, seed, capacity):
+        width = 12
+        routes = random_routes(width, 60, seed)
+        oracle = GenericLpmTrie(width)
+        for n, l, v in routes:
+            oracle.insert(n, l, v)
+        table = AlpmTable.build(width, routes, bucket_capacity=capacity)
+        rng = random.Random(seed ^ 0xABCD)
+        for _ in range(200):
+            key = rng.randrange(1 << width)
+            assert table.lookup(key) == oracle.lookup(key)
+
+
+class TestAccounting:
+    def test_stats(self):
+        routes = random_routes(16, 300, seed=17)
+        table = AlpmTable.build(16, routes, bucket_capacity=10)
+        stats = table.stats()
+        assert stats.routes == 300
+        assert stats.partitions == len(table.partitions)
+        assert sum(stats.occupancy_histogram) == stats.partitions
+        assert 0 < stats.mean_bucket_occupancy <= 1.0
+
+    def test_tcam_savings_vs_flat(self):
+        """The point of ALPM: far fewer TCAM entries than routes."""
+        routes = random_routes(24, 2000, seed=19)
+        table = AlpmTable.build(24, routes, bucket_capacity=DEFAULT_BUCKET_CAPACITY)
+        assert len(table.partitions) < len(routes) / 4
+
+    def test_footprint_scales_with_partitions(self):
+        routes = random_routes(16, 400, seed=23)
+        small = AlpmTable.build(16, routes, bucket_capacity=4)
+        large = AlpmTable.build(16, routes, bucket_capacity=32)
+        assert small.footprint().tcam_slices > large.footprint().tcam_slices
+
+    def test_footprint_key_bits_override(self):
+        table = AlpmTable.build(8, [(0x80, 1, "a")])
+        narrow = table.footprint()
+        wide = table.footprint(key_bits=152)
+        assert wide.tcam_slices > narrow.tcam_slices
+        assert wide.sram_words > narrow.sram_words
+
+    def test_bigger_buckets_higher_tcam_savings(self):
+        routes = random_routes(20, 1000, seed=29)
+        partitions = [
+            len(AlpmTable.build(20, routes, bucket_capacity=c).partitions)
+            for c in (4, 8, 16, 32)
+        ]
+        assert partitions == sorted(partitions, reverse=True)

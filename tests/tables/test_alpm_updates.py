@@ -1,0 +1,136 @@
+"""Incremental ALPM updates: correctness vs the trie oracle under churn."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.alpm import AlpmTable
+from repro.tables.bittrie import GenericLpmTrie
+from repro.tables.errors import DuplicateEntryError, MissingEntryError
+
+
+def random_route(rng, width):
+    length = rng.randint(0, width)
+    head = rng.randrange(1 << length) if length else 0
+    return head << (width - length), length
+
+
+def assert_equivalent(table, oracle, rng, width, probes=300):
+    for _ in range(probes):
+        key = rng.randrange(1 << width)
+        assert table.lookup(key) == oracle.lookup(key)
+
+
+class TestIncrementalInsert:
+    def test_insert_into_empty(self):
+        table = AlpmTable(8, bucket_capacity=4)
+        table.rebuild()
+        table.insert(0x80, 1, "a")
+        assert table.lookup(0xFF)[2] == "a"
+        assert len(table) == 1
+
+    def test_insert_value_update(self):
+        table = AlpmTable.build(8, [(0x80, 1, "old")])
+        with pytest.raises(DuplicateEntryError):
+            table.insert(0x80, 1, "new")
+        table.insert(0x80, 1, "new", replace=True)
+        assert table.lookup(0xFF)[2] == "new"
+        assert len(table) == 1
+
+    def test_overflow_triggers_recarve(self):
+        table = AlpmTable.build(8, [], bucket_capacity=2)
+        for i in range(8):
+            table.insert(i << 5, 3, f"r{i}")
+        assert all(len(p.routes) <= 2 for p in table.partitions)
+        assert len(table) == 8
+        for i in range(8):
+            assert table.lookup((i << 5) | 3)[2] == f"r{i}"
+
+    def test_insert_shorter_route_becomes_default(self):
+        """A covering route added after carving must reach carved buckets."""
+        table = AlpmTable.build(
+            16, [((i << 8), 8, f"leaf{i}") for i in range(8)], bucket_capacity=2
+        )
+        table.insert(0, 0, "default")
+        # A key matching no leaf must hit the new default.
+        assert table.lookup(0xFFFF)[2] == "default"
+
+    def test_remove(self):
+        table = AlpmTable.build(8, [(0x80, 1, "a"), (0xC0, 2, "b")])
+        assert table.remove(0xC0, 2) == "b"
+        assert table.lookup(0xC5)[2] == "a"
+        assert len(table) == 1
+
+    def test_remove_missing(self):
+        table = AlpmTable.build(8, [(0x80, 1, "a")])
+        with pytest.raises(MissingEntryError):
+            table.remove(0xC0, 2)
+
+    def test_remove_covering_route_updates_defaults(self):
+        table = AlpmTable.build(
+            16,
+            [(0, 0, "default"), (0x8000, 1, "half")]
+            + [((0x80 + i) << 8, 8, f"leaf{i}") for i in range(8)],
+            bucket_capacity=2,
+        )
+        # Keys in the carved half with no leaf hit "half".
+        assert table.lookup(0x8FFF)[2] == "half"
+        table.remove(0x8000, 1)
+        assert table.lookup(0x8FFF)[2] == "default"
+
+
+class TestChurnEquivalence:
+    def test_random_churn_matches_oracle(self):
+        width = 16
+        rng = random.Random(47)
+        table = AlpmTable.build(width, [], bucket_capacity=6)
+        oracle = GenericLpmTrie(width)
+        live = {}
+        for step in range(400):
+            if live and rng.random() < 0.35:
+                net, length = rng.choice(list(live))
+                table.remove(net, length)
+                oracle.remove(net, length)
+                del live[(net, length)]
+            else:
+                net, length = random_route(rng, width)
+                value = f"v{step}"
+                table.insert(net, length, value, replace=True)
+                oracle.insert(net, length, value, replace=True)
+                live[(net, length)] = value
+            if step % 50 == 0:
+                assert_equivalent(table, oracle, rng, width, probes=100)
+        assert_equivalent(table, oracle, rng, width)
+        assert len(table) == len(live)
+        assert all(len(p.routes) <= 6 for p in table.partitions)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31),
+           st.integers(min_value=1, max_value=8))
+    def test_insert_only_equivalence_property(self, seed, capacity):
+        width = 10
+        rng = random.Random(seed)
+        table = AlpmTable.build(width, [], bucket_capacity=capacity)
+        oracle = GenericLpmTrie(width)
+        for step in range(60):
+            net, length = random_route(rng, width)
+            table.insert(net, length, step, replace=True)
+            oracle.insert(net, length, step, replace=True)
+        assert_equivalent(table, oracle, rng, width, probes=150)
+
+    def test_incremental_equals_bulk_build(self):
+        width = 12
+        rng = random.Random(51)
+        routes = {}
+        while len(routes) < 120:
+            routes[random_route(rng, width)] = len(routes)
+        incremental = AlpmTable.build(width, [], bucket_capacity=5)
+        for (net, length), value in routes.items():
+            incremental.insert(net, length, value)
+        bulk = AlpmTable.build(
+            width, [(n, l, v) for (n, l), v in routes.items()], bucket_capacity=5
+        )
+        for _ in range(500):
+            key = rng.randrange(1 << width)
+            assert incremental.lookup(key) == bulk.lookup(key)

@@ -1,0 +1,131 @@
+"""Tests for key compression (digest + conflict table)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.compress import CompressedExactMap, digest32
+from repro.tables.errors import DuplicateEntryError, MissingEntryError
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert digest32(12345) == digest32(12345)
+
+    def test_range(self):
+        assert 0 <= digest32(2 ** 127) < 2 ** 32
+
+    def test_salt_changes_digest(self):
+        assert digest32(1, salt=0) != digest32(1, salt=1)
+
+    def test_distribution_roughly_uniform(self):
+        buckets = [0] * 16
+        for i in range(4096):
+            buckets[digest32(i) >> 28] += 1
+        assert min(buckets) > 150  # expected 256 each
+
+
+class ForcedCollisionMap(CompressedExactMap):
+    """Subclass with a tiny digest space to force collisions in tests."""
+
+    def _digest(self, key: int) -> int:
+        return digest32(key, self.key_bits, self.salt) % 7
+
+
+class TestCompressedExactMap:
+    def test_insert_lookup(self):
+        m = CompressedExactMap()
+        m.insert(2 ** 100, "a")
+        assert m.lookup(2 ** 100) == "a"
+        assert m.lookup(2 ** 100 + 1) is None
+
+    def test_duplicate(self):
+        m = CompressedExactMap()
+        m.insert(5, "a")
+        with pytest.raises(DuplicateEntryError):
+            m.insert(5, "b")
+        m.insert(5, "b", replace=True)
+        assert m.lookup(5) == "b"
+
+    def test_remove(self):
+        m = CompressedExactMap()
+        m.insert(5, "a")
+        assert m.remove(5) == "a"
+        assert m.lookup(5) is None
+        with pytest.raises(MissingEntryError):
+            m.remove(5)
+
+    def test_requires_wide_keys(self):
+        with pytest.raises(ValueError):
+            CompressedExactMap(key_bits=32)
+
+    def test_collisions_diverted_to_conflict_table(self):
+        m = ForcedCollisionMap()
+        keys = list(range(100, 130))  # 30 keys into 7 digests
+        for k in keys:
+            m.insert(k, f"v{k}")
+        assert m.conflict_entries > 0
+        for k in keys:
+            assert m.lookup(k) == f"v{k}"
+
+    def test_collision_remove_promotes(self):
+        m = ForcedCollisionMap()
+        for k in range(100, 130):
+            m.insert(k, f"v{k}")
+        # Remove every key in arbitrary order; survivors stay correct.
+        remaining = set(range(100, 130))
+        for k in list(range(100, 130))[::2]:
+            m.remove(k)
+            remaining.discard(k)
+            for other in remaining:
+                assert m.lookup(other) == f"v{other}"
+        assert len(m) == len(remaining)
+
+    def test_replace_in_conflict_table(self):
+        m = ForcedCollisionMap()
+        for k in range(100, 115):
+            m.insert(k, "old")
+        conflicted = [k for k in range(100, 115) if m.lookup(k) == "old"]
+        for k in conflicted:
+            m.insert(k, "new", replace=True)
+            assert m.lookup(k) == "new"
+
+    def test_conflict_ratio_small_for_random_keys(self):
+        m = CompressedExactMap()
+        for i in range(5000):
+            m.insert((i << 64) | (i * 2654435761), i)
+        # 5000 keys into 2^32 digests: expected collisions ~ 0.
+        assert m.conflict_ratio() < 0.01
+
+    def test_items_yields_everything(self):
+        m = ForcedCollisionMap()
+        expected = {}
+        for k in range(200, 240):
+            m.insert(k, k * 7)
+            expected[k] = k * 7
+        assert dict(m.items()) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(st.integers(min_value=0, max_value=2 ** 128 - 1),
+                           st.integers(), min_size=0, max_size=60))
+    def test_behaves_like_dict(self, entries):
+        m = ForcedCollisionMap()  # forced collisions stress the machinery
+        for key, value in entries.items():
+            m.insert(key, value)
+        assert len(m) == len(entries)
+        for key, value in entries.items():
+            assert m.lookup(key) == value
+        # Negative lookups (stay within the 128-bit key space).
+        for probe in list(entries)[:5]:
+            other = probe ^ (1 << 127)
+            assert m.lookup(other) == entries.get(other)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 128 - 1),
+                    min_size=1, max_size=40, unique=True))
+    def test_insert_remove_all(self, keys):
+        m = ForcedCollisionMap()
+        for k in keys:
+            m.insert(k, k)
+        for k in keys:
+            assert m.remove(k) == k
+        assert len(m) == 0 and m.conflict_entries == 0

@@ -1,0 +1,100 @@
+"""Tests for the d-way cuckoo hash table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.cuckoo import CuckooTable, achievable_load_factor
+from repro.tables.errors import DuplicateEntryError, MissingEntryError, TableFullError
+
+
+class TestBasics:
+    def test_insert_lookup_remove(self):
+        t = CuckooTable(num_buckets=16, ways=4)
+        t.insert("a", 1)
+        t.insert("b", 2)
+        assert t.lookup("a") == 1 and t.lookup("b") == 2
+        assert t.lookup("c") is None
+        assert t.remove("a") == 1
+        assert "a" not in t and "b" in t
+        assert len(t) == 1
+
+    def test_duplicate_and_replace(self):
+        t = CuckooTable(num_buckets=16)
+        t.insert("k", 1)
+        with pytest.raises(DuplicateEntryError):
+            t.insert("k", 2)
+        t.insert("k", 2, replace=True)
+        assert t.lookup("k") == 2 and len(t) == 1
+
+    def test_remove_missing(self):
+        with pytest.raises(MissingEntryError):
+            CuckooTable(num_buckets=4).remove("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CuckooTable(num_buckets=0)
+        with pytest.raises(ValueError):
+            CuckooTable(num_buckets=4, ways=0)
+
+    def test_displacement_still_correct(self):
+        """Entries remain findable after being kicked between ways."""
+        t = CuckooTable(num_buckets=16, ways=4)
+        inserted = {}
+        for i in range(44):  # ~0.69 load forces kicks
+            t.insert(i, i * 10)
+            inserted[i] = i * 10
+        assert t.displacements > 0
+        for key, value in inserted.items():
+            assert t.lookup(key) == value
+
+    def test_items(self):
+        t = CuckooTable(num_buckets=16)
+        for i in range(10):
+            t.insert(i, -i)
+        assert dict(t.items()) == {i: -i for i in range(10)}
+
+    def test_full_raises(self):
+        t = CuckooTable(num_buckets=2, ways=1)
+        with pytest.raises(TableFullError):
+            for i in range(100):
+                t.insert(i, i)
+
+
+class TestLoadFactor:
+    def test_four_way_sustains_high_load(self):
+        """Grounds ExactTable's 0.95 default fill factor."""
+        assert achievable_load_factor(4) > 0.93
+
+    def test_more_ways_more_load(self):
+        one = achievable_load_factor(1)
+        two = achievable_load_factor(2)
+        four = achievable_load_factor(4)
+        assert one < two < four
+
+    def test_load_factor_property(self):
+        t = CuckooTable(num_buckets=10, ways=2)
+        t.insert("x", 1)
+        assert t.load_factor == pytest.approx(1 / 20)
+
+
+class TestPropertyVsDict:
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(st.integers(), st.integers(), max_size=60))
+    def test_behaves_like_dict(self, entries):
+        t = CuckooTable(num_buckets=64, ways=4)
+        for key, value in entries.items():
+            t.insert(key, value)
+        assert len(t) == len(entries)
+        for key, value in entries.items():
+            assert t.lookup(key) == value
+        assert dict(t.items()) == entries
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(), min_size=1, max_size=40, unique=True))
+    def test_insert_remove_all(self, keys):
+        t = CuckooTable(num_buckets=64, ways=4)
+        for k in keys:
+            t.insert(k, k)
+        for k in keys:
+            assert t.remove(k) == k
+        assert len(t) == 0

@@ -1,0 +1,204 @@
+"""Tests for the exact-match table, the TCAM model and memory geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.errors import DuplicateEntryError, MissingEntryError, TableFullError
+from repro.tables.exact import ExactTable
+from repro.tables.geometry import (
+    MemoryFootprint,
+    exact_entry_words,
+    sram_words_for,
+    tcam_slices_for,
+)
+from repro.tables.tcam import Tcam, prefix_to_match_mask
+
+
+class TestGeometry:
+    def test_tcam_slices(self):
+        assert tcam_slices_for(44) == 1
+        assert tcam_slices_for(45) == 2
+        assert tcam_slices_for(56) == 2  # VNI + IPv4
+        assert tcam_slices_for(152) == 4  # VNI + IPv6
+
+    def test_sram_words(self):
+        assert sram_words_for(128) == 1
+        assert sram_words_for(129) == 2
+        assert sram_words_for(1) == 1
+
+    def test_exact_entry_way_rounding(self):
+        assert exact_entry_words(56, 32) == 1  # 88 bits -> 1 word
+        assert exact_entry_words(152, 32) == 2  # 184 bits -> 2-word way
+        assert exact_entry_words(300, 0) == 4  # 300 bits -> 4-word way
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            tcam_slices_for(0)
+        with pytest.raises(ValueError):
+            sram_words_for(0)
+
+    def test_footprint_add_and_scale(self):
+        a = MemoryFootprint(sram_words=10, tcam_slices=4)
+        b = MemoryFootprint(sram_words=1, tcam_slices=1)
+        assert (a + b) == MemoryFootprint(11, 5)
+        assert a.scaled(0.5) == MemoryFootprint(5, 2)
+        assert MemoryFootprint.zero().sram_words == 0
+
+
+class TestExactTable:
+    def test_insert_lookup_remove(self):
+        table = ExactTable(key_bits=56, value_bits=32, capacity=4)
+        table.insert(("vni", 1), "nc1")
+        assert table.lookup(("vni", 1)) == "nc1"
+        assert table.lookup(("vni", 2)) is None
+        assert table.remove(("vni", 1)) == "nc1"
+        assert len(table) == 0
+
+    def test_capacity_enforced(self):
+        table = ExactTable(key_bits=56, capacity=2)
+        table.insert(1, "a")
+        table.insert(2, "b")
+        with pytest.raises(TableFullError):
+            table.insert(3, "c")
+
+    def test_replace_does_not_grow(self):
+        table = ExactTable(key_bits=56, capacity=1)
+        table.insert(1, "a")
+        table.insert(1, "b", replace=True)
+        assert table.get(1) == "b" and len(table) == 1
+
+    def test_duplicate_raises(self):
+        table = ExactTable(key_bits=56)
+        table.insert(1, "a")
+        with pytest.raises(DuplicateEntryError):
+            table.insert(1, "b")
+
+    def test_missing_raises(self):
+        table = ExactTable(key_bits=56)
+        with pytest.raises(MissingEntryError):
+            table.remove(9)
+        with pytest.raises(MissingEntryError):
+            table.get(9)
+
+    def test_unbounded(self):
+        table = ExactTable(key_bits=56, capacity=None)
+        for i in range(1000):
+            table.insert(i, i)
+        assert len(table) == 1000
+
+    def test_load_water_level(self):
+        table = ExactTable(key_bits=56, capacity=10)
+        for i in range(5):
+            table.insert(i, i)
+        assert table.load == 0.5
+
+    def test_hit_statistics(self):
+        table = ExactTable(key_bits=56)
+        table.insert(1, "a")
+        table.lookup(1)
+        table.lookup(2)
+        assert table.lookups == 2 and table.hits == 1
+
+    def test_footprint_accounts_fill_factor(self):
+        table = ExactTable(key_bits=56, value_bits=32, fill_factor=0.5)
+        for i in range(10):
+            table.insert(i, i)
+        # 10 entries at fill 0.5 -> 20 physical slots x 1 word.
+        assert table.footprint().sram_words == 20
+
+    def test_capacity_footprint(self):
+        table = ExactTable(key_bits=152, value_bits=32, capacity=100, fill_factor=1.0)
+        assert table.capacity_footprint().sram_words == 200  # 2-word ways
+        with pytest.raises(ValueError):
+            ExactTable(key_bits=56).capacity_footprint()
+
+    def test_bad_fill_factor(self):
+        with pytest.raises(ValueError):
+            ExactTable(key_bits=56, fill_factor=0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(st.integers(), st.integers(), max_size=50))
+    def test_behaves_like_dict(self, entries):
+        table = ExactTable(key_bits=64)
+        for key, value in entries.items():
+            table.insert(key, value)
+        for key, value in entries.items():
+            assert table.lookup(key) == value
+        assert dict(table.items()) == entries
+
+
+class TestTcam:
+    def test_priority_order(self):
+        tcam = Tcam(key_bits=8)
+        tcam.insert(0b10000000, 0b10000000, priority=1, action="wide")
+        tcam.insert(0b10100000, 0b11100000, priority=3, action="narrow")
+        assert tcam.lookup(0b10111111).action == "narrow"
+        assert tcam.lookup(0b10011111).action == "wide"
+        assert tcam.lookup(0b00000001) is None
+
+    def test_capacity_in_slices(self):
+        tcam = Tcam(key_bits=56, capacity_slices=4)  # 2 slices per entry
+        tcam.insert(0, 0, 0, "a")
+        tcam.insert(1 << 55, 1 << 55, 1, "b")
+        with pytest.raises(TableFullError):
+            tcam.insert(1 << 54, 1 << 54, 2, "c")
+
+    def test_remove(self):
+        tcam = Tcam(key_bits=8)
+        tcam.insert(0x80, 0x80, 1, "a")
+        assert tcam.remove(0x80, 0x80, 1) == "a"
+        assert tcam.lookup(0x80) is None
+        with pytest.raises(MissingEntryError):
+            tcam.remove(0x80, 0x80, 1)
+
+    def test_duplicate(self):
+        tcam = Tcam(key_bits=8)
+        tcam.insert(0x80, 0x80, 1, "a")
+        with pytest.raises(DuplicateEntryError):
+            tcam.insert(0x80, 0x80, 1, "b")
+
+    def test_out_of_range_match(self):
+        tcam = Tcam(key_bits=8)
+        with pytest.raises(ValueError):
+            tcam.insert(0x100, 0xFF, 1, "x")
+
+    def test_footprint(self):
+        tcam = Tcam(key_bits=152)
+        tcam.insert(0, 0, 0, "default")
+        assert tcam.footprint().tcam_slices == 4
+
+    def test_lpm_emulation_matches_trie(self):
+        """TCAM with length-as-priority implements LPM."""
+        import random
+        from repro.tables.bittrie import GenericLpmTrie
+
+        rng = random.Random(31)
+        width = 12
+        trie = GenericLpmTrie(width)
+        tcam = Tcam(key_bits=width)
+        routes = set()
+        while len(routes) < 60:
+            length = rng.randint(0, width)
+            head = rng.randrange(1 << length) if length else 0
+            routes.add((head << (width - length), length))
+        for i, (network, length) in enumerate(routes):
+            trie.insert(network, length, i)
+            match, mask = prefix_to_match_mask(network, length, width)
+            tcam.insert(match, mask, priority=length, action=i)
+        for _ in range(500):
+            key = rng.randrange(1 << width)
+            trie_hit = trie.lookup(key)
+            tcam_hit = tcam.lookup(key)
+            assert (trie_hit[2] if trie_hit else None) == (
+                tcam_hit.action if tcam_hit else None
+            )
+
+    def test_prefix_to_match_mask_with_extra_bits(self):
+        # VNI 0xABCDEF in front of an 8-bit address space, prefix 0xC0/2.
+        match, mask = prefix_to_match_mask(0xC0, 2, 8, extra_bits=24, extra_value=0xABCDEF)
+        assert match == (0xABCDEF << 8) | 0xC0
+        assert mask == (0xFFFFFF << 8) | 0xC0
+
+    def test_prefix_to_match_mask_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_to_match_mask(0, 9, 8)

@@ -1,0 +1,121 @@
+"""Tests for the Prefix-typed LPM wrapper."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import Prefix
+from repro.tables.errors import DuplicateEntryError, MissingEntryError
+from repro.tables.lpm import LpmTrie
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+class TestLpmTrie:
+    def test_longest_match_wins(self):
+        trie = LpmTrie(4)
+        trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "fine")
+        trie.insert(Prefix.parse("10.1.2.0/24"), "finest")
+        assert trie.lookup(ip("10.1.2.3"))[1] == "finest"
+        assert trie.lookup(ip("10.1.9.9"))[1] == "fine"
+        assert trie.lookup(ip("10.9.9.9"))[1] == "coarse"
+        assert trie.lookup(ip("11.0.0.1")) is None
+
+    def test_lookup_returns_matched_prefix(self):
+        trie = LpmTrie(4)
+        trie.insert(Prefix.parse("192.168.10.0/24"), "x")
+        prefix, _ = trie.lookup(ip("192.168.10.77"))
+        assert str(prefix) == "192.168.10.0/24"
+
+    def test_v6(self):
+        trie = LpmTrie(6)
+        trie.insert(Prefix.parse("fd00::/8"), "ula")
+        trie.insert(Prefix.parse("fd00:1::/32"), "tenant")
+        assert trie.lookup(ip("fd00:1::99"))[1] == "tenant"
+        assert trie.lookup(ip("fd77::1"))[1] == "ula"
+
+    def test_version_mismatch(self):
+        trie = LpmTrie(4)
+        with pytest.raises(ValueError):
+            trie.insert(Prefix.parse("fd00::/8"), "x")
+
+    def test_contains_cross_version_false(self):
+        trie = LpmTrie(4)
+        assert Prefix.parse("fd00::/8") not in trie
+
+    def test_duplicate_and_replace(self):
+        trie = LpmTrie(4)
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "a")
+        with pytest.raises(DuplicateEntryError):
+            trie.insert(p, "b")
+        trie.insert(p, "b", replace=True)
+        assert trie.get(p) == "b"
+
+    def test_remove(self):
+        trie = LpmTrie(4)
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, "a")
+        assert trie.remove(p) == "a"
+        with pytest.raises(MissingEntryError):
+            trie.get(p)
+
+    def test_items(self):
+        trie = LpmTrie(4)
+        entries = {Prefix.parse("10.0.0.0/8"): "a", Prefix.parse("192.168.0.0/16"): "b"}
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        assert dict(trie.items()) == entries
+
+    def test_covering_entries(self):
+        trie = LpmTrie(4)
+        trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+        trie.insert(Prefix.parse("10.0.0.0/8"), "mid")
+        covering = trie.covering_entries(Prefix.parse("10.1.0.0/16"))
+        assert [v for _p, v in covering] == ["default", "mid"]
+
+    def test_paper_fig2_vxlan_routes(self):
+        """The exact routes from Fig. 2 of the paper."""
+        trie = LpmTrie(4)
+        trie.insert(Prefix.parse("192.168.10.0/24"), ("local", 0))
+        trie.insert(Prefix.parse("192.168.30.0/24"), ("peer", "VPC B"))
+        # Same-VPC destination.
+        assert trie.lookup(ip("192.168.10.3"))[1] == ("local", 0)
+        # Cross-VPC destination.
+        assert trie.lookup(ip("192.168.30.5"))[1] == ("peer", "VPC B")
+
+
+@st.composite
+def v4_prefixes(draw):
+    plen = draw(st.integers(min_value=0, max_value=32))
+    value = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    return Prefix.of(value, plen, 4)
+
+
+class TestLpmProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(v4_prefixes(), min_size=1, max_size=30, unique=True),
+        st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=1, max_size=20),
+    )
+    def test_matches_ipaddress_module(self, prefixes, keys):
+        trie = LpmTrie(4)
+        networks = {}
+        for i, prefix in enumerate(prefixes):
+            trie.insert(prefix, i, replace=True)
+            networks[ipaddress.ip_network(str(prefix))] = i
+
+        for key in keys:
+            addr = ipaddress.ip_address(key)
+            candidates = [
+                (net.prefixlen, value)
+                for net, value in networks.items()
+                if addr in net
+            ]
+            expected = max(candidates)[1] if candidates else None
+            got = trie.lookup(key)
+            assert (got[1] if got else None) == expected

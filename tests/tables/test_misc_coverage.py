@@ -1,0 +1,100 @@
+"""Edge-path coverage for table utilities not hit elsewhere."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.tables.exact import ExactTable
+from repro.tables.pooled import PooledLpmTable
+from repro.tables.tcam import Tcam
+from repro.tables.vxlan_routing import RouteAction, Scope, VxlanRoutingTable
+
+
+class TestExactTableMisc:
+    def test_clear(self):
+        table = ExactTable(key_bits=56)
+        for i in range(5):
+            table.insert(i, i)
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup(1) is None
+
+    def test_load_unbounded_is_zero(self):
+        table = ExactTable(key_bits=56, capacity=None)
+        table.insert(1, 1)
+        assert table.load == 0.0
+
+    def test_zero_capacity(self):
+        from repro.tables.errors import TableFullError
+
+        table = ExactTable(key_bits=56, capacity=0)
+        with pytest.raises(TableFullError):
+            table.insert(1, 1)
+        assert table.load == 0.0
+
+
+class TestTcamMisc:
+    def test_entries_iteration_in_priority_order(self):
+        tcam = Tcam(key_bits=8)
+        tcam.insert(0x00, 0x00, priority=1, action="low")
+        tcam.insert(0x80, 0x80, priority=9, action="high")
+        priorities = [e.priority for e in tcam.entries()]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_equal_priority_oldest_wins(self):
+        tcam = Tcam(key_bits=8)
+        tcam.insert(0x00, 0x00, priority=5, action="first")
+        tcam.insert(0x80, 0x00, priority=5, action="second")  # also matches all
+        assert tcam.lookup(0x42).action == "first"
+
+    def test_hit_counters(self):
+        tcam = Tcam(key_bits=8)
+        tcam.insert(0x80, 0x80, priority=1, action="a")
+        tcam.lookup(0xFF)
+        tcam.lookup(0x01)
+        assert tcam.lookups == 2 and tcam.hits == 1
+
+
+class TestPooledLpmMisc:
+    def test_count_per_family(self):
+        table = PooledLpmTable()
+        table.insert(Prefix.parse("10.0.0.0/8"), "a")
+        table.insert(Prefix.parse("fd00::/8"), "b")
+        assert table.count(4) == 1 and table.count(6) == 1
+
+    def test_replace_within_capacity(self):
+        table = PooledLpmTable(capacity_entries=1)
+        prefix = Prefix.parse("10.0.0.0/8")
+        table.insert(prefix, "a")
+        # Replacing must not count against the budget.
+        table.insert(prefix, "b", replace=True)
+        assert table.lookup(0x0A000001, 4)[1] == "b"
+
+    def test_load_unbounded(self):
+        table = PooledLpmTable(capacity_entries=None)
+        table.insert(Prefix.parse("10.0.0.0/8"), "a")
+        assert table.load == 0.0
+
+
+class TestVxlanRoutingMisc:
+    def test_resolve_max_hops(self):
+        table = VxlanRoutingTable()
+        prefix = Prefix.parse("10.0.0.0/8")
+        for i in range(12):
+            table.insert(i, prefix, RouteAction(Scope.PEER, next_hop_vni=i + 1))
+        table.insert(12, prefix, RouteAction(Scope.LOCAL))
+        from repro.tables.vxlan_routing import RoutingLoopError
+
+        with pytest.raises(RoutingLoopError):
+            table.resolve(0, 0x0A000001, 4, max_hops=5)
+        # A generous budget resolves the same chain.
+        res = table.resolve(0, 0x0A000001, 4, max_hops=15)
+        assert res.vni == 12
+
+    def test_items_covers_all_families(self):
+        table = VxlanRoutingTable()
+        table.insert(1, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        table.insert(1, Prefix.parse("fd00::/8"), RouteAction(Scope.LOCAL))
+        assert len(list(table.items())) == 2
+
+    def test_composite_width_constant(self):
+        assert VxlanRoutingTable.composite_width() == 24 + 1 + 128

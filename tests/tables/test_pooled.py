@@ -1,0 +1,153 @@
+"""Tests for IPv4/IPv6 table pooling (expand and compress strategies)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import Prefix
+from repro.tables.errors import DuplicateEntryError, MissingEntryError, TableFullError
+from repro.tables.pooled import POOLED_LPM_KEY_BITS, PooledExactTable, PooledLpmTable
+
+
+class TestPooledLpm:
+    def test_dual_stack_lookup(self):
+        table = PooledLpmTable()
+        table.insert(Prefix.parse("10.0.0.0/8"), "v4-route")
+        table.insert(Prefix.parse("fd00::/8"), "v6-route")
+        v4 = table.lookup(0x0A010203, 4)
+        v6 = table.lookup(0xFD00 << 112 | 5, 6)
+        assert v4[1] == "v4-route" and v6[1] == "v6-route"
+
+    def test_shared_budget(self):
+        table = PooledLpmTable(capacity_entries=2)
+        table.insert(Prefix.parse("10.0.0.0/8"), "a")
+        table.insert(Prefix.parse("fd00::/8"), "b")
+        with pytest.raises(TableFullError):
+            table.insert(Prefix.parse("192.168.0.0/16"), "c")
+
+    def test_ratio_can_shift_arbitrarily(self):
+        """The pooling pitch: any v4/v6 mix fits the same budget."""
+        for v6_count in (0, 3, 6):
+            table = PooledLpmTable(capacity_entries=6)
+            for i in range(6 - v6_count):
+                table.insert(Prefix((10 << 24) + (i << 16), 16, 4), i)
+            for i in range(v6_count):
+                table.insert(Prefix((0xFD00 + i) << 112, 16, 6), i)
+            assert len(table) == 6
+            assert table.count(6) == v6_count
+
+    def test_uniform_slice_cost(self):
+        table = PooledLpmTable(extra_key_bits=24)
+        table.insert(Prefix.parse("10.0.0.0/8"), "a")
+        four_entries_cost = table.slices_per_entry
+        # 24 VNI + 1 AF + 128 addr = 153 bits -> 4 slices at 44b.
+        assert four_entries_cost == 4
+        assert table.footprint().tcam_slices == 4
+        table.insert(Prefix.parse("fd00::/8"), "b")
+        assert table.footprint().tcam_slices == 8  # same cost per family
+
+    def test_replace_and_remove(self):
+        table = PooledLpmTable()
+        p = Prefix.parse("10.0.0.0/8")
+        table.insert(p, "a")
+        table.insert(p, "b", replace=True)
+        assert table.lookup(0x0A000001, 4)[1] == "b"
+        assert table.remove(p) == "b"
+        assert table.lookup(0x0A000001, 4) is None
+
+    def test_load(self):
+        table = PooledLpmTable(capacity_entries=4)
+        table.insert(Prefix.parse("10.0.0.0/8"), "a")
+        assert table.load == 0.25
+
+    def test_pooled_key_bits_constant(self):
+        assert POOLED_LPM_KEY_BITS == 129
+
+
+class TestPooledExact:
+    def test_dual_stack(self):
+        table = PooledExactTable()
+        table.insert(7, 0x0A000001, 4, "v4")
+        table.insert(7, 1 << 100, 6, "v6")
+        assert table.lookup(7, 0x0A000001, 4) == "v4"
+        assert table.lookup(7, 1 << 100, 6) == "v6"
+        assert table.lookup(8, 0x0A000001, 4) is None
+
+    def test_v6_no_false_positive_across_vnis(self):
+        table = PooledExactTable()
+        table.insert(7, 1 << 100, 6, "v6")
+        assert table.lookup(8, 1 << 100, 6) is None
+
+    def test_shared_budget(self):
+        table = PooledExactTable(capacity_entries=2)
+        table.insert(1, 10, 4, "a")
+        table.insert(1, 1 << 99, 6, "b")
+        with pytest.raises(TableFullError):
+            table.insert(1, 11, 4, "c")
+
+    def test_duplicate_v4(self):
+        table = PooledExactTable()
+        table.insert(1, 10, 4, "a")
+        with pytest.raises(DuplicateEntryError):
+            table.insert(1, 10, 4, "b")
+        table.insert(1, 10, 4, "b", replace=True)
+        assert table.lookup(1, 10, 4) == "b"
+
+    def test_remove(self):
+        table = PooledExactTable()
+        table.insert(1, 10, 4, "a")
+        table.insert(1, 1 << 99, 6, "b")
+        assert table.remove(1, 10, 4) == "a"
+        assert table.remove(1, 1 << 99, 6) == "b"
+        with pytest.raises(MissingEntryError):
+            table.remove(1, 10, 4)
+        with pytest.raises(MissingEntryError):
+            table.remove(2, 1 << 99, 6)
+
+    def test_bad_version(self):
+        table = PooledExactTable()
+        with pytest.raises(ValueError):
+            table.insert(1, 10, 5, "a")
+
+    def test_one_word_entries(self):
+        table = PooledExactTable(fill_factor=1.0)
+        assert table.words_per_entry == 1
+
+    def test_footprint_counts_conflicts_extra(self):
+        table = PooledExactTable(fill_factor=1.0)
+        for i in range(10):
+            table.insert(1, 10 + i, 4, i)
+        base = table.footprint().sram_words
+        assert base == 10
+        assert table.conflict_entries() == 0
+
+    def test_hit_stats(self):
+        table = PooledExactTable()
+        table.insert(1, 10, 4, "a")
+        table.lookup(1, 10, 4)
+        table.lookup(1, 11, 4)
+        assert table.lookups == 2 and table.hits == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=2 ** 128 - 1),
+                st.sampled_from([4, 6]),
+            ),
+            st.integers(),
+            max_size=40,
+        )
+    )
+    def test_behaves_like_dict(self, entries):
+        # Keep v4 addresses in range.
+        entries = {
+            (vni, addr & 0xFFFFFFFF if ver == 4 else addr, ver): val
+            for (vni, addr, ver), val in entries.items()
+        }
+        table = PooledExactTable()
+        for (vni, addr, ver), val in entries.items():
+            table.insert(vni, addr, ver, val, replace=True)
+        for (vni, addr, ver), val in entries.items():
+            assert table.lookup(vni, addr, ver) == val
+        assert len(table) == len(entries)

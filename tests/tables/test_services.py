@@ -1,0 +1,160 @@
+"""Tests for the ACL, meter and counter service tables."""
+
+import pytest
+
+from repro.net.flow import FlowKey
+from repro.tables.acl import AclRule, AclTable, AclVerdict
+from repro.tables.counter import CounterTable
+from repro.tables.errors import DuplicateEntryError, MissingEntryError, TableFullError
+from repro.tables.meter import MeterColor, MeterTable, TokenBucket
+
+
+def flow(src=0x0A000001, dst=0x0A000002, proto=6, sport=1000, dport=80):
+    return FlowKey(src, dst, proto, sport, dport)
+
+
+class TestAcl:
+    def test_default_permit(self):
+        acl = AclTable()
+        assert acl.evaluate(1, flow()) is AclVerdict.PERMIT
+
+    def test_default_deny(self):
+        acl = AclTable(default_verdict=AclVerdict.DENY)
+        assert acl.evaluate(1, flow()) is AclVerdict.DENY
+
+    def test_first_match_by_priority(self):
+        acl = AclTable()
+        acl.insert(AclRule(priority=10, verdict=AclVerdict.DENY, proto=6))
+        acl.insert(AclRule(priority=20, verdict=AclVerdict.PERMIT,
+                           dst_ports=(80, 80)))
+        # Higher priority permit wins even though deny also matches.
+        assert acl.evaluate(1, flow()) is AclVerdict.PERMIT
+        # Non-80 TCP hits the deny.
+        assert acl.evaluate(1, flow(dport=22)) is AclVerdict.DENY
+
+    def test_vni_scoping(self):
+        acl = AclTable()
+        acl.insert(AclRule(priority=1, verdict=AclVerdict.DENY, vni=7))
+        assert acl.evaluate(7, flow()) is AclVerdict.DENY
+        assert acl.evaluate(8, flow()) is AclVerdict.PERMIT
+
+    def test_network_masks(self):
+        acl = AclTable()
+        acl.insert(AclRule(priority=1, verdict=AclVerdict.DENY,
+                           src_net=(0x0A000000, 0xFF000000)))
+        assert acl.evaluate(1, flow(src=0x0A123456)) is AclVerdict.DENY
+        assert acl.evaluate(1, flow(src=0x0B000001)) is AclVerdict.PERMIT
+
+    def test_port_ranges(self):
+        acl = AclTable()
+        acl.insert(AclRule(priority=1, verdict=AclVerdict.DENY,
+                           dst_ports=(1, 1023)))
+        assert acl.evaluate(1, flow(dport=22)) is AclVerdict.DENY
+        assert acl.evaluate(1, flow(dport=8080)) is AclVerdict.PERMIT
+
+    def test_capacity(self):
+        acl = AclTable(capacity_rules=1)
+        acl.insert(AclRule(priority=1, verdict=AclVerdict.DENY))
+        with pytest.raises(TableFullError):
+            acl.insert(AclRule(priority=2, verdict=AclVerdict.DENY))
+
+    def test_duplicate_and_remove(self):
+        acl = AclTable()
+        rule = AclRule(priority=1, verdict=AclVerdict.DENY)
+        acl.insert(rule)
+        with pytest.raises(DuplicateEntryError):
+            acl.insert(rule)
+        acl.remove(rule)
+        with pytest.raises(MissingEntryError):
+            acl.remove(rule)
+
+    def test_footprint(self):
+        acl = AclTable()
+        acl.insert(AclRule(priority=1, verdict=AclVerdict.DENY))
+        # 128-bit key -> 3 slices of 44 bits.
+        assert acl.footprint().tcam_slices == 3
+
+
+class TestMeter:
+    def test_green_under_rate(self):
+        bucket = TokenBucket(committed_rate=1000.0, committed_burst=2000.0)
+        assert bucket.update(0.0, 500.0) is MeterColor.GREEN
+
+    def test_red_on_burst_exhaustion(self):
+        bucket = TokenBucket(committed_rate=100.0, committed_burst=100.0)
+        assert bucket.update(0.0, 100.0) is MeterColor.GREEN
+        assert bucket.update(0.0, 1.0) is MeterColor.RED
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(committed_rate=100.0, committed_burst=100.0)
+        bucket.update(0.0, 100.0)
+        assert bucket.update(1.0, 100.0) is MeterColor.GREEN
+
+    def test_two_rate_yellow(self):
+        bucket = TokenBucket(committed_rate=100.0, committed_burst=100.0,
+                             peak_rate=200.0, peak_burst=200.0)
+        assert bucket.update(0.0, 150.0) is MeterColor.YELLOW
+        # Peak bucket now at 50; a 100-byte packet exceeds it.
+        assert bucket.update(0.0, 100.0) is MeterColor.RED
+
+    def test_time_must_advance(self):
+        bucket = TokenBucket(committed_rate=1.0, committed_burst=1.0)
+        bucket.update(5.0, 0.5)
+        with pytest.raises(ValueError):
+            bucket.update(4.0, 0.5)
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            TokenBucket(committed_rate=0.0, committed_burst=1.0)
+
+    def test_meter_table_unmetered_passes(self):
+        meters = MeterTable()
+        assert meters.charge("anything", 0.0, 1e9) is MeterColor.GREEN
+
+    def test_meter_table_counts_colors(self):
+        meters = MeterTable()
+        meters.configure("t", TokenBucket(committed_rate=10.0, committed_burst=10.0))
+        meters.charge("t", 0.0, 10.0)
+        meters.charge("t", 0.0, 10.0)
+        assert meters.green == 1 and meters.red == 1
+
+    def test_meter_footprint(self):
+        meters = MeterTable()
+        meters.configure("a", TokenBucket(committed_rate=1.0, committed_burst=1.0))
+        assert meters.footprint().sram_words == 1
+
+
+class TestCounter:
+    def test_count_and_read(self):
+        counters = CounterTable()
+        counters.count("k", 100)
+        counters.count("k", 150)
+        cell = counters.read("k")
+        assert cell.packets == 2 and cell.bytes == 250
+
+    def test_unseen_key_zero(self):
+        counters = CounterTable()
+        assert counters.read("missing").packets == 0
+
+    def test_reset(self):
+        counters = CounterTable()
+        counters.count("k", 1)
+        counters.reset("k")
+        assert counters.read("k").packets == 0
+
+    def test_totals(self):
+        counters = CounterTable()
+        counters.count("a", 10)
+        counters.count("b", 20)
+        assert counters.total_packets() == 2 and counters.total_bytes() == 30
+
+    def test_negative_size_rejected(self):
+        counters = CounterTable()
+        with pytest.raises(ValueError):
+            counters.count("k", -1)
+
+    def test_footprint(self):
+        counters = CounterTable()
+        counters.count("a", 1)
+        counters.count("b", 1)
+        assert counters.footprint().sram_words == 2

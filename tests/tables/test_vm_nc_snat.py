@@ -1,0 +1,168 @@
+"""Tests for the VM-NC mapping table and the SNAT session table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.flow import FlowKey
+from repro.tables.errors import TableFullError
+from repro.tables.snat import SnatTable
+from repro.tables.vm_nc import NcBinding, VmNcTable
+
+
+class TestVmNc:
+    def test_insert_lookup(self):
+        table = VmNcTable()
+        table.insert(10, 0xC0A80A02, 4, NcBinding(nc_ip=0x0A010101))
+        binding = table.lookup(10, 0xC0A80A02, 4)
+        assert binding.nc_ip == 0x0A010101
+
+    def test_fig2_contents(self):
+        """The VM-NC rows of the paper's Fig. 2."""
+        import ipaddress
+
+        def ip(t):
+            return int(ipaddress.ip_address(t))
+
+        table = VmNcTable()
+        table.insert(100, ip("192.168.10.2"), 4, NcBinding(ip("10.1.1.11")))
+        table.insert(100, ip("192.168.10.3"), 4, NcBinding(ip("10.1.1.12")))
+        table.insert(200, ip("192.168.30.5"), 4, NcBinding(ip("10.1.1.15")))
+        assert table.lookup(100, ip("192.168.10.3"), 4).nc_ip == ip("10.1.1.12")
+        assert table.lookup(200, ip("192.168.30.5"), 4).nc_ip == ip("10.1.1.15")
+        # Same IP, wrong VPC -> miss.
+        assert table.lookup(200, ip("192.168.10.2"), 4) is None
+
+    def test_dual_stack(self):
+        table = VmNcTable()
+        table.insert(10, 1 << 100, 6, NcBinding(nc_ip=0x0A010102))
+        assert table.lookup(10, 1 << 100, 6).nc_ip == 0x0A010102
+
+    def test_per_vni_counts(self):
+        table = VmNcTable()
+        table.insert(10, 1, 4, NcBinding(2))
+        table.insert(10, 2, 4, NcBinding(2))
+        table.insert(11, 3, 4, NcBinding(2))
+        assert table.count_for_vni(10) == 2
+        table.remove(10, 1, 4)
+        assert table.count_for_vni(10) == 1
+        table.remove(10, 2, 4)
+        assert table.count_for_vni(10) == 0
+
+    def test_capacity(self):
+        table = VmNcTable(capacity_entries=1)
+        table.insert(10, 1, 4, NcBinding(2))
+        with pytest.raises(TableFullError):
+            table.insert(10, 2, 4, NcBinding(2))
+        assert table.load == 1.0
+
+    def test_bad_nc_version(self):
+        with pytest.raises(ValueError):
+            NcBinding(nc_ip=1, nc_version=5)
+
+    def test_footprint_grows(self):
+        table = VmNcTable()
+        before = table.footprint().sram_words
+        table.insert(10, 1, 4, NcBinding(2))
+        assert table.footprint().sram_words > before
+
+
+def make_flow(i=0, dst=0x08080808, dport=80):
+    return FlowKey(src_ip=0x0A000001 + i, dst_ip=dst, proto=6,
+                   src_port=5000 + i, dst_port=dport)
+
+
+class TestSnat:
+    def test_translate_and_reverse(self):
+        table = SnatTable(public_ips=[0x01020304])
+        flow = make_flow()
+        session = table.translate(flow, now=0.0)
+        assert session.public_ip == 0x01020304
+        reverse = table.reverse(session.public_ip, session.public_port,
+                                flow.dst_ip, flow.dst_port, flow.proto)
+        assert reverse is session
+
+    def test_same_flow_same_session(self):
+        table = SnatTable(public_ips=[1])
+        flow = make_flow()
+        s1 = table.translate(flow, now=0.0)
+        s2 = table.translate(flow, now=5.0)
+        assert s1 is s2 and s2.last_active == 5.0
+        assert len(table) == 1
+
+    def test_distinct_flows_distinct_ports(self):
+        table = SnatTable(public_ips=[1])
+        sessions = [table.translate(make_flow(i), now=0.0) for i in range(50)]
+        pairs = {(s.public_ip, s.public_port) for s in sessions}
+        assert len(pairs) == 50
+
+    def test_spreads_over_public_ips(self):
+        table = SnatTable(public_ips=[1, 2, 3, 4])
+        used = {table.translate(make_flow(i), now=0.0).public_ip for i in range(80)}
+        assert len(used) > 1
+
+    def test_session_capacity(self):
+        table = SnatTable(public_ips=[1], capacity_sessions=2)
+        table.translate(make_flow(0), now=0.0)
+        table.translate(make_flow(1), now=0.0)
+        with pytest.raises(TableFullError):
+            table.translate(make_flow(2), now=0.0)
+
+    def test_pool_exhaustion(self):
+        # One public IP with a tiny port range.
+        table = SnatTable(public_ips=[1])
+        table._pools[1].free = [1024, 1025]
+        table.translate(make_flow(0), now=0.0)
+        table.translate(make_flow(1), now=0.0)
+        with pytest.raises(TableFullError):
+            table.translate(make_flow(2), now=0.0)
+
+    def test_release_returns_port(self):
+        table = SnatTable(public_ips=[1])
+        table._pools[1].free = [1024]
+        flow = make_flow()
+        table.translate(flow, now=0.0)
+        table.release(flow)
+        assert table.available_ports() == 1
+        # Port is reusable.
+        table.translate(make_flow(9), now=0.0)
+
+    def test_release_unknown_flow_is_noop(self):
+        table = SnatTable(public_ips=[1])
+        table.release(make_flow())  # does not raise
+
+    def test_expiry(self):
+        table = SnatTable(public_ips=[1], idle_timeout=10.0)
+        old = make_flow(0)
+        fresh = make_flow(1)
+        table.translate(old, now=0.0)
+        table.translate(fresh, now=95.0)
+        expired = table.expire_idle(now=100.0)
+        assert expired == 1
+        assert table.lookup(old) is None and table.lookup(fresh) is not None
+        assert table.expired == 1
+
+    def test_reverse_mismatched_remote_misses(self):
+        table = SnatTable(public_ips=[1])
+        flow = make_flow()
+        session = table.translate(flow, now=0.0)
+        assert table.reverse(session.public_ip, session.public_port,
+                             0x09090909, flow.dst_port, flow.proto) is None
+
+    def test_needs_public_ip(self):
+        with pytest.raises(ValueError):
+            SnatTable(public_ips=[])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=100))
+    def test_forward_reverse_always_consistent(self, indices):
+        table = SnatTable(public_ips=[1, 2])
+        for i in indices:
+            flow = make_flow(i)
+            session = table.translate(flow, now=0.0)
+            back = table.reverse(session.public_ip, session.public_port,
+                                 flow.dst_ip, flow.dst_port, flow.proto)
+            assert back.flow == flow
+        # No two sessions share a public (ip, port).
+        pairs = [(s.public_ip, s.public_port) for s in table._by_flow.values()]
+        assert len(pairs) == len(set(pairs))

@@ -1,0 +1,185 @@
+"""Tests for the VXLAN routing table, including Fig. 2's scenarios."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.tables.errors import MissingEntryError
+from repro.tables.vxlan_routing import (
+    RouteAction,
+    RoutingLoopError,
+    Scope,
+    VxlanRoutingTable,
+)
+
+VPC_A, VPC_B = 100, 200
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+@pytest.fixture
+def fig2_table():
+    """The exact table contents of the paper's Fig. 2."""
+    table = VxlanRoutingTable()
+    table.insert(VPC_A, Prefix.parse("192.168.10.0/24"), RouteAction(Scope.LOCAL))
+    table.insert(VPC_A, Prefix.parse("192.168.30.0/24"),
+                 RouteAction(Scope.PEER, next_hop_vni=VPC_B))
+    table.insert(VPC_B, Prefix.parse("192.168.30.0/24"), RouteAction(Scope.LOCAL))
+    table.insert(VPC_B, Prefix.parse("192.168.10.0/24"),
+                 RouteAction(Scope.PEER, next_hop_vni=VPC_A))
+    return table
+
+
+class TestFig2:
+    def test_same_vpc_lookup(self, fig2_table):
+        prefix, action = fig2_table.lookup(VPC_A, ip("192.168.10.3"), 4)
+        assert action.scope is Scope.LOCAL
+        assert str(prefix) == "192.168.10.0/24"
+
+    def test_cross_vpc_resolution(self, fig2_table):
+        res = fig2_table.resolve(VPC_A, ip("192.168.30.5"), 4)
+        assert res.vni == VPC_B
+        assert res.action.scope is Scope.LOCAL
+        assert res.hops == 1
+
+    def test_reverse_direction(self, fig2_table):
+        res = fig2_table.resolve(VPC_B, ip("192.168.10.2"), 4)
+        assert res.vni == VPC_A and res.hops == 1
+
+    def test_no_route(self, fig2_table):
+        assert fig2_table.lookup(VPC_A, ip("8.8.8.8"), 4) is None
+        with pytest.raises(MissingEntryError):
+            fig2_table.resolve(VPC_A, ip("8.8.8.8"), 4)
+
+
+class TestRouteAction:
+    def test_peer_requires_next_hop(self):
+        with pytest.raises(ValueError):
+            RouteAction(Scope.PEER)
+
+    def test_non_peer_rejects_next_hop(self):
+        with pytest.raises(ValueError):
+            RouteAction(Scope.LOCAL, next_hop_vni=5)
+
+
+class TestTableMechanics:
+    def test_vni_range_check(self):
+        table = VxlanRoutingTable()
+        with pytest.raises(ValueError):
+            table.insert(1 << 24, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+
+    def test_remove_prunes_empty_vni(self):
+        table = VxlanRoutingTable()
+        p = Prefix.parse("10.0.0.0/8")
+        table.insert(5, p, RouteAction(Scope.LOCAL))
+        table.remove(5, p)
+        assert 5 not in table.vnis()
+        with pytest.raises(MissingEntryError):
+            table.remove(5, p)
+
+    def test_counts_per_family(self):
+        table = VxlanRoutingTable()
+        table.insert(1, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        table.insert(1, Prefix.parse("fd00::/8"), RouteAction(Scope.LOCAL))
+        table.insert(2, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        assert len(table) == 3
+        assert table.count(4) == 2 and table.count(6) == 1
+
+    def test_vni_isolation(self):
+        """Identical prefixes in different VPCs do not interfere."""
+        table = VxlanRoutingTable()
+        table.insert(1, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        table.insert(2, Prefix.parse("10.0.0.0/8"),
+                     RouteAction(Scope.PEER, next_hop_vni=1))
+        assert table.lookup(1, ip("10.1.1.1"), 4)[1].scope is Scope.LOCAL
+        assert table.lookup(2, ip("10.1.1.1"), 4)[1].scope is Scope.PEER
+
+    def test_entries_for_vni(self):
+        table = VxlanRoutingTable()
+        table.insert(7, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        table.insert(7, Prefix.parse("fd00::/8"), RouteAction(Scope.LOCAL))
+        table.insert(8, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        assert len(table.entries_for_vni(7)) == 2
+
+    def test_peer_loop_detected(self):
+        table = VxlanRoutingTable()
+        p = Prefix.parse("10.0.0.0/8")
+        table.insert(1, p, RouteAction(Scope.PEER, next_hop_vni=2))
+        table.insert(2, p, RouteAction(Scope.PEER, next_hop_vni=1))
+        with pytest.raises(RoutingLoopError):
+            table.resolve(1, ip("10.1.1.1"), 4)
+
+    def test_long_chain_resolves(self):
+        table = VxlanRoutingTable()
+        p = Prefix.parse("10.0.0.0/8")
+        for i in range(5):
+            table.insert(i, p, RouteAction(Scope.PEER, next_hop_vni=i + 1))
+        table.insert(5, p, RouteAction(Scope.LOCAL))
+        res = table.resolve(0, ip("10.1.1.1"), 4)
+        assert res.vni == 5 and res.hops == 5
+
+    def test_service_scope(self):
+        table = VxlanRoutingTable()
+        table.insert(1, Prefix.parse("0.0.0.0/0"),
+                     RouteAction(Scope.SERVICE, target="snat"))
+        res = table.resolve(1, ip("8.8.8.8"), 4)
+        assert res.action.scope is Scope.SERVICE and res.action.target == "snat"
+
+    def test_hit_stats(self):
+        table = VxlanRoutingTable()
+        table.insert(1, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        table.lookup(1, ip("10.0.0.1"), 4)
+        table.lookup(1, ip("11.0.0.1"), 4)
+        table.lookup(9, ip("10.0.0.1"), 4)
+        assert table.lookups == 3 and table.hits == 1
+
+
+class TestCompositeKeys:
+    def test_composite_roundtrip_v4(self):
+        table = VxlanRoutingTable()
+        table.insert(7, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        routes = table.to_composite_routes()
+        assert len(routes) == 1
+        network, length, action = routes[0]
+        assert length == 24 + 1 + 8
+        key = VxlanRoutingTable.composite_key(7, ip("10.1.2.3"), 4)
+        width = VxlanRoutingTable.composite_width()
+        mask = ((1 << length) - 1) << (width - length)
+        assert key & mask == network
+
+    def test_composite_v4_v6_disjoint(self):
+        """The AF bit keeps a v4 /8 from matching v6 keys."""
+        table = VxlanRoutingTable()
+        table.insert(7, Prefix.parse("0.0.0.0/0"), RouteAction(Scope.LOCAL))
+        network, length, _ = table.to_composite_routes()[0]
+        width = VxlanRoutingTable.composite_width()
+        v6_key = VxlanRoutingTable.composite_key(7, 1 << 100, 6)
+        mask = ((1 << length) - 1) << (width - length)
+        assert v6_key & mask != network
+
+    def test_composite_matches_resolve_through_alpm(self):
+        """End-to-end: ALPM over composite keys == per-VNI trie lookups."""
+        import random
+        from repro.tables.alpm import AlpmTable
+
+        rng = random.Random(41)
+        table = VxlanRoutingTable()
+        for vni in range(20):
+            for s in range(5):
+                net = (10 << 24) + (rng.randrange(1 << 12) << 12)
+                table.insert(vni, Prefix.of(net, 20, 4), RouteAction(Scope.LOCAL), replace=True)
+        alpm = AlpmTable.build(
+            VxlanRoutingTable.composite_width(), table.to_composite_routes(),
+            bucket_capacity=8,
+        )
+        for _ in range(400):
+            vni = rng.randrange(20)
+            addr = (10 << 24) + rng.randrange(1 << 24)
+            direct = table.lookup(vni, addr, 4)
+            via_alpm = alpm.lookup(VxlanRoutingTable.composite_key(vni, addr, 4))
+            assert (direct is None) == (via_alpm is None)
+            if direct is not None:
+                assert via_alpm[2] == direct[1]

@@ -1,0 +1,222 @@
+"""Tests for counters, statistics and time series."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.stats import (
+    CounterSet,
+    PercentileSketch,
+    RunningStats,
+    histogram,
+    jains_fairness,
+    loss_rate,
+    top_n_share,
+    weighted_mean,
+)
+from repro.telemetry.timeseries import SeriesBundle, TimeSeries
+
+
+class TestCounterSet:
+    def test_add_and_read(self):
+        c = CounterSet()
+        c.add("rx", 3)
+        c.add("rx")
+        assert c["rx"] == 4 and c["missing"] == 0
+
+    def test_monotonic(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", -1)
+
+    def test_ratio(self):
+        c = CounterSet()
+        c.add("drops", 1)
+        c.add("packets", 1000)
+        assert c.ratio("drops", "packets") == 0.001
+        assert c.ratio("drops", "absent") == 0.0
+
+    def test_merge(self):
+        a, b = CounterSet(), CounterSet()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+    def test_snapshot_is_copy(self):
+        c = CounterSet()
+        c.add("x")
+        snap = c.snapshot()
+        c.add("x")
+        assert snap["x"] == 1
+
+
+class TestRunningStats:
+    def test_against_reference(self):
+        rng = random.Random(3)
+        values = [rng.gauss(10, 2) for _ in range(500)]
+        stats = RunningStats()
+        stats.observe_many(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert math.isclose(stats.mean, mean, rel_tol=1e-9)
+        assert math.isclose(stats.variance, var, rel_tol=1e-9)
+        assert stats.minimum == min(values) and stats.maximum == max(values)
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0 and stats.variance == 0.0
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_cv(self):
+        stats = RunningStats()
+        stats.observe_many([5.0, 5.0, 5.0])
+        assert stats.coefficient_of_variation == 0.0
+
+
+class TestPercentileSketch:
+    def test_exact_under_capacity(self):
+        sketch = PercentileSketch(capacity=100)
+        for v in range(100):
+            sketch.observe(float(v))
+        assert sketch.percentile(0) == 0.0
+        assert sketch.percentile(100) == 99.0
+        assert abs(sketch.percentile(50) - 49.5) < 1e-9
+
+    def test_single_value(self):
+        sketch = PercentileSketch()
+        sketch.observe(7.0)
+        assert sketch.percentile(99) == 7.0
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            PercentileSketch().percentile(50)
+
+    def test_bad_q(self):
+        sketch = PercentileSketch()
+        sketch.observe(1.0)
+        with pytest.raises(ValueError):
+            sketch.percentile(101)
+
+    def test_overflow_needs_rng(self):
+        sketch = PercentileSketch(capacity=2)
+        sketch.observe(1.0)
+        sketch.observe(2.0)
+        with pytest.raises(ValueError):
+            sketch.observe(3.0)
+
+    def test_reservoir_with_rng(self):
+        sketch = PercentileSketch(capacity=100, rng=random.Random(1))
+        for v in range(10_000):
+            sketch.observe(float(v))
+        # Median of uniform 0..9999 should be near 5000.
+        assert 3000 < sketch.percentile(50) < 7000
+
+
+class TestAggregates:
+    def test_jains_perfect(self):
+        assert jains_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_jains_worst(self):
+        assert jains_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jains_all_zero(self):
+        assert jains_fairness([0, 0]) == 1.0
+
+    def test_jains_empty(self):
+        with pytest.raises(ValueError):
+            jains_fairness([])
+
+    def test_top_n_share(self):
+        values = [50, 30, 10, 5, 5]
+        assert top_n_share(values, 1) == 0.5
+        assert top_n_share(values, 2) == 0.8
+        assert top_n_share(values, 0) == 0.0
+        assert top_n_share([], 3) == 0.0
+
+    def test_histogram(self):
+        counts = histogram([1, 2, 3, 10], [0, 5, 20])
+        assert counts == [3, 1]
+        with pytest.raises(ValueError):
+            histogram([1], [5, 1])
+
+    def test_loss_rate(self):
+        assert loss_rate(1, 1000) == 0.001
+        assert loss_rate(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            loss_rate(2, 1)
+
+    def test_weighted_mean(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 1.0)]) == 2.0
+        assert weighted_mean([(1.0, 3.0), (5.0, 1.0)]) == 2.0
+        with pytest.raises(ValueError):
+            weighted_mean([])
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert list(ts.points()) == [(0.0, 1.0), (1.0, 2.0)]
+        assert ts.maximum() == 2.0 and ts.mean() == 1.5
+
+    def test_monotone_required(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_window(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t))
+        window = ts.window(2.0, 5.0)
+        assert list(window.times) == [2.0, 3.0, 4.0]
+
+    def test_value_at_step_interpolation(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(10.0, 2.0)
+        assert ts.value_at(5.0) == 1.0
+        assert ts.value_at(10.0) == 2.0
+        with pytest.raises(ValueError):
+            ts.value_at(-1.0)
+
+    def test_resample_max_catches_spikes(self):
+        """Coarse monitoring must keep the in-bucket maximum (the paper's
+        point about loss on instantaneous 100% CPU spikes)."""
+        ts = TimeSeries()
+        for i in range(100):
+            ts.record(i * 0.01, 1.0 if i == 37 else 0.1)
+        coarse = ts.resample_max(1.0)
+        assert coarse.maximum() == 1.0
+        assert len(coarse) == 1
+
+    def test_resample_bad_bucket(self):
+        with pytest.raises(ValueError):
+            TimeSeries().resample_max(0.0)
+
+    def test_empty_series_errors(self):
+        with pytest.raises(ValueError):
+            TimeSeries().maximum()
+
+
+class TestSeriesBundle:
+    def test_lazy_series(self):
+        bundle = SeriesBundle()
+        bundle.record("core-1", 0.0, 0.9)
+        bundle.record("core-2", 0.0, 0.1)
+        assert "core-1" in bundle
+        assert bundle.names() == ["core-1", "core-2"]
+        assert bundle["core-1"].values == (0.9,)
+
+    def test_top_by_mean(self):
+        bundle = SeriesBundle()
+        for i in range(5):
+            for t in range(3):
+                bundle.record(f"core-{i}", float(t), float(i))
+        top = bundle.top_by_mean(2)
+        assert [s.name for s in top] == ["core-4", "core-3"]

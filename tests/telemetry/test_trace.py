@@ -1,0 +1,111 @@
+"""Tests for VTrace-style path tracing."""
+
+import pytest
+
+from repro.core.sailfish import RegionSpec, Sailfish
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.telemetry.trace import PathTrace, TraceHop
+from repro.workloads.traffic import build_vxlan_packet
+
+
+@pytest.fixture(scope="module")
+def region():
+    return Sailfish.build(RegionSpec.small(), seed=99)
+
+
+def first_v4_vm(region):
+    for vni in region.topology.vnis():
+        for vm in region.topology.vpcs[vni].vms:
+            if vm.version == 4:
+                return vm
+    pytest.skip("no v4 VMs in topology")
+
+
+class TestPathTrace:
+    def test_hop_formatting(self):
+        hop = TraceHop("pipe", "gw0/pipeline1", "egress")
+        assert "pipe:gw0/pipeline1" in str(hop)
+
+    def test_drop_location(self):
+        trace = PathTrace()
+        trace.add("pipe", "gw0/pipeline0", "ingress")
+        trace.outcome, trace.drop_reason = "drop", "no-route"
+        assert trace.dropped
+        assert trace.drop_location().node == "gw0/pipeline0"
+
+    def test_no_drop_location_on_success(self):
+        trace = PathTrace()
+        trace.add("pipe", "x")
+        trace.outcome = "deliver-nc"
+        assert trace.drop_location() is None
+
+    def test_describe(self):
+        trace = PathTrace()
+        trace.add("balancer", "region", "VNI 7 -> A")
+        trace.outcome = "deliver-nc"
+        text = trace.describe()
+        assert "balancer:region" in text and "deliver-nc" in text
+
+
+class TestRegionTracing:
+    def test_delivered_packet_full_path(self, region):
+        vm = first_v4_vm(region)
+        peer = next(v for v in region.topology.vpcs[vm.vni].vms if v.version == 4)
+        packet = build_vxlan_packet(vm.vni, vm.ip, peer.ip)
+        result, trace = region.trace(packet)
+        assert result.action is ForwardAction.DELIVER_NC
+        assert not trace.dropped
+        components = trace.components()
+        assert components[0] == "balancer"
+        assert components[1] == "cluster"
+        # Folded path: four pipe hops.
+        assert components.count("pipe") == 4
+
+    def test_trace_matches_forward(self, region):
+        """Tracing must not change the forwarding decision."""
+        vm = first_v4_vm(region)
+        packet = build_vxlan_packet(vm.vni, vm.ip, vm.ip)
+        traced_result, _trace = region.trace(packet)
+        plain_result = region.forward(packet)
+        assert traced_result.action == plain_result.action
+
+    def test_drop_localised_to_pipe(self, region):
+        """The VTrace use case: find where a persistent loss happens."""
+        vm = first_v4_vm(region)
+        # Destination VM that does not exist -> no-vm at the VM-NC pipe.
+        packet = build_vxlan_packet(vm.vni, vm.ip, vm.ip ^ 0xFE)
+        result, trace = region.trace(packet)
+        if result.action is not ForwardAction.DROP:
+            pytest.skip("xor produced a real VM")
+        assert trace.dropped
+        location = trace.drop_location()
+        assert location.component == "pipe"
+        assert trace.drop_reason in ("no-vm", "no-route")
+
+    def test_unassigned_vni_traced_at_balancer(self, region):
+        packet = build_vxlan_packet(999_999, 1, 2)
+        result, trace = region.trace(packet)
+        assert result.action is ForwardAction.DROP
+        assert trace.drop_location().component == "balancer"
+
+    def test_snat_path_includes_x86_hop(self, region):
+        vm = first_v4_vm(region)
+        packet = build_vxlan_packet(vm.vni, vm.ip, 0x08080808)
+        result, trace = region.trace(packet)
+        assert result.action is ForwardAction.UPLINK
+        assert "x86" in trace.components()
+
+    def test_early_uplink_has_single_pipe(self, region):
+        """IPv6 Internet traffic exits at the first ingress pipe."""
+        v6 = None
+        for vni in region.topology.vnis():
+            for vm in region.topology.vpcs[vni].vms:
+                if vm.version == 6:
+                    v6 = vm
+                    break
+        if v6 is None:
+            pytest.skip("no v6 VMs")
+        packet = build_vxlan_packet(v6.vni, v6.ip, (0x2001 << 112) | 1, version=6)
+        result, trace = region.trace(packet)
+        assert result.action is ForwardAction.UPLINK
+        assert trace.components().count("pipe") == 1

@@ -1,0 +1,88 @@
+"""Tests for the CLI and the pcap exporter."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.net.packet import Packet
+from repro.workloads.pcap import read_pcap, write_pcap
+from repro.workloads.topology import generate_topology
+from repro.workloads.traffic import RegionTrafficGenerator, build_vxlan_packet
+
+
+class TestPcap:
+    def test_roundtrip(self):
+        packets = [build_vxlan_packet(7, 1, 2, payload=b"x" * i) for i in range(5)]
+        buf = io.BytesIO()
+        count = write_pcap(buf, [(i * 0.5, p) for i, p in enumerate(packets)])
+        assert count == 5
+        buf.seek(0)
+        records = read_pcap(buf)
+        assert len(records) == 5
+        for i, ((ts, raw), original) in enumerate(zip(records, packets)):
+            assert ts == pytest.approx(i * 0.5, abs=1e-6)
+            assert raw == original.to_bytes()
+            # Frames re-parse into equal packets.
+            assert Packet.from_bytes(raw).to_bytes() == raw
+
+    def test_snaplen_truncates(self):
+        buf = io.BytesIO()
+        write_pcap(buf, [(0.0, build_vxlan_packet(7, 1, 2, payload=b"y" * 200))],
+                   snaplen=60)
+        buf.seek(0)
+        (_ts, raw), = read_pcap(buf)
+        assert len(raw) == 60
+
+    def test_read_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+        with pytest.raises(ValueError):
+            read_pcap(io.BytesIO(b"\x00" * 3))
+
+    def test_export_sample(self, tmp_path):
+        from repro.workloads.pcap import export_sample
+
+        topology = generate_topology(num_vpcs=4, total_vms=16, seed=1)
+        generator = RegionTrafficGenerator(topology, seed=1)
+        path = tmp_path / "out.pcap"
+        count = export_sample(str(path), generator.packets(10))
+        assert count == 10
+        with open(path, "rb") as handle:
+            assert len(read_pcap(handle)) == 10
+
+
+class TestCli:
+    def test_compression(self, capsys):
+        assert main(["compression"]) == 0
+        out = capsys.readouterr().out
+        assert "a+b+c+d+e" in out and "Table 4" in out
+
+    def test_compression_ipv6_flag(self, capsys):
+        assert main(["compression", "--ipv6", "1.0"]) == 0
+        assert "100% IPv6" in capsys.readouterr().out
+
+    def test_region(self, capsys):
+        assert main(["region", "--packets", "100", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out and "software share" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "balancer:region" in out and "outcome:" in out
+
+    def test_economics(self, capsys):
+        assert main(["economics"]) == 0
+        out = capsys.readouterr().out
+        assert "CapEx reduction" in out
+
+    def test_export_pcap(self, tmp_path, capsys):
+        path = tmp_path / "traffic.pcap"
+        assert main(["export-pcap", str(path), "--packets", "12"]) == 0
+        with open(path, "rb") as handle:
+            assert len(read_pcap(handle)) == 12
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

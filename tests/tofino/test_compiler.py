@@ -1,0 +1,115 @@
+"""Tests for the table-placement compiler."""
+
+import pytest
+
+from repro.tables.geometry import MemoryFootprint
+from repro.tofino.compiler import Compiler, PlacementError, Segment, TableSpec, pipe_order
+from repro.tofino.memory import (
+    SRAM_WORDS_PER_BLOCK,
+    SRAM_WORDS_PER_PIPELINE,
+    SRAM_WORDS_PER_STAGE,
+)
+from repro.tofino.pipeline import Gress, PipelineFabric
+
+
+def fp(sram=0, tcam=0):
+    return MemoryFootprint(sram_words=sram, tcam_slices=tcam)
+
+
+class TestPipeOrder:
+    def test_folded_order(self):
+        order = pipe_order(folded=True)
+        assert order[0] == (0, Gress.INGRESS)
+        assert order[-1] == (0, Gress.EGRESS)
+
+    def test_normal_order(self):
+        assert len(pipe_order(folded=False)) == 2
+
+
+class TestPlacement:
+    def test_simple_placement(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        spec = TableSpec("t", fp(sram=1000))
+        report = compiler.place(
+            [spec], [Segment("t", (0, Gress.INGRESS), fp(sram=1000))]
+        )
+        assert report.pipes_of("t") == [(0, Gress.INGRESS)]
+        assert fabric.memory[0].sram_words_used() == SRAM_WORDS_PER_BLOCK
+
+    def test_spans_stages_within_pipeline(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        # Two stages' worth of SRAM.
+        big = fp(sram=SRAM_WORDS_PER_STAGE + 1)
+        compiler.place([TableSpec("t", big)], [Segment("t", (0, Gress.INGRESS), big)])
+        used_stages = [s for s in fabric.memory[0].stages if s.sram_blocks_used()]
+        assert len(used_stages) == 2
+
+    def test_overflow_raises_and_rolls_back(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        too_big = fp(sram=SRAM_WORDS_PER_PIPELINE + 1)
+        with pytest.raises(PlacementError):
+            compiler.place(
+                [TableSpec("t", too_big)], [Segment("t", (0, Gress.INGRESS), too_big)]
+            )
+        assert fabric.memory[0].sram_words_used() == 0
+
+    def test_dependency_order_enforced(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        specs = [
+            TableSpec("a", fp(sram=10)),
+            TableSpec("b", fp(sram=10), depends_on=("a",)),
+        ]
+        # b placed before a on the path -> error.
+        with pytest.raises(PlacementError):
+            compiler.place(specs, [
+                Segment("a", (1, Gress.INGRESS), fp(sram=10)),
+                Segment("b", (1, Gress.EGRESS), fp(sram=10)),
+            ])
+
+    def test_dependency_order_satisfied(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        specs = [
+            TableSpec("a", fp(sram=10)),
+            TableSpec("b", fp(sram=10), depends_on=("a",)),
+        ]
+        report = compiler.place(specs, [
+            Segment("a", (0, Gress.INGRESS), fp(sram=10)),
+            Segment("b", (1, Gress.EGRESS), fp(sram=10)),
+        ])
+        assert set(report.stage_map) == {"a", "b"}
+
+    def test_unknown_dependency(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        with pytest.raises(PlacementError):
+            compiler.place(
+                [TableSpec("b", fp(sram=1), depends_on=("ghost",))],
+                [Segment("b", (0, Gress.INGRESS), fp(sram=1))],
+            )
+
+    def test_pipe_not_on_path(self):
+        # In an unfolded fabric the normal path for the 0/1 pair is
+        # (0, INGRESS) -> (0, EGRESS); pipeline 1 is a separate entry, so a
+        # segment pinned to (1, INGRESS) is off the checked path.
+        compiler = Compiler(PipelineFabric(folded=False))
+        with pytest.raises(PlacementError):
+            compiler.place(
+                [TableSpec("t", fp(sram=1))],
+                [Segment("t", (1, Gress.INGRESS), fp(sram=1))],
+            )
+
+    def test_occupancy_report(self):
+        fabric = PipelineFabric(folded=True)
+        compiler = Compiler(fabric)
+        compiler.place(
+            [TableSpec("t", fp(sram=10, tcam=10))],
+            [Segment("t", (0, Gress.INGRESS), fp(sram=10, tcam=10))],
+        )
+        occ = compiler.occupancy()
+        assert occ[0].sram_words == SRAM_WORDS_PER_BLOCK
+        assert occ[1].sram_words == 0

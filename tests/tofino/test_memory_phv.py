@@ -1,0 +1,166 @@
+"""Tests for stage/pipeline memory accounting and the PHV model."""
+
+import pytest
+
+from repro.tables.geometry import MemoryFootprint
+from repro.tofino.memory import (
+    AllocationError,
+    PipelineMemory,
+    SRAM_BLOCKS_PER_STAGE,
+    SRAM_WORDS_PER_BLOCK,
+    SRAM_WORDS_PER_PIPELINE,
+    STAGES_PER_PIPELINE,
+    StageMemory,
+    TCAM_BLOCKS_PER_STAGE,
+    TCAM_SLICES_PER_PIPELINE,
+    blocks_for_footprint,
+)
+from repro.tofino.phv import Bridge, Metadata, PhvOverflowError
+
+
+class TestGeometryConstants:
+    def test_pipeline_capacity(self):
+        assert SRAM_WORDS_PER_PIPELINE == 12 * 80 * 1024
+        assert TCAM_SLICES_PER_PIPELINE == 12 * 24 * 512
+
+
+class TestStageMemory:
+    def test_allocate_and_track(self):
+        stage = StageMemory(0)
+        stage.allocate("t1", sram_blocks=10, tcam_blocks=2)
+        assert stage.sram_blocks_used() == 10
+        assert stage.tcam_blocks_used() == 2
+        assert stage.allocations["t1"].sram_words == 10 * SRAM_WORDS_PER_BLOCK
+
+    def test_over_allocate(self):
+        stage = StageMemory(0)
+        with pytest.raises(AllocationError):
+            stage.allocate("t", SRAM_BLOCKS_PER_STAGE + 1, 0)
+        with pytest.raises(AllocationError):
+            stage.allocate("t", 0, TCAM_BLOCKS_PER_STAGE + 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageMemory(0).allocate("t", -1, 0)
+
+    def test_release(self):
+        stage = StageMemory(0)
+        stage.allocate("t1", 10, 2)
+        stage.release_all("t1")
+        assert stage.sram_blocks_free == SRAM_BLOCKS_PER_STAGE
+        assert stage.tcam_blocks_free == TCAM_BLOCKS_PER_STAGE
+        stage.release_all("absent")  # no-op
+
+    def test_cumulative_allocations_same_owner(self):
+        stage = StageMemory(0)
+        stage.allocate("t", 1, 0)
+        stage.allocate("t", 2, 1)
+        assert stage.allocations["t"].sram_words == 3 * SRAM_WORDS_PER_BLOCK
+
+
+class TestPipelineMemory:
+    def test_occupancy(self):
+        memory = PipelineMemory(0)
+        memory.stages[0].allocate("t", 80, 0)  # one full stage of SRAM
+        assert memory.sram_occupancy() == pytest.approx(1 / STAGES_PER_PIPELINE)
+        assert memory.tcam_occupancy() == 0.0
+
+    def test_release_all_owner(self):
+        memory = PipelineMemory(0)
+        memory.stages[0].allocate("t", 5, 1)
+        memory.stages[3].allocate("t", 5, 1)
+        memory.release_all("t")
+        assert memory.sram_words_used() == 0
+
+    def test_owners(self):
+        memory = PipelineMemory(0)
+        memory.stages[0].allocate("b", 1, 0)
+        memory.stages[1].allocate("a", 1, 0)
+        assert memory.owners() == ["a", "b"]
+
+
+class TestBlocksForFootprint:
+    def test_rounding_up(self):
+        fp = MemoryFootprint(sram_words=1, tcam_slices=1)
+        assert blocks_for_footprint(fp) == (1, 1)
+
+    def test_exact(self):
+        fp = MemoryFootprint(sram_words=2048, tcam_slices=1024)
+        assert blocks_for_footprint(fp) == (2, 2)
+
+    def test_zero(self):
+        assert blocks_for_footprint(MemoryFootprint.zero()) == (0, 0)
+
+
+class TestMetadata:
+    def test_set_get(self):
+        md = Metadata()
+        md.set("vni", 42, bits=24)
+        assert md.get("vni") == 42 and "vni" in md
+
+    def test_default(self):
+        md = Metadata()
+        assert md.get("missing", default=7) == 7
+        with pytest.raises(KeyError):
+            md.get("missing")
+
+    def test_width_checked(self):
+        md = Metadata()
+        with pytest.raises(ValueError):
+            md.set("x", 256, bits=8)
+        with pytest.raises(ValueError):
+            md.set("x", 1, bits=0)
+
+    def test_redeclare_width_rejected(self):
+        md = Metadata()
+        md.set("x", 1, bits=8)
+        md.set("x", 2, bits=8)  # same width: fine
+        with pytest.raises(ValueError):
+            md.set("x", 1, bits=16)
+
+    def test_budget_enforced(self):
+        md = Metadata(budget_bits=16)
+        md.set("a", 1, bits=8)
+        md.set("b", 1, bits=8)
+        with pytest.raises(PhvOverflowError):
+            md.set("c", 1, bits=1)
+        assert md.used_bits() == 16
+
+    def test_rewrite_does_not_recharge(self):
+        md = Metadata(budget_bits=8)
+        md.set("a", 1, bits=8)
+        md.set("a", 2, bits=8)
+        assert md.used_bits() == 8
+
+    def test_clear(self):
+        md = Metadata()
+        md.set("a", 1, bits=8)
+        md.clear()
+        assert md.used_bits() == 0
+
+
+class TestBridge:
+    def test_carry_and_restore(self):
+        md = Metadata()
+        md.set("vni", 42, bits=24)
+        md.set("nc", 7, bits=32)
+        md.set("unused", 1, bits=1)
+        bridge = Bridge.carry(md, ["vni", "nc"])
+        fresh = Metadata()
+        bridge.restore_into(fresh)
+        assert fresh.get("vni") == 42 and fresh.get("nc") == 7
+        assert "unused" not in fresh
+
+    def test_carry_unset_field(self):
+        with pytest.raises(KeyError):
+            Bridge.carry(Metadata(), ["vni"])
+
+    def test_wire_overhead(self):
+        md = Metadata()
+        md.set("vni", 1, bits=24)
+        md.set("scope", 1, bits=3)
+        bridge = Bridge.carry(md, ["vni", "scope"])
+        assert bridge.wire_overhead_bytes == 4  # 27 bits -> 4 bytes
+
+    def test_empty_bridge_is_free(self):
+        assert Bridge().wire_overhead_bytes == 0

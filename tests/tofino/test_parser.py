@@ -1,0 +1,118 @@
+"""Tests for the programmable parser model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.headers import Ethernet, HeaderError, IPv4, UDP, ETHERTYPE_IPV4
+from repro.net.packet import Packet
+from repro.tofino.parser import (
+    ACCEPT,
+    DEFAULT,
+    ParseGraph,
+    ParseState,
+    ParserOverrunError,
+    REJECT,
+    gateway_parse_graph,
+)
+from repro.workloads.traffic import build_vxlan_packet
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gateway_parse_graph()
+
+
+class TestGatewayGraph:
+    def test_vxlan_packet_fully_parsed(self, graph):
+        raw = build_vxlan_packet(7, 0xC0A80A02, 0xC0A80A03).to_bytes()
+        result = graph.parse(raw)
+        assert result.accepted
+        assert result.headers() == [
+            "ethernet", "ipv4", "udp", "vxlan", "inner_ethernet",
+            "inner_ipv4", "inner_l4",
+        ]
+
+    def test_v6_inner(self, graph):
+        raw = build_vxlan_packet(7, 1 << 100, 2, version=6).to_bytes()
+        result = graph.parse(raw)
+        assert result.accepted and "inner_ipv6" in result.headers()
+
+    def test_offsets_match_wire_layout(self, graph):
+        raw = build_vxlan_packet(7, 1, 2).to_bytes()
+        result = graph.parse(raw)
+        vxlan = result.find("vxlan")
+        assert vxlan.offset == 14 + 20 + 8  # eth + ipv4 + udp
+        assert vxlan.length == 8
+        inner_ip = result.find("inner_ipv4")
+        assert inner_ip.offset == vxlan.offset + 8 + 14
+
+    def test_plain_udp_accepted_without_vxlan(self, graph):
+        plain = Packet(
+            eth=Ethernet(1, 2, ETHERTYPE_IPV4),
+            ip=IPv4(src=1, dst=2, proto=17),
+            l4=UDP(src_port=53, dst_port=53),
+            payload=b"dns",
+        )
+        result = graph.parse(plain.to_bytes())
+        assert result.accepted
+        assert "vxlan" not in result.headers()
+
+    def test_truncated_rejected(self, graph):
+        raw = build_vxlan_packet(7, 1, 2).to_bytes()
+        result = graph.parse(raw[:30])
+        assert not result.accepted
+        assert "truncated" in result.reject_reason
+
+    def test_bad_vxlan_flag_rejected(self, graph):
+        raw = bytearray(build_vxlan_packet(7, 1, 2).to_bytes())
+        raw[14 + 20 + 8] = 0x00  # clear the I flag
+        result = graph.parse(bytes(raw))
+        assert not result.accepted
+
+    def test_unknown_ethertype_rejected(self, graph):
+        raw = bytearray(build_vxlan_packet(7, 1, 2).to_bytes())
+        raw[12:14] = b"\x86\x00"
+        result = graph.parse(bytes(raw))
+        assert not result.accepted
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=150))
+    def test_agrees_with_packet_codec(self, graph, raw):
+        """Whatever the byte codec parses as VXLAN, the parse graph must
+        accept with a vxlan extraction — and vice versa for rejects."""
+        try:
+            packet = Packet.from_bytes(raw)
+            codec_vxlan = packet.is_vxlan
+        except HeaderError:
+            codec_vxlan = None  # codec rejected
+        result = graph.parse(raw)
+        if codec_vxlan is True:
+            assert result.accepted and "vxlan" in result.headers()
+
+
+class TestGraphMechanics:
+    def test_loop_guard(self):
+        graph = ParseGraph(start="a")
+        graph.add_state(ParseState("a", header_length=lambda b: 0,
+                                   transitions={DEFAULT: "a"}))
+        with pytest.raises(ParserOverrunError):
+            graph.parse(b"\x00" * 4)
+
+    def test_unknown_state(self):
+        graph = ParseGraph(start="ghost")
+        with pytest.raises(ParserOverrunError):
+            graph.parse(b"\x00")
+
+    def test_default_transition_to_accept(self):
+        graph = ParseGraph(start="a")
+        graph.add_state(ParseState("a", header_length=lambda b: 1))
+        assert graph.parse(b"\x00").accepted
+
+    def test_explicit_reject(self):
+        graph = ParseGraph(start="a")
+        graph.add_state(ParseState(
+            "a", header_length=lambda b: 1, selector=lambda b: b[0],
+            transitions={0: ACCEPT, DEFAULT: REJECT},
+        ))
+        assert graph.parse(b"\x00").accepted
+        assert not graph.parse(b"\x01").accepted

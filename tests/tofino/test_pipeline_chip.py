@@ -1,0 +1,205 @@
+"""Tests for pipe traversal, folding, bridging, and the chip perf model."""
+
+import pytest
+
+from repro.net.headers import ETHERTYPE_IPV4, Ethernet, IPv4, UDP
+from repro.net.packet import Packet
+from repro.tofino.chip import Chip, PIPE_PPS_CAP, WIRE_OVERHEAD_BYTES
+from repro.tofino.pipeline import (
+    Gress,
+    PipeResult,
+    PipelineFabric,
+    TraversalError,
+    Verdict,
+    folded_path,
+    normal_path,
+)
+
+
+def plain_packet():
+    return Packet(
+        eth=Ethernet(1, 2, ETHERTYPE_IPV4),
+        ip=IPv4(src=1, dst=2, proto=17),
+        l4=UDP(1, 2),
+        payload=b"x",
+    )
+
+
+def passthrough(packet, md, ref):
+    return PipeResult(Verdict.CONTINUE)
+
+
+class TestPaths:
+    def test_folded_path_pipe0(self):
+        assert folded_path(0) == [
+            (0, Gress.INGRESS), (1, Gress.EGRESS), (1, Gress.INGRESS), (0, Gress.EGRESS),
+        ]
+
+    def test_folded_path_pipe2(self):
+        assert folded_path(2) == [
+            (2, Gress.INGRESS), (3, Gress.EGRESS), (3, Gress.INGRESS), (2, Gress.EGRESS),
+        ]
+
+    def test_folded_entry_restricted(self):
+        with pytest.raises(TraversalError):
+            folded_path(1)
+
+    def test_normal_path(self):
+        assert normal_path(1) == [(1, Gress.INGRESS), (1, Gress.EGRESS)]
+        assert normal_path(0, 3) == [(0, Gress.INGRESS), (3, Gress.EGRESS)]
+        with pytest.raises(TraversalError):
+            normal_path(4)
+
+
+class TestFabricTraversal:
+    def _folded_fabric(self, programs=None):
+        fabric = PipelineFabric(folded=True)
+        for pipeline in range(4):
+            for gress in Gress:
+                fabric.attach(pipeline, gress, (programs or {}).get(
+                    (pipeline, gress), passthrough))
+        return fabric
+
+    def test_entry_pipelines(self):
+        assert PipelineFabric(folded=True).entry_pipelines() == [0, 2]
+        assert PipelineFabric(folded=False).entry_pipelines() == [0, 1, 2, 3]
+
+    def test_folded_traversal_visits_four_pipes(self):
+        fabric = self._folded_fabric()
+        result = fabric.process(plain_packet(), 0)
+        assert result.pipes_traversed == 4
+        assert result.verdict is Verdict.FORWARD
+
+    def test_missing_program_raises(self):
+        fabric = PipelineFabric(folded=True)
+        with pytest.raises(TraversalError):
+            fabric.process(plain_packet(), 0)
+
+    def test_drop_short_circuits(self):
+        def dropper(packet, md, ref):
+            return PipeResult(Verdict.DROP, drop_reason="acl")
+
+        fabric = self._folded_fabric({(1, Gress.EGRESS): dropper})
+        result = fabric.process(plain_packet(), 0)
+        assert result.verdict is Verdict.DROP
+        assert result.drop_reason == "acl"
+        assert result.pipes_traversed == 2
+
+    def test_metadata_does_not_cross_gress_without_bridge(self):
+        seen = {}
+
+        def setter(packet, md, ref):
+            md.set("x", 5, bits=8)
+            return PipeResult(Verdict.CONTINUE)  # no bridge
+
+        def reader(packet, md, ref):
+            seen["has_x"] = "x" in md
+            return PipeResult(Verdict.CONTINUE)
+
+        fabric = self._folded_fabric({(0, Gress.INGRESS): setter,
+                                      (1, Gress.EGRESS): reader})
+        fabric.process(plain_packet(), 0)
+        assert seen["has_x"] is False
+
+    def test_bridge_carries_fields(self):
+        seen = {}
+
+        def setter(packet, md, ref):
+            md.set("x", 5, bits=8)
+            return PipeResult(Verdict.CONTINUE, bridge_fields=["x"])
+
+        def reader(packet, md, ref):
+            seen["x"] = md.get("x")
+            return PipeResult(Verdict.CONTINUE)
+
+        fabric = self._folded_fabric({(0, Gress.INGRESS): setter,
+                                      (1, Gress.EGRESS): reader})
+        result = fabric.process(plain_packet(), 0)
+        assert seen["x"] == 5
+        assert result.bridged_bytes == 1
+
+    def test_packet_rewrite_propagates(self):
+        def rewriter(packet, md, ref):
+            return PipeResult(Verdict.CONTINUE, packet=packet.with_outer_dst(99))
+
+        fabric = self._folded_fabric({(1, Gress.INGRESS): rewriter})
+        result = fabric.process(plain_packet(), 0)
+        assert result.packet.ip.dst == 99
+
+    def test_pipe_packet_counters(self):
+        fabric = self._folded_fabric()
+        for _ in range(3):
+            fabric.process(plain_packet(), 0)
+        fabric.process(plain_packet(), 2)
+        share = fabric.egress_pipe_share()
+        assert share[(1)] == 3 and share[3] == 1
+
+
+class TestChipPerformance:
+    def test_folded_latency_doubles(self):
+        folded = Chip(folded=True)
+        normal = Chip(folded=False)
+        assert folded.forwarding_latency_ns() > 1.9 * normal.forwarding_latency_ns()
+
+    def test_latency_matches_paper(self):
+        """Fig. 18(c): folded XGW-H latency ~2.2us."""
+        assert 2.0 <= Chip(folded=True).forwarding_latency_us() <= 2.4
+
+    def test_throughput_halves_when_folded(self):
+        assert Chip(folded=True).max_throughput_bps() == pytest.approx(3.2e12)
+        assert Chip(folded=False).max_throughput_bps() == pytest.approx(6.4e12)
+
+    def test_pps_cap(self):
+        assert Chip(folded=True).max_pps() == pytest.approx(2 * PIPE_PPS_CAP)
+        assert Chip(folded=False).max_pps() == pytest.approx(4 * PIPE_PPS_CAP)
+
+    def test_line_rate_below_256B(self):
+        """Fig. 18(b): line rate with packets smaller than 256B."""
+        chip = Chip(folded=True)
+        assert chip.rate_at(256).line_rate
+        assert chip.rate_at(192).line_rate
+        assert chip.min_line_rate_packet() <= 192
+
+    def test_packet_rate_at_192B_matches_fig18(self):
+        """~1.8 Gpps reported in Fig. 18(b)."""
+        pps = Chip(folded=True).rate_at(192).packet_rate_pps
+        assert 1.7e9 <= pps <= 2.0e9
+
+    def test_tiny_packets_cpu_bound(self):
+        chip = Chip(folded=True)
+        report = chip.rate_at(64)
+        assert not report.line_rate
+        assert report.packet_rate_pps == pytest.approx(chip.max_pps())
+
+    def test_rate_bad_size(self):
+        with pytest.raises(ValueError):
+            Chip().rate_at(0)
+
+    def test_bridged_bytes_increase_latency(self):
+        chip = Chip(folded=True)
+        assert chip.forwarding_latency_ns(bridged_bytes=1000) > chip.forwarding_latency_ns()
+
+    def test_process_requires_entry_pipeline(self):
+        chip = Chip(folded=True)
+        chip.attach_symmetric({(role, gress): passthrough
+                               for role in (0, 1) for gress in Gress})
+        with pytest.raises(ValueError):
+            chip.process(plain_packet(), entry_pipeline=1)
+
+    def test_attach_symmetric_mirrors(self):
+        chip = Chip(folded=True)
+        chip.attach_symmetric({(role, gress): passthrough
+                               for role in (0, 1) for gress in Gress})
+        # Entry via pipeline 2 works because programs were mirrored.
+        result = chip.process(plain_packet(), entry_pipeline=2)
+        assert result.verdict is Verdict.FORWARD
+
+    def test_drop_counted(self):
+        def dropper(packet, md, ref):
+            return PipeResult(Verdict.DROP, drop_reason="x")
+
+        chip = Chip(folded=True)
+        chip.attach_symmetric({(role, gress): dropper
+                               for role in (0, 1) for gress in Gress})
+        chip.process(plain_packet(), 0)
+        assert chip.packets_dropped == 1 and chip.packets_in == 1

@@ -1,0 +1,66 @@
+"""Address-plan properties of generated topologies."""
+
+import pytest
+
+from repro.workloads.topology import generate_topology
+
+
+class TestSubnetDisjointness:
+    def test_subnets_unique_within_region(self):
+        topo = generate_topology(30, 300, seed=9)
+        seen = set()
+        for vpc in topo.vpcs.values():
+            for subnet in vpc.subnets:
+                key = (subnet.version, subnet.network, subnet.prefix_len)
+                assert key not in seen, f"duplicate subnet {subnet}"
+                seen.add(key)
+
+    def test_regions_with_bases_disjoint(self):
+        a = generate_topology(20, 100, seed=1, subnet_base_index=0)
+        b = generate_topology(20, 100, seed=1, subnet_base_index=4096)
+        subnets_a = {
+            (s.version, s.network) for v in a.vpcs.values() for s in v.subnets
+        }
+        subnets_b = {
+            (s.version, s.network) for v in b.vpcs.values() for s in v.subnets
+        }
+        assert subnets_a.isdisjoint(subnets_b)
+
+    def test_base_offset_preserves_structure(self):
+        plain = generate_topology(10, 100, seed=2)
+        offset = generate_topology(10, 100, seed=2, subnet_base_index=1024)
+        assert plain.vnis() == offset.vnis()
+        for vni in plain.vnis():
+            assert len(plain.vpcs[vni].vms) == len(offset.vpcs[vni].vms)
+            assert plain.vpcs[vni].peers == offset.vpcs[vni].peers
+
+
+class TestDualStack:
+    def test_ipv6_fraction_zero_all_v4(self):
+        topo = generate_topology(20, 200, seed=3, ipv6_fraction=0.0)
+        for vpc in topo.vpcs.values():
+            assert all(s.version == 4 for s in vpc.subnets)
+            assert all(vm.version == 4 for vm in vpc.vms)
+
+    def test_ipv6_fraction_produces_v6_vms(self):
+        topo = generate_topology(30, 600, seed=3, ipv6_fraction=0.6)
+        versions = {vm.version for vpc in topo.vpcs.values() for vm in vpc.vms}
+        assert versions == {4, 6}
+
+    def test_v6_routes_have_v6_internet_exit(self):
+        topo = generate_topology(10, 100, seed=4, ipv6_fraction=0.5)
+        for vni in topo.vnis():
+            entries = list(topo.route_entries(vni))
+            v6_defaults = [
+                (p, a) for _v, p, a in entries
+                if p.version == 6 and p.prefix_len == 0
+            ]
+            assert len(v6_defaults) == 1
+            assert v6_defaults[0][1].scope.value == "internet"
+
+    def test_first_subnet_always_v4(self):
+        """VPCs always keep at least one v4 subnet (every tenant needs a
+        v4 presence for SNAT)."""
+        topo = generate_topology(30, 100, seed=5, ipv6_fraction=0.9)
+        for vpc in topo.vpcs.values():
+            assert vpc.subnets[0].version == 4

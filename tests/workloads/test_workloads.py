@@ -1,0 +1,240 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.net.flow import FlowKey
+from repro.telemetry.stats import top_n_share
+from repro.workloads.datasets import (
+    CPU_VS_PORT_TREND,
+    growth_factors,
+    moores_law_factor,
+    series,
+    years,
+)
+from repro.workloads.flows import (
+    diurnal_multiplier,
+    festival_series,
+    heavy_hitter_flows,
+    split_flows_over_gateways,
+)
+from repro.workloads.topology import BASE_VNI, generate_topology
+from repro.workloads.traffic import RegionTrafficGenerator, inner_flow
+from repro.workloads.updates import (
+    UpdateKind,
+    entry_count_series,
+    generate_update_events,
+    sudden_events,
+    update_rate_per_day,
+)
+
+
+class TestTopology:
+    def test_deterministic(self):
+        a = generate_topology(10, 100, seed=3)
+        b = generate_topology(10, 100, seed=3)
+        assert a.vnis() == b.vnis()
+        assert a.total_vms == b.total_vms
+
+    def test_vni_numbering(self):
+        topo = generate_topology(5, 50, seed=1)
+        assert topo.vnis() == [BASE_VNI + i for i in range(5)]
+
+    def test_zipf_vm_skew(self):
+        topo = generate_topology(20, 2000, seed=1, vm_size_alpha=1.4)
+        sizes = sorted((len(v.vms) for v in topo.vpcs.values()), reverse=True)
+        # Top tenant clearly dominates.
+        assert sizes[0] > 5 * sizes[-1]
+
+    def test_vms_inside_subnets(self):
+        topo = generate_topology(10, 200, seed=2)
+        for vpc in topo.vpcs.values():
+            for vm in vpc.vms:
+                assert any(
+                    s.version == vm.version and s.contains_ip(vm.ip)
+                    for s in vpc.subnets
+                )
+
+    def test_route_entries_include_local_peer_and_snat(self):
+        topo = generate_topology(10, 100, seed=3, peering_fraction=1.0)
+        vni = topo.vnis()[0]
+        entries = list(topo.route_entries(vni))
+        scopes = {e[2].scope.value for e in entries}
+        assert "local" in scopes and "service" in scopes
+        assert any(s == "peer" for s in scopes)
+
+    def test_peering_symmetric(self):
+        topo = generate_topology(10, 100, seed=5, peering_fraction=1.0)
+        for vni, vpc in topo.vpcs.items():
+            for peer in vpc.peers:
+                assert vni in topo.vpcs[peer].peers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_topology(0, 10, seed=1)
+
+
+class TestHeavyHitters:
+    def test_total_preserved(self):
+        flows = heavy_hitter_flows(100, 1e6, seed=1)
+        assert sum(f.pps for f in flows) == pytest.approx(1e6)
+
+    def test_top_flows_dominate(self):
+        """Fig. 7: top-1/top-2 flows carry the bulk of an overload scene."""
+        flows = heavy_hitter_flows(100, 1e6, seed=1, alpha=1.8)
+        rates = [f.pps for f in flows]
+        assert top_n_share(rates, 2) > 0.5
+
+    def test_deterministic(self):
+        a = heavy_hitter_flows(10, 1e3, seed=9)
+        b = heavy_hitter_flows(10, 1e3, seed=9)
+        assert [f.flow for f in a] == [f.flow for f in b]
+
+    def test_vni_pool_respected(self):
+        flows = heavy_hitter_flows(50, 1e3, seed=1, vnis=[7, 8])
+        assert {f.vni for f in flows} <= {7, 8}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hitter_flows(0, 1e3, seed=1)
+
+    def test_split_over_gateways_balances_aggregate(self):
+        """Fig. 6: per-gateway load is balanced even with heavy flows."""
+        from repro.telemetry.stats import jains_fairness
+
+        flows = heavy_hitter_flows(10_000, 1e6, seed=2, alpha=0.6)
+        buckets = split_flows_over_gateways(flows, 15)
+        loads = [sum(f.pps for f in bucket) for bucket in buckets]
+        assert jains_fairness(loads) > 0.9
+
+    def test_split_keeps_flows_whole(self):
+        flows = heavy_hitter_flows(50, 1e3, seed=2)
+        buckets = split_flows_over_gateways(flows, 4)
+        assert sum(len(b) for b in buckets) == 50
+
+
+class TestFestivalSeries:
+    def test_diurnal_range(self):
+        values = [diurnal_multiplier(h) for h in range(24)]
+        assert max(values) == pytest.approx(1.0, abs=0.01)
+        assert min(values) >= 0.54
+
+    def test_peak_at_21(self):
+        assert diurnal_multiplier(21.0) == pytest.approx(1.0)
+
+    def test_bad_hour(self):
+        with pytest.raises(ValueError):
+            diurnal_multiplier(24.0)
+
+    def test_festival_boost(self):
+        samples = festival_series(7, 24, 1e6, seed=1, festival_day=3,
+                                  festival_boost=3.0, jitter=0.0)
+        by_day = {}
+        for t, pps in samples:
+            by_day.setdefault(int(t), []).append(pps)
+        assert max(by_day[3]) > 2.5 * max(by_day[0])
+
+    def test_sample_count(self):
+        assert len(festival_series(2, 10, 1.0, seed=1)) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            festival_series(0, 10, 1.0, seed=1)
+
+
+class TestTrafficGenerator:
+    def test_eighty_twenty_popularity(self):
+        topo = generate_topology(10, 400, seed=4)
+        gen = RegionTrafficGenerator(topo, seed=4, hot_fraction=0.05, hot_share=0.95)
+        hot_hits = sum(1 for _ in range(2000) if gen.is_hot(gen.sample_vm()))
+        assert hot_hits / 2000 > 0.85
+
+    def test_sample_packet_fields(self):
+        topo = generate_topology(10, 100, seed=4)
+        gen = RegionTrafficGenerator(topo, seed=4)
+        sample = gen.sample_packet()
+        assert sample.packet.is_vxlan
+        assert sample.packet.vni == sample.src_vm.vni
+        key = inner_flow(sample)
+        assert isinstance(key, FlowKey)
+
+    def test_internet_share(self):
+        topo = generate_topology(10, 100, seed=4)
+        gen = RegionTrafficGenerator(topo, seed=4, internet_share=1.0)
+        sample = gen.sample_packet()
+        assert sample.dst_vm is None and sample.route == "VM-Internet"
+
+    def test_routes_labelled(self):
+        topo = generate_topology(10, 200, seed=4, peering_fraction=1.0)
+        gen = RegionTrafficGenerator(topo, seed=4, internet_share=0.0)
+        routes = {gen.sample_packet().route for _ in range(300)}
+        assert "VM-VM (same VPC)" in routes
+
+    def test_validation(self):
+        topo = generate_topology(2, 10, seed=1)
+        with pytest.raises(ValueError):
+            RegionTrafficGenerator(topo, seed=1, hot_fraction=0.0)
+
+
+class TestUpdates:
+    def test_deterministic(self):
+        a = generate_update_events(30, seed=1)
+        b = generate_update_events(30, seed=1)
+        assert a == b
+
+    def test_sorted_by_time(self):
+        events = generate_update_events(30, seed=2)
+        times = [e.time_days for e in events]
+        assert times == sorted(times)
+
+    def test_sudden_events_rare_but_large(self):
+        """Fig. 23: regular updates are slow; sudden jumps are big."""
+        events = generate_update_events(60, seed=3)
+        sudden = sudden_events(events)
+        regular = [e for e in events if e.kind is UpdateKind.REGULAR]
+        assert len(sudden) < len(regular) / 10
+        if sudden:
+            mean_sudden = sum(e.delta_entries for e in sudden) / len(sudden)
+            mean_regular = sum(abs(e.delta_entries) for e in regular) / len(regular)
+            assert mean_sudden > 50 * mean_regular
+
+    def test_entry_count_series_integrates(self):
+        events = generate_update_events(10, seed=4)
+        ts = entry_count_series(events, initial_entries=1000)
+        assert ts.values[0] == 1000
+        expected = 1000 + sum(e.delta_entries for e in events)
+        assert ts.values[-1] == max(0, expected)
+
+    def test_update_rate(self):
+        events = generate_update_events(10, seed=5, regular_per_day=24.0)
+        rate = update_rate_per_day(events, 10)
+        assert 10 < rate < 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_update_events(0, seed=1)
+        with pytest.raises(ValueError):
+            update_rate_per_day([], 0)
+
+
+class TestDatasets:
+    def test_growth_factors_match_paper(self):
+        """§2.3: port 40x, multi-core ~4x, single-core ~2.5x."""
+        single, multi, port = growth_factors()
+        assert port == pytest.approx(40.0)
+        assert 3.5 <= multi <= 4.5
+        assert 2.3 <= single <= 2.7
+
+    def test_series_access(self):
+        assert len(series("single")) == len(years()) == len(CPU_VS_PORT_TREND)
+        with pytest.raises(ValueError):
+            series("nonsense")
+
+    def test_port_outpaces_moore(self):
+        """Traffic growth beyond Moore's law; single-core below it."""
+        single, _multi, port = growth_factors()
+        moore = moores_law_factor(10)  # 2^5 = 32 over the decade
+        assert port > moore > single
+
+    def test_moore_validation(self):
+        with pytest.raises(ValueError):
+            moores_law_factor(-1)

@@ -1,0 +1,93 @@
+"""Tests for the micro-burst loss model and capped heavy-hitter flows."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.flow import FlowKey
+from repro.workloads.flows import heavy_hitter_flows
+from repro.x86.cpu import Core, microburst_loss_fraction
+from repro.x86.gateway import XgwX86
+
+
+class TestMicroburstLossFraction:
+    def test_zero_at_idle(self):
+        assert microburst_loss_fraction(0.0, 0.12) == 0.0
+
+    def test_negligible_when_cool(self):
+        assert microburst_loss_fraction(0.3, 0.12) < 1e-10
+
+    def test_paper_band_when_hot(self):
+        """A core around 70-80% mean loses ~1e-5..1e-3 to spikes — the
+        region-level 1e-4 of Fig. 5 comes from a few such cores."""
+        assert 1e-6 < microburst_loss_fraction(0.7, 0.12) < 1e-3
+        assert 1e-4 < microburst_loss_fraction(0.8, 0.12) < 1e-2
+
+    def test_sigma_zero_is_deterministic_clip(self):
+        assert microburst_loss_fraction(0.9, 0.0) == 0.0
+        assert microburst_loss_fraction(2.0, 0.0) == pytest.approx(0.5)
+
+    def test_monotone_in_utilization(self):
+        values = [microburst_loss_fraction(m, 0.12) for m in (0.5, 0.7, 0.9, 1.1)]
+        assert values == sorted(values)
+
+    def test_monotone_in_burstiness(self):
+        assert microburst_loss_fraction(0.8, 0.05) < microburst_loss_fraction(0.8, 0.3)
+
+    @given(st.floats(min_value=0.01, max_value=3.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_always_a_valid_fraction(self, mean, sigma):
+        loss = microburst_loss_fraction(mean, sigma)
+        assert 0.0 <= loss < 1.0
+
+    def test_matches_monte_carlo(self):
+        """Closed form vs simulation of the lognormal clip."""
+        import random
+
+        mean, sigma = 0.85, 0.2
+        rng = random.Random(1)
+        mu = math.log(mean) - sigma ** 2 / 2
+        samples = [math.exp(rng.gauss(mu, sigma)) for _ in range(200_000)]
+        mc = sum(max(0.0, s - 1.0) for s in samples) / sum(samples)
+        assert microburst_loss_fraction(mean, sigma) == pytest.approx(mc, rel=0.1)
+
+
+class TestCoreBurstiness:
+    def test_burstiness_adds_loss_below_capacity(self):
+        calm = Core(0, capacity_pps=1000.0, burstiness=0.0)
+        bursty = Core(0, capacity_pps=1000.0, burstiness=0.2)
+        flow = FlowKey(1, 2, 6, 3, 4)
+        assert calm.serve([(flow, 900.0)]).dropped_pps == 0.0
+        assert bursty.serve([(flow, 900.0)]).dropped_pps > 0.0
+
+    def test_gateway_burstiness_plumbed(self):
+        gw = XgwX86(gateway_ip=1, burstiness=0.15)
+        assert all(core.burstiness == 0.15 for core in gw.cpu.cores)
+
+
+class TestCappedFlows:
+    def test_cap_respected(self):
+        flows = heavy_hitter_flows(100, 1e6, seed=1, alpha=1.5, max_pps=20_000.0)
+        assert max(f.pps for f in flows) <= 20_000.0 * 1.001
+
+    def test_total_preserved_under_cap(self):
+        flows = heavy_hitter_flows(100, 1e6, seed=1, alpha=1.5, max_pps=20_000.0)
+        assert sum(f.pps for f in flows) == pytest.approx(1e6, rel=1e-6)
+
+    def test_infeasible_cap_rejected(self):
+        with pytest.raises(ValueError):
+            heavy_hitter_flows(10, 1e6, seed=1, max_pps=1.0)
+
+    def test_no_cap_unchanged(self):
+        capped = heavy_hitter_flows(50, 1e3, seed=2, max_pps=None)
+        plain = heavy_hitter_flows(50, 1e3, seed=2)
+        assert [f.pps for f in capped] == [f.pps for f in plain]
+
+    def test_cap_flattens_skew(self):
+        from repro.telemetry.stats import top_n_share
+
+        free = heavy_hitter_flows(100, 1e6, seed=3, alpha=1.5)
+        capped = heavy_hitter_flows(100, 1e6, seed=3, alpha=1.5, max_pps=30_000.0)
+        assert top_n_share([f.pps for f in capped], 2) < \
+            top_n_share([f.pps for f in free], 2)

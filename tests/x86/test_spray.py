@@ -1,0 +1,88 @@
+"""Tests for the packet-spraying (pipeline model) alternative of §2.3."""
+
+import pytest
+
+from repro.net.flow import FlowKey
+from repro.x86.gateway import XgwX86
+from repro.x86.spray import PacketSprayModel, compare_models
+
+
+def flow(i=0):
+    return FlowKey(0x0A000000 + i, 0x0B000000, 6, 1000 + i, 80)
+
+
+class TestSprayModel:
+    def test_effective_capacity_taxed(self):
+        model = PacketSprayModel(num_cores=10, core_pps=1000.0,
+                                 transfer_penalty=0.3)
+        assert model.effective_capacity_pps == pytest.approx(7000.0)
+
+    def test_no_hotspots(self):
+        """An elephant that would pin one RTC core is absorbed."""
+        model = PacketSprayModel(num_cores=8, core_pps=1000.0,
+                                 transfer_penalty=0.3)
+        interval = model.serve([(flow(0), 5000.0)])
+        assert interval.dropped_pps == 0.0
+        assert interval.mean_utilization < 1.0
+
+    def test_drops_only_past_taxed_capacity(self):
+        model = PacketSprayModel(num_cores=8, core_pps=1000.0,
+                                 transfer_penalty=0.25)
+        interval = model.serve([(flow(0), 7000.0)])
+        assert interval.dropped_pps == pytest.approx(1000.0)
+
+    def test_reordering_grows_with_flow_rate(self):
+        model = PacketSprayModel(num_cores=8, core_pps=1000.0)
+        slow = model.reorder_probability(10.0)
+        fast = model.reorder_probability(5000.0)
+        assert 0.0 <= slow < fast <= 0.5
+
+    def test_zero_rate_no_reorder(self):
+        model = PacketSprayModel()
+        assert model.reorder_probability(0.0) == 0.0
+
+    def test_single_core_never_reorders(self):
+        model = PacketSprayModel(num_cores=1, core_pps=1000.0)
+        assert model.reorder_probability(900.0) == 0.0
+
+    def test_interval_reordering_weighted_by_share(self):
+        model = PacketSprayModel(num_cores=8, core_pps=1000.0)
+        elephants = model.serve([(flow(0), 4000.0)])
+        mice = model.serve([(flow(i), 4.0) for i in range(1000)])
+        assert elephants.reordered_fraction > mice.reordered_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketSprayModel(num_cores=0)
+        with pytest.raises(ValueError):
+            PacketSprayModel(transfer_penalty=1.0)
+
+
+class TestModelComparison:
+    def test_the_2_3_tradeoff(self):
+        """RTC drops on the hot core; spraying reorders and taxes capacity."""
+        gateway = XgwX86(gateway_ip=1, num_cores=8, core_pps=1000.0)
+        spray = PacketSprayModel(num_cores=8, core_pps=1000.0)
+        # One elephant over a core's capacity + light mice.
+        flows = [(flow(0), 2000.0)] + [(flow(i), 10.0) for i in range(1, 40)]
+        result = compare_models(flows, gateway, spray)
+        # Run-to-completion: hot core drops, but perfect ordering.
+        assert result["rtc_loss"] > 0.0
+        assert result["rtc_max_core_utilization"] == 1.0
+        assert result["rtc_reordered"] == 0.0
+        # Spraying: no loss, but reordering and a capacity tax.
+        assert result["spray_loss"] == 0.0
+        assert result["spray_reordered"] > 0.01
+        assert result["spray_capacity_tax"] > 0.0
+
+    def test_spray_loses_at_high_aggregate_load(self):
+        """Near full load the transfer tax makes spraying drop packets
+        that RTC would have carried (the paper's reason to keep RTC)."""
+        gateway = XgwX86(gateway_ip=1, num_cores=8, core_pps=1000.0)
+        spray = PacketSprayModel(num_cores=8, core_pps=1000.0,
+                                 transfer_penalty=0.3)
+        # Perfectly balanced mice at 80% of raw capacity.
+        flows = [(flow(i), 8.0) for i in range(800)]
+        result = compare_models(flows, gateway, spray)
+        assert result["rtc_loss"] < result["spray_loss"] or \
+            result["spray_loss"] > 0.0

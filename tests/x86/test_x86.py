@@ -1,0 +1,117 @@
+"""Tests for the XGW-x86 simulator: NIC/RSS, cores, gateway box."""
+
+import pytest
+
+from repro.net.flow import FlowKey
+from repro.x86.cpu import Core, CpuComplex, DEFAULT_CORE_PPS
+from repro.x86.gateway import XgwX86
+from repro.x86.nic import Nic
+
+
+def flow(i=0):
+    return FlowKey(0x0A000000 + i, 0x0B000000 + i, 6, 1000 + i, 80)
+
+
+class TestNic:
+    def test_queue_stable(self):
+        nic = Nic(bandwidth_bps=100e9, num_queues=32)
+        f = flow()
+        assert nic.queue_for(f) == nic.queue_for(f)
+        assert 0 <= nic.queue_for(f) < 32
+
+    def test_max_pps(self):
+        nic = Nic(bandwidth_bps=100e9, num_queues=1)
+        # 100G at (500+20)B -> ~24 Mpps.
+        assert nic.max_pps(500) == pytest.approx(100e9 / (8 * 520))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nic(bandwidth_bps=0, num_queues=1)
+        with pytest.raises(ValueError):
+            Nic(bandwidth_bps=1, num_queues=0)
+        with pytest.raises(ValueError):
+            Nic(bandwidth_bps=1, num_queues=1).max_pps(0)
+
+
+class TestCore:
+    def test_underload(self):
+        core = Core(0, capacity_pps=100.0)
+        interval = core.serve([(flow(), 60.0)])
+        assert interval.processed_pps == 60.0
+        assert interval.dropped_pps == 0.0
+        assert interval.utilization == pytest.approx(0.6)
+
+    def test_overload_drops_excess(self):
+        core = Core(0, capacity_pps=100.0)
+        interval = core.serve([(flow(0), 80.0), (flow(1), 50.0)])
+        assert interval.processed_pps == 100.0
+        assert interval.dropped_pps == 30.0
+        assert interval.utilization == 1.0
+
+    def test_idle(self):
+        interval = Core(0, capacity_pps=100.0).serve([])
+        assert interval.utilization == 0.0
+
+    def test_flow_share(self):
+        interval = Core(0, capacity_pps=100.0).serve([(flow(0), 75.0), (flow(1), 25.0)])
+        assert interval.flow_share[flow(0)] == pytest.approx(0.75)
+
+
+class TestCpuComplex:
+    def test_capacity(self):
+        cpu = CpuComplex(num_cores=32)
+        assert cpu.total_capacity_pps == pytest.approx(32 * DEFAULT_CORE_PPS)
+        assert len(cpu) == 32
+
+    def test_serve_queues_pinning(self):
+        cpu = CpuComplex(num_cores=4, core_pps=100.0)
+        results = cpu.serve_queues({0: [(flow(), 150.0)]})
+        assert results[0].dropped_pps == 50.0
+        assert all(r.offered_pps == 0 for r in results[1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuComplex(num_cores=0)
+
+
+class TestXgwX86Model:
+    def test_fig18_pps(self):
+        """Fig. 18(b): 25 Mpps."""
+        gw = XgwX86(gateway_ip=1)
+        assert gw.total_capacity_pps == pytest.approx(25e6)
+
+    def test_fig18_line_rate_boundary(self):
+        """Line rate only for packets larger than ~512B."""
+        gw = XgwX86(gateway_ip=1)
+        assert 400 <= gw.min_line_rate_packet() <= 512
+
+    def test_max_pps_min_of_nic_cpu(self):
+        gw = XgwX86(gateway_ip=1)
+        assert gw.max_pps(64) == pytest.approx(25e6)  # CPU-bound
+        assert gw.max_pps(1500) == pytest.approx(gw.nic.max_pps(1500))  # NIC-bound
+
+    def test_heavy_hitter_overloads_one_core(self):
+        """The paper's core story: one elephant flow pins one core while
+        the others idle, regardless of total headroom."""
+        gw = XgwX86(gateway_ip=1, num_cores=8, core_pps=1000.0)
+        elephant = [(flow(0), 5000.0)]
+        mice = [(flow(i), 10.0) for i in range(1, 40)]
+        report = gw.serve_interval(elephant + mice)
+        utils = sorted(report.utilizations(), reverse=True)
+        assert utils[0] == 1.0
+        assert report.dropped_pps > 0
+        # Aggregate capacity (8000 pps) exceeded offered (5390) yet we
+        # still dropped: the signature of inter-core imbalance.
+        assert report.offered_pps < gw.total_capacity_pps
+
+    def test_balanced_mice_no_loss(self):
+        gw = XgwX86(gateway_ip=1, num_cores=8, core_pps=1000.0)
+        mice = [(flow(i), 20.0) for i in range(200)]
+        report = gw.serve_interval(mice)
+        assert report.dropped_pps == 0.0
+        assert report.loss_rate == 0.0
+
+    def test_loss_rate(self):
+        gw = XgwX86(gateway_ip=1, num_cores=1, core_pps=100.0)
+        report = gw.serve_interval([(flow(0), 200.0)])
+        assert report.loss_rate == pytest.approx(0.5)
