@@ -80,6 +80,21 @@ class GatewayCluster(Generic[G]):
     def active_members(self) -> List[Member[G]]:
         return [m for m in self.members() if m.state is NodeState.ACTIVE]
 
+    def all_members(self, include_backup: bool = True) -> List[Member[G]]:
+        """Members plus the hot backup's members (one level deep) — the
+        full set that must hold identical tables."""
+        out = self.members()
+        if include_backup and self.backup is not None:
+            out += self.backup.members()
+        return out
+
+    def find_member(self, name: str) -> Member[G]:
+        """Look up a member by name, searching the hot backup too."""
+        for member in self.all_members():
+            if member.name == name:
+                return member
+        raise ClusterError(f"unknown node {name}")
+
     def member(self, name: str) -> Member[G]:
         try:
             return self._members[name]

@@ -142,6 +142,11 @@ class VniSteeredBalancer(Generic[T]):
             raise KeyError(f"unknown cluster {cluster_id}")
         self._vni_map[vni] = cluster_id
 
+    def release_vni(self, vni: int) -> Optional[str]:
+        """Withdraw a VNI's steering entry (tenant offboarded); returns the
+        cluster it pointed at, or None if the VNI was not steered."""
+        return self._vni_map.pop(vni, None)
+
     def cluster_for_vni(self, vni: int) -> Optional[str]:
         return self._vni_map.get(vni)
 

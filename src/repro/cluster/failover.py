@@ -107,6 +107,10 @@ class DisasterRecovery(Generic[G]):
         def handle(alert: Alert) -> None:
             if alert.signal is Signal.PACKET_LOSS and alert.subject in self.clusters:
                 self.fail_over_cluster(alert.subject, time=alert.time)
+            elif alert.signal is Signal.NODE_DOWN and "/" in alert.subject:
+                cluster_id, node = alert.subject.split("/", 1)
+                if cluster_id in self.clusters:
+                    self.fail_node(cluster_id, node, time=alert.time)
             elif alert.signal is Signal.PORT_JITTER and ":" in alert.subject:
                 where, port = alert.subject.rsplit(":", 1)
                 cluster_id, node = where.split("/", 1)

@@ -19,6 +19,7 @@ class Signal(Enum):
     TRAFFIC_RATE = "traffic-rate"
     PACKET_LOSS = "packet-loss"
     PORT_JITTER = "port-jitter"
+    NODE_DOWN = "node-down"
 
 
 @dataclass(frozen=True)

@@ -11,17 +11,19 @@ memory"), and generates probe packets before admitting user traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..cluster.cluster import GatewayCluster
+from ..cluster.cluster import GatewayCluster, NodeState
 from ..cluster.ecmp import VniSteeredBalancer
 from ..dataplane.gateway_logic import ForwardAction
 from ..net.addr import Prefix
 from ..net.headers import Ethernet, IPv4, UDP, ETHERTYPE_IPV4, PROTO_UDP
 from ..net.packet import InnerFrame, Packet
+from ..sim.engine import Engine, PeriodicTask
 from ..tables.errors import TableError
 from ..tables.vm_nc import NcBinding
 from ..tables.vxlan_routing import RouteAction, Scope
+from ..telemetry.stats import CounterSet
 from ..telemetry.timeseries import SeriesBundle
 from .splitting import SplitPlan, TableSplitter, TenantProfile
 from .xgw_h import XgwH
@@ -44,12 +46,18 @@ class VmEntry:
 
 @dataclass
 class Inconsistency:
-    """One divergence found by a consistency check."""
+    """One divergence found by a consistency check.
+
+    *key* is the structured table key — ``(vni, prefix)`` for routes,
+    ``(vni, vm_ip, version)`` for VM bindings — so repairs can re-push
+    exactly the divergent entry instead of the whole table.
+    """
 
     cluster_id: str
     node: str
-    kind: str  # "missing-route" | "missing-vm" | "extra-route"
+    kind: str  # "missing-route" | "corrupt-route" | "extra-route" | "missing-vm" | "corrupt-vm"
     detail: str
+    key: Optional[tuple] = None
 
 
 @dataclass
@@ -89,6 +97,12 @@ class Controller:
         self.table_size_series = SeriesBundle()
         self._cluster_factory = None
         self._profiles: Dict[int, TenantProfile] = {}
+        #: Reconciliation telemetry: inconsistencies_found, repairs_applied,
+        #: probes_failed, retries_exhausted, reconcile_ticks, repair_cycles,
+        #: repair_retries, readmissions.
+        self.counters = CounterSet()
+        #: Clusters found divergent and not yet probe-cleared for traffic.
+        self.quarantined: Set[str] = set()
 
     # -- cluster lifecycle -----------------------------------------------
 
@@ -191,7 +205,7 @@ class Controller:
         else:
             self.plan.usage[cluster_id].tenants.remove(vni)
         del self.plan.assignments[vni]
-        self.balancer._vni_map.pop(vni, None)
+        self.balancer.release_vni(vni)
         self.version += 1
         return removed
 
@@ -211,29 +225,32 @@ class Controller:
         findings: List[Inconsistency] = []
         desired_routes = self._routes.get(cluster_id, {})
         desired_vms = self._vms.get(cluster_id, {})
-        members = list(cluster.members())
-        if cluster.backup is not None:
-            members += cluster.backup.members()
-        for member in members:
+        for member in cluster.all_members():
             gw = member.gateway
             installed = {
                 (vni, prefix): action for vni, prefix, action in gw.tables.routing.items()
             }
             for key, action in desired_routes.items():
-                if installed.get(key) != action:
+                have = installed.get(key)
+                if have != action:
+                    kind = "missing-route" if have is None else "corrupt-route"
                     findings.append(
-                        Inconsistency(cluster_id, member.name, "missing-route", f"{key}")
+                        Inconsistency(cluster_id, member.name, kind, f"{key}", key=key)
                     )
             for key in installed:
                 if key not in desired_routes:
                     findings.append(
-                        Inconsistency(cluster_id, member.name, "extra-route", f"{key}")
+                        Inconsistency(cluster_id, member.name, "extra-route", f"{key}",
+                                      key=key)
                     )
             for (vni, vm_ip, version), binding in desired_vms.items():
-                if gw.split_vm_nc.lookup(vni, vm_ip, version) != binding:
+                have_binding = gw.split_vm_nc.lookup(vni, vm_ip, version)
+                if have_binding != binding:
+                    kind = "missing-vm" if have_binding is None else "corrupt-vm"
                     findings.append(
                         Inconsistency(
-                            cluster_id, member.name, "missing-vm", f"({vni}, {vm_ip:#x})"
+                            cluster_id, member.name, kind, f"({vni}, {vm_ip:#x})",
+                            key=(vni, vm_ip, version),
                         )
                     )
         return findings
@@ -256,11 +273,148 @@ class Controller:
             )
         return len(findings)
 
+    # -- targeted repair + reconciliation loop -----------------------------
+
+    def _repair_one(self, cluster_id: str, finding: Inconsistency) -> None:
+        """Re-push exactly one divergent entry to exactly one member."""
+        if finding.key is None:
+            raise TableError(f"finding has no structured key: {finding}")
+        gw = self.clusters[cluster_id].find_member(finding.node).gateway
+        if finding.kind in ("missing-route", "corrupt-route"):
+            vni, prefix = finding.key
+            gw.install_route(vni, prefix, self._routes[cluster_id][finding.key],
+                             replace=True)
+        elif finding.kind == "extra-route":
+            vni, prefix = finding.key
+            gw.remove_route(vni, prefix)
+        elif finding.kind in ("missing-vm", "corrupt-vm"):
+            vni, vm_ip, version = finding.key
+            gw.install_vm(vni, vm_ip, version, self._vms[cluster_id][finding.key],
+                          replace=True)
+        else:  # pragma: no cover - kinds are produced by consistency_check
+            raise TableError(f"unknown inconsistency kind {finding.kind}")
+
+    def targeted_repair(
+        self, cluster_id: str, findings: Optional[List[Inconsistency]] = None
+    ) -> Tuple[int, List[Inconsistency]]:
+        """Repair only the divergent keys on only the divergent members.
+
+        Unlike :meth:`repair` (full table re-push), this touches nothing
+        that already agrees with desired state. Returns ``(applied,
+        failed)`` where *failed* holds the findings whose push raised a
+        :class:`TableError` (e.g. insufficient gateway memory) — the
+        reconcile loop retries those with backoff.
+        """
+        if findings is None:
+            findings = self.consistency_check(cluster_id)
+        applied = 0
+        failed: List[Inconsistency] = []
+        for finding in findings:
+            try:
+                self._repair_one(cluster_id, finding)
+            except TableError:
+                failed.append(finding)
+            else:
+                applied += 1
+                self.counters.add("repairs_applied")
+        return applied, failed
+
+    def _schedule_repair_retry(self, engine: Engine, cluster_id: str,
+                               findings: List[Inconsistency], attempt: int,
+                               max_retries: int, backoff: float) -> None:
+        if attempt > max_retries:
+            self.counters.add("retries_exhausted", len(findings))
+            return
+        delay = backoff * (2 ** (attempt - 1))
+
+        def retry() -> None:
+            self.counters.add("repair_retries")
+            still_failed: List[Inconsistency] = []
+            for finding in findings:
+                try:
+                    self._repair_one(cluster_id, finding)
+                except TableError:
+                    still_failed.append(finding)
+                else:
+                    self.counters.add("repairs_applied")
+            if still_failed:
+                self._schedule_repair_retry(engine, cluster_id, still_failed,
+                                            attempt + 1, max_retries, backoff)
+
+        engine.schedule_in(delay, retry)
+
+    def _probe_gate(self, cluster_id: str) -> bool:
+        """Probe-before-readmit: a quarantined cluster returns to service
+        only once it is consistent *and* its probes pass."""
+        if cluster_id not in self.quarantined:
+            return True
+        if self.consistency_check(cluster_id):
+            return False  # still divergent (repairs pending/retrying)
+        report = self.probe(cluster_id)
+        if report.failures:
+            self.counters.add("probes_failed")
+            return False
+        self.quarantined.discard(cluster_id)
+        self.counters.add("readmissions")
+        return True
+
+    def is_admitted(self, cluster_id: str) -> bool:
+        """Whether user traffic may be admitted to *cluster_id*."""
+        return cluster_id not in self.quarantined
+
+    def _reconcile_cluster(self, engine: Engine, cluster_id: str,
+                           max_retries: int, backoff: float) -> None:
+        findings = self.consistency_check(cluster_id)
+        if findings:
+            self.counters.add("inconsistencies_found", len(findings))
+            self.counters.add("repair_cycles")
+            self.quarantined.add(cluster_id)
+            _applied, failed = self.targeted_repair(cluster_id, findings)
+            if failed:
+                self._schedule_repair_retry(engine, cluster_id, failed,
+                                            attempt=1, max_retries=max_retries,
+                                            backoff=backoff)
+        self._probe_gate(cluster_id)
+
+    def reconcile_loop(
+        self,
+        engine: Engine,
+        interval: float,
+        cluster_ids: Optional[Iterable[str]] = None,
+        max_retries: int = 3,
+        backoff: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> PeriodicTask:
+        """Register the §6.1 cycle — consistency-check → targeted repair →
+        probe-before-readmit — every *interval* on *engine*.
+
+        Failed installs are retried with exponential backoff (*backoff*,
+        ``2**attempt`` growth, default ``interval / 4``) up to
+        *max_retries* times; exhaustion is counted in
+        ``counters["retries_exhausted"]``. Returns the cancellation
+        handle of the periodic series.
+        """
+        if backoff is None:
+            backoff = interval / 4.0
+
+        def tick() -> None:
+            self.counters.add("reconcile_ticks")
+            ids = sorted(cluster_ids) if cluster_ids is not None else sorted(self.clusters)
+            for cid in ids:
+                self._reconcile_cluster(engine, cid, max_retries, backoff)
+
+        return engine.schedule_every(interval, tick, until=until)
+
     # -- probing --------------------------------------------------------------------
 
     def probe(self, cluster_id: str, limit: int = 64) -> ProbeReport:
         """Send synthetic probes for installed LOCAL VMs ("deploy probe
-        generators ... covering as many test scenarios as possible")."""
+        generators ... covering as many test scenarios as possible").
+
+        Every ACTIVE member is swept — including the hot backup's, which
+        must answer identically — so per-member divergence (one node's
+        corrupted table) cannot hide behind a healthy sibling.
+        """
         report = ProbeReport()
         cluster = self.clusters[cluster_id]
         desired_vms = self._vms.get(cluster_id, {})
@@ -269,18 +423,21 @@ class Controller:
             vni for (vni, _prefix), action in desired_routes.items()
             if action.scope is Scope.LOCAL
         }
+        targets = [m for m in cluster.all_members() if m.state is NodeState.ACTIVE]
         for (vni, vm_ip, version), binding in list(desired_vms.items())[:limit]:
             if version != 4 or vni not in local_vnis:
                 continue
             packet = build_probe_packet(vni, vm_ip)
-            report.sent += 1
-            result = cluster.members()[0].gateway.forward(packet)
-            if result.action is ForwardAction.DELIVER_NC and result.nc_ip == binding.nc_ip:
-                report.passed += 1
-            else:
-                report.failures.append(
-                    f"vni={vni} vm={vm_ip:#x}: {result.action.value} ({result.detail})"
-                )
+            for member in targets:
+                report.sent += 1
+                result = member.gateway.forward(packet)
+                if result.action is ForwardAction.DELIVER_NC and result.nc_ip == binding.nc_ip:
+                    report.passed += 1
+                else:
+                    report.failures.append(
+                        f"{member.name}: vni={vni} vm={vm_ip:#x}: "
+                        f"{result.action.value} ({result.detail})"
+                    )
         return report
 
 

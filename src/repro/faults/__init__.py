@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the control plane (§6.1 scenarios).
+
+``repro.faults`` makes the failures the paper's consistency machinery
+exists to heal — lost or corrupted table writes, partial tenant
+onboards, member crash/flap, stale hot backups — reproducible: a seeded
+:class:`FaultPlan` declares the schedule, a :class:`FaultInjector` arms
+it onto gateways/controllers/engines, and any existing test or benchmark
+runs under the fault schedule without code changes.
+"""
+
+from .injector import (
+    FaultInjector,
+    FaultyGateway,
+    corrupt_binding,
+    corrupt_route_action,
+)
+from .plan import (
+    SCHEDULED_KINDS,
+    WRITE_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "FaultInjector",
+    "FaultyGateway",
+    "corrupt_route_action",
+    "corrupt_binding",
+    "WRITE_KINDS",
+    "SCHEDULED_KINDS",
+]

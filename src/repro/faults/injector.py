@@ -1,0 +1,199 @@
+"""The fault injector: arms gateways, controllers and engines with a plan.
+
+Injection sits between the controller's replication path and the
+gateway tables: every armed member's gateway is replaced by a
+:class:`FaultyGateway` proxy that consults the :class:`FaultPlan` on
+each ``install_route``/``install_vm`` and drops, corrupts or rejects the
+write accordingly. Reads (consistency checks, probes, forwarding) pass
+through untouched, so the *detection* machinery sees exactly what a
+buggy gateway agent would have left behind.
+
+Scheduled faults (member crash/flap) register on the simulation engine
+and go through the cluster's normal health path: the member is taken
+offline/online and, when a :class:`~repro.cluster.health.HealthMonitor`
+is attached, a ``NODE_DOWN`` observation is fed to it so the §6.1
+disaster-recovery reactions fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fnmatch import fnmatchcase
+from typing import Dict, Optional
+
+from ..cluster.cluster import GatewayCluster
+from ..cluster.health import HealthMonitor, Signal
+from ..sim.engine import Engine
+from ..tables.errors import TableError
+from ..tables.vm_nc import NcBinding
+from ..tables.vxlan_routing import RouteAction
+from .plan import FaultKind, FaultPlan, InjectedFault
+
+_DROP_KINDS = {
+    FaultKind.DROP_ROUTE_WRITE,
+    FaultKind.DROP_VM_WRITE,
+    FaultKind.PARTIAL_ONBOARD,
+    FaultKind.STALE_BACKUP,
+}
+_FAIL_KINDS = {FaultKind.FAIL_ROUTE_WRITE, FaultKind.FAIL_VM_WRITE}
+
+
+def corrupt_route_action(action: RouteAction) -> RouteAction:
+    """A deterministically-wrong variant of *action* (bit-rot stand-in)."""
+    return replace(action, target=f"{action.target or ''}!corrupt")
+
+
+def corrupt_binding(binding: NcBinding) -> NcBinding:
+    """Mis-point the VM at a neighbouring NC (same family, wrong host)."""
+    return NcBinding(nc_ip=binding.nc_ip ^ 0x2, nc_version=binding.nc_version)
+
+
+class FaultyGateway:
+    """A transparent gateway proxy that misapplies writes per the plan.
+
+    Only the mutation paths are overridden; every other attribute —
+    ``tables``, ``split_vm_nc``, ``forward`` — delegates to the wrapped
+    gateway, so consistency checks and probes observe the real state.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, cluster_id: str, node: str,
+                 is_backup: bool = False):
+        self._inner = inner
+        self._plan = plan
+        self._cluster_id = cluster_id
+        self._node = node
+        self._is_backup = is_backup
+
+    @property
+    def wrapped(self):
+        """The real gateway underneath."""
+        return self._inner
+
+    def install_route(self, vni, prefix, action, replace=False) -> None:
+        kind = self._plan.decide_write("route", self._cluster_id, self._node,
+                                       self._is_backup)
+        if kind in _DROP_KINDS:
+            return
+        if kind in _FAIL_KINDS:
+            raise TableError(
+                f"injected {kind.value} on {self._node}: vni={vni} {prefix}"
+            )
+        if kind is FaultKind.CORRUPT_ROUTE_WRITE:
+            action = corrupt_route_action(action)
+        self._inner.install_route(vni, prefix, action, replace=replace)
+
+    def install_vm(self, vni, vm_ip, version, binding, replace=False) -> None:
+        kind = self._plan.decide_write("vm", self._cluster_id, self._node,
+                                       self._is_backup)
+        if kind in _DROP_KINDS:
+            return
+        if kind in _FAIL_KINDS:
+            raise TableError(
+                f"injected {kind.value} on {self._node}: vni={vni} vm={vm_ip:#x}"
+            )
+        if kind is FaultKind.CORRUPT_VM_WRITE:
+            binding = corrupt_binding(binding)
+        self._inner.install_vm(vni, vm_ip, version, binding, replace=replace)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class FaultInjector:
+    """Wires a :class:`FaultPlan` into clusters, a controller and an engine.
+
+    >>> from repro.faults import FaultPlan
+    >>> injector = FaultInjector(FaultPlan(seed=1))
+    >>> injector.plan.seed
+    1
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    # -- write-path arming -------------------------------------------------
+
+    def arm_cluster(self, cluster: GatewayCluster,
+                    cluster_id: Optional[str] = None) -> GatewayCluster:
+        """Wrap every member gateway (and the hot backup's) in the proxy."""
+        cid = cluster_id if cluster_id is not None else cluster.cluster_id
+        for member in cluster.members():
+            if not isinstance(member.gateway, FaultyGateway):
+                member.gateway = FaultyGateway(
+                    member.gateway, self.plan, cid, member.name, is_backup=False
+                )
+        if cluster.backup is not None:
+            for member in cluster.backup.members():
+                if not isinstance(member.gateway, FaultyGateway):
+                    member.gateway = FaultyGateway(
+                        member.gateway, self.plan, cid, member.name, is_backup=True
+                    )
+        return cluster
+
+    def arm_controller(self, controller) -> None:
+        """Arm all of a controller's clusters, present and future.
+
+        Existing clusters are wrapped in place; the cluster factory is
+        wrapped so clusters allocated later are armed on creation; and
+        ``add_tenant`` is bracketed so the plan can delimit onboard
+        windows for :data:`FaultKind.PARTIAL_ONBOARD`.
+        """
+        for cid, cluster in controller.clusters.items():
+            self.arm_cluster(cluster, cid)
+        factory = controller._cluster_factory
+        if factory is not None:
+            def arming_factory(cluster_id, _factory=factory):
+                return self.arm_cluster(_factory(cluster_id), cluster_id)
+
+            controller.set_cluster_factory(arming_factory)
+        original_add = controller.add_tenant
+
+        def add_tenant(profile, routes, vms, time=0.0):
+            self.plan.begin_onboard(profile.vni)
+            try:
+                return original_add(profile, routes, vms, time=time)
+            finally:
+                self.plan.end_onboard()
+
+        controller.add_tenant = add_tenant
+
+    # -- scheduled faults ---------------------------------------------------
+
+    def schedule(self, engine: Engine, clusters: Dict[str, GatewayCluster],
+                 monitor: Optional[HealthMonitor] = None) -> int:
+        """Register the plan's crash/flap specs on *engine*; returns how
+        many outages were scheduled."""
+        scheduled = 0
+        for index, spec in self.plan.scheduled_specs():
+            for cid in sorted(clusters):
+                if not fnmatchcase(cid, spec.cluster):
+                    continue
+                cluster = clusters[cid]
+                for member in cluster.members():
+                    if not fnmatchcase(member.name, spec.node):
+                        continue
+                    self._schedule_outage(engine, index, spec, cluster, cid,
+                                          member.name, monitor)
+                    scheduled += 1
+        return scheduled
+
+    def _schedule_outage(self, engine, index, spec, cluster, cid, name, monitor):
+        def down():
+            cluster.take_offline(name)
+            self.plan.mark_fired(index)
+            self.plan.record(InjectedFault(
+                spec.kind, cid, name, time=engine.now, detail="offline",
+            ))
+            if monitor is not None:
+                monitor.observe(f"{cid}/{name}", Signal.NODE_DOWN, 1.0,
+                                time=engine.now)
+
+        engine.schedule(spec.at_time, down)
+        if spec.kind is FaultKind.MEMBER_FLAP:
+            def up():
+                cluster.bring_online(name)
+                self.plan.record(InjectedFault(
+                    spec.kind, cid, name, time=engine.now, detail="online",
+                ))
+
+            engine.schedule(spec.at_time + spec.down_for, up)

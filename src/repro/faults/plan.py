@@ -1,0 +1,247 @@
+"""Deterministic fault plans (§6.1's failure modes, made injectable).
+
+The paper's control plane exists because "table entry inconsistency
+between the controller and the gateways may occur ... due to
+software/hardware bugs, misconfiguration or insufficient gateway
+memory". A :class:`FaultPlan` is the seeded, declarative description of
+*which* of those failures happen *when*: every decision is derived from
+``repro.sim.rand.derive(seed, "faults", spec_index, kind)``, so the same
+seed and the same operation sequence always produce the same injected
+faults — fault runs are replayable bit for bit.
+
+Seeding convention: a plan never touches global randomness. Each spec
+owns one child RNG; probability draws consume it only when the spec's
+static predicates (kind/cluster/node/write-index) already match, so
+adding an unrelated spec does not shift another spec's stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from fnmatch import fnmatchcase
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.rand import derive
+from ..telemetry.stats import CounterSet
+
+
+class FaultKind(Enum):
+    """Every failure mode the injection layer can produce."""
+
+    #: A route install is silently lost before reaching the table.
+    DROP_ROUTE_WRITE = "drop-route-write"
+    #: A route install lands, but with a corrupted action.
+    CORRUPT_ROUTE_WRITE = "corrupt-route-write"
+    #: A VM-NC install is silently lost.
+    DROP_VM_WRITE = "drop-vm-write"
+    #: A VM-NC install lands with a corrupted NC binding.
+    CORRUPT_VM_WRITE = "corrupt-vm-write"
+    #: A route install raises (insufficient gateway memory / agent error).
+    FAIL_ROUTE_WRITE = "fail-route-write"
+    #: A VM-NC install raises.
+    FAIL_VM_WRITE = "fail-vm-write"
+    #: A tenant onboard stops replicating after its first N writes.
+    PARTIAL_ONBOARD = "partial-onboard"
+    #: A member goes offline at a scheduled time and stays down.
+    MEMBER_CRASH = "member-crash"
+    #: A member goes offline at a scheduled time and returns later.
+    MEMBER_FLAP = "member-flap"
+    #: The hot backup stops receiving replication (stale standby state).
+    STALE_BACKUP = "stale-backup"
+
+
+#: Kinds evaluated on every gateway write.
+WRITE_KINDS = {
+    FaultKind.DROP_ROUTE_WRITE,
+    FaultKind.CORRUPT_ROUTE_WRITE,
+    FaultKind.DROP_VM_WRITE,
+    FaultKind.CORRUPT_VM_WRITE,
+    FaultKind.FAIL_ROUTE_WRITE,
+    FaultKind.FAIL_VM_WRITE,
+    FaultKind.PARTIAL_ONBOARD,
+    FaultKind.STALE_BACKUP,
+}
+
+#: Kinds fired from the event engine at a scheduled time.
+SCHEDULED_KINDS = {FaultKind.MEMBER_CRASH, FaultKind.MEMBER_FLAP}
+
+_ROUTE_KINDS = {
+    FaultKind.DROP_ROUTE_WRITE,
+    FaultKind.CORRUPT_ROUTE_WRITE,
+    FaultKind.FAIL_ROUTE_WRITE,
+}
+_VM_KINDS = {
+    FaultKind.DROP_VM_WRITE,
+    FaultKind.CORRUPT_VM_WRITE,
+    FaultKind.FAIL_VM_WRITE,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: what kind, where, and when it fires.
+
+    Targeting is by ``fnmatch`` pattern over the cluster id and member
+    name (``"*"`` matches everything). Timing is one of:
+
+    * ``at_writes`` — explicit global write indices (0-based, counted
+      over every armed gateway write in arrival order);
+    * ``probability`` — an independent seeded coin per matching write;
+    * ``after_onboard_writes`` — for :data:`FaultKind.PARTIAL_ONBOARD`,
+      the number of writes of the current onboard that succeed before
+      the rest are dropped;
+    * ``after_write`` — for :data:`FaultKind.STALE_BACKUP`, the global
+      write index from which backup replication is lost (default 0);
+    * ``at_time`` — for crash/flap, the engine time of the outage
+      (``down_for`` sets the flap's downtime).
+
+    ``max_fires`` bounds how often the spec fires (e.g. "the first two
+    install attempts fail, the third succeeds" for retry testing).
+    """
+
+    kind: FaultKind
+    cluster: str = "*"
+    node: str = "*"
+    probability: Optional[float] = None
+    at_writes: Tuple[int, ...] = ()
+    after_onboard_writes: Optional[int] = None
+    after_write: Optional[int] = None
+    at_time: Optional[float] = None
+    down_for: float = 0.0
+    max_fires: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind in SCHEDULED_KINDS:
+            if self.at_time is None:
+                raise ValueError(f"{self.kind.value} requires at_time")
+            if self.kind is FaultKind.MEMBER_FLAP and self.down_for <= 0:
+                raise ValueError("member-flap requires a positive down_for")
+        elif self.kind is FaultKind.PARTIAL_ONBOARD:
+            if self.after_onboard_writes is None:
+                raise ValueError("partial-onboard requires after_onboard_writes")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} not in [0, 1]")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired, for the audit log."""
+
+    kind: FaultKind
+    cluster: str
+    node: str
+    write_index: Optional[int] = None  # None for scheduled faults
+    time: Optional[float] = None  # None for write faults
+    detail: str = ""
+
+
+class FaultPlan:
+    """A seeded schedule of faults plus the record of what fired.
+
+    >>> plan = FaultPlan(seed=7, specs=[
+    ...     FaultSpec(FaultKind.DROP_ROUTE_WRITE, at_writes=(0,))])
+    >>> plan.decide_write("route", "A", "gw0", is_backup=False)
+    <FaultKind.DROP_ROUTE_WRITE: 'drop-route-write'>
+    >>> plan.decide_write("route", "A", "gw0", is_backup=False) is None
+    True
+    """
+
+    def __init__(self, seed=0, specs: Sequence[FaultSpec] = ()):
+        self.seed = seed
+        self.specs: List[FaultSpec] = list(specs)
+        self.counters = CounterSet()
+        self.log: List[InjectedFault] = []
+        self._rngs = [
+            derive(seed, "faults", i, spec.kind.value)
+            for i, spec in enumerate(self.specs)
+        ]
+        self._fires = [0] * len(self.specs)
+        self.write_index = 0
+        self._onboard_vni: Optional[int] = None
+        self._onboard_writes = 0
+
+    # -- onboard windows (for PARTIAL_ONBOARD) ----------------------------
+
+    def begin_onboard(self, vni: int) -> None:
+        self._onboard_vni = vni
+        self._onboard_writes = 0
+
+    def end_onboard(self) -> None:
+        self._onboard_vni = None
+        self._onboard_writes = 0
+
+    # -- write-path decisions ---------------------------------------------
+
+    def _spec_matches_write(self, index: int, spec: FaultSpec, op: str,
+                            cluster: str, node: str, is_backup: bool,
+                            write_index: int) -> bool:
+        kind = spec.kind
+        if kind not in WRITE_KINDS:
+            return False
+        if kind in _ROUTE_KINDS and op != "route":
+            return False
+        if kind in _VM_KINDS and op != "vm":
+            return False
+        if kind is FaultKind.STALE_BACKUP:
+            if not is_backup or write_index < (spec.after_write or 0):
+                return False
+        if kind is FaultKind.PARTIAL_ONBOARD:
+            if self._onboard_vni is None:
+                return False
+            if self._onboard_writes <= spec.after_onboard_writes:
+                return False
+        if not fnmatchcase(cluster, spec.cluster) or not fnmatchcase(node, spec.node):
+            return False
+        if spec.at_writes and write_index not in spec.at_writes:
+            return False
+        if spec.max_fires is not None and self._fires[index] >= spec.max_fires:
+            return False
+        if spec.probability is not None:
+            # The draw happens only once all static predicates matched, so
+            # unrelated specs never perturb this spec's stream.
+            if self._rngs[index].random() >= spec.probability:
+                return False
+        return True
+
+    def decide_write(self, op: str, cluster: str, node: str,
+                     is_backup: bool) -> Optional[FaultKind]:
+        """Decide the fate of one gateway write (*op* is "route" | "vm").
+
+        Returns the fault kind to apply, or None for a clean write. The
+        first matching spec (declaration order) wins. Every call advances
+        the global write index, so plans address operations positionally.
+        """
+        write_index = self.write_index
+        self.write_index += 1
+        if self._onboard_vni is not None:
+            self._onboard_writes += 1
+        for i, spec in enumerate(self.specs):
+            if self._spec_matches_write(i, spec, op, cluster, node, is_backup,
+                                        write_index):
+                self._fires[i] += 1
+                self.record(InjectedFault(
+                    spec.kind, cluster, node, write_index=write_index,
+                    detail=f"{op}-write",
+                ))
+                return spec.kind
+        return None
+
+    # -- scheduled faults ---------------------------------------------------
+
+    def scheduled_specs(self) -> List[Tuple[int, FaultSpec]]:
+        """The crash/flap specs, with their declaration indices."""
+        return [(i, s) for i, s in enumerate(self.specs) if s.kind in SCHEDULED_KINDS]
+
+    def mark_fired(self, index: int) -> None:
+        self._fires[index] += 1
+
+    # -- accounting -------------------------------------------------------
+
+    def record(self, fault: InjectedFault) -> None:
+        self.log.append(fault)
+        self.counters.add(f"injected.{fault.kind.value}")
+
+    def injected(self, kind: FaultKind) -> int:
+        """How many times *kind* actually fired."""
+        return self.counters[f"injected.{kind.value}"]

@@ -1,6 +1,6 @@
 """Deterministic simulation substrate: event engine and seeded randomness."""
 
-from .engine import Engine, SimulationError
+from .engine import Engine, PeriodicTask, SimulationError
 from .rand import (
     WeightedSampler,
     derive,
@@ -12,6 +12,7 @@ from .rand import (
 
 __all__ = [
     "Engine",
+    "PeriodicTask",
     "SimulationError",
     "WeightedSampler",
     "derive",

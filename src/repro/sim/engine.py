@@ -19,6 +19,24 @@ class SimulationError(RuntimeError):
     """Raised on scheduling misuse (e.g. scheduling in the past)."""
 
 
+class PeriodicTask:
+    """Cancellation handle for a :meth:`Engine.schedule_every` series."""
+
+    __slots__ = ("_cancelled", "fires")
+
+    def __init__(self):
+        self._cancelled = False
+        self.fires = 0
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the series; the already-queued tick becomes a no-op."""
+        self._cancelled = True
+
+
 class Engine:
     """Discrete-event engine with a float clock.
 
@@ -55,12 +73,18 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         self.schedule(self._now + delay, event)
 
-    def schedule_every(self, interval: float, event: Event, until: Optional[float] = None) -> None:
-        """Fire *event* periodically every *interval*, optionally *until* a time."""
+    def schedule_every(self, interval: float, event: Event,
+                       until: Optional[float] = None) -> PeriodicTask:
+        """Fire *event* periodically every *interval*, optionally *until* a
+        time. Returns a :class:`PeriodicTask` that can cancel the series."""
         if interval <= 0:
             raise SimulationError("interval must be positive")
+        task = PeriodicTask()
 
         def tick() -> None:
+            if task.cancelled:
+                return
+            task.fires += 1
             event()
             next_at = self._now + interval
             if until is None or next_at <= until:
@@ -69,6 +93,7 @@ class Engine:
         first = self._now + interval
         if until is None or first <= until:
             self.schedule(first, tick)
+        return task
 
     def step(self) -> bool:
         """Dispatch the next event. Returns False when the queue is empty."""

@@ -212,6 +212,11 @@ class AlpmTable(Generic[V]):
         """
         existed = self.trie.contains(network, length)
         self.trie.insert(network, length, value, replace=replace)
+        if not self.partitions:
+            # First route into a constructor-fresh table: carve the root
+            # partition rather than assuming build()/rebuild() ran.
+            self.rebuild()
+            return
         if existed:
             # Value update in place.
             target = self._partition_for(network, length)

@@ -72,6 +72,19 @@ class TestVniSteering:
         with pytest.raises(KeyError):
             lb.steer(10, flow())
 
+    def test_release_vni(self):
+        lb = VniSteeredBalancer()
+        lb.register_cluster("A", ["gw0"])
+        lb.assign_vni(10, "A")
+        assert lb.release_vni(10) == "A"
+        assert lb.cluster_for_vni(10) is None
+        with pytest.raises(KeyError):
+            lb.steer(10, flow())
+
+    def test_release_unassigned_vni_is_noop(self):
+        lb = VniSteeredBalancer()
+        assert lb.release_vni(10) is None
+
     def test_rebalance_moves_tenant_precisely(self):
         """The "tractable traffic load balancing" argument of §4.3."""
         lb = VniSteeredBalancer()

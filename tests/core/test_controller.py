@@ -134,11 +134,32 @@ class TestConsistency:
 
 
 class TestProbing:
-    def test_probe_passes_on_healthy_cluster(self, controller):
+    def test_probe_sweeps_every_member_and_backup(self, controller):
         profile, routes, vms = tenant_payload(100)
         cluster_id = controller.add_tenant(profile, routes, vms)
         report = controller.probe(cluster_id)
-        assert report.ok and report.passed == report.sent == 1
+        # 1 local VM probed on 2 members + 2 hot-backup members.
+        assert report.ok and report.passed == report.sent == 4
+
+    def test_probe_catches_divergence_on_backup_member(self, controller):
+        profile, routes, vms = tenant_payload(100)
+        cluster_id = controller.add_tenant(profile, routes, vms)
+        backup_member = controller.clusters[cluster_id].backup.members()[1]
+        backup_member.gateway.split_vm_nc.half_for_ip(vms[0].vm_ip).remove(
+            100, vms[0].vm_ip, 4
+        )
+        report = controller.probe(cluster_id)
+        assert not report.ok
+        assert len(report.failures) == 1
+        assert report.failures[0].startswith(f"{backup_member.name}:")
+
+    def test_probe_skips_offline_members(self, controller):
+        profile, routes, vms = tenant_payload(100)
+        cluster_id = controller.add_tenant(profile, routes, vms)
+        cluster = controller.clusters[cluster_id]
+        cluster.take_offline(cluster.members()[0].name)
+        report = controller.probe(cluster_id)
+        assert report.ok and report.sent == 3
 
     def test_probe_detects_broken_vm_entry(self, controller):
         profile, routes, vms = tenant_payload(100)

@@ -1,0 +1,8 @@
+import pytest
+
+from tests.faults.helpers import make_controller
+
+
+@pytest.fixture
+def controller():
+    return make_controller()

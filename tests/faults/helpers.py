@@ -1,0 +1,50 @@
+"""Shared builders for the fault-injection suite: a two-member cluster
+with a two-member hot backup, driven by the real controller."""
+
+import ipaddress
+
+from repro.cluster.cluster import GatewayCluster
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.controller import Controller, RouteEntry, VmEntry
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.net.addr import Prefix
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+def make_controller():
+    balancer = VniSteeredBalancer()
+    splitter = TableSplitter(ClusterCapacity(routes=50, vms=500, traffic_bps=1e13))
+    ctrl = Controller(splitter, balancer)
+    counter = [0]
+
+    def factory(cluster_id):
+        counter[0] += 1
+        nodes = [(f"{cluster_id}-gw{i}", XgwH(gateway_ip=counter[0] * 10 + i))
+                 for i in range(2)]
+        backup = GatewayCluster(
+            f"{cluster_id}-backup",
+            [(f"{cluster_id}-bk{i}", XgwH(gateway_ip=counter[0] * 100 + i))
+             for i in range(2)],
+        )
+        return GatewayCluster(cluster_id, nodes, backup=backup)
+
+    ctrl.set_cluster_factory(factory)
+    return ctrl
+
+
+def tenant_payload(vni, subnet="192.168.10.0/24", vm="192.168.10.2", nc="10.1.1.11"):
+    routes = [RouteEntry(vni, Prefix.parse(subnet), RouteAction(Scope.LOCAL))]
+    vms = [VmEntry(vni, ip(vm), 4, NcBinding(ip(nc)))]
+    return TenantProfile(vni, len(routes), len(vms), 1e9), routes, vms
+
+
+def onboard(controller, vni=100, **kwargs):
+    profile, routes, vms = tenant_payload(vni, **kwargs)
+    cluster_id = controller.add_tenant(profile, routes, vms)
+    return cluster_id, routes, vms

@@ -1,0 +1,165 @@
+"""The engine-driven reconciliation loop: convergence, targeted repair,
+retry/backoff on failed installs, and the probe readmission gate."""
+
+import pytest
+
+from tests.faults.helpers import make_controller, onboard
+
+from repro.dataplane.gateway_logic import ForwardAction, ForwardResult
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.sim.engine import Engine
+
+
+def armed(*specs, seed=11):
+    plan = FaultPlan(seed=seed, specs=list(specs))
+    ctrl = make_controller()
+    FaultInjector(plan).arm_controller(ctrl)
+    return ctrl, plan
+
+
+class TestConvergence:
+    def test_converges_to_zero_inconsistencies_within_one_interval(self):
+        ctrl, plan = armed(
+            FaultSpec(FaultKind.DROP_ROUTE_WRITE, node="*-gw1", max_fires=1),
+            FaultSpec(FaultKind.CORRUPT_VM_WRITE, node="*-bk0", max_fires=1),
+        )
+        cluster_id, _routes, _vms = onboard(ctrl)
+        assert len(ctrl.consistency_check(cluster_id)) == 2
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, until=5.0)
+        engine.run()
+        assert ctrl.consistency_check(cluster_id) == []
+        assert ctrl.counters["inconsistencies_found"] == 2
+        assert ctrl.counters["repairs_applied"] == 2
+        assert ctrl.counters["repair_cycles"] == 1
+        assert ctrl.counters["reconcile_ticks"] == 5
+
+    def test_repairs_touch_only_divergent_keys(self):
+        ctrl, plan = armed(
+            FaultSpec(FaultKind.DROP_VM_WRITE, node="*-gw0", max_fires=1))
+        cluster_id, _routes, _vms = onboard(ctrl)
+        writes_after_onboard = plan.write_index
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, until=3.0)
+        engine.run()
+        assert ctrl.consistency_check(cluster_id) == []
+        # Exactly one write repaired exactly one divergent entry; the
+        # seven healthy (member, entry) pairs were never re-pushed.
+        assert plan.write_index == writes_after_onboard + 1
+
+    def test_loop_heals_faults_injected_while_running(self):
+        ctrl, plan = armed(
+            FaultSpec(FaultKind.DROP_ROUTE_WRITE, node="*-gw0", max_fires=1))
+        cluster_id, _routes, _vms = onboard(ctrl, vni=100)
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, until=10.0)
+        # A second tenant onboards mid-run; its writes are clean (the
+        # spec is exhausted) but the first tenant's damage is healed.
+        engine.schedule(
+            4.5, lambda: onboard(ctrl, vni=101, subnet="192.168.11.0/24",
+                                 vm="192.168.11.2"))
+        engine.run()
+        assert ctrl.consistency_check(cluster_id) == []
+        assert ctrl.counters["repair_cycles"] == 1
+
+    def test_loop_handle_cancels(self):
+        ctrl, _plan = armed()
+        onboard(ctrl)
+        engine = Engine()
+        task = ctrl.reconcile_loop(engine, interval=1.0, until=100.0)
+        engine.schedule(3.5, task.cancel)
+        engine.run()
+        assert ctrl.counters["reconcile_ticks"] == 3
+
+
+class TestRetryBackoff:
+    def test_failed_install_retries_until_it_succeeds(self):
+        # Arm *after* onboarding so only repair writes see the fault:
+        # the first two repair attempts fail, the third lands.
+        ctrl = make_controller()
+        cluster_id, routes, _vms = onboard(ctrl)
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(FaultKind.FAIL_ROUTE_WRITE, max_fires=2)])
+        FaultInjector(plan).arm_controller(ctrl)
+        gw = ctrl.clusters[cluster_id].members()[0].gateway
+        gw.wrapped.remove_route(100, routes[0].prefix)
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, backoff=0.1, until=3.0)
+        engine.run()
+        assert ctrl.consistency_check(cluster_id) == []
+        assert plan.injected(FaultKind.FAIL_ROUTE_WRITE) == 2
+        assert ctrl.counters["repair_retries"] == 2
+        assert ctrl.counters["repairs_applied"] == 1
+        assert ctrl.counters["retries_exhausted"] == 0
+
+    def test_retries_exhausted_is_counted(self):
+        ctrl = make_controller()
+        cluster_id, routes, _vms = onboard(ctrl)
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(FaultKind.FAIL_ROUTE_WRITE)])  # always fails
+        FaultInjector(plan).arm_controller(ctrl)
+        gw = ctrl.clusters[cluster_id].members()[0].gateway
+        gw.wrapped.remove_route(100, routes[0].prefix)
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, max_retries=2, backoff=0.1,
+                            until=1.0)
+        engine.run()
+        # initial push + 2 retries all failed; exhaustion recorded.
+        assert ctrl.counters["retries_exhausted"] == 1
+        assert ctrl.counters["repairs_applied"] == 0
+        assert len(ctrl.consistency_check(cluster_id)) == 1
+        assert not ctrl.is_admitted(cluster_id)
+
+
+class TestProbeGate:
+    def test_quarantine_blocks_readmission_while_divergent(self):
+        ctrl = make_controller()
+        cluster_id, routes, _vms = onboard(ctrl)
+        plan = FaultPlan(seed=1, specs=[
+            FaultSpec(FaultKind.FAIL_ROUTE_WRITE, max_fires=3)])
+        FaultInjector(plan).arm_controller(ctrl)
+        gw = ctrl.clusters[cluster_id].members()[1].gateway
+        gw.wrapped.remove_route(100, routes[0].prefix)
+        assert ctrl.is_admitted(cluster_id)  # not yet checked
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, max_retries=1, backoff=0.1,
+                            until=4.0)
+        admissions = []
+        for t in (1.5, 2.5, 3.5):
+            engine.schedule(t, lambda: admissions.append(
+                (round(engine.now, 1), ctrl.is_admitted(cluster_id))))
+        engine.run()
+        # tick 1: push + 1 retry fail (fires 1, 2) -> still divergent, gated.
+        # tick 2: push fails (fire 3), retry succeeds -> consistent, but
+        #         readmission waits for the *next* gate evaluation.
+        # tick 3: consistent, probe passes -> readmitted.
+        assert admissions == [(1.5, False), (2.5, False), (3.5, True)]
+        assert ctrl.counters["readmissions"] == 1
+        assert ctrl.consistency_check(cluster_id) == []
+
+    def test_probe_failure_keeps_cluster_quarantined(self, controller):
+        # A dataplane-level fault the table comparison cannot see: one
+        # member blackholes traffic while its tables agree with desired
+        # state. Only the probe gate catches it, so the cluster must
+        # stay out of service.
+        cluster_id, _routes, _vms = onboard(controller)
+        member = controller.clusters[cluster_id].members()[0]
+        member.gateway.forward = lambda packet, now=None: ForwardResult(
+            ForwardAction.DROP, packet, detail="injected-blackhole")
+        controller.quarantined.add(cluster_id)
+        engine = Engine()
+        controller.reconcile_loop(engine, interval=1.0, until=3.0)
+        engine.run()
+        assert controller.consistency_check(cluster_id) == []
+        assert not controller.is_admitted(cluster_id)
+        assert controller.counters["probes_failed"] == 3
+        assert controller.counters["readmissions"] == 0
+
+    def test_clean_cluster_readmits_through_probe(self, controller):
+        cluster_id, _routes, _vms = onboard(controller)
+        controller.quarantined.add(cluster_id)
+        engine = Engine()
+        controller.reconcile_loop(engine, interval=1.0, until=1.0)
+        engine.run()
+        assert controller.is_admitted(cluster_id)
+        assert controller.counters["readmissions"] == 1
