@@ -1,0 +1,130 @@
+"""Hitless-upgrade demo at cluster scale: roll an 8-member cluster under
+sustained traffic and show zero upgrade-attributable loss.
+
+The paper's operational claim is that a Sailfish region keeps forwarding
+through planned maintenance. This bench drives the full crash-safe
+control-plane stack — write-ahead journal, snapshot + tail resync,
+probe-gated readmission — through a complete roll and checks:
+
+* every packet of a 96-flow population delivers throughout the roll;
+* every member is reimaged (empty tables) and rebuilt from the journal;
+* the orchestrator's telemetry reconciles with its event log.
+
+Benchmarks the journal materialise + per-member resync hot path.
+"""
+
+import ipaddress
+
+from conftest import emit
+from repro.cluster import (
+    GatewayCluster,
+    ResilientEcmpGroup,
+    UpgradeOrchestrator,
+    VniSteeredBalancer,
+)
+from repro.core.controller import Controller, RouteEntry, VmEntry, build_probe_packet
+from repro.core.journal import Journal
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.net.addr import Prefix
+from repro.net.flow import FlowKey
+from repro.sim.engine import Engine
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+
+MEMBERS = 8
+TENANTS = 6
+FLOWS = 96
+
+
+def build_controller():
+    ctrl = Controller(
+        TableSplitter(ClusterCapacity(routes=500, vms=5000, traffic_bps=1e14)),
+        VniSteeredBalancer(),
+        journal=Journal(),
+    )
+
+    def factory(cluster_id):
+        return GatewayCluster(cluster_id, [
+            (f"{cluster_id}-gw{i}", XgwH(gateway_ip=0x0AC00000 + i))
+            for i in range(MEMBERS)
+        ])
+
+    ctrl.set_cluster_factory(factory)
+    for t in range(TENANTS):
+        vni = 100 + t
+        profile = TenantProfile(vni, 1, 1, 1e9)
+        routes = [RouteEntry(vni, Prefix.parse(f"192.168.{10 + t}.0/24"),
+                             RouteAction(Scope.LOCAL))]
+        vms = [VmEntry(vni, int(ipaddress.ip_address(f"192.168.{10 + t}.2")), 4,
+                       NcBinding(int(ipaddress.ip_address(f"10.1.1.{11 + t}"))))]
+        ctrl.add_tenant(profile, routes, vms)
+    cluster_id = ctrl.plan.assignments[100]
+    ctrl.snapshot()
+    return ctrl, cluster_id
+
+
+def roll_under_traffic(ctrl, cluster_id):
+    names = [m.name for m in ctrl.clusters[cluster_id].active_members()]
+    group = ResilientEcmpGroup(next_hops=list(names))
+    engine = Engine()
+
+    packets = []
+    for t in range(TENANTS):
+        vm_ip = int(ipaddress.ip_address(f"192.168.{10 + t}.2"))
+        packets.append((100 + t, vm_ip, build_probe_packet(100 + t, vm_ip)))
+    flows = [FlowKey(0x0A000000 + i, 0x0B000000 + i, 6, 1024 + i, 443)
+             for i in range(FLOWS)]
+    stats = {"sent": 0, "drops": 0}
+
+    def tick():
+        for i, flow in enumerate(flows):
+            _vni, _vm_ip, packet = packets[i % TENANTS]
+            member = ctrl.clusters[cluster_id].find_member(group.pick(flow))
+            result = member.gateway.forward(packet)
+            stats["sent"] += 1
+            if result.action is not ForwardAction.DELIVER_NC:
+                stats["drops"] += 1
+
+    engine.schedule_every(0.5, tick, until=MEMBERS + 4.0)
+
+    orch = UpgradeOrchestrator(
+        ctrl, cluster_id, group, engine, drain_wait=1.0,
+        upgrade_fn=lambda m: setattr(m, "gateway",
+                                     XgwH(gateway_ip=m.gateway.gateway_ip)))
+    orch.roll()
+    engine.run()
+    return orch, stats
+
+
+def test_hitless_upgrade_roll(benchmark):
+    ctrl, cluster_id = build_controller()
+
+    # Hot path: rebuilding one member's tables from snapshot + tail.
+    first = ctrl.clusters[cluster_id].members()[0].name
+    benchmark(ctrl.resync_member, cluster_id, first)
+
+    orch, stats = roll_under_traffic(ctrl, cluster_id)
+
+    assert stats["drops"] == 0 and stats["sent"] > 0
+    assert orch.done and not orch.aborted
+    assert orch.counters["drains_started"] == MEMBERS
+    assert orch.counters["resyncs"] == MEMBERS
+    assert orch.counters["readmits"] == MEMBERS
+    assert orch.counters["probes_failed"] == 0
+    # Telemetry reconciles with the audit log.
+    for action, counter in (("drain", "drains_started"), ("resync", "resyncs"),
+                            ("readmit", "readmits")):
+        assert sum(e.action == action for e in orch.events) == \
+            orch.counters[counter]
+    assert ctrl.consistency_check(cluster_id) == []
+
+    emit("Hitless rolling upgrade (8 members, live traffic)", [
+        ("members rolled", "all, one at a time", MEMBERS),
+        ("packets forwarded", "uninterrupted", f"{stats['sent']:,}"),
+        ("upgrade-attributable drops", "0", stats["drops"]),
+        ("resync writes per member", "route+vm per tenant",
+         f"{TENANTS * 2}"),
+        ("journal records", "WAL of every mutation", ctrl.journal.appends),
+    ])

@@ -12,6 +12,7 @@ from .ecmp import (
 )
 from .failover import DisasterRecovery, RecoveryEvent
 from .health import Alert, HealthMonitor, Signal, WaterLevel
+from .upgrade import UpgradeError, UpgradeEvent, UpgradeOrchestrator
 
 __all__ = [
     "ClusterError",
@@ -31,4 +32,7 @@ __all__ = [
     "HealthMonitor",
     "Signal",
     "WaterLevel",
+    "UpgradeError",
+    "UpgradeEvent",
+    "UpgradeOrchestrator",
 ]

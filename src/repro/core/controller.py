@@ -6,14 +6,25 @@ online, runs periodic consistency checks ("table entry inconsistency
 between the controller and the gateways may occur ... due to
 software/hardware bugs, misconfiguration or insufficient gateway
 memory"), and generates probe packets before admitting user traffic.
+
+Crash safety: when constructed with a :class:`~repro.core.journal.Journal`,
+every mutation is journalled *before* it is pushed to any gateway, so a
+controller that dies mid-update (``FaultKind.CONTROLLER_CRASH``) can be
+rebuilt with :meth:`Controller.recover` — replaying snapshot + tail and
+re-syncing the surviving gateways back to the journalled intent.
+Batched updates go through :meth:`Controller.transaction`, a two-phase
+(prepare-all / commit) push that rolls back already-prepared members on
+a mid-batch fault, so no member — including the hot backup — is ever
+left half-updated.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..cluster.cluster import GatewayCluster, NodeState
+from ..cluster.cluster import GatewayCluster, Member, NodeState
 from ..cluster.ecmp import VniSteeredBalancer
 from ..dataplane.gateway_logic import ForwardAction
 from ..net.addr import Prefix
@@ -25,7 +36,20 @@ from ..tables.vm_nc import NcBinding
 from ..tables.vxlan_routing import RouteAction, Scope
 from ..telemetry.stats import CounterSet
 from ..telemetry.timeseries import SeriesBundle
-from .splitting import SplitPlan, TableSplitter, TenantProfile
+from .journal import (
+    Journal,
+    decode_action,
+    decode_binding,
+    decode_profile,
+    encode_action,
+    encode_binding,
+    encode_profile,
+    parse_route_key,
+    parse_vm_key,
+    route_key,
+    vm_key,
+)
+from .splitting import ClusterUsage, SplitPlan, TableSplitter, TenantProfile
 from .xgw_h import XgwH
 
 
@@ -73,6 +97,43 @@ class ProbeReport:
         return self.sent > 0 and not self.failures
 
 
+class TransactionAborted(TableError):
+    """A two-phase push failed on some member; every already-prepared
+    member was rolled back, so no entry of the batch is visible anywhere."""
+
+
+@dataclass
+class Transaction:
+    """A staged batch of table mutations against one cluster.
+
+    Ops are recorded in call order and pushed atomically when the
+    ``with ctl.transaction(...)`` block exits cleanly; raising inside the
+    block discards the batch without touching any gateway.
+    """
+
+    cluster_id: str
+    ops: List[dict] = field(default_factory=list)
+
+    def install_route(self, route: "RouteEntry") -> None:
+        self.ops.append({"op": "install-route", "cluster": self.cluster_id,
+                         "vni": route.vni, "prefix": str(route.prefix),
+                         "action": encode_action(route.action)})
+
+    def remove_route(self, vni: int, prefix: Prefix) -> None:
+        self.ops.append({"op": "remove-route", "cluster": self.cluster_id,
+                         "vni": vni, "prefix": str(prefix)})
+
+    def install_vm(self, vm: "VmEntry") -> None:
+        self.ops.append({"op": "install-vm", "cluster": self.cluster_id,
+                         "vni": vm.vni, "vm_ip": vm.vm_ip,
+                         "vm_version": vm.version,
+                         "binding": encode_binding(vm.binding)})
+
+    def remove_vm(self, vni: int, vm_ip: int, version: int) -> None:
+        self.ops.append({"op": "remove-vm", "cluster": self.cluster_id,
+                         "vni": vni, "vm_ip": vm_ip, "vm_version": version})
+
+
 class Controller:
     """Central control plane over the region's clusters.
 
@@ -85,6 +146,7 @@ class Controller:
         splitter: TableSplitter,
         balancer: VniSteeredBalancer,
         clusters: Optional[Dict[str, GatewayCluster[XgwH]]] = None,
+        journal: Optional[Journal] = None,
     ):
         self.splitter = splitter
         self.balancer = balancer
@@ -99,10 +161,155 @@ class Controller:
         self._profiles: Dict[int, TenantProfile] = {}
         #: Reconciliation telemetry: inconsistencies_found, repairs_applied,
         #: probes_failed, retries_exhausted, reconcile_ticks, repair_cycles,
-        #: repair_retries, readmissions.
+        #: repair_retries, readmissions — plus crash-safety counters:
+        #: journal_appends, journal_snapshots, recoveries, txns_committed,
+        #: txns_aborted, txn_rollback_failures, member_resyncs.
         self.counters = CounterSet()
         #: Clusters found divergent and not yet probe-cleared for traffic.
         self.quarantined: Set[str] = set()
+        #: Write-ahead journal; None runs the pre-PR2 non-durable mode.
+        self.journal = journal
+        #: Fault hook called between journal append and cluster push; the
+        #: injector arms it to raise :class:`~repro.core.journal.ControllerCrash`.
+        self.crash_gate: Optional[Callable[[str, str], None]] = None
+
+    # -- crash safety ------------------------------------------------------
+
+    def _journal_append(self, op: str, payload: dict):
+        """Write-ahead: record intent before any gateway sees the write."""
+        if self.journal is None:
+            return None
+        record = self.journal.append(op, payload)
+        self.counters.add("journal_appends")
+        return record
+
+    def _crash_point(self, op: str, cluster_id: str) -> None:
+        """The injectable instant between durability and visibility."""
+        if self.crash_gate is not None:
+            self.crash_gate(op, cluster_id)
+
+    def snapshot(self) -> None:
+        """Checkpoint the intent store into the journal (prunes covered
+        segments); recovery then replays snapshot + tail."""
+        if self.journal is None:
+            raise TableError("controller has no journal to snapshot into")
+        self.journal.snapshot(self._intent_state())
+        self.counters.add("journal_snapshots")
+
+    def _intent_state(self) -> dict:
+        """The journal-format view of the desired state."""
+        state = {"tenants": {}, "routes": {}, "vms": {}, "version": self.version}
+        for vni, profile in self._profiles.items():
+            state["tenants"][str(vni)] = {
+                "cluster": self.plan.assignments[vni],
+                "profile": encode_profile(profile),
+            }
+        for cluster_id, routes in self._routes.items():
+            state["routes"][cluster_id] = {
+                route_key(vni, prefix): encode_action(action)
+                for (vni, prefix), action in routes.items()
+            }
+        for cluster_id, vms in self._vms.items():
+            state["vms"][cluster_id] = {
+                vm_key(vni, vm_ip, version): encode_binding(binding)
+                for (vni, vm_ip, version), binding in vms.items()
+            }
+        return state
+
+    def recover(self, journal: Journal) -> int:
+        """Rebuild this (fresh or wiped) controller from *journal* and
+        re-sync every cluster's gateways to the recovered intent.
+
+        Returns the number of gateway writes the sync needed. After
+        recovery, ``consistency_check`` is empty for every cluster: the
+        journalled intent *is* the cluster state again.
+        """
+        state = journal.materialize()
+        self.journal = journal
+        self._routes.clear()
+        self._vms.clear()
+        self._profiles.clear()
+        self.plan = SplitPlan(assignments={}, usage={})
+        for vni_text in sorted(state["tenants"], key=int):
+            info = state["tenants"][vni_text]
+            vni, cluster_id = int(vni_text), info["cluster"]
+            profile = decode_profile(info["profile"])
+            cluster = self._ensure_cluster(cluster_id)
+            if cluster_id not in self.balancer.clusters():
+                # Clusters that survived the crash were handed to the new
+                # controller directly; (re)register their steering group.
+                self.balancer.register_cluster(
+                    cluster_id, [m.name for m in cluster.active_members()]
+                )
+            self._profiles[vni] = profile
+            self.plan.assignments[vni] = cluster_id
+            self.plan.usage.setdefault(cluster_id, ClusterUsage()).add(profile)
+            self.balancer.assign_vni(vni, cluster_id)
+        for cluster_id, routes in state["routes"].items():
+            self._ensure_cluster(cluster_id)
+            self._routes[cluster_id] = {
+                parse_route_key(key): decode_action(payload)
+                for key, payload in routes.items()
+            }
+        for cluster_id, vms in state["vms"].items():
+            self._ensure_cluster(cluster_id)
+            self._vms[cluster_id] = {
+                parse_vm_key(key): decode_binding(payload)
+                for key, payload in vms.items()
+            }
+        self.version = state["version"]
+        writes = 0
+        for cluster_id in sorted(self.clusters):
+            cluster = self.clusters[cluster_id]
+            for member in cluster.all_members():
+                writes += self._sync_gateway(
+                    member.gateway,
+                    self._routes.get(cluster_id, {}),
+                    self._vms.get(cluster_id, {}),
+                )
+        self.counters.add("recoveries")
+        return writes
+
+    def _sync_gateway(self, gw, routes: Dict[Tuple[int, Prefix], RouteAction],
+                      vms: Dict[Tuple[int, int, int], NcBinding]) -> int:
+        """Converge one gateway onto the given intent: push divergent or
+        missing entries, withdraw extra routes. (Extra VM bindings are
+        not enumerable from the digest-compressed table, matching
+        ``consistency_check``'s one-way VM comparison.)"""
+        writes = 0
+        installed = {(vni, prefix): action
+                     for vni, prefix, action in gw.tables.routing.items()}
+        for (vni, prefix), action in routes.items():
+            if installed.get((vni, prefix)) != action:
+                gw.install_route(vni, prefix, action, replace=True)
+                writes += 1
+        for (vni, prefix) in installed:
+            if (vni, prefix) not in routes:
+                gw.remove_route(vni, prefix)
+                writes += 1
+        for (vni, vm_ip, version), binding in vms.items():
+            if gw.split_vm_nc.lookup(vni, vm_ip, version) != binding:
+                gw.install_vm(vni, vm_ip, version, binding, replace=True)
+                writes += 1
+        return writes
+
+    def resync_member(self, cluster_id: str, name: str) -> int:
+        """Converge one member onto the latest snapshot + journal tail
+        (or the in-memory intent when no journal is attached). Used by the
+        drain/upgrade path before a member is probed and readmitted."""
+        member = self.clusters[cluster_id].find_member(name)
+        if self.journal is not None:
+            state = self.journal.materialize()
+            routes = {parse_route_key(key): decode_action(payload)
+                      for key, payload in state["routes"].get(cluster_id, {}).items()}
+            vms = {parse_vm_key(key): decode_binding(payload)
+                   for key, payload in state["vms"].get(cluster_id, {}).items()}
+        else:
+            routes = dict(self._routes.get(cluster_id, {}))
+            vms = dict(self._vms.get(cluster_id, {}))
+        writes = self._sync_gateway(member.gateway, routes, vms)
+        self.counters.add("member_resyncs")
+        return writes
 
     # -- cluster lifecycle -----------------------------------------------
 
@@ -137,6 +344,11 @@ class Controller:
         cluster_id = self.splitter.place(self.plan, profile)
         cluster = self._ensure_cluster(cluster_id)
         self._profiles[profile.vni] = profile
+        self._journal_append("add-tenant", {
+            "vni": profile.vni, "cluster": cluster_id,
+            "profile": encode_profile(profile),
+        })
+        self._crash_point("add-tenant", cluster_id)
         self.balancer.assign_vni(profile.vni, cluster_id)
         for route in routes:
             self.install_route(cluster_id, route, time=time)
@@ -147,6 +359,11 @@ class Controller:
 
     def install_route(self, cluster_id: str, route: RouteEntry, time: float = 0.0) -> None:
         cluster = self._ensure_cluster(cluster_id)
+        self._journal_append("install-route", {
+            "cluster": cluster_id, "vni": route.vni,
+            "prefix": str(route.prefix), "action": encode_action(route.action),
+        })
+        self._crash_point("install-route", cluster_id)
         self._routes[cluster_id][(route.vni, route.prefix)] = route.action
         cluster.for_each_gateway(
             lambda gw: gw.install_route(route.vni, route.prefix, route.action, replace=True)
@@ -155,6 +372,11 @@ class Controller:
 
     def install_vm(self, cluster_id: str, vm: VmEntry, time: float = 0.0) -> None:
         cluster = self._ensure_cluster(cluster_id)
+        self._journal_append("install-vm", {
+            "cluster": cluster_id, "vni": vm.vni, "vm_ip": vm.vm_ip,
+            "vm_version": vm.version, "binding": encode_binding(vm.binding),
+        })
+        self._crash_point("install-vm", cluster_id)
         self._vms[cluster_id][(vm.vni, vm.vm_ip, vm.version)] = vm.binding
         cluster.for_each_gateway(
             lambda gw: gw.install_vm(vm.vni, vm.vm_ip, vm.version, vm.binding, replace=True)
@@ -167,6 +389,10 @@ class Controller:
         cluster = self.clusters[cluster_id]
         if (vni, prefix) not in self._routes.get(cluster_id, {}):
             raise TableError(f"route vni={vni} {prefix} not in desired state")
+        self._journal_append("remove-route", {
+            "cluster": cluster_id, "vni": vni, "prefix": str(prefix),
+        })
+        self._crash_point("remove-route", cluster_id)
         del self._routes[cluster_id][(vni, prefix)]
         cluster.for_each_gateway(lambda gw: gw.remove_route(vni, prefix))
         self._record_size(cluster_id, time)
@@ -178,10 +404,13 @@ class Controller:
         key = (vni, vm_ip, version)
         if key not in self._vms.get(cluster_id, {}):
             raise TableError(f"vm ({vni}, {vm_ip:#x}) not in desired state")
+        self._journal_append("remove-vm", {
+            "cluster": cluster_id, "vni": vni, "vm_ip": vm_ip,
+            "vm_version": version,
+        })
+        self._crash_point("remove-vm", cluster_id)
         del self._vms[cluster_id][key]
-        cluster.for_each_gateway(
-            lambda gw: gw.split_vm_nc.half_for_ip(vm_ip).remove(vni, vm_ip, version)
-        )
+        cluster.for_each_gateway(lambda gw: gw.remove_vm(vni, vm_ip, version))
         self._record_size(cluster_id, time)
 
     def remove_tenant(self, vni: int, time: float = 0.0) -> int:
@@ -189,6 +418,10 @@ class Controller:
         cluster_id = self.plan.assignments.get(vni)
         if cluster_id is None:
             raise TableError(f"VNI {vni} is not placed")
+        # Journalled first: its replay drops the tenant AND all its
+        # entries, so the per-entry remove records below replay as no-ops.
+        self._journal_append("remove-tenant", {"vni": vni, "cluster": cluster_id})
+        self._crash_point("remove-tenant", cluster_id)
         removed = 0
         for (route_vni, prefix) in [k for k in self._routes.get(cluster_id, {})
                                     if k[0] == vni]:
@@ -215,6 +448,128 @@ class Controller:
 
     def route_count(self, cluster_id: str) -> int:
         return len(self._routes.get(cluster_id, {}))
+
+    # -- transactions -----------------------------------------------------
+
+    @contextmanager
+    def transaction(self, cluster_id: str, time: float = 0.0) -> Iterator[Transaction]:
+        """Stage a batch and push it two-phase on clean exit.
+
+        ``with ctl.transaction(cid) as txn:`` collects
+        ``txn.install_route/install_vm/remove_route/remove_vm`` calls;
+        on exit the batch is *prepared* on every member (including the
+        hot backup) and only then committed to the desired state. A
+        member fault mid-prepare rolls back every already-prepared
+        member and raises :class:`TransactionAborted` — no member is
+        ever left with a partial batch.
+        """
+        txn = Transaction(cluster_id)
+        yield txn
+        self._commit_transaction(cluster_id, txn, time)
+
+    def _stage_prev(self, cluster_id: str, op: dict):
+        """The desired-state value an op will overwrite/remove (for
+        validation; per-member undo uses each gateway's own state)."""
+        if op["op"].endswith("-route"):
+            key = (op["vni"], Prefix.parse(op["prefix"]))
+            return self._routes.get(cluster_id, {}).get(key)
+        key = (op["vni"], op["vm_ip"], op["vm_version"])
+        return self._vms.get(cluster_id, {}).get(key)
+
+    def _apply_op_to_gateway(self, gw, op: dict, undo: List[Callable[[], None]]) -> None:
+        """Prepare one op on one gateway, pushing its inverse onto *undo*."""
+        if op["op"] == "install-route":
+            vni, prefix = op["vni"], Prefix.parse(op["prefix"])
+            action = decode_action(op["action"])
+            prev = next((a for v, p, a in gw.tables.routing.items()
+                         if v == vni and p == prefix), None)
+            gw.install_route(vni, prefix, action, replace=True)
+            if prev is None:
+                undo.append(lambda: gw.remove_route(vni, prefix))
+            else:
+                undo.append(lambda: gw.install_route(vni, prefix, prev, replace=True))
+        elif op["op"] == "remove-route":
+            vni, prefix = op["vni"], Prefix.parse(op["prefix"])
+            prev = self._routes[op["cluster"]][(vni, prefix)]
+            gw.remove_route(vni, prefix)
+            undo.append(lambda: gw.install_route(vni, prefix, prev, replace=True))
+        elif op["op"] == "install-vm":
+            vni, vm_ip, version = op["vni"], op["vm_ip"], op["vm_version"]
+            binding = decode_binding(op["binding"])
+            prev = gw.split_vm_nc.lookup(vni, vm_ip, version)
+            gw.install_vm(vni, vm_ip, version, binding, replace=True)
+            if prev is None:
+                undo.append(lambda: gw.remove_vm(vni, vm_ip, version))
+            else:
+                undo.append(lambda: gw.install_vm(vni, vm_ip, version, prev, replace=True))
+        elif op["op"] == "remove-vm":
+            vni, vm_ip, version = op["vni"], op["vm_ip"], op["vm_version"]
+            prev = self._vms[op["cluster"]][(vni, vm_ip, version)]
+            gw.remove_vm(vni, vm_ip, version)
+            undo.append(lambda: gw.install_vm(vni, vm_ip, version, prev, replace=True))
+        else:  # pragma: no cover - Transaction only stages the four ops
+            raise TableError(f"unknown transaction op {op['op']!r}")
+
+    def _commit_transaction(self, cluster_id: str, txn: Transaction,
+                            time: float) -> None:
+        cluster = self._ensure_cluster(cluster_id)
+        if not txn.ops:
+            return
+        # Validate removals against desired state up front, before any
+        # journalling or gateway write.
+        for op in txn.ops:
+            if op["op"].startswith("remove-") and self._stage_prev(cluster_id, op) is None:
+                raise TableError(f"transaction removes unknown entry: {op}")
+        record = self._journal_append("txn", {"cluster": cluster_id,
+                                              "ops": list(txn.ops)})
+        self._crash_point("txn", cluster_id)
+        # Phase 1 — prepare: apply the whole batch member by member,
+        # keeping per-member undo logs.
+        prepared: List[Tuple[Member, List[Callable[[], None]]]] = []
+        failure: Optional[TableError] = None
+        for member in cluster.all_members():
+            undo: List[Callable[[], None]] = []
+            prepared.append((member, undo))
+            try:
+                for op in txn.ops:
+                    self._apply_op_to_gateway(member.gateway, op, undo)
+            except TableError as exc:
+                failure = exc
+                break
+        if failure is not None:
+            # Abort: unwind every member that saw any part of the batch.
+            for member, undo in reversed(prepared):
+                for action in reversed(undo):
+                    try:
+                        action()
+                    except TableError:
+                        # Best effort — residue is visible to the
+                        # reconcile loop, which will repair it.
+                        self.counters.add("txn_rollback_failures")
+            if record is not None:
+                self._journal_append("txn-abort", {"txn_seq": record.seq})
+            self.counters.add("txns_aborted")
+            raise TransactionAborted(
+                f"transaction on {cluster_id} aborted: {failure}"
+            ) from failure
+        # Phase 2 — commit: the batch is on every member; make it the
+        # desired state and mark the journal record committed.
+        for op in txn.ops:
+            if op["op"] == "install-route":
+                self._routes[cluster_id][(op["vni"], Prefix.parse(op["prefix"]))] = \
+                    decode_action(op["action"])
+            elif op["op"] == "remove-route":
+                del self._routes[cluster_id][(op["vni"], Prefix.parse(op["prefix"]))]
+            elif op["op"] == "install-vm":
+                self._vms[cluster_id][(op["vni"], op["vm_ip"], op["vm_version"])] = \
+                    decode_binding(op["binding"])
+            elif op["op"] == "remove-vm":
+                del self._vms[cluster_id][(op["vni"], op["vm_ip"], op["vm_version"])]
+        if record is not None:
+            self._journal_append("txn-commit", {"txn_seq": record.seq})
+        self.counters.add("txns_committed")
+        self.version += 1
+        self._record_size(cluster_id, time)
 
     # -- consistency ------------------------------------------------------------
 
@@ -407,13 +762,17 @@ class Controller:
 
     # -- probing --------------------------------------------------------------------
 
-    def probe(self, cluster_id: str, limit: int = 64) -> ProbeReport:
+    def probe(self, cluster_id: str, limit: int = 64,
+              members: Optional[Iterable[str]] = None) -> ProbeReport:
         """Send synthetic probes for installed LOCAL VMs ("deploy probe
         generators ... covering as many test scenarios as possible").
 
         Every ACTIVE member is swept — including the hot backup's, which
         must answer identically — so per-member divergence (one node's
-        corrupted table) cannot hide behind a healthy sibling.
+        corrupted table) cannot hide behind a healthy sibling. Passing
+        *members* probes exactly those names regardless of state (the
+        drain/upgrade path probes a still-offline member before
+        readmitting it).
         """
         report = ProbeReport()
         cluster = self.clusters[cluster_id]
@@ -423,7 +782,11 @@ class Controller:
             vni for (vni, _prefix), action in desired_routes.items()
             if action.scope is Scope.LOCAL
         }
-        targets = [m for m in cluster.all_members() if m.state is NodeState.ACTIVE]
+        if members is None:
+            targets = [m for m in cluster.all_members() if m.state is NodeState.ACTIVE]
+        else:
+            wanted = set(members)
+            targets = [m for m in cluster.all_members() if m.name in wanted]
         for (vni, vm_ip, version), binding in list(desired_vms.items())[:limit]:
             if version != 4 or vni not in local_vnis:
                 continue

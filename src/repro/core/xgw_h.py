@@ -103,6 +103,10 @@ class XgwH:
         """VM-NC entries land in the parity half of the split table."""
         self.split_vm_nc.insert(vni, vm_ip, version, binding, replace=replace)
 
+    def remove_vm(self, vni: int, vm_ip: int, version: int) -> NcBinding:
+        """Withdraw a VM binding from the parity half that holds it."""
+        return self.split_vm_nc.remove(vni, vm_ip, version)
+
     def route_count(self) -> int:
         return len(self.tables.routing)
 

@@ -72,6 +72,9 @@ class SplitVmNc:
     def insert(self, vni: int, vm_ip: int, version: int, binding, replace: bool = False) -> None:
         self.half_for_ip(vm_ip).insert(vni, vm_ip, version, binding, replace)
 
+    def remove(self, vni: int, vm_ip: int, version: int):
+        return self.half_for_ip(vm_ip).remove(vni, vm_ip, version)
+
     def lookup(self, vni: int, vm_ip: int, version: int):
         return self.half_for_ip(vm_ip).lookup(vni, vm_ip, version)
 

@@ -8,6 +8,7 @@ it onto gateways/controllers/engines, and any existing test or benchmark
 runs under the fault schedule without code changes.
 """
 
+from ..core.journal import ControllerCrash
 from .injector import (
     FaultInjector,
     FaultyGateway,
@@ -15,6 +16,7 @@ from .injector import (
     corrupt_route_action,
 )
 from .plan import (
+    MUTATION_KINDS,
     SCHEDULED_KINDS,
     WRITE_KINDS,
     FaultKind,
@@ -30,8 +32,10 @@ __all__ = [
     "InjectedFault",
     "FaultInjector",
     "FaultyGateway",
+    "ControllerCrash",
     "corrupt_route_action",
     "corrupt_binding",
     "WRITE_KINDS",
     "SCHEDULED_KINDS",
+    "MUTATION_KINDS",
 ]

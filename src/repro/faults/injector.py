@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 from ..cluster.cluster import GatewayCluster
 from ..cluster.health import HealthMonitor, Signal
+from ..core.journal import ControllerCrash
 from ..sim.engine import Engine
 from ..tables.errors import TableError
 from ..tables.vm_nc import NcBinding
@@ -95,6 +96,30 @@ class FaultyGateway:
             binding = corrupt_binding(binding)
         self._inner.install_vm(vni, vm_ip, version, binding, replace=replace)
 
+    def remove_route(self, vni, prefix):
+        """Delete-path faults: a DROP or CORRUPT kind misapplies the
+        delete, so the entry survives on the gateway ("extra-route")."""
+        kind = self._plan.decide_write("route", self._cluster_id, self._node,
+                                       self._is_backup)
+        if kind in _DROP_KINDS or kind is FaultKind.CORRUPT_ROUTE_WRITE:
+            return None
+        if kind in _FAIL_KINDS:
+            raise TableError(
+                f"injected {kind.value} on {self._node}: remove vni={vni} {prefix}"
+            )
+        return self._inner.remove_route(vni, prefix)
+
+    def remove_vm(self, vni, vm_ip, version):
+        kind = self._plan.decide_write("vm", self._cluster_id, self._node,
+                                       self._is_backup)
+        if kind in _DROP_KINDS or kind is FaultKind.CORRUPT_VM_WRITE:
+            return None
+        if kind in _FAIL_KINDS:
+            raise TableError(
+                f"injected {kind.value} on {self._node}: remove vni={vni} vm={vm_ip:#x}"
+            )
+        return self._inner.remove_vm(vni, vm_ip, version)
+
     def __getattr__(self, name):
         return getattr(self._inner, name)
 
@@ -134,9 +159,12 @@ class FaultInjector:
         """Arm all of a controller's clusters, present and future.
 
         Existing clusters are wrapped in place; the cluster factory is
-        wrapped so clusters allocated later are armed on creation; and
+        wrapped so clusters allocated later are armed on creation;
         ``add_tenant`` is bracketed so the plan can delimit onboard
-        windows for :data:`FaultKind.PARTIAL_ONBOARD`.
+        windows for :data:`FaultKind.PARTIAL_ONBOARD`; and the
+        controller's crash gate is armed so
+        :data:`FaultKind.CONTROLLER_CRASH` specs can kill it between a
+        journal append and the cluster push.
         """
         for cid, cluster in controller.clusters.items():
             self.arm_cluster(cluster, cid)
@@ -156,6 +184,15 @@ class FaultInjector:
                 self.plan.end_onboard()
 
         controller.add_tenant = add_tenant
+
+        def crash_gate(op, cluster_id):
+            kind = self.plan.decide_mutation(op, cluster_id)
+            if kind is FaultKind.CONTROLLER_CRASH:
+                raise ControllerCrash(
+                    f"injected controller-crash during {op} on {cluster_id}"
+                )
+
+        controller.crash_gate = crash_gate
 
     # -- scheduled faults ---------------------------------------------------
 

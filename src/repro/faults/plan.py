@@ -49,6 +49,9 @@ class FaultKind(Enum):
     MEMBER_FLAP = "member-flap"
     #: The hot backup stops receiving replication (stale standby state).
     STALE_BACKUP = "stale-backup"
+    #: The controller dies between the journal append and the cluster
+    #: push (raised as :class:`repro.core.journal.ControllerCrash`).
+    CONTROLLER_CRASH = "controller-crash"
 
 
 #: Kinds evaluated on every gateway write.
@@ -65,6 +68,9 @@ WRITE_KINDS = {
 
 #: Kinds fired from the event engine at a scheduled time.
 SCHEDULED_KINDS = {FaultKind.MEMBER_CRASH, FaultKind.MEMBER_FLAP}
+
+#: Kinds evaluated on every *controller* mutation (not per gateway write).
+MUTATION_KINDS = {FaultKind.CONTROLLER_CRASH}
 
 _ROUTE_KINDS = {
     FaultKind.DROP_ROUTE_WRITE,
@@ -94,10 +100,17 @@ class FaultSpec:
     * ``after_write`` — for :data:`FaultKind.STALE_BACKUP`, the global
       write index from which backup replication is lost (default 0);
     * ``at_time`` — for crash/flap, the engine time of the outage
-      (``down_for`` sets the flap's downtime).
+      (``down_for`` sets the flap's downtime);
+    * ``at_mutations`` — for :data:`FaultKind.CONTROLLER_CRASH`, the
+      0-based indices of the controller mutations (installs, removes,
+      tenant ops, transactions — counted in arrival order) at which the
+      controller dies.
 
     ``max_fires`` bounds how often the spec fires (e.g. "the first two
     install attempts fail, the third succeeds" for retry testing).
+
+    Write faults are counted over *every* armed gateway write — installs
+    and removes both advance the global write index.
     """
 
     kind: FaultKind
@@ -110,6 +123,7 @@ class FaultSpec:
     at_time: Optional[float] = None
     down_for: float = 0.0
     max_fires: Optional[int] = None
+    at_mutations: Tuple[int, ...] = ()
 
     def __post_init__(self):
         if self.kind in SCHEDULED_KINDS:
@@ -120,6 +134,12 @@ class FaultSpec:
         elif self.kind is FaultKind.PARTIAL_ONBOARD:
             if self.after_onboard_writes is None:
                 raise ValueError("partial-onboard requires after_onboard_writes")
+        elif self.kind in MUTATION_KINDS:
+            if (not self.at_mutations and self.probability is None
+                    and self.max_fires is None):
+                raise ValueError(
+                    f"{self.kind.value} requires at_mutations, probability "
+                    "or max_fires (it would otherwise kill every mutation)")
         if self.probability is not None and not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability {self.probability} not in [0, 1]")
 
@@ -158,6 +178,7 @@ class FaultPlan:
         ]
         self._fires = [0] * len(self.specs)
         self.write_index = 0
+        self.mutation_index = 0
         self._onboard_vni: Optional[int] = None
         self._onboard_writes = 0
 
@@ -225,6 +246,37 @@ class FaultPlan:
                     detail=f"{op}-write",
                 ))
                 return spec.kind
+        return None
+
+    # -- controller-mutation decisions ------------------------------------
+
+    def decide_mutation(self, op: str, cluster: str) -> Optional[FaultKind]:
+        """Decide the fate of one controller mutation (*op* is the journal
+        op name — "install-route", "txn", "add-tenant", ...).
+
+        Every call advances the global mutation index, so plans address
+        mutations positionally via ``at_mutations``. The first matching
+        spec wins.
+        """
+        index = self.mutation_index
+        self.mutation_index += 1
+        for i, spec in enumerate(self.specs):
+            if spec.kind not in MUTATION_KINDS:
+                continue
+            if not fnmatchcase(cluster, spec.cluster):
+                continue
+            if spec.at_mutations and index not in spec.at_mutations:
+                continue
+            if spec.max_fires is not None and self._fires[i] >= spec.max_fires:
+                continue
+            if spec.probability is not None:
+                if self._rngs[i].random() >= spec.probability:
+                    continue
+            self._fires[i] += 1
+            self.record(InjectedFault(
+                spec.kind, cluster, "-", write_index=index, detail=op,
+            ))
+            return spec.kind
         return None
 
     # -- scheduled faults ---------------------------------------------------

@@ -22,19 +22,28 @@ class SimulationError(RuntimeError):
 class PeriodicTask:
     """Cancellation handle for a :meth:`Engine.schedule_every` series."""
 
-    __slots__ = ("_cancelled", "fires")
+    __slots__ = ("_cancelled", "fires", "_engine", "_entry")
 
-    def __init__(self):
+    def __init__(self, engine: Optional["Engine"] = None):
         self._cancelled = False
         self.fires = 0
+        self._engine = engine
+        self._entry: Optional[Tuple[float, int, Event]] = None
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
 
     def cancel(self) -> None:
-        """Stop the series; the already-queued tick becomes a no-op."""
+        """Stop the series. Idempotent — repeated calls are no-ops — and
+        the already-queued tick is purged from the engine queue, so
+        :meth:`Engine.pending` reflects true quiescence after a cancel."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._engine is not None and self._entry is not None:
+            self._engine._discard(self._entry)
+            self._entry = None
 
 
 class Engine:
@@ -42,8 +51,8 @@ class Engine:
 
     >>> eng = Engine()
     >>> hits = []
-    >>> eng.schedule(2.0, lambda: hits.append("b"))
-    >>> eng.schedule(1.0, lambda: hits.append("a"))
+    >>> _ = eng.schedule(2.0, lambda: hits.append("b"))
+    >>> _ = eng.schedule(1.0, lambda: hits.append("a"))
     >>> eng.run()
     >>> hits
     ['a', 'b']
@@ -61,11 +70,22 @@ class Engine:
         """Current simulation time."""
         return self._now
 
-    def schedule(self, at: float, event: Event) -> None:
-        """Schedule *event* to fire at absolute time *at*."""
+    def schedule(self, at: float, event: Event) -> Tuple[float, int, Event]:
+        """Schedule *event* to fire at absolute time *at*. Returns an
+        opaque queue entry usable only for internal cancellation."""
         if at < self._now:
             raise SimulationError(f"cannot schedule at {at} before now={self._now}")
-        heapq.heappush(self._queue, (at, next(self._sequence), event))
+        entry = (at, next(self._sequence), event)
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def _discard(self, entry: Tuple[float, int, Event]) -> None:
+        """Drop a queued entry (used by :meth:`PeriodicTask.cancel`)."""
+        try:
+            self._queue.remove(entry)
+        except ValueError:
+            return
+        heapq.heapify(self._queue)
 
     def schedule_in(self, delay: float, event: Event) -> None:
         """Schedule *event* to fire *delay* time units from now."""
@@ -79,20 +99,23 @@ class Engine:
         time. Returns a :class:`PeriodicTask` that can cancel the series."""
         if interval <= 0:
             raise SimulationError("interval must be positive")
-        task = PeriodicTask()
+        task = PeriodicTask(self)
 
         def tick() -> None:
             if task.cancelled:
                 return
+            task._entry = None
             task.fires += 1
             event()
+            if task.cancelled:  # the event itself may cancel the series
+                return
             next_at = self._now + interval
             if until is None or next_at <= until:
-                self.schedule(next_at, tick)
+                task._entry = self.schedule(next_at, tick)
 
         first = self._now + interval
         if until is None or first <= until:
-            self.schedule(first, tick)
+            task._entry = self.schedule(first, tick)
         return task
 
     def step(self) -> bool:
@@ -122,5 +145,6 @@ class Engine:
             self._running = False
 
     def pending(self) -> int:
-        """Number of events still queued."""
+        """Number of events still queued — the public quiescence check
+        (cancelled periodic ticks are purged, so 0 means truly idle)."""
         return len(self._queue)

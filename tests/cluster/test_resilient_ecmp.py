@@ -92,3 +92,40 @@ class TestFailureChurn:
         after = ResilientEcmpGroup(next_hops=hops + ["gw7"])
         churn = flow_churn(before, after, flows(600))
         assert churn == pytest.approx(1 / 8, abs=0.05)
+
+
+class TestDrainReadmitStickiness:
+    """The invariant the hitless-upgrade path leans on: draining and
+    readmitting a member must not remap flows pinned to the survivors."""
+
+    def test_survivor_flows_never_remap_across_a_full_roll(self):
+        import random
+
+        rng = random.Random(42)
+        hops = [f"gw{i}" for i in range(6)]
+        group = ResilientEcmpGroup(next_hops=list(hops))
+        sample = [
+            FlowKey(rng.getrandbits(32), rng.getrandbits(32), 6,
+                    rng.randrange(1024, 65535), 443)
+            for _ in range(500)
+        ]
+        baseline = [group.pick(f) for f in sample]
+        for drained in hops:  # roll every member once, like an upgrade
+            group.remove(drained)
+            for flow, home in zip(sample, baseline):
+                if home != drained:
+                    assert group.pick(flow) == home
+            group.add(drained)
+            # Readmission restores the exact pre-drain mapping: HRW is a
+            # pure function of (flow, member set), not of history.
+            assert [group.pick(f) for f in sample] == baseline
+
+    def test_drained_flows_spread_over_survivors(self):
+        hops = [f"gw{i}" for i in range(6)]
+        group = ResilientEcmpGroup(next_hops=list(hops))
+        sample = flows(600)
+        orphans = [f for f in sample if group.pick(f) == "gw3"]
+        group.remove("gw3")
+        rehomed = Counter(group.pick(f) for f in orphans)
+        # The drained member's flows land on several survivors, not one.
+        assert len(rehomed) >= 3

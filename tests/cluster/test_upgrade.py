@@ -1,0 +1,192 @@
+"""Hitless rolling upgrades: drain → upgrade → resync → probe → readmit
+under live traffic, with zero upgrade-attributable drops."""
+
+from collections import Counter
+
+import pytest
+
+from tests.faults.helpers import tenant_payload
+
+from repro.cluster import (
+    ClusterError,
+    GatewayCluster,
+    NodeState,
+    ResilientEcmpGroup,
+    UpgradeError,
+    UpgradeOrchestrator,
+    VniSteeredBalancer,
+)
+from repro.core.controller import Controller, build_probe_packet
+from repro.core.journal import Journal
+from repro.core.splitting import ClusterCapacity, TableSplitter
+from repro.core.xgw_h import XgwH
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.net.flow import FlowKey
+from repro.sim.engine import Engine
+
+
+def make_controller(members=4):
+    ctrl = Controller(
+        TableSplitter(ClusterCapacity(routes=50, vms=500, traffic_bps=1e13)),
+        VniSteeredBalancer(),
+        journal=Journal(),
+    )
+
+    def factory(cluster_id):
+        return GatewayCluster(cluster_id, [
+            (f"{cluster_id}-gw{i}", XgwH(gateway_ip=0x0AC00000 + i))
+            for i in range(members)
+        ])
+
+    ctrl.set_cluster_factory(factory)
+    return ctrl
+
+
+def onboarded(members=4):
+    ctrl = make_controller(members)
+    profile, routes, vms = tenant_payload(100)
+    cluster_id = ctrl.add_tenant(profile, routes, vms)
+    names = [m.name for m in ctrl.clusters[cluster_id].active_members()]
+    return ctrl, cluster_id, names, vms
+
+
+def traffic(engine, ctrl, cluster_id, group, vm, flows=32, until=12.0):
+    """Steer a fixed flow population through the group every 0.25 units,
+    recording every packet that does not deliver."""
+    packet = build_probe_packet(100, vm.vm_ip)
+    population = [FlowKey(0x0A000000 + i, vm.vm_ip, 6, 1000 + i, 80)
+                  for i in range(flows)]
+    stats = {"sent": 0, "drops": []}
+
+    def tick():
+        for flow in population:
+            name = group.pick(flow)
+            member = ctrl.clusters[cluster_id].find_member(name)
+            result = member.gateway.forward(packet)
+            stats["sent"] += 1
+            if result.action is not ForwardAction.DELIVER_NC:
+                stats["drops"].append((engine.now, name, result.detail))
+
+    engine.schedule_every(0.25, tick, until=until)
+    return stats
+
+
+class TestHitlessRoll:
+    def test_rolling_upgrade_drops_nothing(self):
+        ctrl, cluster_id, names, vms = onboarded()
+        group = ResilientEcmpGroup(next_hops=list(names))
+        engine = Engine()
+        stats = traffic(engine, ctrl, cluster_id, group, vms[0])
+        replaced = {}
+
+        def upgrade(member):
+            # A reimage: the member returns with empty tables and must be
+            # rebuilt entirely from snapshot + journal tail.
+            member.gateway = XgwH(gateway_ip=member.gateway.gateway_ip)
+            replaced[member.name] = member.gateway
+
+        orch = UpgradeOrchestrator(ctrl, cluster_id, group, engine,
+                                   drain_wait=1.0, upgrade_fn=upgrade)
+        order = orch.roll()
+        engine.run()
+
+        assert stats["sent"] > 0 and stats["drops"] == []
+        assert orch.done and not orch.aborted
+        assert order == names and set(replaced) == set(names)
+        assert sorted(group.next_hops) == sorted(names)
+        # Every reimaged member was rebuilt (route + VM) and is ACTIVE.
+        for name, gw in replaced.items():
+            assert gw.route_count() == 1 and gw.vm_count() == 1
+            assert ctrl.clusters[cluster_id].member(name).state is NodeState.ACTIVE
+        assert ctrl.consistency_check(cluster_id) == []
+
+    def test_counters_reconcile_with_event_log(self):
+        ctrl, cluster_id, names, vms = onboarded()
+        group = ResilientEcmpGroup(next_hops=list(names))
+        engine = Engine()
+        orch = UpgradeOrchestrator(
+            ctrl, cluster_id, group, engine, drain_wait=0.5,
+            upgrade_fn=lambda m: setattr(m, "gateway",
+                                         XgwH(gateway_ip=m.gateway.gateway_ip)))
+        orch.roll()
+        engine.run()
+        actions = Counter(e.action for e in orch.events)
+        assert actions["drain"] == orch.counters["drains_started"] == 4
+        assert actions["resync"] == orch.counters["resyncs"] == 4
+        assert actions["readmit"] == orch.counters["readmits"] == 4
+        assert orch.counters["probes_failed"] == 0
+        assert "probe-failed" not in actions
+        assert actions["complete"] == 1
+        assert ctrl.counters["member_resyncs"] == 4
+        times = [e.time for e in orch.events]
+        assert times == sorted(times)
+        summary = orch.summary()
+        assert summary["complete"] == 1 and summary["aborted"] == 0
+
+    def test_failed_probe_halts_roll_with_member_drained(self):
+        ctrl, cluster_id, names, vms = onboarded()
+        group = ResilientEcmpGroup(next_hops=list(names))
+        engine = Engine()
+        stats = traffic(engine, ctrl, cluster_id, group, vms[0], until=6.0)
+        # The reimage wipes the member and the resync path is broken, so
+        # the probe gate must catch the empty tables.
+        ctrl.resync_member = lambda cid, name: 0
+        orch = UpgradeOrchestrator(
+            ctrl, cluster_id, group, engine, drain_wait=1.0,
+            upgrade_fn=lambda m: setattr(m, "gateway",
+                                         XgwH(gateway_ip=m.gateway.gateway_ip)))
+        order = orch.roll()
+        engine.run()
+
+        assert orch.aborted and not orch.done
+        assert orch.counters["drains_started"] == 1
+        assert orch.counters["probes_failed"] == 1
+        assert orch.counters["readmits"] == 0
+        assert orch.events[-1].action == "probe-failed"
+        # The suspect member never rejoined steering or the cluster.
+        suspect = order[0]
+        assert suspect not in group.next_hops
+        assert ctrl.clusters[cluster_id].member(suspect).state is NodeState.OFFLINE
+        # Survivors absorbed all traffic — still zero drops.
+        assert stats["drops"] == []
+
+    def test_partial_roll_targets_only_named_members(self):
+        ctrl, cluster_id, names, _vms = onboarded()
+        group = ResilientEcmpGroup(next_hops=list(names))
+        engine = Engine()
+        orch = UpgradeOrchestrator(ctrl, cluster_id, group, engine, drain_wait=0.5)
+        orch.roll(members=names[:2])
+        engine.run()
+        assert orch.counters["drains_started"] == 2
+        assert orch.counters["readmits"] == 2
+        assert orch.done
+
+
+class TestRollValidation:
+    def _orch(self):
+        ctrl, cluster_id, names, _vms = onboarded()
+        group = ResilientEcmpGroup(next_hops=list(names))
+        return UpgradeOrchestrator(ctrl, cluster_id, group, Engine())
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ClusterError, match="unknown node"):
+            self._orch().roll(members=["nonesuch"])
+
+    def test_empty_roll_rejected(self):
+        orch = self._orch()
+        orch.group.next_hops.clear()
+        with pytest.raises(UpgradeError, match="nothing to roll"):
+            orch.roll()
+
+    def test_concurrent_roll_rejected(self):
+        orch = self._orch()
+        orch.roll()
+        with pytest.raises(UpgradeError, match="already in progress"):
+            orch.roll()
+
+    def test_negative_drain_wait_rejected(self):
+        ctrl, cluster_id, names, _vms = onboarded()
+        with pytest.raises(UpgradeError, match="non-negative"):
+            UpgradeOrchestrator(ctrl, cluster_id,
+                                ResilientEcmpGroup(next_hops=list(names)),
+                                Engine(), drain_wait=-1.0)

@@ -1,0 +1,223 @@
+"""The write-ahead journal: framing, rotation, snapshots, replay."""
+
+import json
+
+import pytest
+
+from repro.core.journal import (
+    Journal,
+    JournalCorruption,
+    JournalError,
+    JournalRecord,
+    canonical_json,
+    empty_state,
+)
+
+
+def route_op(cluster="A", vni=7, prefix="10.0.0.0/8", scope="local"):
+    return "install-route", {
+        "cluster": cluster, "vni": vni, "prefix": prefix,
+        "action": {"scope": scope, "next_hop_vni": None, "target": None},
+    }
+
+
+def vm_op(cluster="A", vni=7, vm_ip=0x0A000001, version=4, nc_ip=0x0B000001):
+    return "install-vm", {
+        "cluster": cluster, "vni": vni, "vm_ip": vm_ip, "vm_version": version,
+        "binding": {"nc_ip": nc_ip, "nc_version": 4},
+    }
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        rec = JournalRecord(3, "install-route", {"vni": 7, "prefix": "10.0.0.0/8"})
+        assert JournalRecord.decode(rec.encode()) == rec
+
+    def test_payload_with_pipe_characters_survives(self):
+        # Journalled keys use "|" internally; the frame splits on the
+        # *last* pipe for the CRC and the first two for seq/op.
+        rec = JournalRecord(0, "txn", {"key": "7|10.0.0.0/8", "ops": []})
+        assert JournalRecord.decode(rec.encode()) == rec
+
+    def test_checksum_flip_detected(self):
+        encoded = bytearray(JournalRecord(1, "install-vm", {"vni": 9}).encode())
+        pos = encoded.index(b"9")
+        encoded[pos:pos + 1] = b"8"
+        with pytest.raises(JournalCorruption, match="checksum"):
+            JournalRecord.decode(bytes(encoded))
+
+    def test_unparseable_line_detected(self):
+        with pytest.raises(JournalCorruption, match="unparseable"):
+            JournalRecord.decode(b"not a record\n")
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestAppendAndRotation:
+    def test_sequence_is_monotonic(self):
+        journal = Journal()
+        seqs = [journal.append(*route_op(vni=i)).seq for i in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+        assert journal.last_seq == 4 and journal.appends == 5
+
+    def test_rotation_bounds_segments(self):
+        journal = Journal(segment_bytes=256)
+        for i in range(20):
+            journal.append(*route_op(vni=i))
+        assert journal.rotations > 0
+        assert all(len(s.data) <= 256 for s in journal.segments)
+        # Rotation loses nothing.
+        assert [r.seq for r in journal.records(after_seq=-1)] == list(range(20))
+
+    def test_bad_segment_size_rejected(self):
+        with pytest.raises(JournalError):
+            Journal(segment_bytes=0)
+
+
+class TestReplay:
+    def test_materialize_applies_installs_and_removes(self):
+        journal = Journal()
+        journal.append(*route_op(vni=7))
+        journal.append(*vm_op(vni=7))
+        journal.append("remove-route", {"cluster": "A", "vni": 7,
+                                        "prefix": "10.0.0.0/8"})
+        state = journal.materialize()
+        assert state["routes"]["A"] == {}
+        assert state["vms"]["A"]["7|167772161|4"]["nc_ip"] == 0x0B000001
+
+    def test_materialize_is_idempotent(self):
+        journal = Journal()
+        for i in range(4):
+            journal.append(*route_op(vni=i))
+        assert journal.materialize() == journal.materialize()
+
+    def test_replay_tolerates_duplicate_effects(self):
+        # Upsert/delete semantics: re-installing and re-removing the same
+        # entry converges to the same state.
+        journal = Journal()
+        journal.append(*route_op(vni=7))
+        journal.append(*route_op(vni=7))
+        journal.append("remove-vm", {"cluster": "A", "vni": 9,
+                                     "vm_ip": 1, "vm_version": 4})
+        state = journal.materialize()
+        assert list(state["routes"]["A"]) == ["7|10.0.0.0/8"]
+
+    def test_unknown_op_raises(self):
+        journal = Journal()
+        journal.append("frobnicate", {"x": 1})
+        with pytest.raises(JournalError, match="unknown journal op"):
+            journal.materialize()
+
+
+class TestSnapshots:
+    def test_snapshot_plus_tail_equals_genesis_replay(self):
+        genesis = Journal()
+        snapped = Journal()
+        for i in range(6):
+            genesis.append(*route_op(vni=i))
+            snapped.append(*route_op(vni=i))
+            if i == 2:
+                snapped.snapshot(snapped.materialize())
+        assert snapped.materialize() == genesis.materialize()
+
+    def test_snapshot_prunes_covered_segments(self):
+        journal = Journal(segment_bytes=256)
+        for i in range(20):
+            journal.append(*route_op(vni=i))
+        segments_before = len(journal.segments)
+        journal.snapshot(journal.materialize())
+        assert len(journal.segments) < segments_before
+        # The tail after the snapshot is empty; replay still sees all 20.
+        assert journal.records() == []
+        assert len(journal.materialize()["routes"]["A"]) == 20
+
+    def test_appends_after_snapshot_land_in_tail(self):
+        journal = Journal()
+        journal.append(*route_op(vni=1))
+        journal.snapshot(journal.materialize())
+        journal.append(*route_op(vni=2))
+        assert [r.payload["vni"] for r in journal.records()] == [2]
+        assert len(journal.materialize()["routes"]["A"]) == 2
+
+    def test_snapshot_is_a_deep_copy(self):
+        journal = Journal()
+        state = empty_state()
+        journal.snapshot(state)
+        state["version"] = 99
+        assert journal.snapshot_state["version"] == 0
+
+
+class TestTransactions:
+    def _txn(self, journal, commit):
+        _op, payload = route_op(vni=42)
+        payload["op"] = "install-route"
+        rec = journal.append("txn", {"cluster": "A", "ops": [payload]})
+        if commit:
+            journal.append("txn-commit", {"txn_seq": rec.seq})
+        return rec
+
+    def test_committed_txn_applies(self):
+        journal = Journal()
+        self._txn(journal, commit=True)
+        state = journal.materialize()
+        assert "42|10.0.0.0/8" in state["routes"]["A"]
+        assert state["version"] == 1
+
+    def test_unterminated_txn_is_skipped(self):
+        # A crash between the txn append and the push leaves no commit
+        # marker; replay must treat the batch as never-happened.
+        journal = Journal()
+        self._txn(journal, commit=False)
+        assert journal.materialize() == empty_state()
+
+    def test_aborted_txn_is_skipped(self):
+        journal = Journal()
+        rec = self._txn(journal, commit=False)
+        journal.append("txn-abort", {"txn_seq": rec.seq})
+        assert journal.materialize() == empty_state()
+
+    def test_commit_for_unknown_txn_raises(self):
+        journal = Journal()
+        journal.append("txn-commit", {"txn_seq": 99})
+        with pytest.raises(JournalError, match="unknown"):
+            journal.materialize()
+
+
+class TestSerialisation:
+    def _populated(self):
+        journal = Journal(segment_bytes=256)
+        for i in range(10):
+            journal.append(*route_op(vni=i))
+        journal.snapshot(journal.materialize())
+        journal.append(*vm_op(vni=3))
+        return journal
+
+    def test_dump_load_roundtrip(self):
+        journal = self._populated()
+        loaded = Journal.load(journal.dump(), segment_bytes=256)
+        assert loaded.materialize() == journal.materialize()
+        assert loaded.next_seq == journal.next_seq
+        assert loaded.snapshot_seq == journal.snapshot_seq
+        assert loaded.dump() == journal.dump()
+
+    def test_equal_histories_dump_identically(self):
+        assert self._populated().dump() == self._populated().dump()
+
+    def test_load_rejects_corrupted_record(self):
+        data = bytearray(self._populated().dump())
+        pos = data.rindex(b"nc_ip")
+        data[pos:pos + 5] = b"nc_iq"
+        with pytest.raises(JournalCorruption):
+            Journal.load(bytes(data))
+
+    def test_load_rejects_missing_header(self):
+        with pytest.raises(JournalCorruption, match="SNAP"):
+            Journal.load(b"SEG|0\n")
+
+    def test_dump_header_checksummed(self):
+        data = self._populated().dump()
+        snap_line, rest = data.split(b"\n", 1)
+        broken = snap_line.replace(b'"version":', b'"versioM":') + b"\n" + rest
+        with pytest.raises(JournalCorruption, match="SNAP header"):
+            Journal.load(broken)

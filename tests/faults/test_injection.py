@@ -123,6 +123,64 @@ class TestWriteFaults:
         assert run(3) == run(3)
 
 
+class TestRemoveFaults:
+    """Delete-path interception: removes advance the same global write
+    index as installs and can be dropped or failed like any write."""
+
+    def test_dropped_route_remove_leaves_extra_route(self):
+        # The onboard is 8 clean writes; write 8 is the remove on gw0.
+        ctrl, plan, _ = armed_controller(
+            FaultSpec(FaultKind.DROP_ROUTE_WRITE, at_writes=(8,)))
+        cluster_id, routes, _vms = onboard(ctrl)
+        ctrl.remove_route(cluster_id, 100, routes[0].prefix)
+        findings = ctrl.consistency_check(cluster_id)
+        assert [(f.node, f.kind) for f in findings] == [
+            (f"{cluster_id}-gw0", "extra-route")
+        ]
+        assert plan.injected(FaultKind.DROP_ROUTE_WRITE) == 1
+
+    def test_reconcile_repairs_surviving_route(self):
+        ctrl, _plan, _ = armed_controller(
+            FaultSpec(FaultKind.DROP_ROUTE_WRITE, at_writes=(8,)))
+        cluster_id, routes, _vms = onboard(ctrl)
+        ctrl.remove_route(cluster_id, 100, routes[0].prefix)
+        engine = Engine()
+        ctrl.reconcile_loop(engine, interval=1.0, until=3.0)
+        engine.run()
+        assert ctrl.consistency_check(cluster_id) == []
+        gw = ctrl.clusters[cluster_id].members()[0].gateway
+        assert gw.route_count() == 0
+
+    def test_failed_route_remove_raises(self):
+        ctrl, plan, _ = armed_controller(
+            FaultSpec(FaultKind.FAIL_ROUTE_WRITE, at_writes=(8,)))
+        cluster_id, routes, _vms = onboard(ctrl)
+        with pytest.raises(TableError, match="injected fail-route-write"):
+            ctrl.remove_route(cluster_id, 100, routes[0].prefix)
+        assert plan.injected(FaultKind.FAIL_ROUTE_WRITE) == 1
+
+    def test_failed_vm_remove_raises(self):
+        ctrl, plan, _ = armed_controller(
+            FaultSpec(FaultKind.FAIL_VM_WRITE, at_writes=(8,)))
+        cluster_id, _routes, vms = onboard(ctrl)
+        with pytest.raises(TableError, match="injected fail-vm-write"):
+            ctrl.remove_vm(cluster_id, 100, vms[0].vm_ip, 4)
+        assert plan.injected(FaultKind.FAIL_VM_WRITE) == 1
+
+    def test_dropped_vm_remove_is_a_known_blind_spot(self):
+        # Extra VM bindings cannot be enumerated from the digest-compressed
+        # table, so a surviving binding is invisible to consistency_check —
+        # the documented one-way VM comparison.
+        ctrl, plan, _ = armed_controller(
+            FaultSpec(FaultKind.DROP_VM_WRITE, at_writes=(8,)))
+        cluster_id, _routes, vms = onboard(ctrl)
+        ctrl.remove_vm(cluster_id, 100, vms[0].vm_ip, 4)
+        gw = ctrl.clusters[cluster_id].members()[0].gateway
+        assert gw.split_vm_nc.lookup(100, vms[0].vm_ip, 4) is not None
+        assert ctrl.consistency_check(cluster_id) == []
+        assert plan.injected(FaultKind.DROP_VM_WRITE) == 1
+
+
 class TestScheduledFaults:
     def test_member_crash_goes_through_health(self):
         ctrl, plan, injector = armed_controller(

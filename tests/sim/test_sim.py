@@ -76,6 +76,45 @@ class TestEngine:
         eng.run()
         assert hits == ["first", "second"]
 
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        ticks = []
+        task = eng.schedule_every(1.0, lambda: ticks.append(eng.now))
+        task.cancel()
+        task.cancel()  # double-cancel is a no-op, not an error
+        assert task.cancelled
+        eng.run()
+        assert ticks == []
+
+    def test_cancel_purges_queued_tick_for_quiescence(self):
+        eng = Engine()
+        task = eng.schedule_every(1.0, lambda: None)
+        assert eng.pending() == 1
+        task.cancel()
+        # The queued tick is gone, so pending()==0 means truly idle.
+        assert eng.pending() == 0
+
+    def test_event_cancelling_its_own_series_stops_it(self):
+        eng = Engine()
+        holder = {}
+
+        def tick():
+            holder["task"].cancel()
+
+        holder["task"] = eng.schedule_every(1.0, tick)
+        eng.run()
+        assert holder["task"].fires == 1
+        assert eng.pending() == 0
+
+    def test_cancel_does_not_disturb_other_events(self):
+        eng = Engine()
+        hits = []
+        task = eng.schedule_every(1.0, lambda: hits.append("tick"))
+        eng.schedule(2.5, lambda: hits.append("other"))
+        task.cancel()
+        eng.run()
+        assert hits == ["other"]
+
     def test_step(self):
         eng = Engine()
         eng.schedule(1.0, lambda: None)
