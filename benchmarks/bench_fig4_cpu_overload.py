@@ -54,4 +54,21 @@ def test_fig4_cpu_overload(benchmark):
 
     flows = heavy_hitter_flows(100, gw.total_capacity_pps * 0.4, seed=4, alpha=1.4)
     pairs = [(f.flow, f.pps) for f in flows]
+
+    # Per-flow attribution (the offload decision input): processed +
+    # dropped must reconstruct each flow's offered rate, and the drops
+    # must concentrate on the saturated cores' flows — the head of the
+    # Zipf population, not the mice.
+    report = gw.serve_interval(pairs)
+    offered = report.flow_offered_pps()
+    processed = report.flow_processed_pps()
+    dropped = report.flow_dropped_pps()
+    for flow, pps in pairs:
+        assert offered[flow] == pytest.approx(pps)
+        assert processed[flow] + dropped[flow] == pytest.approx(pps)
+    assert sum(dropped.values()) == pytest.approx(report.dropped_pps)
+    top_flow = max(pairs, key=lambda p: p[1])[0]
+    assert dropped[top_flow] > 0.0  # the elephant's core is saturated
+    assert dropped[top_flow] == max(dropped.values())
+
     benchmark(gw.serve_interval, pairs)

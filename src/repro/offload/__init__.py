@@ -1,0 +1,41 @@
+"""Sketch-based heavy-hitter detection and capacity-aware traffic offload.
+
+The decision layer of the hybrid deployment: *which* traffic runs on
+XGW-H and which stays on XGW-x86. Sketches estimate per-VIP rates from
+interval observations, an EWMA detector with promote/demote hysteresis
+nominates migrations, and a capacity-aware scheduler executes them
+transactionally against the chip's compiler-reported SRAM/TCAM headroom.
+"""
+
+from .detector import (
+    Decision,
+    FlowState,
+    HeavyHitterDetector,
+    sweep_counter_rates,
+)
+from .loop import IntervalSnapshot, OffloadLoop, vip_of
+from .scheduler import (
+    ChipBudget,
+    OffloadedEntry,
+    OffloadScheduler,
+    VipKey,
+    entry_footprint,
+)
+from .sketch import CountMinSketch, SpaceSaving
+
+__all__ = [
+    "ChipBudget",
+    "CountMinSketch",
+    "Decision",
+    "FlowState",
+    "HeavyHitterDetector",
+    "IntervalSnapshot",
+    "OffloadLoop",
+    "OffloadScheduler",
+    "OffloadedEntry",
+    "SpaceSaving",
+    "VipKey",
+    "entry_footprint",
+    "sweep_counter_rates",
+    "vip_of",
+]

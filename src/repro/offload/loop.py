@@ -1,0 +1,169 @@
+"""The closed offload loop: measure → detect → migrate → measure again.
+
+This is the hybrid-deployment control loop the paper's architecture
+implies but never spells out: XGW-x86 boxes absorb the long tail while
+the detector watches their per-flow interval reports; the moment a VIP's
+smoothed rate crosses the promote threshold it is transactionally
+steered onto the XGW-H cluster, whose counter sweeps then keep feeding
+the same detector so cooled VIPs migrate back. One
+:class:`~repro.sim.engine.Engine` periodic task drives the whole cycle.
+
+Traffic accounting per interval:
+
+* flows whose :class:`~.scheduler.VipKey` is offloaded are served by the
+  XGW-H side — charged into a hardware :class:`CounterTable` (the
+  per-stage counters a Tofino sweep would read) and clipped at the
+  chip's packet budget;
+* the rest is RSS-sprayed over the x86 cluster's cores exactly as in the
+  Fig. 4/5 experiments, producing per-flow offered/processed/dropped
+  attribution;
+* both sides' rates merge into one observation for the detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.engine import Engine, PeriodicTask
+from ..tables.counter import CounterTable
+from ..workloads.flows import FlowSpec, split_flows_over_gateways
+from ..x86.gateway import IntervalReport, XgwX86
+from .detector import HeavyHitterDetector, sweep_counter_rates
+from .scheduler import OffloadScheduler, VipKey
+
+
+def vip_of(spec: FlowSpec) -> VipKey:
+    """The offload steering unit a flow belongs to."""
+    return VipKey(spec.vni, spec.flow.dst_ip, spec.flow.version)
+
+
+@dataclass
+class IntervalSnapshot:
+    """One loop interval's aggregate outcome (for benches/examples)."""
+
+    time: float
+    x86_offered_pps: float
+    x86_dropped_pps: float
+    x86_max_core_util: float
+    offloaded_pps: float
+    hw_dropped_pps: float
+
+    @property
+    def x86_loss(self) -> float:
+        return (self.x86_dropped_pps / self.x86_offered_pps
+                if self.x86_offered_pps else 0.0)
+
+    @property
+    def total_loss(self) -> float:
+        offered = self.x86_offered_pps + self.offloaded_pps
+        dropped = self.x86_dropped_pps + self.hw_dropped_pps
+        return dropped / offered if offered else 0.0
+
+
+class OffloadLoop:
+    """Wires detector + scheduler + both gateway substrates to an engine.
+
+    *workload* is called once per interval with the current engine time
+    and returns the interval's offered :class:`FlowSpec` population.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        x86_gateways: Sequence[XgwX86],
+        scheduler: OffloadScheduler,
+        detector: HeavyHitterDetector,
+        workload: Callable[[float], List[FlowSpec]],
+        interval: float = 1.0,
+    ):
+        if not x86_gateways:
+            raise ValueError("need at least one XGW-x86 box")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.x86_gateways = list(x86_gateways)
+        self.scheduler = scheduler
+        self.detector = detector
+        self.workload = workload
+        self.interval = interval
+        #: Per-stage hardware counters the XGW-H side sweeps each interval.
+        self.hw_counters = CounterTable("offload-hw")
+        self.snapshots: List[IntervalSnapshot] = []
+        #: Per-core utilisation (Fig. 4 style), "gw<i>/core-<j>" series.
+        self.core_series = self.scheduler.series  # one bundle for the run
+
+    # -- one interval -------------------------------------------------------
+
+    def _serve_x86(self, flows: Sequence[FlowSpec]) -> List[IntervalReport]:
+        buckets = split_flows_over_gateways(flows, len(self.x86_gateways))
+        reports = []
+        for gw, bucket in zip(self.x86_gateways, buckets):
+            reports.append(gw.serve_interval([(f.flow, f.pps) for f in bucket]))
+        return reports
+
+    def _serve_hw(self, flows: Sequence[FlowSpec]) -> float:
+        """Charge offloaded traffic to the chip; returns dropped pps.
+
+        The chip's pps budget dwarfs any single x86 box (Fig. 18b), so
+        drops only appear if offload overshoots the whole chip.
+        """
+        offered = sum(f.pps for f in flows)
+        capacity = min((gw.max_pps() for gw in self._hw_gateways()),
+                       default=float("inf"))
+        for spec in flows:
+            self.hw_counters.count_batch(vip_of(spec), int(spec.pps * self.interval))
+        return max(0.0, offered - capacity)
+
+    def _hw_gateways(self):
+        cluster = self.scheduler.controller.clusters[self.scheduler.cluster_id]
+        return [m.gateway for m in cluster.active_members()]
+
+    def tick(self) -> IntervalSnapshot:
+        now = self.engine.now
+        flows = self.workload(now)
+        offloaded = [f for f in flows if self.scheduler.is_offloaded(vip_of(f))]
+        residual = [f for f in flows if not self.scheduler.is_offloaded(vip_of(f))]
+
+        reports = self._serve_x86(residual)
+        hw_dropped = self._serve_hw(offloaded)
+
+        # Per-VIP rates: x86 attribution from the interval reports,
+        # hardware attribution from the counter sweep.
+        rates: Dict[VipKey, float] = {}
+        flow_to_vip = {f.flow: vip_of(f) for f in residual}
+        for report in reports:
+            for flow, pps in report.flow_offered_pps().items():
+                key = flow_to_vip[flow]
+                rates[key] = rates.get(key, 0.0) + pps
+        for key, pps in sweep_counter_rates(self.hw_counters, self.interval).items():
+            rates[key] = rates.get(key, 0.0) + pps
+
+        self.scheduler.refresh_rates(rates)
+        decisions = self.detector.observe(rates)
+        self.scheduler.apply(decisions, now)
+
+        snapshot = IntervalSnapshot(
+            time=now,
+            x86_offered_pps=sum(r.offered_pps for r in reports),
+            x86_dropped_pps=sum(r.dropped_pps for r in reports),
+            x86_max_core_util=max(
+                (u for r in reports for u in r.utilizations()), default=0.0),
+            offloaded_pps=sum(f.pps for f in offloaded),
+            hw_dropped_pps=hw_dropped,
+        )
+        self.snapshots.append(snapshot)
+        series = self.scheduler.series
+        series.record("x86-offered-pps", now, snapshot.x86_offered_pps)
+        series.record("x86-loss", now, snapshot.x86_loss)
+        series.record("x86-max-core-util", now, snapshot.x86_max_core_util)
+        for gw_index, report in enumerate(reports):
+            for core_index, util in enumerate(report.utilizations()):
+                series.record(f"gw{gw_index}/core-{core_index}", now, util)
+        return snapshot
+
+    # -- engine integration -------------------------------------------------
+
+    def start(self, until: Optional[float] = None) -> PeriodicTask:
+        """Register the loop on the engine; returns the cancel handle."""
+        return self.engine.schedule_every(self.interval, self.tick, until=until)

@@ -1,0 +1,332 @@
+"""Capacity-aware x86 → XGW-H traffic offload (§2.2 + §4.3 closed loop).
+
+The scheduler is the actuator behind the detector: promote decisions
+become steering routes installed on an XGW-H cluster, demote decisions
+withdraw them. Three invariants:
+
+* **never over-commit the chip** — before admitting an entry the
+  scheduler asks the Tofino :class:`~repro.tofino.compiler.Compiler` for
+  each member pipeline's remaining SRAM/TCAM headroom
+  (:class:`ChipBudget`) and refuses or evicts when the entry would not
+  fit everywhere the cluster replicates it;
+* **no partial migrations** — every route install/withdraw goes through
+  :meth:`Controller.transaction`, the two-phase prepare/commit path, so
+  a member fault or an injected ``CONTROLLER_CRASH`` mid-migration
+  leaves zero partial state (the transaction rolls back or never touches
+  a gateway);
+* **evict coldest first** — when headroom runs out and a hotter
+  candidate arrives, the offloaded entries with the lowest
+  sketch-estimated rates are demoted back to x86 until the candidate
+  fits.
+
+Every action (and every refusal) is appended to a canonical decision
+log; with a fixed seed the log is byte-identical run to run, which the
+offload-relief bench asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from ..core.controller import Controller, RouteEntry, TransactionAborted
+from ..core.journal import ControllerCrash
+from ..net.addr import Prefix
+from ..tables.geometry import MemoryFootprint, tcam_slices_for, VNI_BITS
+from ..telemetry.stats import CounterSet
+from ..telemetry.timeseries import SeriesBundle
+from ..tofino.compiler import Compiler
+from ..tofino.memory import SRAM_WORDS_PER_PIPELINE, TCAM_SLICES_PER_PIPELINE
+from ..tables.vxlan_routing import RouteAction, Scope
+from .detector import Decision, HeavyHitterDetector
+
+
+@dataclass(frozen=True)
+class VipKey:
+    """The offload unit: one tenant VIP (VNI + inner destination IP).
+
+    The VPC is the split unit for placement (§4.3); the VIP is the
+    steering unit for offload — fine enough to move a single elephant,
+    coarse enough that one entry covers a whole service endpoint.
+    """
+
+    vni: int
+    dst_ip: int
+    version: int = 4
+
+    @property
+    def prefix(self) -> Prefix:
+        bits = 32 if self.version == 4 else 128
+        return Prefix.of(self.dst_ip, bits, self.version)
+
+    def route(self) -> RouteEntry:
+        return RouteEntry(self.vni, self.prefix,
+                          RouteAction(Scope.LOCAL, target="offload"))
+
+    def label(self) -> str:
+        width = 8 if self.version == 4 else 32
+        return f"vni={self.vni}/ip={self.dst_ip:0{width}x}"
+
+
+#: Steering-entry cost: the (VNI, host IP) key in TCAM plus one SRAM
+#: action word — what the compiler charges per offloaded VIP.
+def entry_footprint(version: int = 4) -> MemoryFootprint:
+    key_bits = VNI_BITS + (32 if version == 4 else 128)
+    return MemoryFootprint(sram_words=1, tcam_slices=tcam_slices_for(key_bits))
+
+
+class ChipBudget:
+    """SRAM/TCAM headroom accounting over one XGW-H cluster.
+
+    Headroom is what the Tofino compiler reports as *unallocated* on the
+    tightest pipeline of the tightest member (entries replicate to every
+    member including the hot backup, so the minimum governs), minus a
+    safety reserve, optionally clamped to an explicit offload-table
+    budget (`sram_budget_words` / `tcam_budget_slices`) — the slice of
+    the chip the operator is willing to spend on steering entries.
+
+    >>> from repro.cluster.cluster import GatewayCluster
+    >>> from repro.core.xgw_h import XgwH
+    >>> cluster = GatewayCluster("A", [("gw0", XgwH(1))])
+    >>> budget = ChipBudget(cluster, sram_budget_words=10, tcam_budget_slices=20)
+    >>> budget.can_admit(entry_footprint())
+    True
+    """
+
+    def __init__(
+        self,
+        cluster,
+        reserve_fraction: float = 0.1,
+        sram_budget_words: Optional[int] = None,
+        tcam_budget_slices: Optional[int] = None,
+    ):
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        self.cluster = cluster
+        self.reserve_fraction = reserve_fraction
+        self.sram_budget_words = sram_budget_words
+        self.tcam_budget_slices = tcam_budget_slices
+        self.used = MemoryFootprint.zero()
+
+    def _compiler_free(self) -> MemoryFootprint:
+        """Min free words/slices across every member's pipelines, as the
+        compiler's occupancy view reports them."""
+        free_sram: Optional[int] = None
+        free_tcam: Optional[int] = None
+        for member in self.cluster.all_members():
+            chip = getattr(member.gateway, "chip", None)
+            if chip is None:  # pragma: no cover - non-XgwH member
+                continue
+            occupancy = Compiler(chip.fabric).occupancy()
+            for footprint in occupancy.values():
+                sram = SRAM_WORDS_PER_PIPELINE - footprint.sram_words
+                tcam = TCAM_SLICES_PER_PIPELINE - footprint.tcam_slices
+                free_sram = sram if free_sram is None else min(free_sram, sram)
+                free_tcam = tcam if free_tcam is None else min(free_tcam, tcam)
+        if free_sram is None:
+            free_sram, free_tcam = SRAM_WORDS_PER_PIPELINE, TCAM_SLICES_PER_PIPELINE
+        return MemoryFootprint(sram_words=free_sram, tcam_slices=free_tcam)
+
+    def capacity(self) -> MemoryFootprint:
+        """Words/slices the offload table may occupy in total."""
+        free = self._compiler_free()
+        sram = int(free.sram_words * (1.0 - self.reserve_fraction))
+        tcam = int(free.tcam_slices * (1.0 - self.reserve_fraction))
+        if self.sram_budget_words is not None:
+            sram = min(sram, self.sram_budget_words)
+        if self.tcam_budget_slices is not None:
+            tcam = min(tcam, self.tcam_budget_slices)
+        return MemoryFootprint(sram_words=sram, tcam_slices=tcam)
+
+    def headroom(self) -> MemoryFootprint:
+        cap = self.capacity()
+        return MemoryFootprint(
+            sram_words=cap.sram_words - self.used.sram_words,
+            tcam_slices=cap.tcam_slices - self.used.tcam_slices,
+        )
+
+    def can_admit(self, footprint: MemoryFootprint) -> bool:
+        head = self.headroom()
+        return (footprint.sram_words <= head.sram_words
+                and footprint.tcam_slices <= head.tcam_slices)
+
+    def charge(self, footprint: MemoryFootprint) -> None:
+        if not self.can_admit(footprint):
+            raise ValueError("charging past chip capacity (admission bug)")
+        self.used = self.used + footprint
+
+    def release(self, footprint: MemoryFootprint) -> None:
+        self.used = MemoryFootprint(
+            sram_words=self.used.sram_words - footprint.sram_words,
+            tcam_slices=self.used.tcam_slices - footprint.tcam_slices,
+        )
+
+    def occupancy(self) -> Dict[str, float]:
+        """Fractions of the offload budget currently used."""
+        cap = self.capacity()
+        return {
+            "sram": self.used.sram_words / cap.sram_words if cap.sram_words else 0.0,
+            "tcam": self.used.tcam_slices / cap.tcam_slices if cap.tcam_slices else 0.0,
+        }
+
+
+@dataclass
+class OffloadedEntry:
+    """One VIP currently steered to XGW-H."""
+
+    key: VipKey
+    footprint: MemoryFootprint
+    rate_pps: float  # latest sketch-estimated rate, for eviction order
+    since: float
+
+
+class OffloadScheduler:
+    """Migrates hot VIPs between an XGW-x86 cluster and an XGW-H cluster.
+
+    The scheduler owns the *placement* decision; the detector owns the
+    *rate* decision. ``apply`` consumes the detector's promote/demote
+    candidates and turns each into one transactional route migration.
+    """
+
+    def __init__(
+        self,
+        controller: Controller,
+        cluster_id: str,
+        budget: ChipBudget,
+        detector: Optional[HeavyHitterDetector] = None,
+    ):
+        self.controller = controller
+        self.cluster_id = cluster_id
+        self.budget = budget
+        self.detector = detector
+        self.offloaded: Dict[VipKey, OffloadedEntry] = {}
+        self.decision_log: List[str] = []
+        self.counters = CounterSet()
+        self.series = SeriesBundle()
+
+    # -- queries ------------------------------------------------------------
+
+    def is_offloaded(self, key: VipKey) -> bool:
+        return key in self.offloaded
+
+    def offloaded_keys(self) -> List[VipKey]:
+        return sorted(self.offloaded, key=lambda k: (k.vni, k.dst_ip, k.version))
+
+    def decision_log_text(self) -> str:
+        """The canonical, byte-stable decision log."""
+        return "\n".join(self.decision_log) + ("\n" if self.decision_log else "")
+
+    def _log(self, now: float, verb: str, key: VipKey, rate: float,
+             detail: str = "") -> None:
+        head = self.budget.used
+        cap = self.budget.capacity()
+        line = (f"t={now:.3f} {verb} {key.label()} rate={rate:.1f}pps "
+                f"sram={head.sram_words}/{cap.sram_words} "
+                f"tcam={head.tcam_slices}/{cap.tcam_slices}")
+        if detail:
+            line += f" {detail}"
+        self.decision_log.append(line)
+
+    # -- rate refresh -------------------------------------------------------
+
+    def refresh_rates(self, rates) -> None:
+        """Update offloaded entries' estimated rates (eviction ordering).
+
+        *rates* maps VipKey -> pps, typically from a hardware counter
+        sweep (:func:`~.detector.sweep_counter_rates`)."""
+        for key, entry in self.offloaded.items():
+            if key in rates:
+                entry.rate_pps = rates[key]
+
+    # -- migrations ---------------------------------------------------------
+
+    def _install(self, key: VipKey, now: float) -> bool:
+        """Two-phase install of one steering route; False on abort."""
+        route = key.route()
+        try:
+            with self.controller.transaction(self.cluster_id, time=now) as txn:
+                txn.install_route(route)
+        except (TransactionAborted, ControllerCrash) as exc:
+            self.counters.add("migrations_aborted")
+            self._log(now, "abort-promote", key, 0.0, detail=type(exc).__name__)
+            if self.detector is not None:
+                self.detector.mark_demoted(key)
+            return False
+        return True
+
+    def _withdraw(self, key: VipKey, now: float) -> bool:
+        try:
+            with self.controller.transaction(self.cluster_id, time=now) as txn:
+                txn.remove_route(key.vni, key.prefix)
+        except (TransactionAborted, ControllerCrash) as exc:
+            self.counters.add("migrations_aborted")
+            self._log(now, "abort-demote", key, 0.0, detail=type(exc).__name__)
+            return False
+        return True
+
+    def promote(self, key: VipKey, rate: float, now: float) -> bool:
+        """Admit one VIP onto the chip, evicting colder entries if needed."""
+        if key in self.offloaded:
+            return True
+        footprint = entry_footprint(key.version)
+        # Capacity-aware admission: make room by demoting the coldest
+        # offloaded entries — but only ones colder than the candidate.
+        while not self.budget.can_admit(footprint):
+            victim = self._coldest(max_rate=rate)
+            if victim is None:
+                self.counters.add("promotions_denied")
+                self._log(now, "deny-promote", key, rate, detail="no-headroom")
+                return False
+            self.demote(victim.key, victim.rate_pps, now, reason="evicted")
+        if not self._install(key, now):
+            return False
+        self.budget.charge(footprint)
+        self.offloaded[key] = OffloadedEntry(key, footprint, rate, now)
+        self.counters.add("promotions")
+        self._log(now, "promote", key, rate)
+        return True
+
+    def demote(self, key: VipKey, rate: float, now: float,
+               reason: str = "") -> bool:
+        """Withdraw one VIP's steering route back to x86."""
+        entry = self.offloaded.get(key)
+        if entry is None:
+            return True
+        if not self._withdraw(key, now):
+            return False
+        del self.offloaded[key]
+        self.budget.release(entry.footprint)
+        if self.detector is not None:
+            self.detector.mark_demoted(key)
+        self.counters.add("demotions")
+        self._log(now, "demote", key, rate, detail=reason)
+        return True
+
+    def _coldest(self, max_rate: float) -> Optional[OffloadedEntry]:
+        """The lowest-rate offloaded entry strictly colder than *max_rate*."""
+        candidates = [e for e in self.offloaded.values() if e.rate_pps < max_rate]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda e: (e.rate_pps, e.key.vni, e.key.dst_ip))
+
+    def apply(self, decisions: Sequence[Decision], now: float) -> None:
+        """Execute one interval's detector decisions (demotes first, so
+        freed headroom is available to the promotes)."""
+        for decision in decisions:
+            if decision.kind == "demote":
+                self.demote(decision.key, decision.rate_pps, now, reason="cold")
+        for decision in decisions:
+            if decision.kind == "promote":
+                self.promote(decision.key, decision.rate_pps, now)
+        self.record_telemetry(now)
+
+    # -- telemetry ----------------------------------------------------------
+
+    def record_telemetry(self, now: float) -> None:
+        occ = self.budget.occupancy()
+        self.series.record("offloaded-entries", now, float(len(self.offloaded)))
+        self.series.record("offloaded-pps", now,
+                           sum(e.rate_pps for e in self.offloaded.values()))
+        self.series.record("chip-sram-occupancy", now, occ["sram"])
+        self.series.record("chip-tcam-occupancy", now, occ["tcam"])

@@ -1,0 +1,216 @@
+"""Streaming heavy-hitter detection structures (§2.2 measurement plane).
+
+Deciding *which* traffic belongs on XGW-H needs per-flow rate estimates
+at a scale where exact per-flow state is unaffordable — the paper's
+production gateways carry millions of concurrent flows. Programmable
+switches solve this with per-stage counter arrays swept by the control
+plane; on the x86 side the same role falls to DPDK-polled SW counters.
+Both are stood in for here by two classic sketches:
+
+* :class:`CountMinSketch` — a seeded count-min sketch with optional
+  conservative update. For width ``w`` and depth ``d`` the standard
+  guarantees hold: estimates never under-count, and for any key the
+  over-count exceeds ``ε·N`` (``ε = e/w``, ``N`` = total stream weight)
+  with probability at most ``δ = e^-d``. Conservative update only
+  tightens the over-count; neither bound is weakened.
+* :class:`SpaceSaving` — the space-saving top-k tracker: with capacity
+  ``c`` every key whose true weight exceeds ``N/c`` is guaranteed to be
+  tracked, and each tracked key carries an explicit per-key error bound
+  (``estimate - error <= true <= estimate``).
+
+Hashing is derived from an explicit seed (``blake2b`` over the key's
+canonical bytes, salted per row), so runs are reproducible bit for bit
+regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from ..tables.geometry import MemoryFootprint, sram_words_for
+
+
+def _key_bytes(key: Hashable) -> bytes:
+    """A canonical byte encoding of *key* (stable across processes)."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode()
+    if isinstance(key, int):
+        return key.to_bytes((key.bit_length() + 8) // 8 or 1, "big", signed=True)
+    return repr(key).encode()
+
+
+class CountMinSketch:
+    """A seeded count-min sketch over arbitrary hashable keys.
+
+    >>> cms = CountMinSketch(width=64, depth=4, seed=7)
+    >>> cms.update("vip-1", 100.0)
+    100.0
+    >>> cms.estimate("vip-1") >= 100.0
+    True
+    >>> cms.estimate("never-seen")
+    0.0
+    """
+
+    #: SRAM bits per cell, as the chip would provision them (32-bit
+    #: counters per stage-local array).
+    CELL_BITS = 32
+
+    def __init__(self, width: int = 2048, depth: int = 4, seed: Hashable = 0,
+                 conservative: bool = True):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.conservative = conservative
+        self._rows: List[List[float]] = [[0.0] * width for _ in range(depth)]
+        self._salts = [
+            hashlib.blake2b(
+                f"cms|{seed!r}|{row}".encode(), digest_size=16
+            ).digest()
+            for row in range(depth)
+        ]
+        self.total = 0.0
+
+    @property
+    def epsilon(self) -> float:
+        """Additive over-estimate factor: error <= epsilon * total."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Probability the epsilon bound fails for any one key."""
+        return math.exp(-self.depth)
+
+    def _indices(self, key: Hashable) -> List[int]:
+        data = _key_bytes(key)
+        return [
+            int.from_bytes(
+                hashlib.blake2b(data, digest_size=8, key=salt).digest(), "big"
+            ) % self.width
+            for salt in self._salts
+        ]
+
+    def update(self, key: Hashable, count: float = 1.0) -> float:
+        """Add *count* for *key*; returns the new estimate."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.total += count
+        indices = self._indices(key)
+        if self.conservative:
+            # Conservative update: raise each row only as far as the new
+            # lower bound requires, never past it.
+            estimate = min(row[i] for row, i in zip(self._rows, indices))
+            target = estimate + count
+            for row, i in zip(self._rows, indices):
+                if row[i] < target:
+                    row[i] = target
+            return target
+        for row, i in zip(self._rows, indices):
+            row[i] += count
+        return min(row[i] for row, i in zip(self._rows, indices))
+
+    def estimate(self, key: Hashable) -> float:
+        """The (never under-counting) estimate of *key*'s total weight."""
+        return min(row[i] for row, i in zip(self._rows, self._indices(key)))
+
+    def error_bound(self) -> float:
+        """The additive bound holding per key with probability 1 - delta."""
+        return self.epsilon * self.total
+
+    def reset(self) -> None:
+        """Clear all cells (the control plane's per-interval sweep)."""
+        for row in self._rows:
+            for i in range(self.width):
+                row[i] = 0.0
+        self.total = 0.0
+
+    def footprint(self) -> MemoryFootprint:
+        """SRAM the chip would spend on this sketch's counter arrays."""
+        cells = self.width * self.depth
+        return MemoryFootprint(sram_words=cells * sram_words_for(self.CELL_BITS))
+
+
+@dataclass
+class TrackedKey:
+    """One space-saving slot: estimate and its worst-case over-count."""
+
+    key: Hashable
+    count: float
+    error: float
+    seq: int  # insertion sequence, the deterministic tie-breaker
+
+
+class SpaceSaving:
+    """The space-saving top-k heavy-hitter tracker (Metwally et al.).
+
+    Keeps at most *capacity* keys. On overflow the minimum-count slot is
+    recycled: the new key inherits that count as its error bound, so
+    ``count - error <= true <= count`` always holds for tracked keys.
+
+    >>> ss = SpaceSaving(capacity=2)
+    >>> for key, n in [("a", 50), ("b", 30)]:
+    ...     ss.update(key, n)
+    >>> [key for key, _est, _err in ss.top(2)]
+    ['a', 'b']
+    >>> ss.update("c", 2)  # full: recycles the min slot (b's count = error)
+    >>> ss.top(2)
+    [('a', 50, 0.0), ('c', 32, 30)]
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: Dict[Hashable, TrackedKey] = {}
+        self._seq = 0
+        self.total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._slots
+
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.total += count
+        slot = self._slots.get(key)
+        if slot is not None:
+            slot.count += count
+            return
+        self._seq += 1
+        if len(self._slots) < self.capacity:
+            self._slots[key] = TrackedKey(key, count, 0.0, self._seq)
+            return
+        # Recycle the minimum slot; ties broken by insertion order then
+        # canonical key bytes so eviction is deterministic.
+        victim = min(
+            self._slots.values(),
+            key=lambda s: (s.count, s.seq, _key_bytes(s.key)),
+        )
+        del self._slots[victim.key]
+        self._slots[key] = TrackedKey(key, victim.count + count, victim.count,
+                                      self._seq)
+
+    def estimate(self, key: Hashable) -> float:
+        slot = self._slots.get(key)
+        return slot.count if slot is not None else 0.0
+
+    def top(self, k: int) -> List[Tuple[Hashable, float, float]]:
+        """The *k* heaviest tracked keys as (key, estimate, error)."""
+        ordered = sorted(
+            self._slots.values(),
+            key=lambda s: (-s.count, s.seq, _key_bytes(s.key)),
+        )
+        return [(s.key, s.count, s.error) for s in ordered[:k]]
+
+    def guaranteed_threshold(self) -> float:
+        """Any key with true weight above this is certainly tracked."""
+        return self.total / self.capacity

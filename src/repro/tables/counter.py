@@ -45,6 +45,23 @@ class CounterTable:
         cell.packets += 1
         cell.bytes += size
 
+    def count_batch(self, key: Hashable, packets: int, total_bytes: int = 0) -> None:
+        """Charge a whole interval's traffic to *key* in one update — how
+        a simulation interval (not a per-packet pipeline) feeds counters.
+
+        >>> counters = CounterTable()
+        >>> counters.count_batch("vip:1", 1000, 128_000)
+        >>> counters.read("vip:1").packets
+        1000
+        """
+        if packets < 0 or total_bytes < 0:
+            raise ValueError("packets and bytes must be non-negative")
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = CounterCell()
+        cell.packets += packets
+        cell.bytes += total_bytes
+
     def read(self, key: Hashable) -> CounterCell:
         """Read (a live reference to) the cell for *key*; zeros if unseen."""
         return self._cells.get(key, CounterCell())

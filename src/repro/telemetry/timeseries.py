@@ -85,6 +85,42 @@ class TimeSeries:
         out.record(current_bucket * bucket, current_max)
         return out
 
+    def resample_mean(self, bucket: float) -> "TimeSeries":
+        """Mean-downsample into fixed *bucket*-wide intervals.
+
+        The counterpart of :meth:`resample_max` for rate series: the
+        offload detector wants the *average* per-bucket rate (a decision
+        input), not the spike envelope (a loss diagnostic).
+
+        >>> ts = TimeSeries("pps")
+        >>> for i in range(4):
+        ...     ts.record(i * 0.5, float(i))
+        >>> list(ts.resample_mean(1.0).points())
+        [(0.0, 0.5), (1.0, 2.5)]
+        >>> list(ts.resample_mean(2.0).points())
+        [(0.0, 1.5)]
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        out = TimeSeries(self.name)
+        if not self._times:
+            return out
+        current_bucket = None
+        total = 0.0
+        count = 0
+        for t, v in zip(self._times, self._values):
+            b = int(t // bucket)
+            if current_bucket is None:
+                current_bucket, total, count = b, v, 1
+            elif b == current_bucket:
+                total += v
+                count += 1
+            else:
+                out.record(current_bucket * bucket, total / count)
+                current_bucket, total, count = b, v, 1
+        out.record(current_bucket * bucket, total / count)
+        return out
+
     def points(self) -> Iterable[Tuple[float, float]]:
         return zip(self._times, self._values)
 
@@ -114,8 +150,14 @@ class SeriesBundle:
         return self._series[name]
 
     def top_by_mean(self, n: int) -> List[TimeSeries]:
-        """The *n* series with the highest mean value (Fig. 4 top-5 cores)."""
+        """The *n* series with the highest mean value (Fig. 4 top-5 cores).
+
+        Deterministic: ties (and empty series, which rank as 0.0) are
+        broken by series name, so the top-5-core plots are stable run to
+        run regardless of dict insertion order.
+        """
         ordered = sorted(
-            self._series.values(), key=lambda s: s.mean() if len(s) else 0.0, reverse=True
+            self._series.values(),
+            key=lambda s: (-(s.mean() if len(s) else 0.0), s.name),
         )
         return ordered[:n]

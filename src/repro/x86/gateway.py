@@ -48,6 +48,35 @@ class IntervalReport:
     def utilizations(self) -> List[float]:
         return [ci.utilization for ci in self.core_intervals]
 
+    # -- per-flow attribution (offload decision input) ---------------------
+    #
+    # RSS pins each flow to one core; within a core, drops are
+    # proportional across flows (the RX queue overflows without regard
+    # to ownership), so a flow's share of its core's offered load is
+    # also its share of the processed and dropped rates. This is what
+    # lets the heavy-hitter detector attribute loss to specific flows
+    # instead of only seeing the aggregate.
+
+    def _per_flow(self, field_name: str) -> Dict[FlowKey, float]:
+        out: Dict[FlowKey, float] = {}
+        for ci in self.core_intervals:
+            total = getattr(ci, field_name)
+            for flow, share in ci.flow_share.items():
+                out[flow] = out.get(flow, 0.0) + share * total
+        return out
+
+    def flow_offered_pps(self) -> Dict[FlowKey, float]:
+        """Per-flow offered rate over the interval."""
+        return self._per_flow("offered_pps")
+
+    def flow_processed_pps(self) -> Dict[FlowKey, float]:
+        """Per-flow processed rate (offered minus attributed drops)."""
+        return self._per_flow("processed_pps")
+
+    def flow_dropped_pps(self) -> Dict[FlowKey, float]:
+        """Per-flow dropped rate — who is actually losing packets."""
+        return self._per_flow("dropped_pps")
+
 
 class XgwX86:
     """One software gateway box.

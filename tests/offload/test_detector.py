@@ -1,0 +1,163 @@
+"""Tests for EWMA smoothing and promote/demote hysteresis."""
+
+import pytest
+
+from repro.offload.detector import (
+    Decision,
+    FlowState,
+    HeavyHitterDetector,
+    sweep_counter_rates,
+)
+from repro.sim.engine import Engine
+from repro.tables.counter import CounterTable
+
+
+def detector(**kwargs):
+    defaults = dict(theta_hi=100.0, theta_lo=40.0, promote_after=2,
+                    demote_after=3, ewma_alpha=1.0)
+    defaults.update(kwargs)
+    return HeavyHitterDetector(**defaults)
+
+
+class TestHysteresis:
+    def test_promote_needs_consecutive_intervals(self):
+        det = detector(promote_after=3)
+        assert det.observe({"v": 500.0}) == []
+        assert det.observe({"v": 500.0}) == []
+        decisions = det.observe({"v": 500.0})
+        assert [d.kind for d in decisions] == ["promote"]
+        assert det.state_of("v") is FlowState.HOT
+
+    def test_one_cold_interval_resets_promote_streak(self):
+        det = detector(promote_after=2)
+        det.observe({"v": 500.0})
+        det.observe({"v": 10.0})  # streak broken
+        assert det.observe({"v": 500.0}) == []
+        assert [d.kind for d in det.observe({"v": 500.0})] == ["promote"]
+
+    def test_demote_needs_consecutive_intervals(self):
+        det = detector(promote_after=1, demote_after=2)
+        det.observe({"v": 500.0})
+        assert det.state_of("v") is FlowState.HOT
+        assert det.observe({"v": 10.0}) == []
+        decisions = det.observe({"v": 10.0})
+        assert [d.kind for d in decisions] == ["demote"]
+        assert det.state_of("v") is FlowState.COLD
+
+    def test_band_between_thresholds_is_sticky(self):
+        """Rates inside (theta_lo, theta_hi) change nothing either way."""
+        det = detector(promote_after=1, demote_after=1)
+        det.observe({"v": 500.0})
+        for _ in range(5):
+            assert det.observe({"v": 70.0}) == []  # between 40 and 100
+        assert det.state_of("v") is FlowState.HOT
+
+    def test_oscillation_around_theta_hi_migrates_at_most_once(self):
+        """The acceptance scenario: a flow flapping around theta_hi
+        promotes once and never comes back down (it never dips below
+        theta_lo), so each direction sees at most one migration."""
+        det = detector(promote_after=2, demote_after=2)
+        kinds = []
+        for i in range(40):
+            rate = 120.0 if i % 2 == 0 else 85.0  # around theta_hi=100
+            kinds += [d.kind for d in det.observe({"v": rate})]
+        assert kinds.count("promote") <= 1
+        assert kinds.count("demote") == 0
+
+    def test_disappeared_key_decays_to_demote(self):
+        det = detector(promote_after=1, demote_after=2)
+        det.observe({"v": 500.0})
+        det.observe({})  # key vanished: observed rate 0
+        decisions = det.observe({})
+        assert [d.kind for d in decisions] == ["demote"]
+
+    def test_mark_demoted_restarts_hysteresis(self):
+        det = detector(promote_after=2)
+        det.observe({"v": 500.0})
+        det.observe({"v": 500.0})
+        assert det.state_of("v") is FlowState.HOT
+        det.mark_demoted("v")
+        assert det.state_of("v") is FlowState.COLD
+        # Must re-earn the full promote streak.
+        assert det.observe({"v": 500.0}) == []
+        assert [d.kind for d in det.observe({"v": 500.0})] == ["promote"]
+
+
+class TestSmoothing:
+    def test_first_sample_seeds_ewma(self):
+        det = detector(ewma_alpha=0.5)
+        det.observe({"v": 200.0})
+        assert det.smoothed_rate("v") == pytest.approx(200.0)
+
+    def test_ewma_blends(self):
+        det = detector(ewma_alpha=0.5, promote_after=99)
+        det.observe({"v": 200.0})
+        det.observe({"v": 100.0})
+        assert det.smoothed_rate("v") == pytest.approx(150.0)
+
+    def test_burst_does_not_trigger_with_small_alpha(self):
+        """One bursty interval cannot promote when smoothing is slow."""
+        det = detector(ewma_alpha=0.1, promote_after=1)
+        det.observe({"v": 10.0})
+        # Raw 500 is 5x theta_hi, but smoothed: 0.1*500 + 0.9*10 = 59.
+        assert det.observe({"v": 500.0}) == []
+        assert det.smoothed_rate("v") == pytest.approx(59.0)
+
+
+class TestDecisionShape:
+    def test_decisions_sorted_hot_first(self):
+        det = detector(promote_after=1)
+        decisions = det.observe({"small": 150.0, "big": 900.0})
+        assert [d.key for d in decisions] == ["big", "small"]
+        assert all(isinstance(d, Decision) for d in decisions)
+
+    def test_rates_pass_through_the_sketch(self):
+        det = detector(promote_after=1)
+        # The decision rate is the sketch estimate (>= true rate).
+        decisions = det.observe({"v": 500.0})
+        assert decisions[0].rate_pps >= 500.0
+
+    def test_idle_cold_tracks_are_dropped(self):
+        det = detector()
+        det.observe({f"k{i}": 1.0 for i in range(10)})
+        det.observe({})
+        det.observe({})
+        assert det.hot_keys() == []
+        assert len(det._tracks) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterDetector(theta_hi=10.0, theta_lo=20.0)
+        with pytest.raises(ValueError):
+            HeavyHitterDetector(theta_hi=10.0, theta_lo=5.0, promote_after=0)
+        with pytest.raises(ValueError):
+            HeavyHitterDetector(theta_hi=10.0, theta_lo=5.0, ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            detector().observe({"v": -1.0})
+
+
+class TestEngineIntegration:
+    def test_attach_drives_observations(self):
+        engine = Engine()
+        det = detector(promote_after=2)
+        sunk = []
+        det.attach(engine, interval=1.0, source=lambda: {"v": 500.0},
+                   sink=sunk.extend, until=5.0)
+        engine.run(until=5.0)
+        assert [d.kind for d in sunk] == ["promote"]
+        assert det.interval_index == 5
+
+
+class TestCounterSweep:
+    def test_sweep_converts_and_clears(self):
+        counters = CounterTable()
+        counters.count_batch("a", 500, 64_000)
+        counters.count_batch("b", 100)
+        rates = sweep_counter_rates(counters, interval=0.5)
+        assert rates == {"a": 1000.0, "b": 200.0}
+        assert counters.read("a").packets == 0
+        assert len(counters) == 0
+
+    def test_sweep_validates_interval(self):
+        with pytest.raises(ValueError):
+            sweep_counter_rates(CounterTable(), 0.0)

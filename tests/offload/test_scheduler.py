@@ -1,0 +1,241 @@
+"""Tests for capacity-aware admission and transactional migrations."""
+
+import pytest
+
+from tests.faults.helpers import make_controller, onboard
+
+from repro.cluster.cluster import GatewayCluster
+from repro.core.controller import Controller
+from repro.core.journal import ControllerCrash, Journal
+from repro.core.splitting import ClusterCapacity, TableSplitter
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.xgw_h import XgwH
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.offload.detector import FlowState, HeavyHitterDetector
+from repro.offload.scheduler import (
+    ChipBudget,
+    OffloadScheduler,
+    VipKey,
+    entry_footprint,
+)
+from repro.tables.geometry import MemoryFootprint
+
+
+def build(sram=8, tcam=64, **detector_kwargs):
+    ctrl = make_controller()
+    cluster_id, _routes, _vms = onboard(ctrl, vni=1000)
+    budget = ChipBudget(ctrl.clusters[cluster_id], sram_budget_words=sram,
+                        tcam_budget_slices=tcam)
+    detector = None
+    if detector_kwargs:
+        detector = HeavyHitterDetector(**detector_kwargs)
+    sched = OffloadScheduler(ctrl, cluster_id, budget, detector=detector)
+    return ctrl, cluster_id, sched
+
+
+def vip(i=1):
+    return VipKey(1000, 0x0A0000FF + i)
+
+
+def steering_routes(cluster):
+    """The offload steering routes visible on each member, as sets."""
+    out = []
+    for member in cluster.all_members():
+        out.append({(v, p) for v, p, a in member.gateway.tables.routing.items()
+                    if a.target == "offload"})
+    return out
+
+
+class TestChipBudget:
+    def test_capacity_honours_explicit_budget(self):
+        _ctrl, _cid, sched = build(sram=8, tcam=64)
+        cap = sched.budget.capacity()
+        assert cap.sram_words == 8 and cap.tcam_slices == 64
+
+    def test_compiler_free_caps_without_budget(self):
+        cluster = GatewayCluster("A", [("gw0", XgwH(1))])
+        budget = ChipBudget(cluster, reserve_fraction=0.25)
+        free = budget._compiler_free()
+        cap = budget.capacity()
+        assert cap.sram_words == int(free.sram_words * 0.75)
+        assert cap.tcam_slices == int(free.tcam_slices * 0.75)
+
+    def test_charge_and_release_roundtrip(self):
+        _ctrl, _cid, sched = build()
+        fp = entry_footprint()
+        before = sched.budget.headroom()
+        sched.budget.charge(fp)
+        assert sched.budget.headroom().sram_words == before.sram_words - 1
+        sched.budget.release(fp)
+        assert sched.budget.headroom().sram_words == before.sram_words
+
+    def test_charge_past_capacity_raises(self):
+        _ctrl, _cid, sched = build(sram=1)
+        sched.budget.charge(entry_footprint())
+        with pytest.raises(ValueError):
+            sched.budget.charge(entry_footprint())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipBudget(None, reserve_fraction=1.0)
+
+
+class TestMigrations:
+    def test_promote_installs_on_every_member(self):
+        ctrl, cid, sched = build()
+        assert sched.promote(vip(), 5000.0, now=1.0)
+        assert sched.is_offloaded(vip())
+        for routes in steering_routes(ctrl.clusters[cid]):
+            assert (1000, vip().prefix) in routes
+        assert ctrl.consistency_check(cid) == []
+
+    def test_demote_withdraws_everywhere(self):
+        ctrl, cid, sched = build()
+        sched.promote(vip(), 5000.0, now=1.0)
+        assert sched.demote(vip(), 10.0, now=2.0)
+        for routes in steering_routes(ctrl.clusters[cid]):
+            assert routes == set()
+        assert not sched.is_offloaded(vip())
+        assert sched.budget.used == MemoryFootprint.zero()
+
+    def test_promote_idempotent(self):
+        _ctrl, _cid, sched = build()
+        sched.promote(vip(), 5000.0, now=1.0)
+        assert sched.promote(vip(), 6000.0, now=2.0)
+        assert sched.counters["promotions"] == 1
+
+    def test_demote_unknown_is_noop(self):
+        _ctrl, _cid, sched = build()
+        assert sched.demote(vip(9), 0.0, now=1.0)
+        assert sched.counters["demotions"] == 0
+
+
+class TestCapacityAwareAdmission:
+    def test_never_overcommits(self):
+        """With room for 2 entries, a third hotter VIP evicts the
+        coldest; the budget never exceeds capacity."""
+        _ctrl, _cid, sched = build(sram=2)
+        sched.promote(vip(1), 1000.0, now=1.0)
+        sched.promote(vip(2), 2000.0, now=1.0)
+        assert sched.promote(vip(3), 3000.0, now=2.0)
+        assert sched.offloaded_keys() == [vip(2), vip(3)]
+        assert sched.budget.used.sram_words <= sched.budget.capacity().sram_words
+
+    def test_eviction_is_coldest_first(self):
+        _ctrl, _cid, sched = build(sram=3)
+        sched.promote(vip(1), 500.0, now=1.0)
+        sched.promote(vip(2), 100.0, now=1.0)  # coldest
+        sched.promote(vip(3), 900.0, now=1.0)
+        sched.promote(vip(4), 800.0, now=2.0)
+        assert vip(2) not in sched.offloaded
+        assert vip(1) in sched.offloaded
+
+    def test_denied_when_nothing_colder(self):
+        _ctrl, _cid, sched = build(sram=1)
+        sched.promote(vip(1), 9000.0, now=1.0)
+        assert not sched.promote(vip(2), 50.0, now=2.0)
+        assert sched.counters["promotions_denied"] == 1
+        assert sched.offloaded_keys() == [vip(1)]
+        assert any("deny-promote" in line and "no-headroom" in line
+                   for line in sched.decision_log)
+
+    def test_eviction_resets_detector_state(self):
+        ctrl, cid, sched = build(sram=1, theta_hi=100.0, theta_lo=40.0,
+                                 promote_after=1, ewma_alpha=1.0)
+        det = sched.detector
+        det.observe({vip(1): 500.0})
+        sched.promote(vip(1), 500.0, now=1.0)
+        det.observe({vip(2): 900.0})
+        sched.promote(vip(2), 900.0, now=2.0)  # evicts vip(1)
+        assert det.state_of(vip(1)) is FlowState.COLD
+
+
+class TestCrashSafety:
+    def arm(self, ctrl, *specs, seed=11):
+        ctrl.journal = Journal()
+        plan = FaultPlan(seed=seed, specs=list(specs))
+        FaultInjector(plan).arm_controller(ctrl)
+        return plan
+
+    def test_controller_crash_mid_promote_leaves_zero_partial_state(self):
+        ctrl, cid, sched = build()
+        # The injector counts from arming: the promote txn is mutation 0.
+        plan = self.arm(ctrl, FaultSpec(FaultKind.CONTROLLER_CRASH,
+                                        at_mutations=(0,)))
+        assert not sched.promote(vip(), 5000.0, now=1.0)
+        assert plan.injected(FaultKind.CONTROLLER_CRASH) == 1
+        # Zero partial state: nothing offloaded, no budget charged, no
+        # steering route on any member (the crash hit before prepare).
+        assert sched.offloaded == {}
+        assert sched.budget.used == MemoryFootprint.zero()
+        for routes in steering_routes(ctrl.clusters[cid]):
+            assert routes == set()
+        assert sched.counters["migrations_aborted"] == 1
+        assert any("abort-promote" in line and "ControllerCrash" in line
+                   for line in sched.decision_log)
+
+    def test_recovery_after_crash_converges(self):
+        """Recovery replays the journal; the uncommitted migration txn
+        is discarded (all-or-nothing), the cluster converges with zero
+        partial routes, and the migration can simply be retried."""
+        ctrl, cid, sched = build()
+        self.arm(ctrl, FaultSpec(FaultKind.CONTROLLER_CRASH, at_mutations=(0,)))
+        assert not sched.promote(vip(), 5000.0, now=1.0)
+
+        recovered = Controller(
+            TableSplitter(ClusterCapacity(routes=50, vms=500, traffic_bps=1e13)),
+            VniSteeredBalancer(),
+            clusters=ctrl.clusters,
+        )
+        recovered.recover(ctrl.journal)
+        assert recovered.consistency_check(cid) == []
+        # The crashed txn never committed, so no member carries it.
+        for routes in steering_routes(recovered.clusters[cid]):
+            assert routes == set()
+        # The detector will renominate next interval; the retried
+        # migration goes through cleanly on the recovered controller.
+        budget = ChipBudget(recovered.clusters[cid], sram_budget_words=8,
+                            tcam_budget_slices=64)
+        retry = OffloadScheduler(recovered, cid, budget)
+        assert retry.promote(vip(), 5000.0, now=2.0)
+        assert recovered.consistency_check(cid) == []
+
+    def test_crash_mid_demote_keeps_entry_consistent(self):
+        ctrl, cid, sched = build()
+        sched.promote(vip(), 5000.0, now=1.0)
+        # Arm after the promote: the demote txn is mutation 0.
+        self.arm(ctrl, FaultSpec(FaultKind.CONTROLLER_CRASH, at_mutations=(0,)))
+        assert not sched.demote(vip(), 10.0, now=2.0)
+        # The entry stays offloaded and installed everywhere — no member
+        # saw a partial withdraw.
+        assert sched.is_offloaded(vip())
+        for routes in steering_routes(ctrl.clusters[cid]):
+            assert (1000, vip().prefix) in routes
+
+
+class TestDecisionLog:
+    def run_sequence(self):
+        _ctrl, _cid, sched = build(sram=2)
+        sched.promote(vip(1), 1000.0, now=1.0)
+        sched.promote(vip(2), 2000.0, now=1.0)
+        sched.promote(vip(3), 3000.0, now=2.0)
+        sched.demote(vip(3), 20.0, now=3.0, reason="cold")
+        return sched.decision_log_text()
+
+    def test_byte_identical_across_runs(self):
+        assert self.run_sequence() == self.run_sequence()
+
+    def test_log_lines_are_canonical(self):
+        text = self.run_sequence()
+        for line in text.splitlines():
+            assert line.startswith("t=")
+            assert " sram=" in line and " tcam=" in line
+
+    def test_telemetry_series_recorded(self):
+        _ctrl, _cid, sched = build()
+        sched.promote(vip(), 5000.0, now=1.0)
+        sched.apply([], now=2.0)
+        for name in ("offloaded-entries", "offloaded-pps",
+                     "chip-sram-occupancy", "chip-tcam-occupancy"):
+            assert name in sched.series
+        assert sched.series["offloaded-entries"].value_at(2.0) == 1.0

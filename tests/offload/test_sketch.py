@@ -1,0 +1,159 @@
+"""Tests for the count-min sketch and space-saving tracker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.offload.sketch import CountMinSketch, SpaceSaving
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cms = CountMinSketch(width=32, depth=4, seed=1)
+        truth = {}
+        for i in range(500):
+            key = f"flow-{i % 80}"
+            cms.update(key, float(i % 7))
+            truth[key] = truth.get(key, 0.0) + float(i % 7)
+        for key, true in truth.items():
+            assert cms.estimate(key) >= true
+
+    def test_exact_without_collisions(self):
+        cms = CountMinSketch(width=4096, depth=4, seed=0)
+        cms.update("a", 10.0)
+        cms.update("b", 20.0)
+        assert cms.estimate("a") == 10.0
+        assert cms.estimate("b") == 20.0
+        assert cms.estimate("c") == 0.0
+
+    def test_conservative_update_never_looser(self):
+        """Same stream through plain and conservative sketches: the
+        conservative estimates are <= the plain ones, key by key."""
+        plain = CountMinSketch(width=16, depth=3, seed=5, conservative=False)
+        cons = CountMinSketch(width=16, depth=3, seed=5, conservative=True)
+        stream = [(f"k{i % 40}", float(1 + i % 5)) for i in range(400)]
+        truth = {}
+        for key, n in stream:
+            plain.update(key, n)
+            cons.update(key, n)
+            truth[key] = truth.get(key, 0.0) + n
+        for key, true in truth.items():
+            assert true <= cons.estimate(key) <= plain.estimate(key)
+
+    def test_documented_bounds(self):
+        import math
+        cms = CountMinSketch(width=100, depth=5)
+        assert cms.epsilon == pytest.approx(math.e / 100)
+        assert cms.delta == pytest.approx(math.exp(-5))
+        cms.update("x", 50.0)
+        assert cms.error_bound() == pytest.approx(cms.epsilon * 50.0)
+
+    def test_reset_clears(self):
+        cms = CountMinSketch(width=8, depth=2)
+        cms.update("x", 5.0)
+        cms.reset()
+        assert cms.estimate("x") == 0.0
+        assert cms.total == 0.0
+
+    def test_seed_determinism(self):
+        a = CountMinSketch(width=8, depth=2, seed=3)
+        b = CountMinSketch(width=8, depth=2, seed=3)
+        c = CountMinSketch(width=8, depth=2, seed=4)
+        for cms in (a, b, c):
+            for i in range(100):
+                cms.update(f"k{i}", 1.0)
+        assert [a.estimate(f"k{i}") for i in range(100)] == \
+            [b.estimate(f"k{i}") for i in range(100)]
+        # A different seed permutes collisions (not required, but with
+        # 100 keys in 16 cells it would be astonishing otherwise).
+        assert [a.estimate(f"k{i}") for i in range(100)] != \
+            [c.estimate(f"k{i}") for i in range(100)]
+
+    def test_footprint_scales_with_cells(self):
+        small = CountMinSketch(width=64, depth=2).footprint()
+        big = CountMinSketch(width=128, depth=4).footprint()
+        assert big.sram_words == 4 * small.sram_words
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch().update("x", -1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        stream=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=60),
+                      st.integers(min_value=0, max_value=100)),
+            min_size=1, max_size=300),
+    )
+    def test_property_bounds_across_seeds(self, seed, stream):
+        """Never under-estimate (always), over-count <= eps*N for the
+        overwhelming majority of keys (the probabilistic guarantee;
+        depth 4 puts the per-key failure odds at e^-4 ~ 1.8%, so allow a
+        10% violation margin to keep the test deterministic-enough)."""
+        cms = CountMinSketch(width=64, depth=4, seed=seed)
+        truth = {}
+        for key, count in stream:
+            cms.update(key, float(count))
+            truth[key] = truth.get(key, 0.0) + float(count)
+        violations = 0
+        for key, true in truth.items():
+            est = cms.estimate(key)
+            assert est >= true  # the unconditional guarantee
+            if est - true > cms.error_bound() + 1e-9:
+                violations += 1
+        assert violations <= max(1, len(truth) // 10)
+
+
+class TestSpaceSaving:
+    def test_top_ordering(self):
+        ss = SpaceSaving(capacity=8)
+        for key, n in [("a", 5), ("b", 50), ("c", 20)]:
+            ss.update(key, n)
+        assert [k for k, _e, _err in ss.top(3)] == ["b", "c", "a"]
+
+    def test_recycles_min_slot_with_error(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a", 10)
+        ss.update("b", 3)
+        ss.update("c", 1)  # evicts b, inherits its count as error
+        assert "b" not in ss
+        (_key, est, err) = [t for t in ss.top(2) if t[0] == "c"][0]
+        assert est == 4.0 and err == 3.0
+        # The space-saving invariant: est - err <= true <= est.
+        assert est - err <= 1 <= est
+
+    def test_guaranteed_threshold(self):
+        ss = SpaceSaving(capacity=4)
+        for i in range(100):
+            ss.update(f"k{i % 10}", 1.0)
+        assert ss.guaranteed_threshold() == pytest.approx(25.0)
+        # Keys above N/c are guaranteed present; none are here (each has
+        # weight 10 < 25), but the heaviest tracked keys still cover the
+        # stream's head.
+        assert len(ss) == 4
+
+    def test_heavy_keys_always_tracked(self):
+        ss = SpaceSaving(capacity=10)
+        for i in range(1000):
+            ss.update("elephant" if i % 2 else f"mouse-{i}", 1.0)
+        assert "elephant" in ss
+        assert ss.estimate("elephant") >= 500
+
+    def test_deterministic_eviction(self):
+        def run():
+            ss = SpaceSaving(capacity=3)
+            for i in range(50):
+                ss.update(f"k{i % 7}", 1.0)
+            return ss.top(3)
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(capacity=0)
+        with pytest.raises(ValueError):
+            SpaceSaving().update("x", -2.0)

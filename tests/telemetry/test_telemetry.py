@@ -220,3 +220,49 @@ class TestSeriesBundle:
                 bundle.record(f"core-{i}", float(t), float(i))
         top = bundle.top_by_mean(2)
         assert [s.name for s in top] == ["core-4", "core-3"]
+
+    def test_top_by_mean_breaks_ties_by_name(self):
+        """Equal means must order by name, not dict insertion order."""
+        bundle = SeriesBundle()
+        for name in ["core-3", "core-1", "core-2"]:  # scrambled insertion
+            bundle.record(name, 0.0, 7.0)
+        top = bundle.top_by_mean(3)
+        assert [s.name for s in top] == ["core-1", "core-2", "core-3"]
+
+    def test_top_by_mean_ranks_empty_series_last_deterministically(self):
+        bundle = SeriesBundle()
+        bundle.series("empty-b")  # created but never recorded
+        bundle.series("empty-a")
+        bundle.record("busy", 0.0, 1.0)
+        top = bundle.top_by_mean(3)
+        assert [s.name for s in top] == ["busy", "empty-a", "empty-b"]
+
+
+class TestResampleMean:
+    def test_means_per_bucket(self):
+        ts = TimeSeries("pps")
+        for i in range(4):
+            ts.record(i * 0.5, float(i))  # buckets [0,1): 0,1  [1,2): 2,3
+        assert list(ts.resample_mean(1.0).points()) == [(0.0, 0.5), (1.0, 2.5)]
+
+    def test_single_bucket(self):
+        ts = TimeSeries()
+        for t, v in [(0.0, 1.0), (0.3, 2.0), (0.6, 3.0)]:
+            ts.record(t, v)
+        assert list(ts.resample_mean(10.0).points()) == [(0.0, 2.0)]
+
+    def test_empty_series(self):
+        assert len(TimeSeries().resample_mean(1.0)) == 0
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            TimeSeries().resample_mean(0.0)
+
+    def test_mean_vs_max_on_spiky_data(self):
+        """resample_max keeps the spike, resample_mean averages it out —
+        the decision-input vs loss-diagnostic distinction."""
+        ts = TimeSeries()
+        for i in range(10):
+            ts.record(i * 0.1, 1.0 if i == 5 else 0.0)
+        assert ts.resample_max(1.0).maximum() == 1.0
+        assert ts.resample_mean(1.0).maximum() == pytest.approx(0.1)

@@ -27,7 +27,11 @@ import repro.tables.counter
 import repro.tables.snat
 import repro.tables.vm_nc
 import repro.tables.vxlan_routing
+import repro.offload.detector
+import repro.offload.scheduler
+import repro.offload.sketch
 import repro.telemetry.stats
+import repro.telemetry.timeseries
 import repro.tofino.chip
 import repro.tofino.parser
 import repro.tofino.phv
@@ -52,7 +56,11 @@ MODULES = [
     repro.tables.snat,
     repro.tables.vm_nc,
     repro.tables.vxlan_routing,
+    repro.offload.detector,
+    repro.offload.scheduler,
+    repro.offload.sketch,
     repro.telemetry.stats,
+    repro.telemetry.timeseries,
     repro.tofino.chip,
     repro.tofino.parser,
     repro.tofino.phv,

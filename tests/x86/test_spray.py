@@ -45,6 +45,21 @@ class TestSprayModel:
         model = PacketSprayModel(num_cores=1, core_pps=1000.0)
         assert model.reorder_probability(900.0) == 0.0
 
+    def test_reorder_probability_saturates_below_half(self):
+        """flow_pps -> infinity: the overtake term saturates at 0.5 and
+        the different-core factor keeps the product strictly below it."""
+        model = PacketSprayModel(num_cores=8, core_pps=1000.0)
+        cap = (model.num_cores - 1) / model.num_cores * 0.5
+        previous = 0.0
+        for pps in (1e3, 1e6, 1e9, 1e12):
+            p = model.reorder_probability(pps)
+            assert previous <= p < 0.5
+            previous = p
+        assert model.reorder_probability(1e15) == pytest.approx(cap, rel=1e-6)
+
+    def test_negative_rate_treated_as_idle(self):
+        assert PacketSprayModel().reorder_probability(-5.0) == 0.0
+
     def test_interval_reordering_weighted_by_share(self):
         model = PacketSprayModel(num_cores=8, core_pps=1000.0)
         elephants = model.serve([(flow(0), 4000.0)])
