@@ -288,7 +288,7 @@ class Controller:
                 gw.remove_route(vni, prefix)
                 writes += 1
         for (vni, vm_ip, version), binding in vms.items():
-            if gw.split_vm_nc.lookup(vni, vm_ip, version) != binding:
+            if self._vm_lookup(gw, vni, vm_ip, version) != binding:
                 gw.install_vm(vni, vm_ip, version, binding, replace=True)
                 writes += 1
         return writes
@@ -476,6 +476,16 @@ class Controller:
         key = (op["vni"], op["vm_ip"], op["vm_version"])
         return self._vms.get(cluster_id, {}).get(key)
 
+    @staticmethod
+    def _vm_lookup(gw, vni: int, vm_ip: int, version: int):
+        """A member's current VM binding. XGW-H keeps bindings in the
+        pipeline-split table; XGW-x86 members (hybrid clusters) keep them
+        in the flat DRAM table."""
+        table = getattr(gw, "split_vm_nc", None)
+        if table is None:
+            table = gw.tables.vm_nc
+        return table.lookup(vni, vm_ip, version)
+
     def _apply_op_to_gateway(self, gw, op: dict, undo: List[Callable[[], None]]) -> None:
         """Prepare one op on one gateway, pushing its inverse onto *undo*."""
         if op["op"] == "install-route":
@@ -496,7 +506,7 @@ class Controller:
         elif op["op"] == "install-vm":
             vni, vm_ip, version = op["vni"], op["vm_ip"], op["vm_version"]
             binding = decode_binding(op["binding"])
-            prev = gw.split_vm_nc.lookup(vni, vm_ip, version)
+            prev = self._vm_lookup(gw, vni, vm_ip, version)
             gw.install_vm(vni, vm_ip, version, binding, replace=True)
             if prev is None:
                 undo.append(lambda: gw.remove_vm(vni, vm_ip, version))
@@ -599,7 +609,7 @@ class Controller:
                                       key=key)
                     )
             for (vni, vm_ip, version), binding in desired_vms.items():
-                have_binding = gw.split_vm_nc.lookup(vni, vm_ip, version)
+                have_binding = self._vm_lookup(gw, vni, vm_ip, version)
                 if have_binding != binding:
                     kind = "missing-vm" if have_binding is None else "corrupt-vm"
                     findings.append(

@@ -9,7 +9,7 @@ to XGW-x86.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..dataplane.gateway_logic import ForwardAction, ForwardResult, GatewayTables
 from ..dataplane.pipeline_program import SplitVmNc, XgwHProgram, parity_pipeline
@@ -155,6 +155,21 @@ class XgwH:
         self.stats.uplinked += 1
         return ForwardResult(ForwardAction.UPLINK, traversal.packet,
                              detail=traversal.drop_reason)
+
+    def forward_batch(self, packets: Sequence[Packet],
+                      now: Optional[float] = None) -> List[ForwardResult]:
+        """Forward a burst through the chip.
+
+        The chip model stays per-packet (each traversal is simulated in
+        full); the batch form only amortises the Python-level dispatch,
+        mirroring :meth:`repro.x86.gateway.XgwX86.forward_batch` so
+        callers can drive both substrates with one shape. *now* advances
+        the data-plane clock once for the whole burst.
+        """
+        if now is not None:
+            self.clock = now
+        fwd = self.forward
+        return [fwd(packet) for packet in packets]
 
     # -- performance ---------------------------------------------------------
 

@@ -1,11 +1,13 @@
 """Gateway forwarding semantics shared by hardware and software gateways."""
 
+from .flowcache import CacheEntry, FlowCache, forward_cached, forward_cached_batch
 from .gateway_logic import (
     ForwardAction,
     ForwardResult,
     GatewayTables,
     forward,
     inner_flow_key,
+    vni_key,
 )
 from .pipeline_program import (
     SplitVmNc,
@@ -17,11 +19,16 @@ from .pipeline_program import (
 from .services import SnatService
 
 __all__ = [
+    "CacheEntry",
+    "FlowCache",
     "ForwardAction",
     "ForwardResult",
     "GatewayTables",
     "forward",
+    "forward_cached",
+    "forward_cached_batch",
     "inner_flow_key",
+    "vni_key",
     "SplitVmNc",
     "XgwHProgram",
     "scope_from_code",

@@ -28,7 +28,7 @@ from ..tables.vm_nc import VmNcTable
 from ..tables.vxlan_routing import RoutingLoopError, Scope
 from ..tofino.phv import Metadata
 from ..tofino.pipeline import Gress, PipeRef, PipeResult, Verdict
-from .gateway_logic import GatewayTables, inner_flow_key
+from .gateway_logic import GatewayTables, inner_flow_key, vni_key
 
 _SCOPE_CODE = {scope: i for i, scope in enumerate(Scope)}
 _CODE_SCOPE = {i: scope for scope, i in _SCOPE_CODE.items()}
@@ -148,7 +148,7 @@ class XgwHProgram:
         if self.tables.acl.evaluate(packet.vni, flow) is AclVerdict.DENY:
             return PipeResult(Verdict.DROP, drop_reason="acl-deny")
         color = self.tables.meters.charge(
-            ("vni", packet.vni), self._clock(), packet.wire_length()
+            vni_key(packet.vni), self._clock(), packet.wire_length()
         )
         if color is MeterColor.RED:
             return PipeResult(Verdict.DROP, drop_reason="meter-red")
@@ -162,7 +162,7 @@ class XgwHProgram:
         if resolved_vni != packet.vni:
             out = out.with_vni(resolved_vni)
         out = out.with_outer_src(self.gateway_ip).with_outer_dst(nc_ip)
-        self.tables.counters.count(("vni", packet.vni), out.wire_length())
+        self.tables.counters.count(vni_key(packet.vni), out.wire_length())
         return PipeResult(Verdict.FORWARD, packet=out)
 
     # -- installation ---------------------------------------------------------

@@ -140,6 +140,10 @@ class IPv4:
     def replace_src(self, src: int) -> "IPv4":
         return IPv4(src, self.dst, self.proto, self.ttl, self.tos, self.ident, self.flags)
 
+    def replace_src_dst(self, src: int, dst: int) -> "IPv4":
+        """Fused src+dst rewrite: one header allocation instead of two."""
+        return IPv4(src, dst, self.proto, self.ttl, self.tos, self.ident, self.flags)
+
     def decrement_ttl(self) -> "IPv4":
         if self.ttl <= 0:
             raise HeaderError("TTL exceeded")
@@ -201,6 +205,10 @@ class IPv6:
 
     def replace_src(self, src: int) -> "IPv6":
         return IPv6(src, self.dst, self.next_header, self.hop_limit, self.traffic_class, self.flow_label)
+
+    def replace_src_dst(self, src: int, dst: int) -> "IPv6":
+        """Fused src+dst rewrite: one header allocation instead of two."""
+        return IPv6(src, dst, self.next_header, self.hop_limit, self.traffic_class, self.flow_label)
 
     def decrement_ttl(self) -> "IPv6":
         if self.hop_limit <= 0:

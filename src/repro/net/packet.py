@@ -13,10 +13,16 @@ from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from .headers import (
+    ETH_LEN,
     ETHERTYPE_IPV4,
     ETHERTYPE_IPV6,
+    IPV4_MIN_LEN,
+    IPV6_LEN,
     PROTO_TCP,
     PROTO_UDP,
+    TCP_MIN_LEN,
+    UDP_LEN,
+    VXLAN_LEN,
     VXLAN_PORT,
     Ethernet,
     HeaderError,
@@ -29,6 +35,16 @@ from .headers import (
 
 IPHeader = Union[IPv4, IPv6]
 L4Header = Union[UDP, TCP]
+
+
+def _ip_len(ip: IPHeader) -> int:
+    return IPV4_MIN_LEN if ip.version == 4 else IPV6_LEN
+
+
+def _l4_len(l4: Optional[L4Header]) -> int:
+    if l4 is None:
+        return 0
+    return UDP_LEN if isinstance(l4, UDP) else TCP_MIN_LEN
 
 
 def _ethertype_for(ip: IPHeader) -> int:
@@ -81,6 +97,10 @@ class InnerFrame:
     @property
     def version(self) -> int:
         return self.ip.version
+
+    def wire_length(self) -> int:
+        """Serialized length in bytes, without building the bytes."""
+        return ETH_LEN + _ip_len(self.ip) + _l4_len(self.l4) + len(self.payload)
 
     def five_tuple(self):
         """(src ip, dst ip, proto, src port, dst port) of the inner frame."""
@@ -162,8 +182,18 @@ class Packet:
         return self.inner.ip.version
 
     def wire_length(self) -> int:
-        """Total serialized length in bytes."""
-        return len(self.to_bytes())
+        """Total serialized length in bytes.
+
+        Computed arithmetically — every header the simulator emits has a
+        fixed wire size — so the per-packet counter/meter charges on the
+        forwarding fast path do not have to serialise the packet. Always
+        equals ``len(self.to_bytes())`` (property-tested).
+        """
+        if self.vxlan is not None:
+            body = VXLAN_LEN + self.inner.wire_length()
+        else:
+            body = len(self.payload)
+        return ETH_LEN + _ip_len(self.ip) + _l4_len(self.l4) + body
 
     # -- rewriting ------------------------------------------------------
 
@@ -179,6 +209,25 @@ class Packet:
         if self.vxlan is None:
             raise HeaderError("not a VXLAN packet")
         return replace(self, vxlan=VXLAN(vni=vni, flags=self.vxlan.flags))
+
+    def rewritten(self, outer_src: int, outer_dst: int,
+                  vni: Optional[int] = None) -> "Packet":
+        """Apply a cached rewrite recipe in one copy.
+
+        Equivalent to ``with_vni(vni).with_outer_src(outer_src)
+        .with_outer_dst(outer_dst)`` but allocates a single new Packet —
+        the flow-cache fast path applies one of these per hit (hence the
+        direct construction; ``dataclasses.replace`` costs several times
+        a plain ``__init__`` call).
+        """
+        ip = self.ip.replace_src_dst(outer_src, outer_dst)
+        vxlan = self.vxlan
+        if vni is not None:
+            if vxlan is None:
+                raise HeaderError("not a VXLAN packet")
+            vxlan = VXLAN(vni=vni, flags=vxlan.flags)
+        return Packet(eth=self.eth, ip=ip, l4=self.l4, vxlan=vxlan,
+                      inner=self.inner, payload=self.payload)
 
     def decap(self) -> "Packet":
         """Strip the VXLAN tunnel, returning the inner frame as a packet."""

@@ -160,6 +160,14 @@ class OffloadLoop:
         for gw_index, report in enumerate(reports):
             for core_index, util in enumerate(report.utilizations()):
                 series.record(f"gw{gw_index}/core-{core_index}", now, util)
+        # Flow-cache hit rate per box: a cheap workload-skew signal (a
+        # Zipf-heavy mix caches well; a sprayed mix does not), recorded
+        # alongside the core utilisations the detector already watches.
+        for gw_index, gw in enumerate(self.x86_gateways):
+            if gw.flow_cache is not None:
+                gw.publish_cache_counters()
+                series.record(f"gw{gw_index}/flowcache-hit-rate", now,
+                              gw.flow_cache.hit_rate)
         return snapshot
 
     # -- engine integration -------------------------------------------------

@@ -74,6 +74,9 @@ class AclTable:
         self._rules: List[AclRule] = []
         self.lookups = 0
         self.matched = 0
+        #: Monotonic mutation counter consumed by the flow cache's
+        #: generation-vector staleness check.
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -86,12 +89,14 @@ class AclTable:
             raise TableFullError(f"{self.name}: rule capacity reached")
         self._rules.append(rule)
         self._rules.sort(key=lambda r: -r.priority)
+        self.generation += 1
 
     def remove(self, rule: AclRule) -> None:
         try:
             self._rules.remove(rule)
         except ValueError:
             raise MissingEntryError(repr(rule)) from None
+        self.generation += 1
 
     def evaluate(self, vni: int, flow: FlowKey) -> AclVerdict:
         """First matching rule's verdict, else the default."""

@@ -100,6 +100,18 @@ class MeterTable:
             self.red += 1
         return color
 
+    def pass_unmetered(self, count: int = 1) -> None:
+        """Record *count* packets that passed with no meter configured.
+
+        Batch bookkeeping: when the table holds no meters at all, a batch
+        caller may skip the per-packet :meth:`charge` calls (each would
+        be a dict miss passing GREEN) and settle the GREEN tally in one
+        update. Final state is identical to *count* charges.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.green += count
+
     def footprint(self) -> MemoryFootprint:
         return MemoryFootprint(
             sram_words=len(self._meters) * sram_words_for(self.CELL_BITS)

@@ -40,17 +40,22 @@ class VmNcTable:
             capacity_entries=capacity_entries, value_bits=32, name=name
         )
         self._per_vni_counts: dict = {}
+        #: Monotonic mutation counter consumed by the flow cache's
+        #: generation-vector staleness check.
+        self.generation = 0
 
     def insert(self, vni: int, vm_ip: int, version: int, binding: NcBinding, replace: bool = False) -> None:
         """Register the NC hosting VM *vm_ip* in VPC *vni*."""
         existed = self._table.lookup(vni, vm_ip, version) is not None
         self._table.insert(vni, vm_ip, version, binding, replace=replace)
+        self.generation += 1
         if not existed:
             self._per_vni_counts[vni] = self._per_vni_counts.get(vni, 0) + 1
 
     def remove(self, vni: int, vm_ip: int, version: int) -> NcBinding:
         """Remove a VM's binding (VM released or migrated)."""
         binding = self._table.remove(vni, vm_ip, version)
+        self.generation += 1
         self._per_vni_counts[vni] -= 1
         if self._per_vni_counts[vni] == 0:
             del self._per_vni_counts[vni]

@@ -78,6 +78,10 @@ class VxlanRoutingTable:
         self._tries: Dict[Tuple[int, int], LpmTrie[RouteAction]] = {}
         self.lookups = 0
         self.hits = 0
+        #: Monotonic mutation counter: bumped on every insert/remove so
+        #: flow-cache entries that captured an older generation go stale
+        #: (see :mod:`repro.dataplane.flowcache`).
+        self.generation = 0
 
     def _trie(self, vni: int, version: int, create: bool) -> Optional[LpmTrie[RouteAction]]:
         if not 0 <= vni < (1 << VNI_BITS):
@@ -91,6 +95,7 @@ class VxlanRoutingTable:
     def insert(self, vni: int, prefix: Prefix, action: RouteAction, replace: bool = False) -> None:
         """Install a route for *vni*."""
         self._trie(vni, prefix.version, create=True).insert(prefix, action, replace)
+        self.generation += 1
 
     def remove(self, vni: int, prefix: Prefix) -> RouteAction:
         """Withdraw a route."""
@@ -100,6 +105,7 @@ class VxlanRoutingTable:
         action = trie.remove(prefix)
         if len(trie) == 0:
             del self._tries[(vni, prefix.version)]
+        self.generation += 1
         return action
 
     def lookup(self, vni: int, address: int, version: int) -> Optional[Tuple[Prefix, RouteAction]]:

@@ -14,11 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..dataplane.flowcache import (
+    DEFAULT_CAPACITY,
+    FlowCache,
+    forward_cached,
+    forward_cached_batch,
+)
 from ..dataplane.gateway_logic import ForwardAction, ForwardResult, GatewayTables, forward
 from ..dataplane.services import SnatService
+from ..net.addr import Prefix
 from ..net.flow import FlowKey
 from ..net.packet import Packet
 from ..tables.snat import SnatTable
+from ..tables.vm_nc import NcBinding
+from ..tables.vxlan_routing import RouteAction
 from ..telemetry.stats import CounterSet
 from .cpu import CoreInterval, CpuComplex, DEFAULT_CORE_PPS
 from .nic import Nic
@@ -95,6 +104,7 @@ class XgwX86:
         core_pps: float = DEFAULT_CORE_PPS,
         nic_bps: float = DEFAULT_NIC_BPS,
         burstiness: float = 0.0,
+        cache_entries: int = DEFAULT_CAPACITY,
     ):
         self.gateway_ip = gateway_ip
         self.tables = tables if tables is not None else GatewayTables()
@@ -105,13 +115,25 @@ class XgwX86:
             SnatService(snat, self.tables, gateway_ip) if snat is not None else None
         )
         self.counters = CounterSet()
+        #: The fast path (§2.2): one resolved decision per (VNI, dst,
+        #: version), generation-guarded. ``cache_entries=0`` disables it
+        #: (every packet takes the full table walk — the pre-cache model).
+        self.flow_cache: Optional[FlowCache] = (
+            FlowCache(cache_entries) if cache_entries > 0 else None
+        )
+        self._published_cache_counters: Dict[str, int] = {}
 
     # -- functional path ----------------------------------------------------
 
     def forward(self, packet: Packet, now: float = 0.0) -> ForwardResult:
-        """Forward one packet through the full software program."""
+        """Forward one packet, consulting the flow cache before the slow
+        path (results are identical either way; only the cost differs)."""
         self.counters.add("rx_packets")
-        result = forward(self.tables, packet, self.gateway_ip, now)
+        if self.flow_cache is not None:
+            result = forward_cached(self.tables, self.flow_cache, packet,
+                                    self.gateway_ip, now)
+        else:
+            result = forward(self.tables, packet, self.gateway_ip, now)
         if (
             result.action is ForwardAction.REDIRECT_X86
             and self.snat_service is not None
@@ -122,6 +144,49 @@ class XgwX86:
         self.counters.add(f"action_{result.action.value.replace('-', '_')}")
         return result
 
+    def forward_batch(self, packets: Sequence[Packet], now: float = 0.0) -> List[ForwardResult]:
+        """Forward a burst, amortising per-packet dispatch.
+
+        Equivalent to ``[self.forward(p, now) for p in packets]``
+        (including every counter), but hot locals are bound once and the
+        per-action counters are tallied once per batch instead of one
+        f-string per packet.
+        """
+        tables = self.tables
+        cache = self.flow_cache
+        gateway_ip = self.gateway_ip
+        snat_service = self.snat_service
+        actions: Dict[ForwardAction, int] = {}
+        if cache is not None:
+            results = forward_cached_batch(tables, cache, packets, gateway_ip, now)
+            for index, result in enumerate(results):
+                if (
+                    result.action is ForwardAction.REDIRECT_X86
+                    and snat_service is not None
+                    and result.detail == "snat"
+                ):
+                    result = snat_service.handle_request(packets[index], now)
+                    results[index] = result
+                actions[result.action] = actions.get(result.action, 0) + 1
+        else:
+            slow = forward
+            results = []
+            append = results.append
+            for packet in packets:
+                result = slow(tables, packet, gateway_ip, now)
+                if (
+                    result.action is ForwardAction.REDIRECT_X86
+                    and snat_service is not None
+                    and result.detail == "snat"
+                ):
+                    result = snat_service.handle_request(packet, now)
+                actions[result.action] = actions.get(result.action, 0) + 1
+                append(result)
+        self.counters.add("rx_packets", len(results))
+        for action, count in actions.items():
+            self.counters.add(f"action_{action.value.replace('-', '_')}", count)
+        return results
+
     def forward_response(self, packet: Packet, now: float = 0.0) -> ForwardResult:
         """Handle an Internet-side response (SNAT reverse path)."""
         if self.snat_service is None:
@@ -130,6 +195,51 @@ class XgwX86:
         result = self.snat_service.handle_response(packet, now)
         self.counters.add(f"action_{result.action.value.replace('-', '_')}")
         return result
+
+    # -- cache telemetry ------------------------------------------------------
+
+    def publish_cache_counters(self) -> Dict[str, int]:
+        """Fold the flow cache's hit/miss/evict/stale counters into this
+        gateway's :class:`CounterSet` (idempotent: only deltas since the
+        last publish are added) and return the current snapshot. The
+        heavy-hitter machinery reads the resulting hit rate as a
+        workload-skew signal."""
+        if self.flow_cache is None:
+            return {}
+        snapshot = self.flow_cache.counters()
+        for name, value in snapshot.items():
+            delta = value - self._published_cache_counters.get(name, 0)
+            if delta:
+                self.counters.add(name, delta)
+        self._published_cache_counters = snapshot
+        return snapshot
+
+    # -- table management (driven by the controller) --------------------------
+    #
+    # The same push interface XgwH exposes, so an XGW-x86 box can be a
+    # member of a controller-managed (hybrid) cluster: transactional
+    # migrations and repairs mutate these tables, which bumps the table
+    # generations and invalidates the flow cache's affected entries.
+
+    def install_route(self, vni: int, prefix: Prefix, action: RouteAction,
+                      replace: bool = False) -> None:
+        self.tables.routing.insert(vni, prefix, action, replace=replace)
+
+    def remove_route(self, vni: int, prefix: Prefix) -> RouteAction:
+        return self.tables.routing.remove(vni, prefix)
+
+    def install_vm(self, vni: int, vm_ip: int, version: int, binding: NcBinding,
+                   replace: bool = False) -> None:
+        self.tables.vm_nc.insert(vni, vm_ip, version, binding, replace=replace)
+
+    def remove_vm(self, vni: int, vm_ip: int, version: int) -> NcBinding:
+        return self.tables.vm_nc.remove(vni, vm_ip, version)
+
+    def route_count(self) -> int:
+        return len(self.tables.routing)
+
+    def vm_count(self) -> int:
+        return len(self.tables.vm_nc)
 
     # -- capacity model -------------------------------------------------------
 
@@ -146,11 +256,26 @@ class XgwX86:
 
         The paper: "XGW-x86 reaches line rate with packets larger than
         512B".
+
+        ``nic.max_pps`` is strictly decreasing in the packet size, so the
+        smallest size whose NIC rate no longer exceeds the CPU capacity
+        is found by binary search (the former linear ``size += 1`` scan
+        cost tens of thousands of NIC-model evaluations per call).
         """
-        size = 64
-        while self.nic.max_pps(size) > self.total_capacity_pps:
-            size += 1
-        return size
+        lo, hi = 64, 64
+        capacity = self.total_capacity_pps
+        if self.nic.max_pps(lo) <= capacity:
+            return lo
+        while self.nic.max_pps(hi) > capacity:
+            lo, hi = hi, hi * 2
+        # Invariant: max_pps(lo) > capacity >= max_pps(hi).
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.nic.max_pps(mid) > capacity:
+                lo = mid
+            else:
+                hi = mid
+        return hi
 
     def serve_interval(self, flows: Sequence[Tuple[FlowKey, float]]) -> IntervalReport:
         """Offer (flow, pps) load for one interval through RSS + cores."""

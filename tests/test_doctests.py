@@ -10,6 +10,7 @@ import pytest
 
 import repro.cluster.ecmp
 import repro.core.compression
+import repro.dataplane.flowcache
 import repro.core.economics
 import repro.core.occupancy
 import repro.net.addr
@@ -56,6 +57,7 @@ MODULES = [
     repro.tables.snat,
     repro.tables.vm_nc,
     repro.tables.vxlan_routing,
+    repro.dataplane.flowcache,
     repro.offload.detector,
     repro.offload.scheduler,
     repro.offload.sketch,

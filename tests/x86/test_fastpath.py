@@ -1,0 +1,115 @@
+"""Tests for the XGW-x86 fast path: batched forwarding, cache telemetry
+and the binary-search line-rate crossover."""
+
+import ipaddress
+
+import pytest
+
+from repro.dataplane.gateway_logic import ForwardAction, GatewayTables
+from repro.net.addr import Prefix
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.traffic import build_vxlan_packet
+from repro.x86.gateway import XgwX86
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+VNI = 100
+
+
+def make_tables(hosts=8):
+    t = GatewayTables()
+    t.routing.insert(VNI, Prefix.parse("192.168.10.0/24"), RouteAction(Scope.LOCAL))
+    for h in range(1, hosts + 1):
+        t.vm_nc.insert(VNI, ip(f"192.168.10.{h}"), 4, NcBinding(ip(f"10.1.1.{h}")))
+    return t
+
+
+def burst(n=32, hosts=8):
+    return [build_vxlan_packet(vni=VNI, src_ip=ip("192.168.10.100"),
+                               dst_ip=ip(f"192.168.10.{1 + i % hosts}"))
+            for i in range(n)]
+
+
+class TestForwardBatch:
+    def test_matches_per_packet_forwarding(self):
+        batch_gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables())
+        loop_gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables())
+        packets = burst()
+        batched = batch_gw.forward_batch(packets, now=1.0)
+        looped = [loop_gw.forward(p, now=1.0) for p in packets]
+        assert len(batched) == len(looped) == len(packets)
+        for got, want in zip(batched, looped):
+            assert got.action is want.action
+            assert got.packet.to_bytes() == want.packet.to_bytes()
+        assert batch_gw.counters.snapshot() == loop_gw.counters.snapshot()
+
+    def test_uncached_gateway_still_batches(self):
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(), cache_entries=0)
+        assert gw.flow_cache is None
+        results = gw.forward_batch(burst(8))
+        assert all(r.action is ForwardAction.DELIVER_NC for r in results)
+        assert gw.counters["rx_packets"] == 8
+
+    def test_empty_batch(self):
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables())
+        assert gw.forward_batch([]) == []
+        assert gw.counters["rx_packets"] == 0
+
+
+class TestCacheTelemetry:
+    def test_counters_flow_into_counterset(self):
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4))
+        gw.forward_batch(burst(12, hosts=4))
+        snap = gw.publish_cache_counters()
+        assert snap["flowcache_misses"] == 4
+        assert snap["flowcache_hits"] == 8
+        assert gw.counters["flowcache_hits"] == 8
+        assert gw.counters["flowcache_misses"] == 4
+
+    def test_publish_is_idempotent_on_deltas(self):
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4))
+        gw.forward_batch(burst(12, hosts=4))
+        gw.publish_cache_counters()
+        gw.publish_cache_counters()  # no new traffic: no double counting
+        assert gw.counters["flowcache_hits"] == 8
+        gw.forward_batch(burst(4, hosts=4))
+        gw.publish_cache_counters()
+        assert gw.counters["flowcache_hits"] == 12
+
+    def test_disabled_cache_publishes_nothing(self):
+        gw = XgwX86(gateway_ip=0x0A0000FD, cache_entries=0)
+        assert gw.publish_cache_counters() == {}
+
+
+class TestMinLineRatePacket:
+    @staticmethod
+    def linear_scan(gw):
+        """The pre-optimisation reference implementation."""
+        size = 64
+        while gw.nic.max_pps(size) > gw.total_capacity_pps:
+            size += 1
+        return size
+
+    @pytest.mark.parametrize("cores,core_pps,nic_bps", [
+        (32, 1.8e9 / 32 * 0.444, 100e9),  # default-ish calibration
+        (32, 25e6 / 32, 100e9),
+        (8, 1e6, 10e9),
+        (64, 3e6, 400e9),
+        (4, 100e6, 1e9),                  # CPU never the bottleneck
+    ])
+    def test_binary_search_matches_linear_scan(self, cores, core_pps, nic_bps):
+        gw = XgwX86(gateway_ip=1, num_cores=cores, core_pps=core_pps,
+                    nic_bps=nic_bps)
+        assert gw.min_line_rate_packet() == self.linear_scan(gw)
+
+    def test_default_calibration_near_512(self):
+        gw = XgwX86(gateway_ip=1)
+        size = gw.min_line_rate_packet()
+        # Paper: "line rate with packets larger than 512B".
+        assert 256 <= size <= 1024
+        assert gw.nic.max_pps(size) <= gw.total_capacity_pps
+        assert gw.nic.max_pps(size - 1) > gw.total_capacity_pps
