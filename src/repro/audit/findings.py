@@ -1,0 +1,139 @@
+"""Audit findings and the byte-stable findings log.
+
+A :class:`Finding` is one observed invariant violation, carrying both a
+human-readable detail and — for the repairable kinds — the structured
+table key the repair bridge needs to re-push exactly the divergent
+entry. The :class:`FindingsLog` frames findings the same way the WAL
+journal frames mutations (``seq|cycle|invariant|payload|crc32`` lines
+over canonical JSON), so two audit runs with the same seed over the same
+cluster history produce byte-identical logs — the property the
+acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.journal import canonical_json
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation on one member (or cluster/region scope).
+
+    *key* keeps the structured table key — ``(vni, Prefix)`` for routes,
+    ``(vni, vm_ip, version)`` for VM bindings, the cache key for
+    flow-cache findings — so repairs address exactly one entry. The
+    serialised payload stringifies non-scalar parts deterministically.
+
+    >>> f = Finding("route-equivalence", "missing-route", "A", "gw0", "x")
+    >>> f.severity
+    'error'
+    """
+
+    invariant: str
+    kind: str
+    cluster_id: str
+    node: str
+    detail: str
+    severity: str = SEVERITY_ERROR
+    key: Optional[tuple] = None
+
+    def to_payload(self) -> dict:
+        """The canonical-JSON-safe view of this finding."""
+        return {
+            "invariant": self.invariant,
+            "kind": self.kind,
+            "cluster": self.cluster_id,
+            "node": self.node,
+            "severity": self.severity,
+            "detail": self.detail,
+            "key": None if self.key is None else [_canon(part) for part in self.key],
+        }
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering within one audit unit's output."""
+        return (self.cluster_id, self.node, self.invariant, self.kind,
+                canonical_json(self.to_payload()))
+
+
+def _canon(part):
+    """A JSON-stable projection of one key component."""
+    if part is None or isinstance(part, (int, str, bool)):
+        return part
+    return str(part)  # Prefix (and friends) stringify deterministically
+
+
+class FindingsLog:
+    """Append-only, checksummed record of everything the audit found.
+
+    >>> log = FindingsLog()
+    >>> log.append(0, Finding("route-equivalence", "missing-route",
+    ...                       "A", "gw0", "(5, 10.0.0.0/24)"))
+    >>> len(log)
+    1
+    >>> FindingsLog.parse(log.dump())[0]["kind"]
+    'missing-route'
+    """
+
+    def __init__(self):
+        self._records: List[Tuple[int, Finding]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, cycle: int, finding: Finding) -> None:
+        self._records.append((cycle, finding))
+
+    def extend(self, cycle: int, findings: Iterable[Finding]) -> None:
+        for finding in findings:
+            self.append(cycle, finding)
+
+    def findings(self) -> List[Finding]:
+        return [finding for _cycle, finding in self._records]
+
+    def by_kind(self) -> Dict[str, int]:
+        """Finding counts per kind (for summaries and CLI output)."""
+        counts: Dict[str, int] = {}
+        for _cycle, finding in self._records:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
+    def for_cycle(self, cycle: int) -> List[Finding]:
+        return [f for c, f in self._records if c == cycle]
+
+    # -- framing -----------------------------------------------------------
+
+    def dump(self) -> bytes:
+        """Serialise as journal-style checksummed lines. Byte-stable:
+        the same findings in the same order always produce the same
+        bytes."""
+        lines = []
+        for seq, (cycle, finding) in enumerate(self._records):
+            body = (f"{seq}|{cycle}|{finding.invariant}|"
+                    f"{canonical_json(finding.to_payload())}")
+            crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+            lines.append(f"{body}|{crc:08x}\n")
+        return "".join(lines).encode("utf-8")
+
+    @staticmethod
+    def parse(data: bytes) -> List[dict]:
+        """Decode a dumped log back into payload dicts, verifying every
+        checksum (raises ``ValueError`` on a torn or bit-rotten line)."""
+        import json
+
+        out: List[dict] = []
+        for lineno, raw in enumerate(data.decode("utf-8").splitlines()):
+            body, _, crc_text = raw.rpartition("|")
+            if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != int(crc_text, 16):
+                raise ValueError(f"findings log checksum mismatch at line {lineno}")
+            _seq, _cycle, _invariant, payload = body.split("|", 3)
+            record = json.loads(payload)
+            record["cycle"] = int(_cycle)
+            out.append(record)
+        return out

@@ -1,0 +1,133 @@
+"""Intent snapshots: the audit's two independent sources of truth.
+
+The auditor never trusts a single view of the desired state. It captures
+the journal-format intent twice — once from the live controller
+(:meth:`IntentSnapshot.from_controller`) and once by materialising the
+write-ahead journal (:meth:`IntentSnapshot.from_journal`) — and the
+``intent-divergence`` invariant diffs the two before any gateway is even
+looked at. Both views share the journal's canonical encoding
+(:func:`~repro.core.journal.canonical_json` over string keys), so "the
+same intent" literally means "the same bytes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..core.journal import (
+    canonical_json,
+    decode_action,
+    decode_binding,
+    parse_route_key,
+    parse_vm_key,
+)
+from ..net.addr import Prefix
+from ..tables.vm_nc import NcBinding
+from ..tables.vxlan_routing import RouteAction, Scope
+
+
+@dataclass(frozen=True)
+class IntentSnapshot:
+    """One journal-format view of the desired state.
+
+    *state* is the ``{"tenants", "routes", "vms", "version"}`` dict both
+    :meth:`~repro.core.controller.Controller.intent_snapshot` and
+    :meth:`~repro.core.journal.Journal.materialize` produce; *source*
+    records where it came from (``"controller"`` | ``"journal"``).
+    """
+
+    state: dict
+    source: str
+
+    @classmethod
+    def from_controller(cls, controller) -> "IntentSnapshot":
+        return cls(state=controller.intent_snapshot(), source="controller")
+
+    @classmethod
+    def from_journal(cls, journal) -> "IntentSnapshot":
+        return cls(state=journal.materialize(), source="journal")
+
+    def canonical(self) -> str:
+        """The snapshot's canonical-JSON bytes (identity for diffs)."""
+        return canonical_json(self.state)
+
+    # -- structured accessors ---------------------------------------------
+
+    def cluster_ids(self) -> List[str]:
+        ids: Set[str] = set(self.state.get("routes", {}))
+        ids.update(self.state.get("vms", {}))
+        for info in self.state.get("tenants", {}).values():
+            ids.add(info["cluster"])
+        return sorted(ids)
+
+    def routes_for(self, cluster_id: str) -> Dict[Tuple[int, Prefix], RouteAction]:
+        """Decoded desired routes of one cluster."""
+        encoded = self.state.get("routes", {}).get(cluster_id, {})
+        return {parse_route_key(key): decode_action(payload)
+                for key, payload in encoded.items()}
+
+    def vms_for(self, cluster_id: str) -> Dict[Tuple[int, int, int], NcBinding]:
+        """Decoded desired VM bindings of one cluster."""
+        encoded = self.state.get("vms", {}).get(cluster_id, {})
+        return {parse_vm_key(key): decode_binding(payload)
+                for key, payload in encoded.items()}
+
+    def tenant_clusters(self) -> Dict[int, str]:
+        """VNI → owning cluster, from the tenant registry."""
+        return {int(vni): info["cluster"]
+                for vni, info in self.state.get("tenants", {}).items()}
+
+    def peer_reachability(self) -> Dict[int, Set[int]]:
+        """Transitive closure of the intent's PEER edges: which VNIs each
+        VNI may legitimately resolve through. Tenant isolation treats any
+        resolution ending outside this set as a leak."""
+        edges: Dict[int, Set[int]] = {}
+        for cluster_id in self.cluster_ids():
+            for (vni, _prefix), action in self.routes_for(cluster_id).items():
+                if action.scope is Scope.PEER:
+                    edges.setdefault(vni, set()).add(action.next_hop_vni)
+        closure: Dict[int, Set[int]] = {}
+        for start in edges:
+            seen: Set[int] = set()
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for nxt in edges.get(current, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            closure[start] = seen
+        return closure
+
+
+def diff_snapshots(a: IntentSnapshot, b: IntentSnapshot) -> List[str]:
+    """Human-readable differences between two intent snapshots, in
+    deterministic order; empty when the two agree byte-for-byte.
+
+    >>> empty = {"tenants": {}, "routes": {}, "vms": {}, "version": 0}
+    >>> diff_snapshots(IntentSnapshot(empty, "controller"),
+    ...                IntentSnapshot(empty, "journal"))
+    []
+    """
+    if a.canonical() == b.canonical():
+        return []
+    diffs: List[str] = []
+    if a.state.get("version") != b.state.get("version"):
+        diffs.append(f"version: {a.source}={a.state.get('version')} "
+                     f"{b.source}={b.state.get('version')}")
+    for section in ("tenants", "routes", "vms"):
+        left = a.state.get(section, {})
+        right = b.state.get(section, {})
+        for key in sorted(set(left) | set(right)):
+            if key not in right:
+                diffs.append(f"{section}[{key}]: only in {a.source}")
+            elif key not in left:
+                diffs.append(f"{section}[{key}]: only in {b.source}")
+            elif canonical_json(_as_dict(left[key])) != canonical_json(_as_dict(right[key])):
+                diffs.append(f"{section}[{key}]: differs")
+    return diffs
+
+
+def _as_dict(value) -> dict:
+    return value if isinstance(value, dict) else {"value": value}

@@ -1,0 +1,95 @@
+"""The repair bridge: audit findings → the controller's repair path.
+
+Findings with a structured table key and a repairable kind are converted
+to :class:`~repro.core.controller.Inconsistency` objects and pushed
+through the same machinery the §6.1 reconcile loop uses — quarantine the
+cluster, :meth:`~repro.core.controller.Controller.targeted_repair` the
+divergent keys, probe before readmitting. That includes ``extra-vm``,
+which the controller's own ``consistency_check`` can never produce (its
+VM comparison is one-way); the audit is the only producer, and
+``_repair_one`` withdraws the surviving binding.
+
+Poisoned flow-cache entries are not table state, so they take a
+different repair: the member's cache is flushed and the next packets
+re-resolve against the (by then repaired) tables.
+
+Non-repairable findings — shadowed rules, tenant leaks, counter
+mismatches, intent/journal divergence — are operator-facing: they are
+counted and left in the findings log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.controller import Inconsistency
+from ..telemetry.stats import CounterSet
+from .findings import Finding
+
+#: Kinds with a structured key that targeted repair can re-push/withdraw.
+REPAIRABLE_KINDS = frozenset({
+    "missing-route", "corrupt-route", "extra-route",
+    "missing-vm", "corrupt-vm", "extra-vm",
+})
+
+#: Kinds repaired by flushing the member's flow cache.
+CACHE_KINDS = frozenset({"stale-cache-entry"})
+
+
+class RepairBridge:
+    """Subscribes to an :class:`~repro.audit.scanner.AuditScanner`'s
+    cycle hook and repairs what each completed cycle found.
+
+    >>> # wired via bridge.attach(scanner); see examples/audit_repair.py
+    """
+
+    def __init__(self, controller, quarantine: bool = True):
+        self.controller = controller
+        #: Whether divergent clusters are quarantined until probes pass
+        #: (mirrors the reconcile loop; disable for advisory-only runs).
+        self.quarantine = quarantine
+        #: repairs_applied, repairs_failed, repairs_skipped, caches_cleared.
+        self.counters = CounterSet()
+
+    def attach(self, scanner) -> "RepairBridge":
+        scanner.on_cycle(self.handle)
+        return self
+
+    def handle(self, findings: List[Finding]) -> int:
+        """Repair one cycle's findings; returns how many were applied."""
+        per_cluster: Dict[str, List[Inconsistency]] = {}
+        cache_flushes: Set[Tuple[str, str]] = set()
+        for finding in findings:
+            if (finding.kind in REPAIRABLE_KINDS
+                    and finding.key is not None
+                    and finding.cluster_id in self.controller.clusters):
+                per_cluster.setdefault(finding.cluster_id, []).append(
+                    Inconsistency(finding.cluster_id, finding.node,
+                                  finding.kind, finding.detail,
+                                  key=finding.key))
+            elif (finding.kind in CACHE_KINDS
+                    and finding.cluster_id in self.controller.clusters):
+                cache_flushes.add((finding.cluster_id, finding.node))
+            else:
+                self.counters.add("repairs_skipped")
+        applied_total = 0
+        for cluster_id in sorted(per_cluster):
+            if self.quarantine:
+                self.controller.quarantined.add(cluster_id)
+            applied, failed = self.controller.targeted_repair(
+                cluster_id, per_cluster[cluster_id])
+            applied_total += applied
+            self.counters.add("repairs_applied", applied)
+            if failed:
+                self.counters.add("repairs_failed", len(failed))
+        for cluster_id, node in sorted(cache_flushes):
+            member = self.controller.clusters[cluster_id].find_member(node)
+            cache = getattr(member.gateway, "flow_cache", None)
+            if cache is not None:
+                cache.clear()
+                self.counters.add("caches_cleared")
+                applied_total += 1
+        # Probe-before-readmit for every cluster the cycle touched.
+        for cluster_id in sorted(set(per_cluster) | {c for c, _n in cache_flushes}):
+            self.controller._probe_gate(cluster_id)
+        return applied_total

@@ -1,0 +1,183 @@
+"""The budgeted incremental audit scanner.
+
+A full sweep over every (cluster, member, invariant) triple is the unit
+of *coverage*; a tick is the unit of *cost*. The scanner materialises
+the sweep as a deterministic work-unit list — intent-vs-journal first,
+then clusters in sorted order, members in cluster order, invariants in
+library order — and each :meth:`AuditScanner.tick` runs at most
+``budget`` units, so an operator can bound the per-tick control-plane
+work while still guaranteeing that any divergence is found within one
+full cycle (``cycle_length()`` ticks).
+
+Findings stream into a byte-stable :class:`~repro.audit.findings
+.FindingsLog`; cycle-completion hooks hand each cycle's findings to the
+:class:`~repro.audit.repair.RepairBridge`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sim.engine import Engine, PeriodicTask
+from ..telemetry.stats import CounterSet
+from .findings import Finding, FindingsLog
+from .intent import IntentSnapshot, diff_snapshots
+from .invariants import ALL_INVARIANTS, AuditContext, Invariant
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Scanner knobs: determinism seed, per-tick budget, sample density.
+
+    >>> AuditConfig(seed=7).budget
+    4
+    """
+
+    seed: int = 0
+    budget: int = 4
+    samples_per_prefix: int = 2
+    include_backup: bool = True
+
+    def __post_init__(self):
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+
+
+#: One schedulable audit step: (label, thunk) where thunk() -> findings.
+AuditUnit = Tuple[str, Callable[[], List[Finding]]]
+
+
+class AuditScanner:
+    """Budgeted, deterministic sweep of the invariant library.
+
+    >>> # assembled in tests/audit/helpers.py; see examples/audit_repair.py
+    """
+
+    def __init__(
+        self,
+        controller,
+        config: Optional[AuditConfig] = None,
+        journal=None,
+        invariants: Optional[Sequence[Invariant]] = None,
+    ):
+        self.controller = controller
+        self.config = config if config is not None else AuditConfig()
+        #: The independent intent source; defaults to the controller's
+        #: own journal so divergence between store and WAL is caught.
+        self.journal = journal if journal is not None else controller.journal
+        self.invariants: List[Invariant] = (
+            list(invariants) if invariants is not None else list(ALL_INVARIANTS)
+        )
+        self.log = FindingsLog()
+        #: audit_units, audit_findings, audit_cycles.
+        self.counters = CounterSet()
+        self.cycles_completed = 0
+        self._pending: List[AuditUnit] = []
+        self._cycle_findings: List[Finding] = []
+        self._cycle_index = 0
+        self._on_cycle: List[Callable[[List[Finding]], None]] = []
+
+    # -- unit construction -------------------------------------------------
+
+    def _build_units(self) -> List[AuditUnit]:
+        """The full sweep for the *current* cluster topology and intent.
+
+        Rebuilt at every cycle start, so clusters and tenants added
+        mid-flight join the next cycle; the intent snapshot is captured
+        once per cycle so every unit of a cycle audits against the same
+        desired state."""
+        units: List[AuditUnit] = []
+        intent = IntentSnapshot.from_controller(self.controller)
+        if self.journal is not None:
+            units.append(("intent/journal",
+                          lambda intent=intent: self._intent_vs_journal(intent)))
+        for cluster_id in sorted(self.controller.clusters):
+            cluster = self.controller.clusters[cluster_id]
+            ctx = AuditContext(
+                intent=intent,
+                cluster_id=cluster_id,
+                seed=self.config.seed,
+                samples_per_prefix=self.config.samples_per_prefix,
+            )
+            members = cluster.all_members(include_backup=self.config.include_backup)
+            for member in members:
+                for invariant in self.invariants:
+                    units.append((
+                        f"{cluster_id}/{member.name}/{invariant.name}",
+                        lambda inv=invariant, c=ctx, m=member: inv.check(c, m),
+                    ))
+        return units
+
+    def _intent_vs_journal(self, intent: IntentSnapshot) -> List[Finding]:
+        journal_view = IntentSnapshot.from_journal(self.journal)
+        return [
+            Finding("intent-journal", "intent-divergence", "-", "-", diff)
+            for diff in diff_snapshots(intent, journal_view)
+        ]
+
+    def cycle_length(self) -> int:
+        """Ticks needed to cover one full sweep at the current budget —
+        the detection-latency bound the acceptance tests pin."""
+        return max(1, math.ceil(len(self._build_units()) / self.config.budget))
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_unit(self, unit: AuditUnit) -> List[Finding]:
+        _label, thunk = unit
+        findings = sorted(thunk(), key=lambda f: f.sort_key())
+        self.log.extend(self._cycle_index, findings)
+        self._cycle_findings.extend(findings)
+        self.counters.add("audit_units")
+        if findings:
+            self.counters.add("audit_findings", len(findings))
+        return findings
+
+    def _finish_cycle(self) -> None:
+        self.cycles_completed += 1
+        self.counters.add("audit_cycles")
+        findings = list(self._cycle_findings)
+        self._cycle_findings = []
+        for hook in self._on_cycle:
+            hook(findings)
+
+    def tick(self) -> int:
+        """Run up to ``budget`` units; returns how many ran. Starts a new
+        cycle when the previous one is exhausted and fires the cycle
+        hooks on the tick that completes a cycle."""
+        if not self._pending:
+            self._pending = self._build_units()
+            self._cycle_findings = []
+            self._cycle_index = self.cycles_completed
+        ran = 0
+        while self._pending and ran < self.config.budget:
+            self._run_unit(self._pending.pop(0))
+            ran += 1
+        if not self._pending:
+            self._finish_cycle()
+        return ran
+
+    def full_scan(self) -> List[Finding]:
+        """Run one complete cycle immediately (budget ignored); any
+        partially scanned incremental cycle is abandoned first."""
+        self._pending = []
+        self._cycle_findings = []
+        self._cycle_index = self.cycles_completed
+        for unit in self._build_units():
+            self._run_unit(unit)
+        findings = list(self._cycle_findings)
+        self._finish_cycle()
+        return findings
+
+    # -- wiring ------------------------------------------------------------
+
+    def on_cycle(self, hook: Callable[[List[Finding]], None]) -> None:
+        """Register *hook(findings)* to fire when a cycle completes."""
+        self._on_cycle.append(hook)
+
+    def attach(self, engine: Engine, interval: float,
+               until: Optional[float] = None) -> PeriodicTask:
+        """Schedule :meth:`tick` every *interval* on *engine*; returns
+        the cancellation handle."""
+        return engine.schedule_every(interval, self.tick, until=until)

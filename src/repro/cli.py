@@ -10,6 +10,8 @@ Commands:
   generated packet of each outcome class.
 * ``economics`` — the §2.3 fleet-sizing and CapEx comparison.
 * ``export-pcap`` — write a synthetic traffic sample to a pcap file.
+* ``audit`` — build a region, run the cross-layer invariant audit, and
+  (optionally) inject a corruption first to watch detection + repair.
 """
 
 from __future__ import annotations
@@ -107,6 +109,40 @@ def _cmd_export_pcap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .audit import AuditConfig, AuditScanner, RepairBridge
+    from .core.sailfish import RegionSpec, Sailfish
+    from .tables.vm_nc import NcBinding
+
+    region = Sailfish.build(RegionSpec.small(), seed=args.seed)
+    controller = region.controller
+    scanner = AuditScanner(controller, AuditConfig(seed=args.seed,
+                                                   budget=args.budget))
+    bridge = RepairBridge(controller).attach(scanner)
+    units = len(scanner._build_units())
+    print(f"audit sweep: {units} work units, budget {args.budget}/tick, "
+          f"cycle length {scanner.cycle_length()} ticks")
+
+    if args.corrupt:
+        cluster_id = sorted(controller.clusters)[0]
+        member = controller.clusters[cluster_id].members()[0]
+        member.gateway.install_vm(4096, 0x0A0A0A0A, 4, NcBinding(0x0A0A0A0B))
+        print(f"injected: orphan VM binding on {member.name}")
+
+    findings = scanner.full_scan()
+    for f in findings:
+        print(f"  [{f.severity}] {f.invariant}/{f.kind} {f.node}: {f.detail}")
+    print(f"scan 1: {len(findings)} finding(s), "
+          f"{bridge.counters['repairs_applied']} repaired, "
+          f"{bridge.counters['repairs_skipped']} operator-facing")
+
+    if findings:
+        rescan = scanner.full_scan()
+        print(f"scan 2 (post-repair): {len(rescan)} finding(s)")
+        return 1 if rescan else 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Sailfish (SIGCOMM 2021) reproduction toolkit"
@@ -138,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--packets", type=int, default=100)
     export.add_argument("--seed", type=int, default=7)
     export.set_defaults(func=_cmd_export_pcap)
+
+    audit = sub.add_parser("audit", help="cross-layer invariant audit")
+    audit.add_argument("--seed", type=int, default=7)
+    audit.add_argument("--budget", type=int, default=8,
+                       help="work units per scanner tick")
+    audit.add_argument("--corrupt", action="store_true",
+                       help="inject a corruption before scanning")
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 

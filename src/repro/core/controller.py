@@ -216,6 +216,17 @@ class Controller:
             }
         return state
 
+    def intent_snapshot(self) -> dict:
+        """The journal-format view of the desired state, for independent
+        checkers (``repro.audit`` diffs this against what each member
+        actually installed, and against ``journal.materialize()``).
+
+        Same shape as :meth:`~repro.core.journal.Journal.materialize`:
+        ``{"tenants", "routes", "vms", "version"}`` with string keys, so
+        the two intent sources are directly comparable.
+        """
+        return self._intent_state()
+
     def recover(self, journal: Journal) -> int:
         """Rebuild this (fresh or wiped) controller from *journal* and
         re-sync every cluster's gateways to the recovered intent.
@@ -656,6 +667,13 @@ class Controller:
             vni, vm_ip, version = finding.key
             gw.install_vm(vni, vm_ip, version, self._vms[cluster_id][finding.key],
                           replace=True)
+        elif finding.kind == "extra-vm":
+            # Produced by the audit's intent-vs-installed sweep (the
+            # consistency_check VM comparison stays one-way); withdrawing
+            # the surviving binding closes the PR-2 dropped-remove_vm
+            # blind spot.
+            vni, vm_ip, version = finding.key
+            gw.remove_vm(vni, vm_ip, version)
         else:  # pragma: no cover - kinds are produced by consistency_check
             raise TableError(f"unknown inconsistency kind {finding.kind}")
 

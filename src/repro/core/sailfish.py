@@ -22,7 +22,12 @@ from ..cluster.cluster import GatewayCluster
 from ..cluster.ecmp import VniSteeredBalancer
 from ..cluster.failover import DisasterRecovery
 from ..cluster.health import HealthMonitor, Signal
-from ..dataplane.gateway_logic import ForwardAction, ForwardResult, GatewayTables
+from ..dataplane.gateway_logic import (
+    DropReason,
+    ForwardAction,
+    ForwardResult,
+    GatewayTables,
+)
 from ..net.flow import FlowKey, toeplitz_hash
 from ..net.packet import Packet
 from ..sim.rand import derive
@@ -241,8 +246,9 @@ class Sailfish:
         src, dst, proto, sport, dport = packet.inner.five_tuple()
         flow = FlowKey(src, dst, proto, sport, dport, version=packet.inner_version)
         if cluster_id is None:
-            self.counters.add("drop_unassigned_vni")
-            return ForwardResult(ForwardAction.DROP, packet, detail="unassigned-vni")
+            self.counters.add(DropReason.UNASSIGNED_VNI.counter)
+            return ForwardResult(ForwardAction.DROP, packet,
+                                 detail=DropReason.UNASSIGNED_VNI.value)
         cluster = self.recovery.serving_cluster(cluster_id)
         result = cluster.forward(flow, packet)
         self.counters.add("hardware_packets")
@@ -266,8 +272,10 @@ class Sailfish:
             owner = self._public_ip_owner.get(packet.ip.dst)
             if owner is None:
                 trace.add("balancer", "region", "unknown public IP")
-                trace.outcome, trace.drop_reason = "drop", "no-owner"
-                return ForwardResult(ForwardAction.DROP, packet, "no-owner"), trace
+                trace.outcome = "drop"
+                trace.drop_reason = DropReason.NO_OWNER.value
+                return ForwardResult(ForwardAction.DROP, packet,
+                                     DropReason.NO_OWNER.value), trace
             trace.add("x86", f"{owner.gateway_ip:#010x}", "snat-response")
             result = owner.forward_response(packet, now)
             trace.outcome = "drop" if result.action is ForwardAction.DROP else result.action.value
@@ -278,8 +286,10 @@ class Sailfish:
         cluster_id = self.balancer.cluster_for_vni(vni)
         if cluster_id is None:
             trace.add("balancer", "region", f"VNI {vni} unassigned")
-            trace.outcome, trace.drop_reason = "drop", "unassigned-vni"
-            return ForwardResult(ForwardAction.DROP, packet, "unassigned-vni"), trace
+            trace.outcome = "drop"
+            trace.drop_reason = DropReason.UNASSIGNED_VNI.value
+            return ForwardResult(ForwardAction.DROP, packet,
+                                 DropReason.UNASSIGNED_VNI.value), trace
         trace.add("balancer", "region", f"VNI {vni} -> {cluster_id}")
         cluster = self.recovery.serving_cluster(cluster_id)
         src, dst, proto, sport, dport = packet.inner.five_tuple()

@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..dataplane.gateway_logic import ForwardAction, ForwardResult, GatewayTables
+from ..dataplane.gateway_logic import (
+    ForwardAction,
+    ForwardResult,
+    GatewayTables,
+    count_drop,
+)
 from ..dataplane.pipeline_program import SplitVmNc, XgwHProgram, parity_pipeline
 from ..net.addr import Prefix
 from ..net.packet import Packet
@@ -136,6 +141,7 @@ class XgwH:
         verdict = traversal.verdict
         if verdict is Verdict.DROP:
             self.stats.dropped += 1
+            count_drop(self.counters, traversal.drop_reason)
             return ForwardResult(ForwardAction.DROP, traversal.packet,
                                  detail=traversal.drop_reason)
         if verdict is Verdict.REDIRECT_X86:

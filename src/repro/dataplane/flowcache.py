@@ -157,6 +157,12 @@ class FlowCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def items(self):
+        """Readback of ``(key, entry)`` pairs in LRU order (oldest first)
+        — the audit's coherence sweep recomputes each cached decision
+        against the live tables without disturbing recency or counters."""
+        return list(self._entries.items())
+
     # -- telemetry ----------------------------------------------------------
 
     @property

@@ -39,6 +39,70 @@ class ForwardAction(Enum):
     DROP = "drop"
 
 
+class DropReason(Enum):
+    """The one vocabulary for every drop in the region.
+
+    The enum values are the exact strings carried in
+    :attr:`ForwardResult.detail`,
+    :attr:`~repro.telemetry.trace.PathTrace.drop_reason` and per-reason
+    ``drop_<reason>`` counters, so VTrace output, gateway counters and
+    audit findings all name a loss identically.
+
+    >>> DropReason.NO_ROUTE.value
+    'no-route'
+    >>> DropReason.from_detail("no-route") is DropReason.NO_ROUTE
+    True
+    >>> DropReason.from_detail("mystery") is None
+    True
+    """
+
+    # Gateway program (hardware and software path alike).
+    NOT_VXLAN = "not-vxlan"
+    ACL_DENY = "acl-deny"
+    METER_RED = "meter-red"
+    NO_ROUTE = "no-route"
+    PEER_LOOP = "peer-loop"
+    NO_VM = "no-vm"
+    REDIRECT_RATE_LIMITED = "redirect-rate-limited"
+    # SNAT service path (XGW-x86 only).
+    NO_SNAT = "no-snat"
+    SNAT_NOT_VXLAN = "snat-not-vxlan"
+    SNAT_V6_UNSUPPORTED = "snat-v6-unsupported"
+    SNAT_POOL_EXHAUSTED = "snat-pool-exhausted"
+    SNAT_BAD_RESPONSE = "snat-bad-response"
+    SNAT_NO_SESSION = "snat-no-session"
+    SNAT_LOST_CONTEXT = "snat-lost-context"
+    SNAT_NO_VM = "snat-no-vm"
+    # Region-level steering.
+    UNASSIGNED_VNI = "unassigned-vni"
+    NO_OWNER = "no-owner"
+
+    @classmethod
+    def from_detail(cls, detail: str) -> Optional["DropReason"]:
+        """The enum member for a drop detail string, or None when the
+        detail is not a known drop reason (e.g. a route target)."""
+        return _DETAIL_TO_REASON.get(detail)
+
+    @property
+    def counter(self) -> str:
+        """The per-reason counter name (``drop_<reason>`` with dashes
+        folded to underscores, matching the ``action_*`` convention)."""
+        return _REASON_COUNTERS[self]
+
+
+_DETAIL_TO_REASON = {reason.value: reason for reason in DropReason}
+_REASON_COUNTERS = {
+    reason: f"drop_{reason.value.replace('-', '_')}" for reason in DropReason
+}
+
+
+def count_drop(counters, detail: str) -> None:
+    """Charge one drop with *detail* to its per-reason counter (unknown
+    details fall into ``drop_other`` so conservation still holds)."""
+    reason = _DETAIL_TO_REASON.get(detail)
+    counters.add(_REASON_COUNTERS[reason] if reason is not None else "drop_other")
+
+
 #: Interned ``("vni", <vni>)`` counter/meter keys. The forwarding program
 #: charges two table keys per packet; building the tuple twice per packet
 #: is measurable at Mpps, so the keys are allocated once per VNI instead.
@@ -92,7 +156,7 @@ def forward(
     >>> # see examples/quickstart.py for an end-to-end walkthrough
     """
     if not packet.is_vxlan:
-        return ForwardResult(ForwardAction.DROP, packet, detail="not-vxlan")
+        return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.NOT_VXLAN.value)
 
     vni = packet.vni
     key = vni_key(vni)
@@ -101,24 +165,24 @@ def forward(
     tables.counters.count(key, size)
 
     if tables.acl.evaluate(vni, flow) is AclVerdict.DENY:
-        return ForwardResult(ForwardAction.DROP, packet, detail="acl-deny")
+        return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.ACL_DENY.value)
 
     if tables.meters.charge(key, now, size) is MeterColor.RED:
-        return ForwardResult(ForwardAction.DROP, packet, detail="meter-red")
+        return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.METER_RED.value)
 
     try:
         resolution = tables.routing.resolve(vni, packet.inner_dst, packet.inner_version)
     except MissingEntryError:
-        return ForwardResult(ForwardAction.DROP, packet, detail="no-route")
+        return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.NO_ROUTE.value)
     except RoutingLoopError:
-        return ForwardResult(ForwardAction.DROP, packet, detail="peer-loop")
+        return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.PEER_LOOP.value)
 
     scope = resolution.action.scope
     if scope is Scope.LOCAL:
         binding = tables.vm_nc.lookup(resolution.vni, packet.inner_dst, packet.inner_version)
         if binding is None:
             return ForwardResult(
-                ForwardAction.DROP, packet, detail="no-vm", resolved_vni=resolution.vni
+                ForwardAction.DROP, packet, detail=DropReason.NO_VM.value, resolved_vni=resolution.vni
             )
         out = packet
         if resolution.vni != vni:

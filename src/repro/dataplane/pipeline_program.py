@@ -81,6 +81,12 @@ class SplitVmNc:
     def __len__(self) -> int:
         return sum(len(t) for t in self.halves.values())
 
+    def items(self):
+        """Readback across both halves (even pipe first, then odd), so
+        the audit can diff a split table against intent like a flat one."""
+        for parity in (0, 1):
+            yield from self.halves[parity].items()
+
 
 class XgwHProgram:
     """Builds the four pipe programs from one table bundle.

@@ -22,7 +22,13 @@ from ..net.headers import Ethernet, HeaderError
 from ..net.packet import InnerFrame, Packet
 from ..tables.errors import TableFullError
 from ..tables.snat import SnatSession, SnatTable
-from .gateway_logic import ForwardAction, ForwardResult, GatewayTables, inner_flow_key
+from .gateway_logic import (
+    DropReason,
+    ForwardAction,
+    ForwardResult,
+    GatewayTables,
+    inner_flow_key,
+)
 
 
 @dataclass
@@ -48,15 +54,15 @@ class SnatService:
     def handle_request(self, packet: Packet, now: float = 0.0) -> ForwardResult:
         """VM -> Internet: decap, translate source, emit plain IP."""
         if not packet.is_vxlan:
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-not-vxlan")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_NOT_VXLAN.value)
         flow = inner_flow_key(packet)
         if flow.version != 4:
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-v6-unsupported")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_V6_UNSUPPORTED.value)
         try:
             session = self.snat.translate(flow, now)
         except TableFullError:
             self.failures += 1
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-pool-exhausted")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_POOL_EXHAUSTED.value)
         self._contexts.setdefault(
             flow, _SessionContext(vni=packet.vni, inner_eth=packet.inner.eth)
         )
@@ -72,7 +78,7 @@ class SnatService:
     def handle_response(self, packet: Packet, now: float = 0.0) -> ForwardResult:
         """Internet -> VM: reverse-translate and re-encapsulate to the NC."""
         if packet.is_vxlan or packet.l4 is None:
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-bad-response")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_BAD_RESPONSE.value)
         session = self.snat.reverse(
             public_ip=packet.ip.dst,
             public_port=packet.l4.dst_port,
@@ -82,17 +88,17 @@ class SnatService:
         )
         if session is None:
             self.failures += 1
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-no-session")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_NO_SESSION.value)
         session.touch(now)
         context = self._contexts.get(session.flow)
         if context is None:
             self.failures += 1
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-lost-context")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_LOST_CONTEXT.value)
 
         binding = self.tables.vm_nc.lookup(context.vni, session.flow.src_ip, 4)
         if binding is None:
             self.failures += 1
-            return ForwardResult(ForwardAction.DROP, packet, detail="snat-no-vm")
+            return ForwardResult(ForwardAction.DROP, packet, detail=DropReason.SNAT_NO_VM.value)
 
         restored_l4 = None
         if packet.l4 is not None:

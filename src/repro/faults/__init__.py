@@ -16,6 +16,7 @@ from .injector import (
     corrupt_route_action,
 )
 from .plan import (
+    CACHE_KINDS,
     MUTATION_KINDS,
     SCHEDULED_KINDS,
     WRITE_KINDS,
@@ -38,4 +39,5 @@ __all__ = [
     "WRITE_KINDS",
     "SCHEDULED_KINDS",
     "MUTATION_KINDS",
+    "CACHE_KINDS",
 ]

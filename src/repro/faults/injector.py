@@ -194,6 +194,48 @@ class FaultInjector:
 
         controller.crash_gate = crash_gate
 
+    # -- flow-cache poisoning ----------------------------------------------
+
+    def poison_caches(self, clusters: Dict[str, GatewayCluster]) -> int:
+        """Apply the plan's :data:`FaultKind.POISON_FLOW_CACHE` specs.
+
+        For each matching member carrying a non-empty flow cache, the
+        oldest resident DELIVER_NC entry is corrupted in place: its NC IP
+        is mis-pointed (same perturbation as :func:`corrupt_binding`) and
+        its prebuilt rewrite template is invalidated so hits really do
+        deliver to the wrong host. The entry's generation vector is left
+        untouched — the cache's own staleness guard stays green, which is
+        exactly the corruption class only an audit recompute can catch.
+        Returns how many entries were poisoned.
+        """
+        poisoned = 0
+        for index, spec in self.plan.cache_specs():
+            for cid in sorted(clusters):
+                if not fnmatchcase(cid, spec.cluster):
+                    continue
+                for member in clusters[cid].all_members():
+                    if not self.plan.can_fire(index):
+                        break
+                    if not fnmatchcase(member.name, spec.node):
+                        continue
+                    cache = getattr(member.gateway, "flow_cache", None)
+                    if cache is None:
+                        continue
+                    target = next(((key, entry) for key, entry in cache.items()
+                                   if entry.nc_ip is not None), None)
+                    if target is None:
+                        continue
+                    key, entry = target
+                    entry.nc_ip ^= 0x2
+                    entry.outer_in = None  # hits now rebuild from the bad NC IP
+                    self.plan.mark_fired(index)
+                    self.plan.record(InjectedFault(
+                        spec.kind, cid, member.name,
+                        detail=f"key={key}",
+                    ))
+                    poisoned += 1
+        return poisoned
+
     # -- scheduled faults ---------------------------------------------------
 
     def schedule(self, engine: Engine, clusters: Dict[str, GatewayCluster],

@@ -52,6 +52,10 @@ class FaultKind(Enum):
     #: The controller dies between the journal append and the cluster
     #: push (raised as :class:`repro.core.journal.ControllerCrash`).
     CONTROLLER_CRASH = "controller-crash"
+    #: A resident flow-cache entry is corrupted in place. Its generation
+    #: vector stays current, so the cache's own staleness guard cannot
+    #: see it — only an audit recompute against the live tables can.
+    POISON_FLOW_CACHE = "poison-flow-cache"
 
 
 #: Kinds evaluated on every gateway write.
@@ -71,6 +75,10 @@ SCHEDULED_KINDS = {FaultKind.MEMBER_CRASH, FaultKind.MEMBER_FLAP}
 
 #: Kinds evaluated on every *controller* mutation (not per gateway write).
 MUTATION_KINDS = {FaultKind.CONTROLLER_CRASH}
+
+#: Kinds applied on demand to a member's resident flow cache
+#: (:meth:`repro.faults.FaultInjector.poison_caches`).
+CACHE_KINDS = {FaultKind.POISON_FLOW_CACHE}
 
 _ROUTE_KINDS = {
     FaultKind.DROP_ROUTE_WRITE,
@@ -284,6 +292,15 @@ class FaultPlan:
     def scheduled_specs(self) -> List[Tuple[int, FaultSpec]]:
         """The crash/flap specs, with their declaration indices."""
         return [(i, s) for i, s in enumerate(self.specs) if s.kind in SCHEDULED_KINDS]
+
+    def cache_specs(self) -> List[Tuple[int, FaultSpec]]:
+        """The flow-cache poison specs, with their declaration indices."""
+        return [(i, s) for i, s in enumerate(self.specs) if s.kind in CACHE_KINDS]
+
+    def can_fire(self, index: int) -> bool:
+        """Whether spec *index* is still under its ``max_fires`` bound."""
+        spec = self.specs[index]
+        return spec.max_fires is None or self._fires[index] < spec.max_fires
 
     def mark_fired(self, index: int) -> None:
         self._fires[index] += 1

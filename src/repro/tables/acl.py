@@ -52,6 +52,40 @@ class AclRule:
             return False
         return True
 
+    def covers(self, other: "AclRule") -> bool:
+        """True when every flow matching *other* also matches this rule
+        (field-wise superset: wildcards cover everything, networks cover
+        sub-networks, ranges cover sub-ranges)."""
+        return (
+            _field_covers_exact(self.vni, other.vni)
+            and _net_covers(self.src_net, other.src_net)
+            and _net_covers(self.dst_net, other.dst_net)
+            and _field_covers_exact(self.proto, other.proto)
+            and _range_covers(self.src_ports, other.src_ports)
+            and _range_covers(self.dst_ports, other.dst_ports)
+        )
+
+
+def _field_covers_exact(mine: Optional[int], theirs: Optional[int]) -> bool:
+    return mine is None or mine == theirs
+
+
+def _net_covers(mine: Optional[Tuple[int, int]], theirs: Optional[Tuple[int, int]]) -> bool:
+    if mine is None:
+        return True
+    if theirs is None:
+        return False
+    # My care-bits must be a subset of theirs and agree on them.
+    return (mine[1] & theirs[1]) == mine[1] and (theirs[0] & mine[1]) == mine[0]
+
+
+def _range_covers(mine: Optional[Tuple[int, int]], theirs: Optional[Tuple[int, int]]) -> bool:
+    if mine is None:
+        return True
+    if theirs is None:
+        return False
+    return mine[0] <= theirs[0] and theirs[1] <= mine[1]
+
 
 class AclTable:
     """First-match ACL with a default verdict and TCAM accounting.
@@ -106,6 +140,27 @@ class AclTable:
                 self.matched += 1
                 return rule.verdict
         return self.default_verdict
+
+    def rules(self) -> List[AclRule]:
+        """The installed rules in evaluation (scan) order."""
+        return list(self._rules)
+
+    def shadowed_rules(self) -> List[Tuple[AclRule, AclRule]]:
+        """Rules that can never fire, as ``(shadowed, shadowing)`` pairs.
+
+        A rule is shadowed when an earlier-scanned rule covers its whole
+        match region, so first-match always stops at the earlier one. A
+        shadowed rule with the *same* verdict is merely dead weight; with
+        a *different* verdict it silently inverts the tenant's intended
+        policy — the audit reports the two cases separately.
+        """
+        shadowed: List[Tuple[AclRule, AclRule]] = []
+        for i, rule in enumerate(self._rules):
+            for earlier in self._rules[:i]:
+                if earlier.covers(rule):
+                    shadowed.append((rule, earlier))
+                    break
+        return shadowed
 
     def footprint(self) -> MemoryFootprint:
         return MemoryFootprint(

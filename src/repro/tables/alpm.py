@@ -40,6 +40,26 @@ def _mask(length: int, width: int) -> int:
     return ((1 << length) - 1) << (width - length) if length else 0
 
 
+def oracle_lookup(
+    routes: Sequence[Tuple[int, int, V]], key: int, width: int
+) -> Optional[Tuple[int, int, V]]:
+    """Brute-force longest-prefix match over a flat route list.
+
+    The differential oracle the audit (and the ALPM test suite) compare
+    the two-level structure against: O(n) per lookup, no partitioning,
+    no room for carving bugs.
+
+    >>> oracle_lookup([(0b10000000, 1, "a"), (0b10100000, 3, "b")], 0b10111111, 8)
+    (160, 3, 'b')
+    """
+    best: Optional[Tuple[int, int, V]] = None
+    for network, length, value in routes:
+        if (key & _mask(length, width)) == network:
+            if best is None or length > best[1]:
+                best = (network, length, value)
+    return best
+
+
 @dataclass
 class Partition(Generic[V]):
     """One carved subtree: a TCAM pivot plus its SRAM route bucket."""

@@ -15,7 +15,7 @@ mix. Two alignment strategies, chosen per match kind:
 
 from __future__ import annotations
 
-from typing import Generic, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
 
 from ..net.addr import Prefix
 from .compress import CompressedExactMap, digest32
@@ -173,6 +173,20 @@ class PooledExactTable(Generic[V]):
     def digest_of(self, address: int) -> int:
         """The 32-bit digest an IPv6 key is stored under (for inspection)."""
         return digest32(address, IPV6_BITS)
+
+    def items(self) -> Iterator[Tuple[int, int, int, V]]:
+        """Control-plane readback: every ``(vni, address, version, value)``.
+
+        The audit sweep diffs this against controller intent; IPv6 keys
+        come back at full width (the digest is only the physical-cost
+        model — conflict handling keeps the full key available, exactly
+        as the chip's control plane can read back installed entries).
+        """
+        for (vni, address), value in self._v4.items():
+            yield vni, address, 4, value
+        for vni, per_vni in self._v6.items():
+            for address, value in per_vni.items():
+                yield vni, address, 6, value
 
     @property
     def load(self) -> float:

@@ -92,6 +92,32 @@ class Tcam(Generic[V]):
     def entries(self) -> Iterator[TcamEntry[V]]:
         return iter(self._entries)
 
+    def shadowed_entries(self) -> List[Tuple[TcamEntry[V], TcamEntry[V]]]:
+        """Every entry that can never win a lookup, with its killer.
+
+        Entry B is *shadowed* by an earlier-scanned entry A when A's
+        care-bits are a subset of B's and they agree on those bits —
+        then every key matching B matches A too, and A wins first.
+        Returned as ``(shadowed, shadowing)`` pairs in scan order; an
+        entry shadowed by several predecessors reports only the first.
+
+        >>> t = Tcam(key_bits=8)
+        >>> t.insert(0x10, 0xF0, priority=10, action="wide")
+        >>> t.insert(0x12, 0xFF, priority=5, action="narrow")
+        >>> [(s.match, by.match) for s, by in t.shadowed_entries()]
+        [(18, 16)]
+        """
+        shadowed: List[Tuple[TcamEntry[V], TcamEntry[V]]] = []
+        for i, entry in enumerate(self._entries):
+            for earlier in self._entries[:i]:
+                if (
+                    (earlier.mask & entry.mask) == earlier.mask
+                    and (earlier.match & earlier.mask) == (entry.match & earlier.mask)
+                ):
+                    shadowed.append((entry, earlier))
+                    break
+        return shadowed
+
     def footprint(self) -> MemoryFootprint:
         return MemoryFootprint(tcam_slices=self.used_slices())
 

@@ -13,6 +13,10 @@ from typing import Iterator, Optional, Tuple
 from .pooled import PooledExactTable
 
 
+#: An enumerated binding: (vni, vm_ip, version, NcBinding).
+VmItem = Tuple[int, int, int, "NcBinding"]
+
+
 @dataclass(frozen=True)
 class NcBinding:
     """Where a VM lives: the NC's underlay IP (and its family)."""
@@ -71,6 +75,11 @@ class VmNcTable:
     def count_for_vni(self, vni: int) -> int:
         """Number of VMs registered under one VNI (the split unit)."""
         return self._per_vni_counts.get(vni, 0)
+
+    def items(self) -> Iterator[VmItem]:
+        """Readback of every installed ``(vni, vm_ip, version, binding)``
+        (both families), for the audit's intent-vs-installed sweep."""
+        yield from self._table.items()
 
     def conflict_entries(self) -> int:
         """IPv6 digest-conflict entries (paper: "very limited")."""

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..dataplane.gateway_logic import DropReason
+
 
 @dataclass(frozen=True)
 class TraceHop:
@@ -43,6 +45,13 @@ class PathTrace:
     @property
     def dropped(self) -> bool:
         return self.outcome == "drop"
+
+    @property
+    def reason(self) -> Optional[DropReason]:
+        """The :class:`DropReason` behind :attr:`drop_reason`, so VTrace
+        output, gateway counters and audit findings share one vocabulary
+        (None when the packet was delivered or the detail is ad hoc)."""
+        return DropReason.from_detail(self.drop_reason)
 
     def drop_location(self) -> Optional[TraceHop]:
         """Where the packet died, if it did — VTrace's core answer."""

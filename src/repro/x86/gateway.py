@@ -20,7 +20,14 @@ from ..dataplane.flowcache import (
     forward_cached,
     forward_cached_batch,
 )
-from ..dataplane.gateway_logic import ForwardAction, ForwardResult, GatewayTables, forward
+from ..dataplane.gateway_logic import (
+    DropReason,
+    ForwardAction,
+    ForwardResult,
+    GatewayTables,
+    count_drop,
+    forward,
+)
 from ..dataplane.services import SnatService
 from ..net.addr import Prefix
 from ..net.flow import FlowKey
@@ -142,6 +149,8 @@ class XgwX86:
             # We *are* the software gateway: run the service locally.
             result = self.snat_service.handle_request(packet, now)
         self.counters.add(f"action_{result.action.value.replace('-', '_')}")
+        if result.action is ForwardAction.DROP:
+            count_drop(self.counters, result.detail)
         return result
 
     def forward_batch(self, packets: Sequence[Packet], now: float = 0.0) -> List[ForwardResult]:
@@ -157,6 +166,7 @@ class XgwX86:
         gateway_ip = self.gateway_ip
         snat_service = self.snat_service
         actions: Dict[ForwardAction, int] = {}
+        drop_details: Dict[str, int] = {}
         if cache is not None:
             results = forward_cached_batch(tables, cache, packets, gateway_ip, now)
             for index, result in enumerate(results):
@@ -168,6 +178,8 @@ class XgwX86:
                     result = snat_service.handle_request(packets[index], now)
                     results[index] = result
                 actions[result.action] = actions.get(result.action, 0) + 1
+                if result.action is ForwardAction.DROP:
+                    drop_details[result.detail] = drop_details.get(result.detail, 0) + 1
         else:
             slow = forward
             results = []
@@ -181,19 +193,28 @@ class XgwX86:
                 ):
                     result = snat_service.handle_request(packet, now)
                 actions[result.action] = actions.get(result.action, 0) + 1
+                if result.action is ForwardAction.DROP:
+                    drop_details[result.detail] = drop_details.get(result.detail, 0) + 1
                 append(result)
         self.counters.add("rx_packets", len(results))
         for action, count in actions.items():
             self.counters.add(f"action_{action.value.replace('-', '_')}", count)
+        for detail, count in drop_details.items():
+            reason = DropReason.from_detail(detail)
+            self.counters.add(reason.counter if reason is not None else "drop_other",
+                              count)
         return results
 
     def forward_response(self, packet: Packet, now: float = 0.0) -> ForwardResult:
         """Handle an Internet-side response (SNAT reverse path)."""
         if self.snat_service is None:
-            return ForwardResult(ForwardAction.DROP, packet, detail="no-snat")
+            return ForwardResult(ForwardAction.DROP, packet,
+                                 detail=DropReason.NO_SNAT.value)
         self.counters.add("rx_packets")
         result = self.snat_service.handle_response(packet, now)
         self.counters.add(f"action_{result.action.value.replace('-', '_')}")
+        if result.action is ForwardAction.DROP:
+            count_drop(self.counters, result.detail)
         return result
 
     # -- cache telemetry ------------------------------------------------------

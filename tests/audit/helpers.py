@@ -1,0 +1,73 @@
+"""Shared builders for the audit suite: a journaled three-member cluster
+(two XGW-H nodes plus a hot backup; optionally a hybrid XGW-x86 member
+with a flow cache) carrying a richer-than-minimal tenant layout — LOCAL
+subnets, a default INTERNET route, and a peered second tenant — so every
+invariant has something real to chew on."""
+
+import ipaddress
+
+from repro.cluster.cluster import GatewayCluster
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.controller import Controller, RouteEntry, VmEntry
+from repro.core.journal import Journal
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.net.addr import Prefix
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.x86.gateway import XgwX86
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+def make_controller(hybrid=False, journal=True):
+    balancer = VniSteeredBalancer()
+    splitter = TableSplitter(ClusterCapacity(routes=200, vms=2000, traffic_bps=1e13))
+    ctrl = Controller(splitter, balancer,
+                      journal=Journal() if journal else None)
+    counter = [0]
+
+    def factory(cluster_id):
+        counter[0] += 1
+        nodes = [(f"{cluster_id}-gw{i}", XgwH(gateway_ip=counter[0] * 10 + i))
+                 for i in range(2)]
+        if hybrid:
+            nodes.append((f"{cluster_id}-x86",
+                          XgwX86(gateway_ip=counter[0] * 10 + 9)))
+        backup = GatewayCluster(
+            f"{cluster_id}-backup",
+            [(f"{cluster_id}-bk0", XgwH(gateway_ip=counter[0] * 100))],
+        )
+        return GatewayCluster(cluster_id, nodes, backup=backup)
+
+    ctrl.set_cluster_factory(factory)
+    return ctrl
+
+
+def rich_tenant(vni, subnet, vm, nc, peer_vni=None):
+    """One tenant: a LOCAL subnet, a default INTERNET route, optionally a
+    PEER route into *peer_vni* (covering the peer's address space)."""
+    routes = [
+        RouteEntry(vni, Prefix.parse(subnet), RouteAction(Scope.LOCAL)),
+        RouteEntry(vni, Prefix.parse("0.0.0.0/0"),
+                   RouteAction(Scope.INTERNET, target="inet")),
+    ]
+    if peer_vni is not None:
+        routes.append(RouteEntry(vni, Prefix.parse("192.168.99.0/24"),
+                                 RouteAction(Scope.PEER, next_hop_vni=peer_vni)))
+    vms = [VmEntry(vni, ip(vm), 4, NcBinding(ip(nc)))]
+    return TenantProfile(vni, len(routes), len(vms), 1e9), routes, vms
+
+
+def onboard_region(ctrl):
+    """Two peered tenants on one cluster; returns (cluster_id, routes,
+    vms) of the first tenant."""
+    profile, routes, vms = rich_tenant(
+        100, "192.168.10.0/24", "192.168.10.2", "10.1.1.11")
+    cluster_id = ctrl.add_tenant(profile, routes, vms)
+    profile2, routes2, vms2 = rich_tenant(
+        101, "192.168.20.0/24", "192.168.20.2", "10.1.2.11", peer_vni=100)
+    assert ctrl.add_tenant(profile2, routes2, vms2) == cluster_id
+    return cluster_id, routes, vms

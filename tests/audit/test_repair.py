@@ -1,0 +1,133 @@
+"""The repair bridge: confirmed findings flow into the controller's
+targeted-repair path (quarantine → repair → probe → readmit), poisoned
+caches are flushed, and operator-facing findings are counted but left
+alone."""
+
+import pytest
+
+from tests.audit.helpers import ip, make_controller, onboard_region
+
+from repro.audit import (
+    AuditConfig,
+    AuditScanner,
+    Finding,
+    RepairBridge,
+    REPAIRABLE_KINDS,
+)
+from repro.core.controller import build_probe_packet
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.net.addr import Prefix
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+
+
+@pytest.fixture
+def region():
+    ctrl = make_controller()
+    cluster_id, _routes, _vms = onboard_region(ctrl)
+    scanner = AuditScanner(ctrl, AuditConfig(seed=3, budget=100))
+    bridge = RepairBridge(ctrl).attach(scanner)
+    return ctrl, cluster_id, scanner, bridge
+
+
+class TestTableRepairs:
+    def test_extra_vm_is_withdrawn(self, region):
+        ctrl, cluster_id, scanner, bridge = region
+        member = ctrl.clusters[cluster_id].members()[0]
+        member.gateway.install_vm(100, ip("192.168.10.50"), 4,
+                                  NcBinding(ip("10.9.9.9")))
+        scanner.full_scan()  # cycle hook drives the bridge
+        assert bridge.counters["repairs_applied"] == 1
+        assert member.gateway.split_vm_nc.lookup(100, ip("192.168.10.50"), 4) is None
+        assert scanner.full_scan() == []
+
+    def test_corrupt_route_is_repushed(self, region):
+        ctrl, cluster_id, scanner, bridge = region
+        member = ctrl.clusters[cluster_id].members()[0]
+        prefix = Prefix.parse("192.168.10.0/24")
+        member.gateway.install_route(
+            100, prefix, RouteAction(Scope.SERVICE, target="oops"),
+            replace=True)
+        scanner.full_scan()
+        assert bridge.counters["repairs_applied"] >= 1
+        hit = member.gateway.tables.routing.lookup(100, ip("192.168.10.2"), 4)
+        assert hit is not None and hit[1].scope is Scope.LOCAL
+        assert scanner.full_scan() == []
+
+    def test_quarantine_then_probe_readmission(self, region):
+        ctrl, cluster_id, scanner, bridge = region
+        member = ctrl.clusters[cluster_id].members()[0]
+        member.gateway.install_vm(100, ip("192.168.10.50"), 4,
+                                  NcBinding(ip("10.9.9.9")))
+        admitted = []
+        scanner.on_cycle(lambda _f: admitted.append(
+            ctrl.is_admitted(cluster_id)))
+        scanner.full_scan()
+        # The bridge's hook ran first: quarantined, repaired, probed,
+        # readmitted — all within the cycle.
+        assert admitted == [True]
+        assert ctrl.is_admitted(cluster_id)
+        assert ctrl.counters["readmissions"] >= 1
+
+    def test_advisory_mode_skips_quarantine(self, region):
+        ctrl, cluster_id, _scanner, _bridge = region
+        scanner = AuditScanner(ctrl, AuditConfig(seed=5, budget=100))
+        bridge = RepairBridge(ctrl, quarantine=False).attach(scanner)
+        member = ctrl.clusters[cluster_id].members()[0]
+        member.gateway.install_vm(100, ip("192.168.10.50"), 4,
+                                  NcBinding(ip("10.9.9.9")))
+        scanner.full_scan()
+        assert bridge.counters["repairs_applied"] == 1
+        assert ctrl.counters["readmissions"] == 0  # never quarantined
+
+
+class TestCacheRepairs:
+    def test_poisoned_cache_is_flushed_and_forwarding_recovers(self):
+        ctrl = make_controller(hybrid=True)
+        cluster_id, _routes, _vms = onboard_region(ctrl)
+        member = ctrl.clusters[cluster_id].find_member(f"{cluster_id}-x86")
+        probe = build_probe_packet(100, ip("192.168.10.2"))
+        member.gateway.forward(probe)
+        plan = FaultPlan(seed=9, specs=[
+            FaultSpec(FaultKind.POISON_FLOW_CACHE, max_fires=1)])
+        assert FaultInjector(plan).poison_caches(ctrl.clusters) == 1
+        scanner = AuditScanner(ctrl, AuditConfig(seed=3, budget=100))
+        bridge = RepairBridge(ctrl).attach(scanner)
+        scanner.full_scan()
+        assert bridge.counters["caches_cleared"] == 1
+        assert len(member.gateway.flow_cache) == 0
+        result = member.gateway.forward(probe)
+        assert result.nc_ip == ip("10.1.1.11")
+        assert scanner.full_scan() == []
+
+
+class TestSkips:
+    def test_operator_facing_kinds_are_counted_not_repaired(self, region):
+        ctrl, cluster_id, _scanner, bridge = region
+        findings = [
+            Finding("acl-shadow", "shadowed-rule", cluster_id,
+                    f"{cluster_id}-gw0", "inverted", key=(100, 5, 10)),
+            Finding("tenant-isolation", "tenant-isolation", cluster_id,
+                    f"{cluster_id}-gw0", "leak", key=(100, 1, 4, 101)),
+            Finding("counters", "counter-mismatch", cluster_id,
+                    f"{cluster_id}-gw0", "torn"),
+            Finding("intent-journal", "intent-divergence", "-", "-", "d"),
+        ]
+        assert bridge.handle(findings) == 0
+        assert bridge.counters["repairs_skipped"] == len(findings)
+        assert bridge.counters["repairs_applied"] == 0
+
+    def test_repairable_finding_without_key_is_skipped(self, region):
+        ctrl, cluster_id, _scanner, bridge = region
+        assert "extra-vm" in REPAIRABLE_KINDS
+        finding = Finding("vm-equivalence", "extra-vm", cluster_id,
+                          f"{cluster_id}-gw0", "no key", key=None)
+        assert bridge.handle([finding]) == 0
+        assert bridge.counters["repairs_skipped"] == 1
+
+    def test_unknown_cluster_is_skipped(self, region):
+        _ctrl, _cluster_id, _scanner, bridge = region
+        finding = Finding("route-equivalence", "missing-route", "ghost",
+                          "ghost-gw0", "gone", key=(100, Prefix.parse("10.0.0.0/8")))
+        assert bridge.handle([finding]) == 0
+        assert bridge.counters["repairs_skipped"] == 1

@@ -1,0 +1,145 @@
+"""Property tests: the structural shadow detectors agree with a
+brute-force first-match oracle.
+
+The TCAM key space is kept to 8 bits so the oracle can enumerate every
+key; the ACL analogue draws rule fields from small domains and checks
+the reported pairs against ``AclRule.matches`` over the cross product of
+those domains."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import FlowKey
+from repro.tables.acl import AclRule, AclTable, AclVerdict
+from repro.tables.tcam import Tcam
+
+KEY_BITS = 8
+ALL_KEYS = range(1 << KEY_BITS)
+
+
+def build_tcam(entries):
+    tcam = Tcam(key_bits=KEY_BITS)
+    for i, (match, mask, priority) in enumerate(entries):
+        tcam.insert(match & mask, mask, priority, action=i)
+    return tcam
+
+
+tcam_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),  # match (masked on insert)
+        st.integers(min_value=0, max_value=255),  # mask
+        st.integers(min_value=0, max_value=7),    # priority
+    ),
+    min_size=0,
+    max_size=8,
+    unique_by=lambda e: (e[0] & e[1], e[1], e[2]),
+)
+
+
+class TestTcamShadowOracle:
+    @given(tcam_entries)
+    @settings(max_examples=80, deadline=None)
+    def test_reported_pairs_are_sound(self, raw):
+        """A reported shadowed entry never wins any of the 256 keys, and
+        every key it matches is also matched by its reported killer."""
+        tcam = build_tcam(raw)
+        scan = list(tcam.entries())
+        for shadowed, shadowing in tcam.shadowed_entries():
+            assert scan.index(shadowing) < scan.index(shadowed)
+            for key in ALL_KEYS:
+                if shadowed.matches(key):
+                    assert shadowing.matches(key)
+                    winner = tcam.lookup(key)
+                    assert winner is not None and winner is not shadowed
+
+    @given(tcam_entries)
+    @settings(max_examples=80, deadline=None)
+    def test_single_cover_shadowing_is_complete(self, raw):
+        """If the oracle finds an earlier entry matching every key a
+        later entry matches, the detector must report the later one."""
+        tcam = build_tcam(raw)
+        scan = list(tcam.entries())
+        reported = {id(s) for s, _by in tcam.shadowed_entries()}
+        for j, entry in enumerate(scan):
+            keys = [k for k in ALL_KEYS if entry.matches(k)]
+            covered = any(
+                all(earlier.matches(k) for k in keys)
+                for earlier in scan[:j]
+            )
+            assert (id(entry) in reported) == covered
+
+
+# -- ACL analogue ----------------------------------------------------------
+
+VNIS = [None, 100, 101]
+PROTOS = [None, 6, 17]
+NETS = [
+    None,
+    (0x0A000000, 0xFF000000),   # 10.0.0.0/8
+    (0x0A010000, 0xFFFF0000),   # 10.1.0.0/16
+    (0x0B000000, 0xFF000000),   # 11.0.0.0/8
+]
+RANGES = [None, (0, 65535), (0, 100), (50, 150)]
+
+acl_rules = st.lists(
+    st.builds(
+        AclRule,
+        priority=st.integers(min_value=0, max_value=7),
+        verdict=st.sampled_from([AclVerdict.PERMIT, AclVerdict.DENY]),
+        vni=st.sampled_from(VNIS),
+        src_net=st.sampled_from(NETS),
+        dst_net=st.sampled_from(NETS),
+        proto=st.sampled_from(PROTOS),
+        src_ports=st.sampled_from(RANGES),
+        dst_ports=st.sampled_from(RANGES),
+    ),
+    min_size=0,
+    max_size=6,
+    unique=True,
+)
+
+#: A flow sample hitting every boundary the rule domains can distinguish.
+SAMPLE_FLOWS = [
+    (vni, FlowKey(src, dst, proto, sport, dport))
+    for vni, src, dst, proto, sport, dport in itertools.product(
+        [100, 101],
+        [0x0A000001, 0x0A010001, 0x0B000001],
+        [0x0A000001, 0x0A010001, 0x0B000001],
+        [6, 17],
+        [0, 50, 100, 151],
+        [0, 50, 100, 151],
+    )
+]
+
+
+class TestAclShadowOracle:
+    @given(acl_rules)
+    @settings(max_examples=60, deadline=None)
+    def test_reported_pairs_are_sound(self, rules):
+        """Every sampled flow matching a reported shadowed rule also
+        matches its killer, and first-match never stops at the shadowed
+        rule."""
+        acl = AclTable()
+        for rule in rules:
+            acl.insert(rule)
+        scan = acl.rules()
+        for shadowed, shadowing in acl.shadowed_rules():
+            assert scan.index(shadowing) < scan.index(shadowed)
+            for vni, flow in SAMPLE_FLOWS:
+                if shadowed.matches(vni, flow):
+                    assert shadowing.matches(vni, flow)
+                    first = next(r for r in scan if r.matches(vni, flow))
+                    assert first is not shadowed
+
+    @given(acl_rules)
+    @settings(max_examples=60, deadline=None)
+    def test_cover_is_sound_against_matches(self, rules):
+        """`covers` (the structural relation the detector rests on) never
+        claims coverage a sampled flow can refute."""
+        for a, b in itertools.permutations(rules, 2):
+            if a.covers(b):
+                for vni, flow in SAMPLE_FLOWS:
+                    if b.matches(vni, flow):
+                        assert a.matches(vni, flow)

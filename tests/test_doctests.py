@@ -8,6 +8,10 @@ import doctest
 
 import pytest
 
+import repro.audit.findings
+import repro.audit.intent
+import repro.audit.sampling
+import repro.audit.scanner
 import repro.cluster.ecmp
 import repro.core.compression
 import repro.dataplane.flowcache
@@ -74,6 +78,10 @@ MODULES = [
     repro.core.occupancy,
     repro.core.compression,
     repro.core.economics,
+    repro.audit.findings,
+    repro.audit.sampling,
+    repro.audit.intent,
+    repro.audit.scanner,
 ]
 
 
