@@ -12,6 +12,8 @@ Commands:
 * ``export-pcap`` — write a synthetic traffic sample to a pcap file.
 * ``audit`` — build a region, run the cross-layer invariant audit, and
   (optionally) inject a corruption first to watch detection + repair.
+* ``fuzz`` — differential placement-compiler fuzzing: a bounded corpus
+  by default, an unbounded soak with ``--soak SECONDS``.
 """
 
 from __future__ import annotations
@@ -143,6 +145,32 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import DEFAULT_SEEDS, run_bounded, run_soak
+
+    if args.soak is not None:
+        report = run_soak(budget_seconds=args.soak, flows=args.flows,
+                          start_seed=args.start_seed,
+                          artifact_dir=args.artifact_dir)
+    else:
+        seeds = (tuple(int(s) for s in args.seeds.split(","))
+                 if args.seeds else DEFAULT_SEEDS)
+        report = run_bounded(seeds=seeds, cases_per_seed=args.cases,
+                             flows=args.flows, artifact_dir=args.artifact_dir)
+    print(report.describe())
+    if report.counterexamples:
+        for ce in report.counterexamples:
+            where = f"seed {ce.config.seed} index {ce.config.index}"
+            outcome = f"{ce.outcome.status}/{ce.outcome.reason}"
+            ops = len(ce.minimized.config.ops) if ce.minimized else "?"
+            print(f"counterexample: {where}: {outcome} "
+                  f"(minimized to {ops} ops): {ce.outcome.detail}")
+        for path in report.artifacts:
+            print(f"artifact: {path}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Sailfish (SIGCOMM 2021) reproduction toolkit"
@@ -182,6 +210,21 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--corrupt", action="store_true",
                        help="inject a corruption before scanning")
     audit.set_defaults(func=_cmd_audit)
+
+    fuzz = sub.add_parser("fuzz", help="differential placement-compiler fuzzing")
+    fuzz.add_argument("--seeds", default=None,
+                      help="comma-separated corpus seeds (default: the CI set)")
+    fuzz.add_argument("--cases", type=int, default=40,
+                      help="configs per seed in bounded mode")
+    fuzz.add_argument("--flows", type=int, default=50,
+                      help="sampled flows per placed config")
+    fuzz.add_argument("--soak", type=float, default=None, metavar="SECONDS",
+                      help="run an unbounded soak for this many seconds")
+    fuzz.add_argument("--start-seed", type=int, default=1000,
+                      help="first seed of the soak sequence")
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="directory for minimized counterexample JSON")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

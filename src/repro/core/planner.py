@@ -20,7 +20,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..tables.geometry import MemoryFootprint
-from ..tofino.compiler import Compiler, PlacementError, PlacementReport, Segment, TableSpec
+from ..tofino.compiler import (
+    Compiler,
+    PlacementError,
+    PlacementReport,
+    Segment,
+    TableSpec,
+    _short_resource,
+)
 from ..tofino.memory import (
     SRAM_WORDS_PER_BLOCK,
     SRAM_WORDS_PER_PIPELINE,
@@ -129,7 +136,9 @@ class PlacementPlanner:
         for table in tables:
             if table.preferred_pipe not in path:
                 raise PlacementError(
-                    f"{table.name}: preferred pipe {table.preferred_pipe} not on path"
+                    f"{table.name}: preferred pipe {table.preferred_pipe} not on path",
+                    stage="plan-input",
+                    table=table.name,
                 )
             need_sram, need_tcam = blocks_for_footprint(table.footprint)
             start = path.index(table.preferred_pipe)
@@ -161,7 +170,10 @@ class PlacementPlanner:
             if need_sram > 0 or need_tcam > 0:
                 raise PlacementError(
                     f"{table.name}: {need_sram} SRAM / {need_tcam} TCAM blocks do not fit "
-                    f"anywhere on the path"
+                    f"anywhere on the path",
+                    stage="plan-capacity",
+                    table=table.name,
+                    resource=_short_resource(need_sram, need_tcam),
                 )
         specs = [
             TableSpec(name=t.name, footprint=t.footprint, depends_on=t.depends_on)

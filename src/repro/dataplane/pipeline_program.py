@@ -2,13 +2,17 @@
 
 Table placement follows the paper's folding principles (Fig. 13/15):
 
-* **Ingress 0/2** — parser checks + VXLAN routing table (Table A);
-  resolved VNI and scope are bridged onward.
+* **Ingress 0/2** — parser checks, tenant ACL + meters, then the VXLAN
+  routing table (Table A); resolved VNI and scope are bridged onward.
+  ACL and metering run *before* routing so every admitted packet —
+  local, service-redirect or uplink — passes tenant policy exactly like
+  the software gateway's program (the early SERVICE/uplink exits leave
+  from this pipe and would otherwise bypass Table C entirely).
 * **Egress 1/3** (loopback pipes) — VM-NC mapping table (Table B), with
   entries *split between pipelines* by VNI parity (Fig. 14): pipe 1
   holds even-VNI entries, pipe 3 odd-VNI entries; the load balancer
   steers traffic to entry pipeline 0 or 2 accordingly.
-* **Ingress 1/3** — ACL + meters (Table C).
+* **Ingress 1/3** — bridge relay (metadata carried across the fold).
 * **Egress 0/2** — final header rewrite + counters (Table D).
 
 Metadata crossing a gress boundary is bridged explicitly; the traversal
@@ -105,9 +109,24 @@ class XgwHProgram:
     # -- pipe programs ------------------------------------------------------
 
     def ingress_entry(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:
-        """Ingress 0/2: validate + VXLAN routing (Table A)."""
+        """Ingress 0/2: validate, ACL + meter, VXLAN routing (Table A).
+
+        The evaluation order mirrors
+        :func:`repro.dataplane.gateway_logic.forward` exactly — tenant
+        ACL, then the per-VNI meter, then routing — so drop precedence
+        (acl-deny over no-route) and SERVICE/uplink admission match the
+        software gateway byte-for-byte.
+        """
         if not packet.is_vxlan:
             return PipeResult(Verdict.DROP, drop_reason="not-vxlan")
+        flow = inner_flow_key(packet)
+        if self.tables.acl.evaluate(packet.vni, flow) is AclVerdict.DENY:
+            return PipeResult(Verdict.DROP, drop_reason="acl-deny")
+        color = self.tables.meters.charge(
+            vni_key(packet.vni), self._clock(), packet.wire_length()
+        )
+        if color is MeterColor.RED:
+            return PipeResult(Verdict.DROP, drop_reason="meter-red")
         try:
             resolution = self.tables.routing.resolve(
                 packet.vni, packet.inner_dst, packet.inner_version
@@ -149,15 +168,13 @@ class XgwHProgram:
         return PipeResult(Verdict.CONTINUE, bridge_fields=["resolved_vni", "scope", "nc_ip"])
 
     def ingress_loopback(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:
-        """Ingress 1/3: ACL + meter (Table C)."""
-        flow = inner_flow_key(packet)
-        if self.tables.acl.evaluate(packet.vni, flow) is AclVerdict.DENY:
-            return PipeResult(Verdict.DROP, drop_reason="acl-deny")
-        color = self.tables.meters.charge(
-            vni_key(packet.vni), self._clock(), packet.wire_length()
-        )
-        if color is MeterColor.RED:
-            return PipeResult(Verdict.DROP, drop_reason="meter-red")
+        """Ingress 1/3: bridge relay.
+
+        Tenant ACL + metering moved to :meth:`ingress_entry` so that the
+        early SERVICE/uplink exits cannot bypass them; this pipe now only
+        carries the bridged metadata across the fold towards the final
+        rewrite.
+        """
         return PipeResult(Verdict.CONTINUE, bridge_fields=["resolved_vni", "scope", "nc_ip"])
 
     def egress_exit(self, packet: Packet, md: Metadata, ref: PipeRef) -> PipeResult:

@@ -1,0 +1,55 @@
+"""Adversarial placement-compiler fuzzing (differential testing).
+
+Seeded generator of random gateway configurations, a differential
+harness asserting the placement trichotomy (classified rejection /
+byte-identical forwarding + occupancy accounting / counterexample), a
+delta-debugging minimizer, and bounded/soak corpus runners. See
+docs/api.md for the grammar and DESIGN.md for the triage workflow.
+"""
+
+from .corpus import DEFAULT_SEEDS, CorpusReport, Counterexample, run_bounded, run_soak
+from .generator import (
+    FUZZ_GATEWAY_IP,
+    BuiltConfig,
+    ConfigGenerator,
+    GatewayConfig,
+    config_from_json,
+    config_to_json,
+)
+from .harness import (
+    STATUS_DIVERGED,
+    STATUS_ERROR,
+    STATUS_PLACED,
+    STATUS_REJECTED,
+    CaseOutcome,
+    compare_results,
+    run_case,
+    sample_flows,
+)
+from .minimizer import MinimizationResult, minimize
+from .oracle import LinearScanOracle
+
+__all__ = [
+    "BuiltConfig",
+    "CaseOutcome",
+    "ConfigGenerator",
+    "CorpusReport",
+    "Counterexample",
+    "DEFAULT_SEEDS",
+    "FUZZ_GATEWAY_IP",
+    "GatewayConfig",
+    "LinearScanOracle",
+    "MinimizationResult",
+    "STATUS_DIVERGED",
+    "STATUS_ERROR",
+    "STATUS_PLACED",
+    "STATUS_REJECTED",
+    "compare_results",
+    "config_from_json",
+    "config_to_json",
+    "minimize",
+    "run_bounded",
+    "run_case",
+    "run_soak",
+    "sample_flows",
+]

@@ -1,0 +1,438 @@
+"""Seeded generator of adversarial gateway configurations.
+
+A :class:`GatewayConfig` is a flat, JSON-serialisable **op list** — the
+unit the delta-debugging minimizer removes entries from — plus a handful
+of layout knobs (entry pipeline, ALPM vs plain TCAM routing, parity
+split, pooled vs dedicated VM-NC). :meth:`GatewayConfig.build`
+materialises the ops into a hardware gateway, the flat structures the
+linear-scan oracle consumes, and the logical tables the placement
+planner must map onto the chip.
+
+Op grammar (all fields JSON primitives; ``None`` means wildcard):
+
+* ``("route", vni, network, plen, version, scope, next_hop_vni, target)``
+* ``("vm", vni, ip, version, nc_ip)``
+* ``("acl", priority, verdict, vni, src, dst, proto, sports, dports)``
+  where ``src``/``dst`` are ``(network, plen)`` pairs and the port
+  fields inclusive ``(lo, hi)`` ranges;
+* ``("pressure", name, sram_frac, tcam_frac, pipe_index, spillable, dep)``
+  — a synthetic occupancy load near chip limits; ``pipe_index`` 0-3
+  indexes the folded path, 4-7 the *other* entry's path (deliberately
+  off-path), and ``dep`` may name a real table, ``None``, or a ghost.
+
+Seeding follows DESIGN.md's convention: every stream is derived from the
+corpus seed via :func:`repro.sim.rand.derive` with a label path, so
+``ConfigGenerator(seed).generate(i)`` is reproducible byte-for-byte.
+
+>>> cfg = ConfigGenerator(7).generate(0)
+>>> cfg == ConfigGenerator(7).generate(0)
+True
+>>> cfg == config_from_json(config_to_json(cfg))
+True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.planner import LogicalTable
+from ..core.xgw_h import XgwH
+from ..net.addr import Prefix
+from ..sim.rand import derive
+from ..tables.acl import AclRule, AclVerdict
+from ..tables.alpm import AlpmTable
+from ..tables.errors import DuplicateEntryError
+from ..tables.geometry import MemoryFootprint, tcam_slices_for
+from ..tables.vm_nc import NcBinding
+from ..tables.vxlan_routing import RouteAction, Scope, VxlanRoutingTable
+from ..tofino.memory import SRAM_WORDS_PER_PIPELINE, TCAM_SLICES_PER_PIPELINE
+from ..tofino.pipeline import folded_path
+
+#: The fixed underlay IP of the fuzzed gateway.
+FUZZ_GATEWAY_IP = 0x0AFFFF01
+
+_SCOPES = [scope.value for scope in Scope]
+_V6_BASE = 0x20010DB8 << 96
+
+
+def _freeze(value):
+    """Recursively convert lists to tuples (canonical op form)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """One generated configuration: layout knobs + an op list."""
+
+    seed: int
+    index: int
+    entry_pipeline: int = 0
+    alpm_routing: bool = True
+    alpm_bucket_capacity: int = 8
+    split_routing: bool = False
+    pool_vm_nc: bool = True
+    ops: Tuple[tuple, ...] = ()
+
+    def with_ops(self, ops: Sequence[tuple]) -> "GatewayConfig":
+        """The same config with a (usually reduced) op list."""
+        return replace(self, ops=tuple(_freeze(op) for op in ops))
+
+    def build(self) -> "BuiltConfig":
+        """Materialise the ops into gateway + oracle inputs + layout."""
+        return _build(self)
+
+
+def config_to_json(config: GatewayConfig) -> dict:
+    """A JSON-ready dict for corpus files and CI artifacts."""
+    return {
+        "seed": config.seed,
+        "index": config.index,
+        "entry_pipeline": config.entry_pipeline,
+        "alpm_routing": config.alpm_routing,
+        "alpm_bucket_capacity": config.alpm_bucket_capacity,
+        "split_routing": config.split_routing,
+        "pool_vm_nc": config.pool_vm_nc,
+        "ops": [list(op) for op in config.ops],
+    }
+
+
+def config_from_json(data: dict) -> GatewayConfig:
+    """Inverse of :func:`config_to_json` (lists normalised to tuples)."""
+    return GatewayConfig(
+        seed=data["seed"],
+        index=data["index"],
+        entry_pipeline=data["entry_pipeline"],
+        alpm_routing=data["alpm_routing"],
+        alpm_bucket_capacity=data["alpm_bucket_capacity"],
+        split_routing=data["split_routing"],
+        pool_vm_nc=data["pool_vm_nc"],
+        ops=tuple(_freeze(op) for op in data["ops"]),
+    )
+
+
+# -- materialisation ----------------------------------------------------------
+
+
+@dataclass
+class BuiltConfig:
+    """Everything the differential harness needs for one config."""
+
+    config: GatewayConfig
+    hw: XgwH
+    #: Flat (vni, prefix, action) routes after last-wins dedup, in a
+    #: canonical order — the oracle's ground truth.
+    routes: List[Tuple[int, Prefix, RouteAction]]
+    #: Flat (vni, ip, version) -> nc_ip map after last-wins dedup.
+    vms: Dict[Tuple[int, int, int], int]
+    #: ACL rules in installation order, exact duplicates skipped.
+    acl_rules: List[AclRule]
+    logical_tables: List[LogicalTable] = field(default_factory=list)
+
+
+def _route_action(scope: str, next_hop_vni: Optional[int], target: Optional[str]) -> RouteAction:
+    return RouteAction(
+        scope=Scope(scope),
+        next_hop_vni=next_hop_vni,
+        target=target,
+    )
+
+
+def _build(config: GatewayConfig) -> BuiltConfig:
+    hw = XgwH(gateway_ip=FUZZ_GATEWAY_IP)
+    route_map: Dict[Tuple[int, Prefix], RouteAction] = {}
+    vms: Dict[Tuple[int, int, int], int] = {}
+    acl_rules: List[AclRule] = []
+    pressure_ops: List[tuple] = []
+
+    for op in config.ops:
+        kind = op[0]
+        if kind == "route":
+            _, vni, network, plen, version, scope, next_hop, target = op
+            prefix = Prefix.of(network, plen, version)
+            action = _route_action(scope, next_hop, target)
+            hw.install_route(vni, prefix, action, replace=True)
+            route_map[(vni, prefix)] = action
+        elif kind == "vm":
+            _, vni, ip, version, nc_ip = op
+            hw.install_vm(vni, ip, version, NcBinding(nc_ip), replace=True)
+            vms[(vni, ip, version)] = nc_ip
+        elif kind == "acl":
+            _, priority, verdict, vni, src, dst, proto, sports, dports = op
+            rule = AclRule(
+                priority=priority,
+                verdict=AclVerdict(verdict),
+                vni=vni,
+                src_net=_net_pair(src),
+                dst_net=_net_pair(dst),
+                proto=proto,
+                src_ports=tuple(sports) if sports is not None else None,
+                dst_ports=tuple(dports) if dports is not None else None,
+            )
+            try:
+                hw.tables.acl.insert(rule)
+            except DuplicateEntryError:
+                continue  # the oracle mirrors the skip
+            acl_rules.append(rule)
+        elif kind == "pressure":
+            pressure_ops.append(op)
+        else:
+            raise ValueError(f"unknown fuzz op kind {kind!r}")
+
+    routes = sorted(route_map.items(), key=lambda kv: (kv[0][0], str(kv[0][1])))
+    flat_routes = [(vni, prefix, action) for (vni, prefix), action in routes]
+    built = BuiltConfig(
+        config=config, hw=hw, routes=flat_routes, vms=vms, acl_rules=acl_rules
+    )
+    built.logical_tables = _logical_tables(config, built, pressure_ops)
+    return built
+
+
+def _net_pair(net) -> Optional[Tuple[int, int]]:
+    """An op's (network, plen) pair as the ACL's (network, mask) form."""
+    if net is None:
+        return None
+    network, plen = net
+    mask = ((1 << plen) - 1) << (32 - plen) if plen else 0
+    return (network & mask, mask)
+
+
+def _routing_footprint(
+    config: GatewayConfig, composite: List[Tuple[int, int, RouteAction]]
+) -> MemoryFootprint:
+    width = VxlanRoutingTable.composite_width()
+    if not composite:
+        return MemoryFootprint.zero()
+    if config.alpm_routing:
+        table = AlpmTable.build(width, composite,
+                                bucket_capacity=config.alpm_bucket_capacity)
+        return table.footprint()
+    return MemoryFootprint(tcam_slices=len(composite) * tcam_slices_for(width))
+
+
+def _logical_tables(
+    config: GatewayConfig, built: BuiltConfig, pressure_ops: List[tuple]
+) -> List[LogicalTable]:
+    """Derive the planner's input from the installed tables + knobs."""
+    path = folded_path(config.entry_pipeline)
+    other_path = folded_path(2 if config.entry_pipeline == 0 else 0)
+    composite = built.hw.tables.routing.to_composite_routes()
+    tables: List[LogicalTable] = []
+
+    if config.split_routing:
+        even = [r for r in composite if (r[0] >> (1 + 128)) % 2 == 0]
+        odd = [r for r in composite if (r[0] >> (1 + 128)) % 2 == 1]
+        tables.append(LogicalTable(
+            name="vxlan-routing",
+            footprint=_routing_footprint(config, even),
+            preferred_pipe=path[0],
+        ))
+        tables.append(LogicalTable(
+            name="vxlan-routing-odd",
+            footprint=_routing_footprint(config, odd),
+            preferred_pipe=path[0],
+        ))
+        routing_deps: Tuple[str, ...] = ("vxlan-routing", "vxlan-routing-odd")
+    else:
+        tables.append(LogicalTable(
+            name="vxlan-routing",
+            footprint=_routing_footprint(config, composite),
+            preferred_pipe=path[0],
+        ))
+        routing_deps = ("vxlan-routing",)
+
+    count_v4 = sum(1 for (_v, _ip, ver) in built.vms if ver == 4)
+    count_v6 = len(built.vms) - count_v4
+    if config.pool_vm_nc:
+        vm_words = count_v4 + count_v6  # pooled-compressed: 1 word/entry
+    else:
+        vm_words = 2 * count_v4 + 4 * count_v6  # dedicated per-family keys
+    tables.append(LogicalTable(
+        name="vm-nc",
+        footprint=MemoryFootprint(sram_words=vm_words),
+        preferred_pipe=path[1],
+        depends_on=routing_deps,
+        metadata_bits=32,
+    ))
+
+    tables.append(LogicalTable(
+        name="acl",
+        footprint=MemoryFootprint(
+            tcam_slices=len(built.acl_rules) * tcam_slices_for(128)
+        ),
+        preferred_pipe=path[0],
+    ))
+
+    for op in pressure_ops:
+        _, name, sram_frac, tcam_frac, pipe_index, spillable, dep = op
+        pipe = path[pipe_index] if pipe_index < 4 else other_path[pipe_index - 4]
+        tables.append(LogicalTable(
+            name=name,
+            footprint=MemoryFootprint(
+                sram_words=int(round(sram_frac * SRAM_WORDS_PER_PIPELINE)),
+                tcam_slices=int(round(tcam_frac * TCAM_SLICES_PER_PIPELINE)),
+            ),
+            preferred_pipe=pipe,
+            depends_on=(dep,) if dep is not None else (),
+            spillable=spillable,
+        ))
+    return tables
+
+
+# -- generation ---------------------------------------------------------------
+
+
+class ConfigGenerator:
+    """Deterministic adversarial config source for one corpus seed.
+
+    ``generate(i)`` draws only from ``derive(seed, "fuzz", i, ...)``
+    streams, so the i-th config is independent of how many configs were
+    generated before it.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def generate(self, index: int) -> GatewayConfig:
+        rng = derive(self.seed, "fuzz", index)
+        entry = rng.choice([0, 2])
+        knobs = dict(
+            entry_pipeline=entry,
+            alpm_routing=rng.random() < 0.6,
+            alpm_bucket_capacity=rng.choice([2, 4, 8, 16]),
+            split_routing=rng.random() < 0.3,
+            pool_vm_nc=rng.random() < 0.7,
+        )
+        vnis = sorted(rng.sample(range(1, 16), rng.randint(1, 6)))
+        ops: List[tuple] = []
+        subnets: List[Tuple[int, Prefix]] = []  # (vni, prefix) pool for ACL/flows
+        for vni in vnis:
+            self._tenant_ops(rng, vni, vnis, ops, subnets)
+        self._acl_ops(rng, vnis, subnets, ops)
+        self._pressure_ops(rng, ops)
+        return GatewayConfig(seed=self.seed, index=index,
+                             ops=tuple(_freeze(op) for op in ops), **knobs)
+
+    # -- per-tenant routes and VMs ---------------------------------------
+
+    def _tenant_ops(self, rng: random.Random, vni: int, vnis: List[int],
+                    ops: List[tuple], subnets: List[Tuple[int, Prefix]]) -> None:
+        for s in range(rng.randint(1, 3)):
+            base = (10 << 24) | (vni << 16) | (s << 10)
+            plen = rng.choice([20, 22, 24, 26])
+            prefix = Prefix.of(base, plen, 4)
+            scope = self._scope(rng, vni, vnis, ops, prefix)
+            subnets.append((vni, prefix))
+            # Sometimes nest a more-specific route with a different fate
+            # inside the subnet (LPM shadowing pressure).
+            if rng.random() < 0.35:
+                inner = Prefix.of(base | (rng.randrange(1 << 6) << 4),
+                                  min(prefix.prefix_len + rng.choice([2, 4, 6]), 32), 4)
+                self._scope(rng, vni, vnis, ops, inner)
+            if scope == Scope.LOCAL.value:
+                for _ in range(rng.randint(0, 4)):
+                    vm_ip = prefix.network + rng.randrange(2, 1 << (32 - plen))
+                    ops.append(("vm", vni, vm_ip, 4,
+                                (10 << 24) | rng.randrange(1, 1 << 16)))
+        if rng.random() < 0.4:  # v6 subnet
+            net6 = _V6_BASE | (vni << 64)
+            plen6 = rng.choice([48, 56, 64])
+            prefix6 = Prefix.of(net6, plen6, 6)
+            subnets.append((vni, prefix6))
+            ops.append(("route", vni, prefix6.network, plen6, 6,
+                        Scope.LOCAL.value, None, None))
+            for _ in range(rng.randint(0, 2)):
+                vm6 = prefix6.network + rng.randrange(2, 1 << 20)
+                ops.append(("vm", vni, vm6, 6,
+                            (10 << 24) | rng.randrange(1, 1 << 16)))
+        if rng.random() < 0.3:  # tenant default route
+            scope = rng.choice([Scope.SERVICE.value, Scope.INTERNET.value])
+            target = "snat" if scope == Scope.SERVICE.value else None
+            ops.append(("route", vni, 0, 0, 4, scope, None, target))
+        # VM with no covering route (reachable only via a later config op).
+        if rng.random() < 0.1:
+            ops.append(("vm", vni, rng.randrange(1 << 32), 4,
+                        (10 << 24) | rng.randrange(1, 1 << 16)))
+
+    def _scope(self, rng: random.Random, vni: int, vnis: List[int],
+               ops: List[tuple], prefix: Prefix) -> str:
+        """Append one route op for *prefix*, drawing an adversarial fate."""
+        roll = rng.random()
+        if roll < 0.5:
+            scope, next_hop, target = Scope.LOCAL.value, None, None
+        elif roll < 0.65:
+            # PEER: mostly a listed VNI (self-references make loops),
+            # sometimes an unknown VNI (broken chain).
+            next_hop = (rng.choice(vnis) if rng.random() < 0.8
+                        else rng.randrange(100, 120))
+            scope, target = Scope.PEER.value, None
+        elif roll < 0.8:
+            scope, next_hop, target = Scope.SERVICE.value, None, rng.choice(
+                ["snat", "lb", None])
+        else:
+            scope = rng.choice([Scope.INTERNET.value, Scope.IDC.value,
+                                Scope.CROSS_REGION.value])
+            next_hop, target = None, rng.choice(["uplink-a", None])
+        ops.append(("route", vni, prefix.network, prefix.prefix_len,
+                    prefix.version, scope, next_hop, target))
+        return scope
+
+    # -- ACL rules --------------------------------------------------------
+
+    def _acl_ops(self, rng: random.Random, vnis: List[int],
+                 subnets: List[Tuple[int, Prefix]], ops: List[tuple]) -> None:
+        v4_nets = [(vni, p) for vni, p in subnets if p.version == 4]
+        for _ in range(rng.randint(0, 20)):
+            vni = (None if rng.random() < 0.3
+                   else rng.choice(vnis + [rng.randrange(100, 120)]))
+
+            def net():
+                roll = rng.random()
+                if roll < 0.45 and v4_nets:
+                    _v, p = rng.choice(v4_nets)
+                    plen = min(32, p.prefix_len + rng.choice([0, 0, 2, 6]))
+                    return [p.network, plen]
+                if roll < 0.55:
+                    return [rng.randrange(1 << 32), rng.randint(0, 32)]
+                return None
+
+            def ports():
+                if rng.random() < 0.5:
+                    return None
+                lo = rng.randrange(0, 1 << 16)
+                return [lo, min(lo + rng.choice([0, 10, 1000, 65535]), 65535)]
+
+            ops.append((
+                "acl",
+                rng.randint(0, 50),  # small range -> frequent priority ties
+                rng.choice([AclVerdict.DENY.value, AclVerdict.PERMIT.value]),
+                vni, net(), net(),
+                rng.choice([None, 6, 17]),
+                ports(), ports(),
+            ))
+
+    # -- occupancy pressure ----------------------------------------------
+
+    def _pressure_ops(self, rng: random.Random, ops: List[tuple]) -> None:
+        for p in range(rng.randint(0, 4)):
+            roll = rng.random()
+            if roll < 0.03:
+                pipe_index = rng.randint(4, 7)  # off-path preferred pipe
+            else:
+                pipe_index = rng.randint(0, 3)
+            if roll < 0.06:
+                dep: Optional[str] = f"ghost-{p}"
+            elif roll < 0.16:
+                dep = rng.choice(["vxlan-routing", "vm-nc", "acl"])
+            else:
+                dep = None
+            spillable = rng.random() < 0.85
+            sram_frac = round(rng.uniform(0.05, 0.85), 4)
+            tcam_frac = round(rng.choice([0.0, rng.uniform(0.05, 0.85)]), 4)
+            if not spillable and rng.random() < 0.5:
+                sram_frac = round(rng.uniform(0.9, 1.4), 4)  # cannot fit one pipe
+            ops.append(("pressure", f"pressure-{p}", sram_frac, tcam_frac,
+                        pipe_index, spillable, dep))

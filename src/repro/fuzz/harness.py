@@ -1,0 +1,250 @@
+"""The differential harness: one config in, one classified outcome out.
+
+Every generated config must land in exactly one arm of the trichotomy:
+
+* **rejected** — the planner/compiler refuses placement with a
+  machine-diagnosable :class:`~repro.tofino.compiler.PlacementError`
+  (classified ``stage[:resource]`` reason), and rolls back cleanly
+  (occupancy all-zero afterwards);
+* **placed** — placement succeeds, occupancy accounting matches
+  ``Compiler.occupancy()`` block-for-block, the hardware gateway
+  forwards byte-identically to the :class:`LinearScanOracle` on every
+  sampled flow, and the audit's LPM-oracle invariant stays silent;
+* anything else is a counterexample: **diverged** (semantics differ) or
+  **error** (an unclassified exception escaped).
+
+Outcomes carry a digest over every observable, so a whole corpus run is
+reproducible byte-for-byte from (seed, index).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..audit.intent import IntentSnapshot
+from ..audit.invariants import AuditContext, LpmOracleEquivalence, ShadowRules
+from ..core.planner import PlacementPlanner
+from ..dataplane.gateway_logic import ForwardAction, ForwardResult
+from ..net.packet import Packet
+from ..tofino.compiler import PlacementError
+from ..tofino.memory import (
+    SRAM_WORDS_PER_BLOCK,
+    SRAM_WORDS_PER_PIPELINE,
+    TCAM_SLICES_PER_BLOCK,
+    TCAM_SLICES_PER_PIPELINE,
+    blocks_for_footprint,
+)
+from ..tofino.pipeline import PipelineFabric
+from ..sim.rand import derive
+from ..workloads.traffic import build_vxlan_packet
+from .generator import BuiltConfig, GatewayConfig
+from .oracle import LinearScanOracle
+
+STATUS_PLACED = "placed"
+STATUS_REJECTED = "rejected"
+STATUS_DIVERGED = "diverged"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """The classified result of one config run."""
+
+    status: str
+    reason: str = ""
+    flows_checked: int = 0
+    digest: str = ""
+    detail: str = ""
+
+    @property
+    def signature(self) -> Tuple[str, str]:
+        """The (status, reason) pair the minimizer preserves."""
+        return (self.status, self.reason)
+
+    @property
+    def is_counterexample(self) -> bool:
+        return self.status in (STATUS_DIVERGED, STATUS_ERROR)
+
+
+class _FuzzMember:
+    """The minimal member shape the reused audit invariants inspect."""
+
+    def __init__(self, gateway):
+        self.name = "fuzz"
+        self.gateway = gateway
+
+
+def _digest(parts: List[str]) -> str:
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def compare_results(hw: ForwardResult, oracle: ForwardResult) -> Optional[str]:
+    """The comparison contract; None when equivalent, else a description.
+
+    Action always; drop detail for DROP; full wire bytes (and VNI) for
+    DELIVER_NC; detail + untouched bytes for REDIRECT_X86/UPLINK. The
+    hardware result's ``resolved_vni`` is not populated by the chip path
+    and is deliberately not compared.
+    """
+    if hw.action is not oracle.action:
+        return f"action {hw.action.value} != {oracle.action.value} ({hw.detail!r} vs {oracle.detail!r})"
+    if hw.action is ForwardAction.DROP:
+        if hw.detail != oracle.detail:
+            return f"drop detail {hw.detail!r} != {oracle.detail!r}"
+        return None
+    if hw.detail != oracle.detail:
+        return f"detail {hw.detail!r} != {oracle.detail!r}"
+    if hw.packet.to_bytes() != oracle.packet.to_bytes():
+        return "output bytes differ"
+    if hw.action is ForwardAction.DELIVER_NC and hw.packet.vni != oracle.packet.vni:
+        return f"delivered vni {hw.packet.vni} != {oracle.packet.vni}"
+    return None
+
+
+def sample_flows(config: GatewayConfig, built: BuiltConfig, count: int) -> List[Packet]:
+    """Deterministic probe flows biased towards the installed state.
+
+    Mixes in-subnet destinations (VM hits and misses), exact installed
+    VM addresses, unknown VNIs, both address families, random far-off
+    addresses and the occasional non-VXLAN packet.
+    """
+    rng = derive(config.seed, "fuzz-flows", config.index)
+    vnis = sorted({vni for vni, _p, _a in built.routes}
+                  | {vni for (vni, _ip, _v) in built.vms}) or [1]
+    vm_keys = sorted(built.vms)
+    flows: List[Packet] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.05:
+            flows.append(build_vxlan_packet(
+                rng.choice(vnis), rng.randrange(1 << 32),
+                rng.randrange(1 << 32)).decap())
+            continue
+        vni = rng.choice(vnis) if rng.random() < 0.75 else rng.randrange(1, 130)
+        pick = rng.random()
+        if pick < 0.25 and vm_keys:
+            vm_vni, dst, version = rng.choice(vm_keys)
+            if rng.random() < 0.8:
+                vni = vm_vni
+        elif pick < 0.7 and built.routes:
+            r_vni, prefix, _action = rng.choice(built.routes)
+            if rng.random() < 0.8:
+                vni = r_vni
+            version = prefix.version
+            span = prefix.bits - prefix.prefix_len
+            dst = prefix.network + rng.randrange(min(1 << span, 1 << 16)) if span else prefix.network
+        else:
+            version = 4 if rng.random() < 0.8 else 6
+            dst = rng.randrange(1 << (32 if version == 4 else 128))
+        src = rng.randrange(1 << (32 if version == 4 else 128))
+        flows.append(build_vxlan_packet(
+            vni, src, dst, version=version,
+            src_port=rng.randrange(1 << 16), dst_port=rng.randrange(1 << 16)))
+    return flows
+
+
+def _check_occupancy(planner: PlacementPlanner, built: BuiltConfig,
+                     report) -> Optional[str]:
+    """Cross-check Compiler.occupancy() against the placement plan."""
+    occupancy = planner.compiler.occupancy()
+    expect_sram = {i: 0 for i in range(4)}
+    expect_tcam = {i: 0 for i in range(4)}
+    per_table = {t.name: [0, 0] for t in built.logical_tables}
+    for segment in report.segments:
+        pipeline = segment.pipe[0]
+        expect_sram[pipeline] += segment.footprint.sram_words
+        expect_tcam[pipeline] += segment.footprint.tcam_slices
+        s_blocks, t_blocks = blocks_for_footprint(segment.footprint)
+        per_table[segment.table][0] += s_blocks
+        per_table[segment.table][1] += t_blocks
+    for i in range(4):
+        have = occupancy[i]
+        if (have.sram_words, have.tcam_slices) != (expect_sram[i], expect_tcam[i]):
+            return (f"pipeline {i}: occupancy ({have.sram_words}, {have.tcam_slices})"
+                    f" != planned ({expect_sram[i]}, {expect_tcam[i]})")
+        if have.sram_words > SRAM_WORDS_PER_PIPELINE or have.tcam_slices > TCAM_SLICES_PER_PIPELINE:
+            return f"pipeline {i}: occupancy exceeds capacity"
+        if have.sram_words % SRAM_WORDS_PER_BLOCK or have.tcam_slices % TCAM_SLICES_PER_BLOCK:
+            return f"pipeline {i}: occupancy not block-granular"
+    for table in built.logical_tables:
+        need = blocks_for_footprint(table.footprint)
+        got = tuple(per_table[table.name])
+        if got != need:
+            return f"table {table.name}: {got} blocks placed, footprint needs {need}"
+    return None
+
+
+def _assert_clean_fabric(planner: PlacementPlanner) -> Optional[str]:
+    for i, footprint in planner.compiler.occupancy().items():
+        if footprint.sram_words or footprint.tcam_slices:
+            return f"pipeline {i} still holds memory after rejected placement"
+    return None
+
+
+def run_case(config: GatewayConfig, flows: int = 50) -> CaseOutcome:
+    """Drive one config through the full trichotomy check."""
+    try:
+        built = config.build()
+    except Exception as exc:  # noqa: BLE001 - classified as a counterexample
+        return CaseOutcome(STATUS_ERROR, reason="build",
+                           detail=f"{type(exc).__name__}: {exc}")
+
+    fabric = PipelineFabric(folded=True)
+    planner = PlacementPlanner(fabric)
+    try:
+        report = planner.plan(built.logical_tables,
+                              entry_pipeline=config.entry_pipeline)
+    except PlacementError as exc:
+        if not getattr(exc, "stage", None) or exc.stage == "compiler":
+            return CaseOutcome(STATUS_ERROR, reason="unclassified-placement-error",
+                               detail=str(exc))
+        leak = _assert_clean_fabric(planner)
+        if leak is not None:
+            return CaseOutcome(STATUS_ERROR, reason="rollback-leak", detail=leak)
+        digest = _digest([STATUS_REJECTED, exc.reason, str(exc)])
+        return CaseOutcome(STATUS_REJECTED, reason=exc.reason,
+                           digest=digest, detail=str(exc))
+    except Exception as exc:  # noqa: BLE001
+        return CaseOutcome(STATUS_ERROR, reason="plan",
+                           detail=f"{type(exc).__name__}: {exc}")
+
+    mismatch = _check_occupancy(planner, built, report)
+    if mismatch is not None:
+        return CaseOutcome(STATUS_ERROR, reason="occupancy-mismatch", detail=mismatch)
+
+    oracle = LinearScanOracle(built.routes, built.vms, built.acl_rules,
+                              gateway_ip=built.hw.gateway_ip)
+    parts: List[str] = [STATUS_PLACED]
+    packets = sample_flows(config, built, flows)
+    for i, packet in enumerate(packets):
+        try:
+            hw_result = built.hw.forward(packet)
+            oracle_result = oracle.forward(packet)
+        except Exception as exc:  # noqa: BLE001
+            return CaseOutcome(STATUS_ERROR, reason="forward", flows_checked=i,
+                               detail=f"{type(exc).__name__}: {exc}")
+        divergence = compare_results(hw_result, oracle_result)
+        if divergence is not None:
+            return CaseOutcome(STATUS_DIVERGED, reason="forwarding",
+                               flows_checked=i,
+                               detail=f"flow {i}: {divergence}")
+        out_bytes = ("" if hw_result.action is ForwardAction.DROP
+                     else hw_result.packet.to_bytes().hex())
+        parts.append(f"{i}:{hw_result.action.value}:{hw_result.detail}:{out_bytes}")
+
+    ctx = AuditContext(intent=IntentSnapshot({}, "fuzz"), cluster_id="fuzz",
+                       seed=config.seed, samples_per_prefix=2)
+    member = _FuzzMember(built.hw)
+    lpm_findings = LpmOracleEquivalence().check(ctx, member)
+    if lpm_findings:
+        first = lpm_findings[0]
+        return CaseOutcome(STATUS_DIVERGED, reason="lpm-oracle",
+                           flows_checked=len(packets),
+                           detail=f"{first.kind}: {first.detail}")
+    for finding in ShadowRules().check(ctx, member):
+        parts.append(f"shadow:{finding.kind}:{finding.key}")
+
+    return CaseOutcome(STATUS_PLACED, flows_checked=len(packets),
+                       digest=_digest(parts))

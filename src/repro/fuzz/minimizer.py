@@ -1,0 +1,114 @@
+"""Delta-debugging minimizer over a config's op list.
+
+Classic ddmin (Zeller & Hildebrandt) on the flat op sequence: remove
+chunks while the harness still reports the *same* ``(status, reason)``
+signature, then sweep single ops to a fixpoint. The result is the
+smallest op list (under this reduction) that still reproduces the
+counterexample — small enough to read, and committed under
+``tests/fuzz/corpus/`` as a permanent regression test.
+
+The predicate is budgeted: minimization of a pathological case stops
+after ``budget`` harness runs and returns the best reduction so far.
+
+>>> from .generator import GatewayConfig
+>>> bad = GatewayConfig(seed=0, index=0, ops=(
+...     ("pressure", "huge", 2.5, 0.0, 0, False, None),
+...     ("vm", 5, 0x0A050002, 4, 0x0A000001),
+... ))
+>>> result = minimize(bad)
+>>> len(result.config.ops), result.config.ops[0][1]
+(1, 'huge')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .generator import GatewayConfig
+from .harness import CaseOutcome, run_case
+
+
+@dataclass
+class MinimizationResult:
+    """The reduced config plus bookkeeping about the search."""
+
+    config: GatewayConfig
+    signature: Tuple[str, str]
+    original_ops: int
+    tests_run: int
+    exhausted_budget: bool = False
+
+    @property
+    def removed(self) -> int:
+        return self.original_ops - len(self.config.ops)
+
+
+def minimize(
+    config: GatewayConfig,
+    flows: int = 50,
+    budget: int = 2000,
+    interesting: Optional[Callable[[GatewayConfig], bool]] = None,
+) -> MinimizationResult:
+    """Shrink *config* while preserving its outcome signature.
+
+    *interesting* overrides the default predicate (same ``(status,
+    reason)`` as the unreduced config under :func:`run_case`) — tests use
+    this to minimize against arbitrary properties.
+    """
+    tests = 0
+
+    if interesting is None:
+        target = run_case(config, flows=flows).signature
+        tests += 1
+
+        def interesting(candidate: GatewayConfig) -> bool:
+            return run_case(candidate, flows=flows).signature == target
+    else:
+        target = ("custom", "custom")
+
+    def check(ops: List[tuple]) -> bool:
+        nonlocal tests
+        if tests >= budget:
+            return False
+        tests += 1
+        return interesting(config.with_ops(ops))
+
+    ops = list(config.ops)
+    granularity = 2
+    exhausted = False
+    while len(ops) >= 2 and tests < budget:
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        start = 0
+        while start < len(ops):
+            candidate = ops[:start] + ops[start + chunk:]
+            if candidate != ops and check(candidate):
+                ops = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(granularity * 2, len(ops))
+    # Singleton sweep to a fixpoint (ddmin can leave 1-op leftovers).
+    changed = True
+    while changed and tests < budget:
+        changed = False
+        for i in range(len(ops)):
+            candidate = ops[:i] + ops[i + 1:]
+            if check(candidate):
+                ops = candidate
+                changed = True
+                break
+    if tests >= budget:
+        exhausted = True
+    return MinimizationResult(
+        config=config.with_ops(ops),
+        signature=target,
+        original_ops=len(config.ops),
+        tests_run=tests,
+        exhausted_budget=exhausted,
+    )

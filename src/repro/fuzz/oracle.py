@@ -1,0 +1,118 @@
+"""The linear-scan forwarding oracle the hardware gateway is diffed against.
+
+Re-implements the gateway program (Wong et al.'s differential-testing
+shape) from first principles over *flat* structures rebuilt straight
+from a config's op list: longest-prefix match is a brute-force
+:func:`repro.tables.alpm.oracle_lookup` scan over the pooled composite
+route list, the VM-NC map is a plain dict, and the ACL is a stable-sorted
+linear first-match scan. No tries, no ALPM carving, no pipeline split —
+so a divergence always implicates the optimised structures or the
+pipeline program, never the oracle.
+
+Meters and counters are intentionally absent: fuzz configs never
+configure meters (unconfigured meters pass GREEN on both sides), and
+counters carry no forwarding semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dataplane.gateway_logic import DropReason, ForwardAction, ForwardResult, inner_flow_key
+from ..net.addr import Prefix
+from ..net.packet import Packet
+from ..tables.acl import AclRule, AclVerdict
+from ..tables.alpm import oracle_lookup
+from ..tables.vxlan_routing import RouteAction, Scope, VxlanRoutingTable
+
+_MAX_HOPS = 8  # mirrors VxlanRoutingTable.resolve's default budget
+
+
+class LinearScanOracle:
+    """Reference gateway semantics over flat, scan-based structures."""
+
+    def __init__(
+        self,
+        routes: List[Tuple[int, Prefix, RouteAction]],
+        vms: Dict[Tuple[int, int, int], int],
+        acl_rules: List[AclRule],
+        gateway_ip: int,
+    ):
+        self.width = VxlanRoutingTable.composite_width()
+        # The composite encoding scopes each route to its VNI: every
+        # prefix length includes the full 24 VNI bits + 1 AF bit.
+        self.composite: List[Tuple[int, int, RouteAction]] = []
+        for vni, prefix, action in routes:
+            af = 0 if prefix.version == 4 else 1
+            addr = prefix.network << (128 - 32) if prefix.version == 4 else prefix.network
+            network = (vni << 129) | (af << 128) | addr
+            self.composite.append((network, 24 + 1 + prefix.prefix_len, action))
+        self.vms = dict(vms)
+        # Stable sort by descending priority — insertion order breaks ties,
+        # exactly like AclTable's repeated insert-then-sort.
+        self.acl_rules = sorted(acl_rules, key=lambda r: -r.priority)
+        self.gateway_ip = gateway_ip
+
+    # -- lookups ----------------------------------------------------------
+
+    def _lookup(self, vni: int, address: int, version: int) -> Optional[RouteAction]:
+        key = VxlanRoutingTable.composite_key(vni, address, version)
+        hit = oracle_lookup(self.composite, key, self.width)
+        return hit[2] if hit is not None else None
+
+    def _resolve(self, vni: int, address: int, version: int):
+        """(terminal vni, action) or a DropReason for misses/loops."""
+        seen = set()
+        current = vni
+        hops = 0
+        while True:
+            if current in seen or hops > _MAX_HOPS:
+                return None, DropReason.PEER_LOOP
+            seen.add(current)
+            action = self._lookup(current, address, version)
+            if action is None:
+                return None, DropReason.NO_ROUTE
+            if action.scope is not Scope.PEER:
+                return (current, action), None
+            current = action.next_hop_vni
+            hops += 1
+
+    # -- the program -------------------------------------------------------
+
+    def forward(self, packet: Packet) -> ForwardResult:
+        """The full gateway program, in software-gateway evaluation order."""
+        if not packet.is_vxlan:
+            return ForwardResult(ForwardAction.DROP, packet,
+                                 detail=DropReason.NOT_VXLAN.value)
+        vni = packet.vni
+        flow = inner_flow_key(packet)
+        for rule in self.acl_rules:
+            if rule.matches(vni, flow):
+                if rule.verdict is AclVerdict.DENY:
+                    return ForwardResult(ForwardAction.DROP, packet,
+                                         detail=DropReason.ACL_DENY.value)
+                break
+        terminal, drop = self._resolve(vni, packet.inner_dst, packet.inner_version)
+        if terminal is None:
+            return ForwardResult(ForwardAction.DROP, packet, detail=drop.value)
+        resolved_vni, action = terminal
+        scope = action.scope
+        if scope is Scope.LOCAL:
+            nc_ip = self.vms.get((resolved_vni, packet.inner_dst, packet.inner_version))
+            if nc_ip is None:
+                return ForwardResult(ForwardAction.DROP, packet,
+                                     detail=DropReason.NO_VM.value,
+                                     resolved_vni=resolved_vni)
+            out = packet
+            if resolved_vni != vni:
+                out = out.with_vni(resolved_vni)
+            out = out.with_outer_src(self.gateway_ip).with_outer_dst(nc_ip)
+            return ForwardResult(ForwardAction.DELIVER_NC, out, detail="local",
+                                 resolved_vni=resolved_vni, nc_ip=nc_ip)
+        if scope is Scope.SERVICE:
+            return ForwardResult(ForwardAction.REDIRECT_X86, packet,
+                                 detail=action.target or "service",
+                                 resolved_vni=resolved_vni)
+        return ForwardResult(ForwardAction.UPLINK, packet,
+                             detail=action.target or scope.value,
+                             resolved_vni=resolved_vni)

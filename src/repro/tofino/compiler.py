@@ -23,7 +23,56 @@ from .pipeline import Gress, PipelineFabric, PipeRef, folded_path, normal_path
 
 
 class PlacementError(Exception):
-    """Raised when tables cannot be placed under the architectural rules."""
+    """Raised when tables cannot be placed under the architectural rules.
+
+    Besides the human-readable message (unchanged from earlier releases),
+    the error carries machine-readable context so callers — the fuzz
+    harness, the planner, operator tooling — can classify failures
+    without parsing strings:
+
+    * ``stage`` — the placement phase that failed (``"path-check"``,
+      ``"order-check"``, ``"segment-alloc"``, ``"pipe-capacity"``,
+      ``"plan-input"``, ``"plan-capacity"``);
+    * ``table`` — the logical table involved, when known;
+    * ``resource`` — the memory kind that ran short (``"sram"``,
+      ``"tcam"``, ``"sram+tcam"``), or ``None`` for structural failures.
+
+    >>> err = PlacementError("out of room", stage="pipe-capacity",
+    ...                      table="acl", resource="tcam")
+    >>> err.reason
+    'pipe-capacity:tcam'
+    >>> str(err)
+    'out of room'
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str = "compiler",
+        table: Optional[str] = None,
+        resource: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.table = table
+        self.resource = resource
+
+    @property
+    def reason(self) -> str:
+        """A stable classification key: ``stage`` plus the short resource."""
+        return f"{self.stage}:{self.resource}" if self.resource else self.stage
+
+
+def _short_resource(sram: int, tcam: int) -> Optional[str]:
+    """The resource tag for a shortfall of *sram*/*tcam* blocks."""
+    if sram > 0 and tcam > 0:
+        return "sram+tcam"
+    if sram > 0:
+        return "sram"
+    if tcam > 0:
+        return "tcam"
+    return None
 
 
 @dataclass(frozen=True)
@@ -68,26 +117,34 @@ class Compiler:
     def __init__(self, fabric: PipelineFabric):
         self.fabric = fabric
 
-    def _order_index(self, pipe: PipeRef) -> int:
+    def _order_index(self, pipe: PipeRef, table: Optional[str] = None) -> int:
         entry = 0 if pipe[0] in (0, 1) else 2
         order = pipe_order(self.fabric.folded, entry)
         try:
             return order.index(pipe)
         except ValueError:
             raise PlacementError(
-                f"pipe {pipe} is not on the {'folded' if self.fabric.folded else 'normal'} path"
+                f"pipe {pipe} is not on the {'folded' if self.fabric.folded else 'normal'} path",
+                stage="path-check",
+                table=table,
             ) from None
 
     def check_order(self, specs: Sequence[TableSpec], segments: Sequence[Segment]) -> None:
         """Verify every segment respects its table's dependencies."""
         by_table: Dict[str, List[int]] = {}
         for segment in segments:
-            by_table.setdefault(segment.table, []).append(self._order_index(segment.pipe))
+            by_table.setdefault(segment.table, []).append(
+                self._order_index(segment.pipe, table=segment.table)
+            )
         known = {spec.name for spec in specs}
         for spec in specs:
             for dep in spec.depends_on:
                 if dep not in known:
-                    raise PlacementError(f"{spec.name} depends on unknown table {dep}")
+                    raise PlacementError(
+                        f"{spec.name} depends on unknown table {dep}",
+                        stage="order-check",
+                        table=spec.name,
+                    )
                 if dep not in by_table or spec.name not in by_table:
                     continue
                 earliest = min(by_table[spec.name])
@@ -95,7 +152,9 @@ class Compiler:
                 if earliest < latest_dep:
                     raise PlacementError(
                         f"{spec.name} placed at pipe order {earliest}, before its "
-                        f"dependency {dep} at order {latest_dep}"
+                        f"dependency {dep} at order {latest_dep}",
+                        stage="order-check",
+                        table=spec.name,
                     )
 
     def place(self, specs: Sequence[TableSpec], segments: Sequence[Segment]) -> PlacementReport:
@@ -132,7 +191,12 @@ class Compiler:
             try:
                 stage.allocate(owner, take_sram, take_tcam)
             except AllocationError as exc:  # pragma: no cover - guarded by mins
-                raise PlacementError(str(exc)) from exc
+                raise PlacementError(
+                    str(exc),
+                    stage="segment-alloc",
+                    table=segment.table,
+                    resource=_short_resource(take_sram, take_tcam),
+                ) from exc
             taken.append((memory, stage.stage_index, owner, take_sram, take_tcam))
             sram_blocks -= take_sram
             tcam_blocks -= take_tcam
@@ -140,7 +204,10 @@ class Compiler:
                 return
         raise PlacementError(
             f"pipeline {pipeline_index} cannot hold segment of {segment.table}: "
-            f"{sram_blocks} SRAM / {tcam_blocks} TCAM blocks short"
+            f"{sram_blocks} SRAM / {tcam_blocks} TCAM blocks short",
+            stage="pipe-capacity",
+            table=segment.table,
+            resource=_short_resource(sram_blocks, tcam_blocks),
         )
 
     def occupancy(self) -> Dict[int, MemoryFootprint]:

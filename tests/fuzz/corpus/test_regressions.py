@@ -1,0 +1,42 @@
+"""Replay every committed counterexample in this directory.
+
+Each ``*.json`` file is a minimized config that once made the
+differential harness report a counterexample (the ``pre_fix_outcome``
+field records what it looked like). Replaying them must now land in a
+healthy arm of the trichotomy — a regression re-opens the bug with the
+original reproducer attached.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import config_from_json, run_case
+
+CORPUS_DIR = Path(__file__).parent
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_seeded():
+    """The triage workflow commits minimized counterexamples here."""
+    assert ENTRIES, "corpus directory must hold at least one reproducer"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_replay_is_clean(path):
+    data = json.loads(path.read_text())
+    config = config_from_json(data["config"])
+    outcome = run_case(config, flows=50)
+    assert not outcome.is_counterexample, (
+        f"{path.name} regressed: {outcome.status}/{outcome.reason} "
+        f"{outcome.detail} (originally {data['pre_fix_outcome']})"
+    )
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entries_are_minimized(path):
+    """Committed reproducers stay small enough to read at a glance."""
+    data = json.loads(path.read_text())
+    assert len(data["config"]["ops"]) <= 5
+    assert data["pre_fix_outcome"]["status"] in ("diverged", "error")

@@ -1,0 +1,110 @@
+"""The generator: determinism, variety, JSON round-trips, buildability."""
+
+import json
+
+import pytest
+
+from repro.fuzz import ConfigGenerator, config_from_json, config_to_json
+from repro.fuzz.generator import GatewayConfig
+from repro.tables.vxlan_routing import Scope
+
+
+class TestDeterminism:
+    def test_same_seed_same_configs(self):
+        a = [ConfigGenerator(5).generate(i) for i in range(10)]
+        b = [ConfigGenerator(5).generate(i) for i in range(10)]
+        assert a == b
+
+    def test_index_independence(self):
+        """generate(i) does not depend on earlier generate() calls."""
+        fresh = ConfigGenerator(5).generate(7)
+        generator = ConfigGenerator(5)
+        for i in range(7):
+            generator.generate(i)
+        assert generator.generate(7) == fresh
+
+    def test_different_seeds_differ(self):
+        assert ConfigGenerator(1).generate(0) != ConfigGenerator(2).generate(0)
+
+
+class TestVariety:
+    """Across a modest sample the generator exercises the whole grammar."""
+
+    @pytest.fixture(scope="class")
+    def sample(self):
+        generator = ConfigGenerator(99)
+        return [generator.generate(i) for i in range(60)]
+
+    def test_all_op_kinds_appear(self, sample):
+        kinds = {op[0] for cfg in sample for op in cfg.ops}
+        assert kinds == {"route", "vm", "acl", "pressure"}
+
+    def test_all_scopes_appear(self, sample):
+        scopes = {op[5] for cfg in sample for op in cfg.ops if op[0] == "route"}
+        assert scopes == {s.value for s in Scope}
+
+    def test_both_families_appear(self, sample):
+        versions = {op[4] for cfg in sample for op in cfg.ops if op[0] == "route"}
+        assert versions == {4, 6}
+
+    def test_layout_knobs_vary(self, sample):
+        assert {cfg.entry_pipeline for cfg in sample} == {0, 2}
+        assert {cfg.alpm_routing for cfg in sample} == {True, False}
+        assert {cfg.split_routing for cfg in sample} == {True, False}
+        assert {cfg.pool_vm_nc for cfg in sample} == {True, False}
+
+    def test_adversarial_pressure_shapes(self, sample):
+        ops = [op for cfg in sample for op in cfg.ops if op[0] == "pressure"]
+        assert any(op[4] >= 4 for op in ops), "off-path preferred pipes"
+        assert any(not op[5] for op in ops), "unspillable tables"
+        assert any(op[6] is not None for op in ops), "dependencies"
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_identity(self):
+        for i in range(20):
+            cfg = ConfigGenerator(3).generate(i)
+            wire = json.dumps(config_to_json(cfg))
+            assert config_from_json(json.loads(wire)) == cfg
+
+    def test_with_ops_normalises_lists(self):
+        cfg = GatewayConfig(seed=0, index=0).with_ops(
+            [["acl", 1, "deny", None, [10, 8], None, None, [1, 2], None]]
+        )
+        assert cfg.ops[0][4] == (10, 8)
+        assert cfg.ops[0][7] == (1, 2)
+
+
+class TestBuild:
+    def test_every_config_builds(self):
+        generator = ConfigGenerator(17)
+        for i in range(30):
+            built = generator.generate(i).build()
+            assert built.hw.route_count() == len(built.routes)
+            assert built.hw.vm_count() == len(built.vms)
+            assert len(built.hw.tables.acl) == len(built.acl_rules)
+
+    def test_logical_tables_cover_layout(self):
+        built = ConfigGenerator(17).generate(0).build()
+        names = {t.name for t in built.logical_tables}
+        assert {"vxlan-routing", "vm-nc", "acl"} <= names
+
+    def test_split_routing_yields_two_halves(self):
+        generator = ConfigGenerator(17)
+        for i in range(30):
+            cfg = generator.generate(i)
+            if not cfg.split_routing:
+                continue
+            names = {t.name for t in cfg.build().logical_tables}
+            assert "vxlan-routing-odd" in names
+            return
+        pytest.fail("no split_routing config in sample")
+
+    def test_route_dedup_is_last_wins(self):
+        cfg = GatewayConfig(seed=0, index=0, ops=(
+            ("route", 1, 0x0A010000, 24, 4, "local", None, None),
+            ("route", 1, 0x0A010000, 24, 4, "internet", None, None),
+        ))
+        built = cfg.build()
+        assert len(built.routes) == 1
+        assert built.routes[0][2].scope is Scope.INTERNET

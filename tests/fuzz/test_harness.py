@@ -1,0 +1,131 @@
+"""The differential harness: every trichotomy arm on handcrafted configs."""
+
+import pytest
+
+from repro.dataplane.gateway_logic import ForwardAction, ForwardResult
+from repro.fuzz import (
+    STATUS_DIVERGED,
+    STATUS_ERROR,
+    STATUS_PLACED,
+    STATUS_REJECTED,
+    GatewayConfig,
+    run_case,
+)
+from repro.fuzz import harness as harness_module
+from repro.fuzz.harness import compare_results
+from repro.fuzz.oracle import LinearScanOracle
+from repro.workloads.traffic import build_vxlan_packet
+
+
+def config(*ops, **knobs) -> GatewayConfig:
+    return GatewayConfig(seed=0, index=0, **knobs).with_ops(list(ops))
+
+
+LOCAL_NET = ("route", 1, 0x0A010000, 24, 4, "local", None, None)
+VM = ("vm", 1, 0x0A010005, 4, 0x0A000001)
+
+
+class TestPlacedArm:
+    def test_small_config_places_and_matches(self):
+        outcome = run_case(config(LOCAL_NET, VM), flows=50)
+        assert outcome.status == STATUS_PLACED
+        assert outcome.flows_checked == 50
+        assert outcome.digest
+
+    def test_digest_is_deterministic(self):
+        cfg = config(LOCAL_NET, VM)
+        assert run_case(cfg, flows=30).digest == run_case(cfg, flows=30).digest
+
+    def test_peer_loop_and_broken_chain_still_equivalent(self):
+        outcome = run_case(config(
+            ("route", 1, 0x0A010000, 24, 4, "peer", 1, None),   # self-loop
+            ("route", 2, 0x0A020000, 24, 4, "peer", 99, None),  # broken chain
+        ), flows=50)
+        assert outcome.status == STATUS_PLACED
+
+    def test_empty_config_places_trivially(self):
+        outcome = run_case(config(), flows=10)
+        assert outcome.status == STATUS_PLACED
+
+
+class TestRejectedArm:
+    def test_unspillable_overflow_is_plan_capacity(self):
+        outcome = run_case(config(
+            ("pressure", "huge", 1.5, 0.0, 0, False, None)))
+        assert outcome.signature == (STATUS_REJECTED, "plan-capacity:sram")
+
+    def test_path_overflow_names_both_resources(self):
+        outcome = run_case(config(
+            ("pressure", "a", 1.9, 1.9, 0, True, None),
+            ("pressure", "b", 0.9, 0.9, 0, True, None)))
+        assert outcome.signature == (STATUS_REJECTED, "plan-capacity:sram+tcam")
+
+    def test_off_path_pipe_is_plan_input(self):
+        outcome = run_case(config(
+            ("pressure", "lost", 0.1, 0.0, 4, True, None)))
+        assert outcome.signature == (STATUS_REJECTED, "plan-input")
+
+    def test_ghost_dependency_is_order_check(self):
+        outcome = run_case(config(
+            ("pressure", "p", 0.1, 0.0, 0, True, "ghost-table")))
+        assert outcome.signature == (STATUS_REJECTED, "order-check")
+
+    def test_dependency_order_violation_is_order_check(self):
+        # vm-nc sits at path position 1; a dependent at position 0 is
+        # placed before its dependency.
+        outcome = run_case(config(
+            LOCAL_NET, VM,
+            ("pressure", "early", 0.1, 0.0, 0, True, "vm-nc")))
+        assert outcome.signature == (STATUS_REJECTED, "order-check")
+
+
+class TestCounterexampleArm:
+    def test_unknown_op_is_build_error(self):
+        outcome = run_case(config(("bogus", 1)))
+        assert outcome.signature == (STATUS_ERROR, "build")
+
+    def test_corrupt_oracle_is_caught_as_divergence(self, monkeypatch):
+        """An injected semantic skew must surface as STATUS_DIVERGED."""
+
+        class CorruptOracle(LinearScanOracle):
+            def forward(self, packet):
+                result = super().forward(packet)
+                if result.action is ForwardAction.DELIVER_NC:
+                    return ForwardResult(ForwardAction.DROP, packet,
+                                         detail="no-vm")
+                return result
+
+        monkeypatch.setattr(harness_module, "LinearScanOracle", CorruptOracle)
+        outcome = run_case(config(LOCAL_NET, VM), flows=50)
+        assert outcome.status == STATUS_DIVERGED
+        assert outcome.reason == "forwarding"
+
+
+class TestComparisonContract:
+    def test_action_mismatch(self):
+        packet = build_vxlan_packet(1, 2, 3)
+        a = ForwardResult(ForwardAction.DROP, packet, detail="no-route")
+        b = ForwardResult(ForwardAction.UPLINK, packet, detail="internet")
+        assert compare_results(a, b) is not None
+
+    def test_drop_compares_detail_not_bytes(self):
+        packet = build_vxlan_packet(1, 2, 3)
+        a = ForwardResult(ForwardAction.DROP, packet, detail="no-route")
+        b = ForwardResult(ForwardAction.DROP, packet.with_outer_dst(9),
+                          detail="no-route")
+        assert compare_results(a, b) is None
+
+    def test_deliver_compares_bytes(self):
+        packet = build_vxlan_packet(1, 2, 3)
+        a = ForwardResult(ForwardAction.DELIVER_NC, packet, detail="local")
+        b = ForwardResult(ForwardAction.DELIVER_NC, packet.with_outer_dst(9),
+                          detail="local")
+        assert compare_results(a, b) is not None
+
+    def test_resolved_vni_is_not_compared(self):
+        packet = build_vxlan_packet(1, 2, 3)
+        a = ForwardResult(ForwardAction.UPLINK, packet, detail="internet",
+                          resolved_vni=None)
+        b = ForwardResult(ForwardAction.UPLINK, packet, detail="internet",
+                          resolved_vni=5)
+        assert compare_results(a, b) is None

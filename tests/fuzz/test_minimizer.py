@@ -1,0 +1,59 @@
+"""Delta-debugging minimizer: shrinks, preserves signatures, respects budget."""
+
+from repro.fuzz import ConfigGenerator, GatewayConfig, minimize, run_case
+
+BAD_OP = ("pressure", "too-big", 2.0, 0.0, 0, False, None)
+
+
+def padded_bad_config() -> GatewayConfig:
+    """An injected known-bad op buried in ~30 benign generated ops."""
+    benign = ConfigGenerator(42).generate(3)
+    ops = [op for op in benign.ops if op[0] != "pressure"][:30]
+    assert len(ops) >= 20
+    ops.insert(len(ops) // 2, BAD_OP)
+    return benign.with_ops(ops)
+
+
+class TestShrinking:
+    def test_injected_bad_config_shrinks_to_single_op(self):
+        cfg = padded_bad_config()
+        target = run_case(cfg).signature
+        assert target == ("rejected", "plan-capacity:sram")
+        result = minimize(cfg)
+        assert len(result.config.ops) <= 5  # acceptance bound
+        assert result.config.ops == (BAD_OP,)  # and in fact minimal
+        assert run_case(result.config).signature == target
+
+    def test_minimization_is_deterministic(self):
+        cfg = padded_bad_config()
+        a = minimize(cfg)
+        b = minimize(cfg)
+        assert a.config == b.config
+        assert a.tests_run == b.tests_run
+
+    def test_result_bookkeeping(self):
+        cfg = padded_bad_config()
+        result = minimize(cfg)
+        assert result.original_ops == len(cfg.ops)
+        assert result.removed == result.original_ops - len(result.config.ops)
+        assert not result.exhausted_budget
+
+
+class TestPredicate:
+    def test_custom_predicate(self):
+        cfg = ConfigGenerator(42).generate(3)
+        assert sum(1 for op in cfg.ops if op[0] == "vm") >= 2
+        result = minimize(
+            cfg,
+            interesting=lambda c: sum(1 for op in c.ops if op[0] == "vm") >= 2,
+        )
+        assert len(result.config.ops) == 2
+        assert all(op[0] == "vm" for op in result.config.ops)
+
+    def test_budget_caps_predicate_calls(self):
+        cfg = padded_bad_config()
+        result = minimize(cfg, budget=5)
+        assert result.tests_run <= 5
+        assert result.exhausted_budget
+        # Whatever was reached still reproduces the signature.
+        assert run_case(result.config).signature == result.signature

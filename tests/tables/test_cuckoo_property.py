@@ -1,0 +1,215 @@
+"""Property suite: CuckooTable vs a plain dict oracle.
+
+Random command sequences (insert / replace / remove / lookup) must keep
+the cuckoo table observationally identical to a dict right up to the
+first :class:`TableFullError`. At that point the table is allowed to
+degrade in exactly one documented way: the displacement chain is fully
+stored *except one homeless entry* — every other key still answers
+correctly and ``len()`` is unchanged. The edge cases the fill-factor
+model leans on (1-/2-way eviction loops, genuinely full tables) get
+dedicated deterministic tests.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.cuckoo import MAX_KICKS, CuckooTable, _way_hash
+from repro.tables.errors import (
+    DuplicateEntryError,
+    MissingEntryError,
+    TableFullError,
+)
+
+# A command is ("insert"|"replace"|"remove"|"lookup", key, value).
+_KEYS = st.integers(min_value=0, max_value=400)
+_COMMANDS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert", "insert", "replace", "remove",
+                         "lookup"]),
+        _KEYS,
+        st.integers(),
+    ),
+    max_size=120,
+)
+
+
+def _check_degraded_state(table, oracle, new_key, new_value):
+    """The documented post-TableFullError state.
+
+    The failed chain stored everything except one homeless entry, so the
+    table holds ``oracle ∪ {new_key}`` minus exactly one key — possibly
+    the new key itself when the eviction loop cycles back — and the
+    count was never incremented.
+    """
+    assert len(table) == len(oracle)
+    stored = dict(table.items())
+    candidates = dict(oracle)
+    candidates[new_key] = new_value
+    lost = set(candidates) - set(stored)
+    assert len(lost) == 1, f"exactly one homeless entry expected, lost={lost}"
+    for key, value in stored.items():
+        assert candidates[key] == value
+        assert table.lookup(key) == value
+    (lost_key,) = lost
+    assert table.lookup(lost_key) is None
+    assert lost_key not in table
+
+
+class TestCommandSequencesVsDict:
+    @settings(max_examples=120, deadline=None)
+    @given(commands=_COMMANDS)
+    def test_equivalent_until_first_full(self, commands):
+        table = CuckooTable(num_buckets=32, ways=4)
+        oracle = {}
+        for op, key, value in commands:
+            if op == "insert":
+                if key in oracle:
+                    with pytest.raises(DuplicateEntryError):
+                        table.insert(key, value)
+                    continue
+                try:
+                    table.insert(key, value)
+                except TableFullError:
+                    _check_degraded_state(table, oracle, key, value)
+                    return
+                oracle[key] = value
+            elif op == "replace":
+                try:
+                    table.insert(key, value, replace=True)
+                except TableFullError:
+                    _check_degraded_state(table, oracle, key, value)
+                    return
+                oracle[key] = value
+            elif op == "remove":
+                if key in oracle:
+                    assert table.remove(key) == oracle.pop(key)
+                else:
+                    with pytest.raises(MissingEntryError):
+                        table.remove(key)
+            else:  # lookup
+                assert table.lookup(key) == oracle.get(key)
+                assert (key in table) == (key in oracle)
+        # Never went full: exact observational equivalence.
+        assert len(table) == len(oracle)
+        assert dict(table.items()) == oracle
+        for key, value in oracle.items():
+            assert table.lookup(key) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        commands=_COMMANDS,
+        num_buckets=st.integers(min_value=1, max_value=8),
+        ways=st.integers(min_value=1, max_value=4),
+    )
+    def test_tiny_geometries_never_crash(self, commands, num_buckets, ways):
+        """Cramped tables hit the full path constantly; the only allowed
+        signals are the three documented exceptions."""
+        table = CuckooTable(num_buckets=num_buckets, ways=ways)
+        oracle = {}
+        for op, key, value in commands:
+            try:
+                if op in ("insert", "replace"):
+                    table.insert(key, value, replace=(op == "replace"))
+                    oracle[key] = value
+                elif op == "remove":
+                    oracle.pop(key, None)
+                    table.remove(key)
+                else:
+                    table.lookup(key)
+            except TableFullError:
+                _check_degraded_state(table, oracle, key, value)
+                return
+            except (DuplicateEntryError, MissingEntryError):
+                pass
+        assert len(table) <= table.capacity
+
+
+class TestEvictionLoopEdges:
+    def test_one_way_loop_terminates_at_max_kicks(self):
+        """ways=1 has no alternate bucket: two colliding keys swap in
+        place until MAX_KICKS, and the homeless entry is the *new* key
+        (even kick count ends the cycle where it started)."""
+        table = CuckooTable(num_buckets=4, ways=1)
+        bucket_of = {}
+        key = 0
+        while True:
+            bucket = _way_hash(key, 0, 4)
+            if bucket in bucket_of:
+                resident = bucket_of[bucket]
+                break
+            bucket_of[bucket] = key
+            table.insert(key, key)
+            key += 1
+        before = dict(table.items())
+        with pytest.raises(TableFullError):
+            table.insert(key, -1)
+        assert table.displacements == MAX_KICKS
+        assert MAX_KICKS % 2 == 0
+        assert table.lookup(resident) == resident
+        assert table.lookup(key) is None
+        assert dict(table.items()) == before
+
+    def test_two_way_single_bucket_loop(self):
+        """num_buckets=1, ways=2: both ways map every key to bucket 0,
+        so a third key can only cycle through the two slots."""
+        table = CuckooTable(num_buckets=1, ways=2)
+        table.insert("a", 1)
+        table.insert("b", 2)
+        assert len(table) == 2 == table.capacity
+        with pytest.raises(TableFullError):
+            table.insert("c", 3)
+        _check_degraded_state(table, {"a": 1, "b": 2}, "c", 3)
+
+    def test_displacements_counter_monotonic(self):
+        table = CuckooTable(num_buckets=8, ways=2)
+        seen = 0
+        for i in range(14):
+            try:
+                table.insert(i, i)
+            except TableFullError:
+                break
+            assert table.displacements >= seen
+            seen = table.displacements
+
+
+class TestFullTableEdge:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_fill_to_failure_state_is_consistent(self, seed):
+        """Drive any table to its first failure; the surviving state
+        must satisfy the degraded-state contract exactly."""
+        table = CuckooTable(num_buckets=8, ways=2)
+        oracle = {}
+        key = seed
+        for _ in range(table.capacity + MAX_KICKS):
+            try:
+                table.insert(key, key * 3)
+            except TableFullError:
+                _check_degraded_state(table, oracle, key, key * 3)
+                return
+            oracle[key] = key * 3
+            key += 1
+        pytest.fail("table never filled despite capacity+MAX_KICKS inserts")
+
+    def test_exactly_full_table_still_answers(self):
+        table = CuckooTable(num_buckets=1, ways=4)
+        for i in range(4):
+            table.insert(i, -i)
+        assert len(table) == table.capacity
+        assert table.load_factor == 1.0
+        for i in range(4):
+            assert table.lookup(i) == -i
+        with pytest.raises(TableFullError):
+            table.insert(99, 0)
+
+    def test_remove_reopens_a_full_table(self):
+        table = CuckooTable(num_buckets=1, ways=4)
+        for i in range(4):
+            table.insert(i, i)
+        with pytest.raises(TableFullError):
+            table.insert(4, 4)
+        removed = next(iter(dict(table.items())))
+        table.remove(removed)
+        table.insert(1000, 1000)
+        assert table.lookup(1000) == 1000
+        assert len(table) == 4

@@ -16,6 +16,9 @@ import repro.cluster.ecmp
 import repro.core.compression
 import repro.dataplane.flowcache
 import repro.core.economics
+import repro.fuzz.corpus
+import repro.fuzz.generator
+import repro.fuzz.minimizer
 import repro.core.occupancy
 import repro.net.addr
 import repro.net.checksum
@@ -62,6 +65,9 @@ MODULES = [
     repro.tables.vm_nc,
     repro.tables.vxlan_routing,
     repro.dataplane.flowcache,
+    repro.fuzz.generator,
+    repro.fuzz.minimizer,
+    repro.fuzz.corpus,
     repro.offload.detector,
     repro.offload.scheduler,
     repro.offload.sketch,
