@@ -18,7 +18,7 @@ no cached entry is invalidated by the audit itself. (Telemetry counters
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..dataplane.gateway_logic import ForwardAction
 from ..tables.alpm import AlpmTable, oracle_lookup
@@ -37,6 +37,9 @@ class AuditContext:
     cluster_id: str
     seed: int = 0
     samples_per_prefix: int = 2
+    #: Migration ids a live EndpointMigrator currently owns; freeze or
+    #: shadow state for any *other* id is residue of a dead migration.
+    active_migrations: FrozenSet[str] = frozenset()
 
 
 class Invariant:
@@ -282,7 +285,7 @@ class CounterConservation(Invariant):
         stats = getattr(gw, "stats", None)
         if stats is not None:
             outcomes = (stats.delivered + stats.uplinked + stats.redirected
-                        + stats.dropped)
+                        + stats.dropped + getattr(stats, "buffered", 0))
             if stats.packets != outcomes:
                 findings.append(Finding(
                     self.name, "counter-mismatch", ctx.cluster_id, member.name,
@@ -363,6 +366,70 @@ def _recompute(tables, vni: int, address: int, version: int):
             resolution.action.target or scope.value, resolution.vni, None)
 
 
+class MigrationResidue(Invariant):
+    """No trace of a dead migration may survive on any member.
+
+    A crashed :class:`~repro.migration.EndpointMigrator` leaves frozen
+    endpoint keys, shadow bindings and buffered packets on the gateways
+    with nobody left to tear them down — the frozen flows would
+    black-hole forever. ``Controller.active_migrations`` is deliberately
+    not journalled, so after recovery it is empty and every surviving
+    freeze/shadow shows up here:
+
+    * ``orphaned-freeze`` — a frozen endpoint whose migration id is not
+      active (its buffered packets are stranded with it);
+    * ``shadow-binding`` — a pre-copied destination binding whose
+      migration id is not active;
+    * ``orphaned-session`` — a SNAT session whose inner source IP has no
+      VM binding in the intent (warning: sessions are dataplane state
+      the controller cannot re-derive, so this is operator-facing).
+    """
+
+    name = "migration-residue"
+
+    def check(self, ctx: AuditContext, member) -> List[Finding]:
+        gw = member.gateway
+        findings: List[Finding] = []
+        state = getattr(gw, "migration", None)
+        if state is not None:
+            for key in sorted(state.frozen):
+                entry = state.frozen[key]
+                if entry.migration_id in ctx.active_migrations:
+                    continue
+                vni, vm_ip, version = key
+                findings.append(Finding(
+                    self.name, "orphaned-freeze", ctx.cluster_id, member.name,
+                    f"vni={vni} vm={vm_ip:#x}/v{version} frozen by dead "
+                    f"{entry.migration_id}",
+                    key=(vni, vm_ip, version, entry.migration_id)))
+            for key in sorted(state.shadows):
+                shadow = state.shadows[key]
+                if shadow.migration_id in ctx.active_migrations:
+                    continue
+                vni, vm_ip, version = key
+                findings.append(Finding(
+                    self.name, "shadow-binding", ctx.cluster_id, member.name,
+                    f"vni={vni} vm={vm_ip:#x}/v{version} shadow "
+                    f"nc={shadow.nc_ip:#x} from dead {shadow.migration_id}",
+                    key=(vni, vm_ip, version, shadow.migration_id)))
+        service = getattr(gw, "snat_service", None)
+        if service is not None:
+            desired = ctx.intent.vms_for(ctx.cluster_id)
+            bound_ips = {vm_ip for (_vni, vm_ip, _version) in desired}
+            for flow, session in service.snat.items():
+                if flow.src_ip not in bound_ips:
+                    findings.append(Finding(
+                        self.name, "orphaned-session", ctx.cluster_id,
+                        member.name,
+                        f"src={flow.src_ip:#x} public="
+                        f"{session.public_ip:#x}:{session.public_port} has "
+                        f"no intent VM binding",
+                        severity=SEVERITY_WARNING,
+                        key=(flow.src_ip, session.public_ip,
+                             session.public_port)))
+        return findings
+
+
 #: The full sweep, in the order the scanner schedules per member.
 ALL_INVARIANTS: Tuple[Invariant, ...] = (
     RouteEquivalence(),
@@ -373,4 +440,5 @@ ALL_INVARIANTS: Tuple[Invariant, ...] = (
     TenantIsolation(),
     CounterConservation(),
     FlowCacheCoherence(),
+    MigrationResidue(),
 )

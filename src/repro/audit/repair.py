@@ -35,6 +35,13 @@ REPAIRABLE_KINDS = frozenset({
 #: Kinds repaired by flushing the member's flow cache.
 CACHE_KINDS = frozenset({"stale-cache-entry"})
 
+#: Kinds repaired by tearing down a dead migration's freeze/shadow state
+#: and replaying its stranded packets through the surviving (source)
+#: binding. ``orphaned-session`` is deliberately absent: SNAT sessions
+#: are dataplane state the controller cannot re-derive, so those stay
+#: operator-facing.
+MIGRATION_KINDS = frozenset({"orphaned-freeze", "shadow-binding"})
+
 
 class RepairBridge:
     """Subscribes to an :class:`~repro.audit.scanner.AuditScanner`'s
@@ -48,7 +55,8 @@ class RepairBridge:
         #: Whether divergent clusters are quarantined until probes pass
         #: (mirrors the reconcile loop; disable for advisory-only runs).
         self.quarantine = quarantine
-        #: repairs_applied, repairs_failed, repairs_skipped, caches_cleared.
+        #: repairs_applied, repairs_failed, repairs_skipped, caches_cleared,
+        #: residue_cleared, residue_replayed.
         self.counters = CounterSet()
 
     def attach(self, scanner) -> "RepairBridge":
@@ -59,6 +67,7 @@ class RepairBridge:
         """Repair one cycle's findings; returns how many were applied."""
         per_cluster: Dict[str, List[Inconsistency]] = {}
         cache_flushes: Set[Tuple[str, str]] = set()
+        residue_aborts: Set[Tuple[str, str, str]] = set()
         for finding in findings:
             if (finding.kind in REPAIRABLE_KINDS
                     and finding.key is not None
@@ -70,6 +79,11 @@ class RepairBridge:
             elif (finding.kind in CACHE_KINDS
                     and finding.cluster_id in self.controller.clusters):
                 cache_flushes.add((finding.cluster_id, finding.node))
+            elif (finding.kind in MIGRATION_KINDS
+                    and finding.key is not None
+                    and finding.cluster_id in self.controller.clusters):
+                residue_aborts.add((finding.cluster_id, finding.node,
+                                    finding.key[-1]))
             else:
                 self.counters.add("repairs_skipped")
         applied_total = 0
@@ -89,7 +103,25 @@ class RepairBridge:
                 cache.clear()
                 self.counters.add("caches_cleared")
                 applied_total += 1
+        for cluster_id, node, migration_id in sorted(residue_aborts):
+            member = self.controller.clusters[cluster_id].find_member(node)
+            state = getattr(member.gateway, "migration", None)
+            if state is None:
+                continue
+            # Tear down the dead migration on this member and push its
+            # stranded packets back through the surviving tables: the
+            # crash happened before commit, so they still hold the
+            # source binding and no connection is lost.
+            stranded = state.abort(migration_id)
+            for item in stranded:
+                member.gateway.forward(item.packet)
+            self.counters.add("residue_cleared")
+            if stranded:
+                self.counters.add("residue_replayed", len(stranded))
+            applied_total += 1
         # Probe-before-readmit for every cluster the cycle touched.
-        for cluster_id in sorted(set(per_cluster) | {c for c, _n in cache_flushes}):
+        for cluster_id in sorted(set(per_cluster)
+                                 | {c for c, _n in cache_flushes}
+                                 | {c for c, _n, _m in residue_aborts}):
             self.controller._probe_gate(cluster_id)
         return applied_total

@@ -100,6 +100,8 @@ class AuditScanner:
                 cluster_id=cluster_id,
                 seed=self.config.seed,
                 samples_per_prefix=self.config.samples_per_prefix,
+                active_migrations=frozenset(
+                    getattr(self.controller, "active_migrations", ())),
             )
             members = cluster.all_members(include_backup=self.config.include_backup)
             for member in members:

@@ -19,9 +19,11 @@ executes that bar for planned work: one member at a time it
 6. **readmits** it to the steering group and moves to the next member.
 
 A failed probe halts the roll with the suspect member still drained —
-traffic never reaches a gateway that has not proven its tables.
-Telemetry (``drains_started``, ``resyncs``, ``probes_failed``,
-``readmits``) reconciles 1:1 with the event log.
+traffic never reaches a gateway that has not proven its tables — and the
+event log closes with a terminal ``halted`` event (the abort-side mirror
+of ``complete``). Telemetry (``drains_started``, ``resyncs``,
+``probes_failed``, ``halts``, ``readmits``) reconciles 1:1 with the
+event log.
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ class UpgradeEvent:
     """One step of the rolling upgrade, for the audit log."""
 
     member: str
-    action: str  # "drain" | "upgrade" | "resync" | "probe-failed" | "readmit" | "complete"
+    action: str  # "drain" | "upgrade" | "resync" | "probe-failed" | "halted" | "readmit" | "complete"
     time: float
     detail: str = ""
 
@@ -154,6 +156,15 @@ class UpgradeOrchestrator:
                 self.aborted = True
                 detail = report.failures[0] if report.failures else "no probes sent"
                 self._log(name, "probe-failed", detail)
+                # A roll that stops early still terminates its event log:
+                # "halted" is the abort-side terminal marker, mirroring
+                # "complete", so log consumers never have to infer the
+                # outcome from the absence of further events.
+                self.counters.add("halts")
+                remaining = len(names) - index
+                self._log("-", "halted",
+                          f"{index}/{len(names)} members rolled, "
+                          f"{remaining} abandoned, {name} left drained")
                 return
             cluster.bring_online(name)
             self.group.add(name)

@@ -113,6 +113,17 @@ class Transaction:
 
     cluster_id: str
     ops: List[dict] = field(default_factory=list)
+    side_effects: List[tuple] = field(default_factory=list)
+
+    def stage_side_effect(self, label: str, apply: Callable[[], None],
+                          undo: Callable[[], None]) -> None:
+        """Stage a non-journalled dataplane side effect (e.g. a SNAT
+        session rewrite) that commits with the batch: *apply* runs once
+        every member has prepared, *undo* runs (reverse order) when the
+        transaction aborts. Side effects are dataplane state, not
+        intent, so they are deliberately not journalled — a
+        crash-recovered controller simply never ran them."""
+        self.side_effects.append((label, apply, undo))
 
     def install_route(self, route: "RouteEntry") -> None:
         self.ops.append({"op": "install-route", "cluster": self.cluster_id,
@@ -172,6 +183,11 @@ class Controller:
         #: Fault hook called between journal append and cluster push; the
         #: injector arms it to raise :class:`~repro.core.journal.ControllerCrash`.
         self.crash_gate: Optional[Callable[[str, str], None]] = None
+        #: Migration ids currently owned by a live EndpointMigrator. Not
+        #: journalled on purpose: a crash-recovered controller starts
+        #: with an empty set, so any freeze/shadow state surviving on
+        #: gateways becomes detectable ``MigrationResidue``.
+        self.active_migrations: Set[str] = set()
 
     # -- crash safety ------------------------------------------------------
 
@@ -460,6 +476,13 @@ class Controller:
     def route_count(self, cluster_id: str) -> int:
         return len(self._routes.get(cluster_id, {}))
 
+    def vm_entries(self, cluster_id: str) -> List[VmEntry]:
+        """Desired-state VM bindings of one cluster, key-ordered — the
+        endpoint migrator's NC-drain enumeration."""
+        return [VmEntry(vni, vm_ip, version, binding)
+                for (vni, vm_ip, version), binding
+                in sorted(self._vms.get(cluster_id, {}).items())]
+
     # -- transactions -----------------------------------------------------
 
     @contextmanager
@@ -534,21 +557,25 @@ class Controller:
     def _commit_transaction(self, cluster_id: str, txn: Transaction,
                             time: float) -> None:
         cluster = self._ensure_cluster(cluster_id)
-        if not txn.ops:
+        if not txn.ops and not txn.side_effects:
             return
         # Validate removals against desired state up front, before any
         # journalling or gateway write.
         for op in txn.ops:
             if op["op"].startswith("remove-") and self._stage_prev(cluster_id, op) is None:
                 raise TableError(f"transaction removes unknown entry: {op}")
-        record = self._journal_append("txn", {"cluster": cluster_id,
-                                              "ops": list(txn.ops)})
-        self._crash_point("txn", cluster_id)
+        record = None
+        if txn.ops:
+            record = self._journal_append("txn", {"cluster": cluster_id,
+                                                  "ops": list(txn.ops)})
+            self._crash_point("txn", cluster_id)
         # Phase 1 — prepare: apply the whole batch member by member,
         # keeping per-member undo logs.
         prepared: List[Tuple[Member, List[Callable[[], None]]]] = []
         failure: Optional[TableError] = None
         for member in cluster.all_members():
+            if not txn.ops:
+                break
             undo: List[Callable[[], None]] = []
             prepared.append((member, undo))
             try:
@@ -557,8 +584,26 @@ class Controller:
             except TableError as exc:
                 failure = exc
                 break
+        # Side effects run once every member holds the batch, still
+        # inside the abort envelope: a failing effect unwinds the
+        # already-applied effects and every prepared member.
+        applied_effects: List[Tuple[str, Callable[[], None]]] = []
+        if failure is None:
+            for label, apply_effect, undo_effect in txn.side_effects:
+                try:
+                    apply_effect()
+                except TableError as exc:
+                    failure = exc
+                    break
+                applied_effects.append((label, undo_effect))
         if failure is not None:
-            # Abort: unwind every member that saw any part of the batch.
+            # Abort: unwind every effect and member that saw any part of
+            # the batch.
+            for _label, undo_effect in reversed(applied_effects):
+                try:
+                    undo_effect()
+                except TableError:
+                    self.counters.add("txn_rollback_failures")
             for member, undo in reversed(prepared):
                 for action in reversed(undo):
                     try:

@@ -17,6 +17,7 @@ from ..dataplane.gateway_logic import (
     GatewayTables,
     count_drop,
 )
+from ..dataplane.migration import MigrationState
 from ..dataplane.pipeline_program import SplitVmNc, XgwHProgram, parity_pipeline
 from ..net.addr import Prefix
 from ..net.packet import Packet
@@ -41,6 +42,7 @@ class XgwHStats:
     uplinked: int = 0
     redirected: int = 0
     dropped: int = 0
+    buffered: int = 0
     bridged_bytes: int = 0
 
     @property
@@ -76,6 +78,9 @@ class XgwH:
         self.chip.attach_symmetric(self.program.programs())
         self.stats = XgwHStats()
         self.counters = CounterSet()
+        #: Live-migration freeze state, attached lazily by
+        #: :func:`repro.dataplane.migration.ensure_migration_state`.
+        self.migration: Optional[MigrationState] = None
 
     def set_redirect_rate_limit(self, rate_bps: float, burst_bytes: Optional[float] = None) -> None:
         """Install the §4.2 overload-protection meter on the redirect path.
@@ -134,6 +139,16 @@ class XgwH:
         if now is not None:
             self.clock = now
         self.stats.packets += 1
+        if self.migration is not None:
+            intercepted = self.migration.intercept(packet, self.clock)
+            if intercepted is not None:
+                self._last_traversal = None
+                if intercepted.action is ForwardAction.DROP:
+                    self.stats.dropped += 1
+                    count_drop(self.counters, intercepted.detail)
+                else:
+                    self.stats.buffered += 1
+                return intercepted
         entry = parity_pipeline(packet.inner_dst) if packet.is_vxlan else 0
         traversal = self.chip.process(packet, entry_pipeline=entry)
         self._last_traversal = traversal

@@ -2,12 +2,20 @@
 
 from .flowcache import CacheEntry, FlowCache, forward_cached, forward_cached_batch
 from .gateway_logic import (
+    DropReason,
     ForwardAction,
     ForwardResult,
     GatewayTables,
+    count_drop,
     forward,
     inner_flow_key,
     vni_key,
+)
+from .migration import (
+    BufferedPacket,
+    MigrationBuffer,
+    MigrationState,
+    ensure_migration_state,
 )
 from .pipeline_program import (
     SplitVmNc,
@@ -19,11 +27,17 @@ from .pipeline_program import (
 from .services import SnatService
 
 __all__ = [
+    "BufferedPacket",
     "CacheEntry",
+    "DropReason",
     "FlowCache",
     "ForwardAction",
     "ForwardResult",
     "GatewayTables",
+    "MigrationBuffer",
+    "MigrationState",
+    "count_drop",
+    "ensure_migration_state",
     "forward",
     "forward_cached",
     "forward_cached_batch",

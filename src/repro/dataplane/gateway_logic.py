@@ -37,6 +37,7 @@ class ForwardAction(Enum):
     REDIRECT_X86 = "redirect-x86"  # needs a software-gateway service
     UPLINK = "uplink"  # leaves the region (Internet / IDC / cross-region)
     DROP = "drop"
+    BUFFERED = "buffered"  # parked in a MigrationBuffer during a freeze window
 
 
 class DropReason(Enum):
@@ -76,6 +77,9 @@ class DropReason(Enum):
     # Region-level steering.
     UNASSIGNED_VNI = "unassigned-vni"
     NO_OWNER = "no-owner"
+    # Live endpoint migration (freeze window, §DESIGN 11).
+    MIGRATION_BUFFER_OVERFLOW = "migration-buffer-overflow"
+    MIGRATION_BLACKOUT = "migration-blackout"
 
     @classmethod
     def from_detail(cls, detail: str) -> Optional["DropReason"]:

@@ -1,0 +1,202 @@
+"""Freeze-window packet buffering for live endpoint migration (§DESIGN 11).
+
+While an endpoint moves between hosts there is a short blackout in
+which neither the source nor the destination binding may receive
+traffic: the source VM is checkpointed, the destination not yet
+committed.  Instead of dropping that window's packets, each gateway
+carries a :class:`MigrationState` — a set of frozen endpoint keys, a
+bounded :class:`MigrationBuffer` parking their packets, and the shadow
+(destination) bindings pre-copied before the commit.
+
+The buffer is *capacity*- and *time*-bounded.  Overflow and
+past-deadline arrivals are dropped under the dedicated
+:class:`~repro.dataplane.gateway_logic.DropReason` members
+``MIGRATION_BUFFER_OVERFLOW`` and ``MIGRATION_BLACKOUT``, so counter
+conservation still accounts every packet.
+
+>>> from repro.net.packet import Packet
+>>> state = MigrationState(capacity=2)
+>>> key = (100, 0x0a000001, 4)
+>>> state.freeze(key, "m1", now=0.0, deadline=1.0)
+>>> state.is_frozen(key)
+True
+>>> state.abort("m1")
+[]
+>>> state.is_frozen(key)
+False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import Packet
+from .gateway_logic import DropReason, ForwardAction, ForwardResult
+
+#: A frozen endpoint key: ``(vni, inner_dst_ip, ip_version)`` — the same
+#: shape the flow cache uses, so one lookup covers both.
+EndpointKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenEndpoint:
+    """One endpoint inside its freeze window."""
+
+    migration_id: str
+    opened_at: float
+    deadline: float
+
+
+@dataclass(frozen=True, slots=True)
+class ShadowBinding:
+    """A pre-copied destination binding, inactive until commit."""
+
+    migration_id: str
+    nc_ip: int
+
+
+@dataclass(slots=True)
+class BufferedPacket:
+    """One packet parked during a freeze window."""
+
+    migration_id: str
+    key: EndpointKey
+    packet: Packet
+    buffered_at: float
+
+
+@dataclass
+class MigrationBuffer:
+    """FIFO packet buffer shared by all freeze windows on one gateway.
+
+    The capacity bound is *total* across concurrent migrations — the
+    buffer models finite gateway queue memory, not a per-endpoint
+    allowance.
+    """
+
+    capacity: int = 256
+    _packets: List[BufferedPacket] = field(default_factory=list)
+    buffered: int = 0
+    overflowed: int = 0
+    replayed: int = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def full(self) -> bool:
+        return len(self._packets) >= self.capacity
+
+    def push(self, item: BufferedPacket) -> bool:
+        """Park one packet; False (and an overflow tally) when full."""
+        if self.full:
+            self.overflowed += 1
+            return False
+        self._packets.append(item)
+        self.buffered += 1
+        return True
+
+    def drain(self, migration_id: str) -> List[BufferedPacket]:
+        """Remove and return this migration's packets, FIFO order."""
+        mine = [p for p in self._packets if p.migration_id == migration_id]
+        if mine:
+            self._packets = [p for p in self._packets
+                             if p.migration_id != migration_id]
+        return mine
+
+
+class MigrationState:
+    """Per-gateway migration bookkeeping: freezes, buffer, shadows."""
+
+    def __init__(self, capacity: int = 256):
+        self.buffer = MigrationBuffer(capacity=capacity)
+        self.frozen: Dict[EndpointKey, FrozenEndpoint] = {}
+        self.shadows: Dict[EndpointKey, ShadowBinding] = {}
+
+    # -- freeze window -------------------------------------------------
+
+    def freeze(self, key: EndpointKey, migration_id: str,
+               now: float, deadline: float) -> None:
+        self.frozen[key] = FrozenEndpoint(migration_id, now, deadline)
+
+    def unfreeze(self, key: EndpointKey) -> None:
+        self.frozen.pop(key, None)
+
+    def is_frozen(self, key: EndpointKey) -> bool:
+        return key in self.frozen
+
+    def active(self) -> bool:
+        """True while any endpoint is frozen or shadowed (fast-path gate)."""
+        return bool(self.frozen or self.shadows)
+
+    # -- shadow bindings ----------------------------------------------
+
+    def install_shadow(self, key: EndpointKey, migration_id: str,
+                       nc_ip: int) -> None:
+        self.shadows[key] = ShadowBinding(migration_id, nc_ip)
+
+    def clear_shadow(self, key: EndpointKey) -> None:
+        self.shadows.pop(key, None)
+
+    # -- packet interception ------------------------------------------
+
+    def intercept(self, packet: Packet, now: float) -> Optional[ForwardResult]:
+        """Consult the freeze set for one packet.
+
+        Returns ``None`` when the packet's endpoint is not frozen (the
+        normal program runs), a ``BUFFERED`` result when it was parked,
+        or a ``DROP`` result when the buffer is full or the freeze
+        deadline has passed.
+        """
+        if not self.frozen or not packet.is_vxlan:
+            return None
+        key = (packet.vni, packet.inner_dst, packet.inner_version)
+        entry = self.frozen.get(key)
+        if entry is None:
+            return None
+        if now > entry.deadline:
+            return ForwardResult(ForwardAction.DROP, packet,
+                                 detail=DropReason.MIGRATION_BLACKOUT.value)
+        if not self.buffer.push(BufferedPacket(entry.migration_id, key,
+                                               packet, now)):
+            return ForwardResult(
+                ForwardAction.DROP, packet,
+                detail=DropReason.MIGRATION_BUFFER_OVERFLOW.value)
+        return ForwardResult(ForwardAction.BUFFERED, packet,
+                             detail="migration-freeze")
+
+    # -- teardown ------------------------------------------------------
+
+    def drain(self, migration_id: str) -> List[BufferedPacket]:
+        """The migration's buffered packets, for replay after commit."""
+        drained = self.buffer.drain(migration_id)
+        self.buffer.replayed += len(drained)
+        return drained
+
+    def abort(self, migration_id: str) -> List[BufferedPacket]:
+        """Tear down every trace of one migration; returns its buffered
+        packets so the caller can replay them through the source path."""
+        for key in [k for k, f in self.frozen.items()
+                    if f.migration_id == migration_id]:
+            del self.frozen[key]
+        for key in [k for k, s in self.shadows.items()
+                    if s.migration_id == migration_id]:
+            del self.shadows[key]
+        drained = self.buffer.drain(migration_id)
+        self.buffer.replayed += len(drained)
+        return drained
+
+
+def ensure_migration_state(gateway, capacity: int = 256) -> MigrationState:
+    """The gateway's :class:`MigrationState`, created on first use.
+
+    Unwraps fault-injection proxies so the state lives on the inner
+    gateway object — ``forward`` reads ``self.migration`` there.
+    """
+    inner = getattr(gateway, "wrapped", gateway)
+    state = getattr(inner, "migration", None)
+    if state is None:
+        state = MigrationState(capacity=capacity)
+        inner.migration = state
+    return state

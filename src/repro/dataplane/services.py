@@ -132,6 +132,17 @@ class SnatService:
             nc_ip=binding.nc_ip,
         )
 
+    def rewrite_endpoint(self, old_ip: int, new_ip: int):
+        """Migrate every session (and its response-path context) of
+        inner source *old_ip* to *new_ip*, keeping the public tuples.
+        Returns the ``(old_flow, new_flow)`` pairs; all-or-nothing."""
+        pairs = self.snat.rewrite_source(old_ip, new_ip)
+        for old_flow, new_flow in pairs:
+            context = self._contexts.pop(old_flow, None)
+            if context is not None:
+                self._contexts[new_flow] = context
+        return pairs
+
     def expire(self, now: float) -> int:
         """Expire idle sessions and their contexts; returns the count."""
         before = set(self._contexts)

@@ -18,6 +18,7 @@ from .injector import (
 from .plan import (
     CACHE_KINDS,
     MUTATION_KINDS,
+    PHASE_KINDS,
     SCHEDULED_KINDS,
     WRITE_KINDS,
     FaultKind,
@@ -40,4 +41,5 @@ __all__ = [
     "SCHEDULED_KINDS",
     "MUTATION_KINDS",
     "CACHE_KINDS",
+    "PHASE_KINDS",
 ]

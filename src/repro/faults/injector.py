@@ -194,6 +194,11 @@ class FaultInjector:
 
         controller.crash_gate = crash_gate
 
+    def arm_migrator(self, migrator) -> None:
+        """Arm an :class:`~repro.migration.EndpointMigrator`'s phase gate
+        so :data:`FaultKind.MIGRATION_STALL` specs can hang its phases."""
+        migrator.fault_gate = self.plan.decide_phase
+
     # -- flow-cache poisoning ----------------------------------------------
 
     def poison_caches(self, clusters: Dict[str, GatewayCluster]) -> int:

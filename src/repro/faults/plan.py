@@ -56,6 +56,11 @@ class FaultKind(Enum):
     #: vector stays current, so the cache's own staleness guard cannot
     #: see it — only an audit recompute against the live tables can.
     POISON_FLOW_CACHE = "poison-flow-cache"
+    #: A live endpoint migration stalls at a named phase (the hypervisor
+    #: copy runs long, an agent hangs). The migrator keeps buffering
+    #: through the stall, so a long one overruns the blackout budget and
+    #: must roll back to the source binding.
+    MIGRATION_STALL = "migration-stall"
 
 
 #: Kinds evaluated on every gateway write.
@@ -79,6 +84,10 @@ MUTATION_KINDS = {FaultKind.CONTROLLER_CRASH}
 #: Kinds applied on demand to a member's resident flow cache
 #: (:meth:`repro.faults.FaultInjector.poison_caches`).
 CACHE_KINDS = {FaultKind.POISON_FLOW_CACHE}
+
+#: Kinds evaluated at named migration phases
+#: (:meth:`repro.faults.FaultInjector.arm_migrator`).
+PHASE_KINDS = {FaultKind.MIGRATION_STALL}
 
 _ROUTE_KINDS = {
     FaultKind.DROP_ROUTE_WRITE,
@@ -132,8 +141,18 @@ class FaultSpec:
     down_for: float = 0.0
     max_fires: Optional[int] = None
     at_mutations: Tuple[int, ...] = ()
+    #: For :data:`FaultKind.MIGRATION_STALL`: the migration phase the
+    #: stall hits ("pre-copy" | "commit" | "replay") and how long the
+    #: phase hangs before proceeding.
+    at_phase: Optional[str] = None
+    stall_for: float = 0.0
 
     def __post_init__(self):
+        if self.kind in PHASE_KINDS:
+            if self.at_phase is None:
+                raise ValueError(f"{self.kind.value} requires at_phase")
+            if self.stall_for <= 0:
+                raise ValueError(f"{self.kind.value} requires a positive stall_for")
         if self.kind in SCHEDULED_KINDS:
             if self.at_time is None:
                 raise ValueError(f"{self.kind.value} requires at_time")
@@ -285,6 +304,34 @@ class FaultPlan:
                 spec.kind, cluster, "-", write_index=index, detail=op,
             ))
             return spec.kind
+        return None
+
+    # -- migration-phase decisions -----------------------------------------
+
+    def decide_phase(self, phase: str, cluster: str) -> Optional[float]:
+        """Decide whether a migration *phase* on *cluster* stalls.
+
+        Returns the stall duration (engine seconds) when a
+        :data:`FaultKind.MIGRATION_STALL` spec fires, else None. The
+        first matching spec wins.
+        """
+        for i, spec in enumerate(self.specs):
+            if spec.kind not in PHASE_KINDS:
+                continue
+            if spec.at_phase != phase:
+                continue
+            if not fnmatchcase(cluster, spec.cluster):
+                continue
+            if spec.max_fires is not None and self._fires[i] >= spec.max_fires:
+                continue
+            if spec.probability is not None:
+                if self._rngs[i].random() >= spec.probability:
+                    continue
+            self._fires[i] += 1
+            self.record(InjectedFault(
+                spec.kind, cluster, "-", detail=f"{phase}+{spec.stall_for}",
+            ))
+            return spec.stall_for
         return None
 
     # -- scheduled faults ---------------------------------------------------

@@ -1,0 +1,25 @@
+"""Hitless live endpoint migration (DESIGN §11).
+
+``repro.migration`` moves a VM — or a whole NC's worth of VMs — between
+hosts while flows are in flight, extending the drain/readmit discipline
+of :class:`~repro.cluster.upgrade.UpgradeOrchestrator` from gateways
+down to endpoints: pre-copy the destination binding as an inactive
+shadow, freeze the endpoint behind a bounded gateway buffer, commit the
+binding flip (and the SNAT session rewrite) in one controller
+transaction, then replay the buffered packets through the new path.
+Every phase either completes or rolls back to the source binding.
+"""
+
+from .migrator import (
+    EndpointMigrator,
+    MigrationEvent,
+    MigrationRecord,
+    MigrationStatus,
+)
+
+__all__ = [
+    "EndpointMigrator",
+    "MigrationEvent",
+    "MigrationRecord",
+    "MigrationStatus",
+]

@@ -1,0 +1,399 @@
+"""The endpoint migration protocol (DESIGN §11).
+
+Four phases, engine-driven, every one of which either completes or
+rolls back to the source binding:
+
+1. **pre-copy** — the destination binding is installed on every member
+   as an inactive *shadow* (:class:`~repro.dataplane.migration.ShadowBinding`),
+   and the endpoint key is frozen: arriving packets park in the
+   gateway's bounded :class:`~repro.dataplane.migration.MigrationBuffer`
+   instead of chasing a binding that is about to move.
+2. **freeze window** — the blackout. Bounded two ways: the buffer
+   capacity (overflow drops under ``migration-buffer-overflow``) and the
+   blackout budget (arrivals after the deadline drop under
+   ``migration-blackout``).
+3. **commit** — one :meth:`Controller.transaction` atomically flips the
+   VM-NC binding on every member (bumping the VM table generation, so
+   flow-cache entries die), and rewrites the endpoint's SNAT sessions as
+   a staged side effect — same public tuple, so established connections
+   survive. A ``CONTROLLER_CRASH`` here kills the controller before any
+   member saw the flip; the freeze/shadow state left on the gateways is
+   the ``MigrationResidue`` the audit detects and repairs.
+4. **replay** — the buffer drains through the committed path (or back
+   through the intact source binding on rollback), the endpoint
+   unfreezes, and the shadow is discarded.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..cluster.cluster import NodeState
+from ..core.controller import Controller, TransactionAborted, VmEntry
+from ..core.journal import ControllerCrash, canonical_json
+from ..dataplane.gateway_logic import ForwardAction
+from ..dataplane.migration import EndpointKey, MigrationState, ensure_migration_state
+from ..sim.engine import Engine
+from ..tables.vm_nc import NcBinding
+from ..telemetry.stats import CounterSet
+
+
+class MigrationStatus:
+    """The migration state machine's states (plain strings, log-stable)."""
+
+    PENDING = "pending"
+    FROZEN = "frozen"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled-back"
+    CRASHED = "crashed"
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One protocol step, for the byte-stable event log."""
+
+    migration_id: str
+    phase: str
+    time: float
+    detail: str = ""
+
+    def to_payload(self) -> dict:
+        return {"migration": self.migration_id, "phase": self.phase,
+                "time": self.time, "detail": self.detail}
+
+
+@dataclass
+class MigrationRecord:
+    """Everything the migrator tracks about one endpoint move."""
+
+    migration_id: str
+    vni: int
+    vm_ip: int
+    version: int
+    old_binding: NcBinding
+    new_binding: NcBinding
+    new_vm_ip: Optional[int]
+    started_at: float
+    deadline: float
+    status: str = MigrationStatus.PENDING
+    reason: str = ""
+    #: Phases that already consumed their one stall decision.
+    stalled_phases: Set[str] = field(default_factory=set)
+    #: Per-member buffer-overflow tallies at freeze time.
+    overflow_baseline: Dict[str, int] = field(default_factory=dict)
+    replayed: int = 0
+    replay_lost: int = 0
+    replay_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def key(self) -> EndpointKey:
+        return (self.vni, self.vm_ip, self.version)
+
+    @property
+    def added_p99_latency(self) -> float:
+        """The p99 of the latency the freeze window added to replayed
+        packets (0 when nothing was buffered)."""
+        if not self.replay_latencies:
+            return 0.0
+        ordered = sorted(self.replay_latencies)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+
+class EndpointMigrator:
+    """Drives live endpoint migrations against one cluster.
+
+    *blackout_budget* bounds the freeze window in engine seconds;
+    *copy_time* models the hypervisor's checkpoint/copy between freeze
+    and commit; *buffer_capacity* sizes each member's
+    :class:`MigrationBuffer`. With *abort_on_overflow* (default), a
+    freeze window that overflowed its buffer rolls back instead of
+    committing — the paper's bar is zero *connection* loss, and a
+    migration that already dropped packets of the frozen flows cannot
+    claim it.
+    """
+
+    def __init__(
+        self,
+        controller: Controller,
+        cluster_id: str,
+        engine: Engine,
+        blackout_budget: float = 1.0,
+        copy_time: float = 0.5,
+        buffer_capacity: int = 256,
+        abort_on_overflow: bool = True,
+    ):
+        if copy_time > blackout_budget:
+            raise ValueError("copy_time exceeds the blackout budget: "
+                             "every migration would roll back")
+        self.controller = controller
+        self.cluster_id = cluster_id
+        self.engine = engine
+        self.blackout_budget = blackout_budget
+        self.copy_time = copy_time
+        self.buffer_capacity = buffer_capacity
+        self.abort_on_overflow = abort_on_overflow
+        self.records: Dict[str, MigrationRecord] = {}
+        self.events: List[MigrationEvent] = []
+        self.counters = CounterSet()
+        #: Armed by :meth:`FaultInjector.arm_migrator`:
+        #: ``fault_gate(phase, cluster_id) -> Optional[stall_seconds]``.
+        self.fault_gate: Optional[Callable[[str, str], Optional[float]]] = None
+        self._sequence = 0
+
+    # -- public API ----------------------------------------------------
+
+    def migrate_vm(
+        self,
+        vni: int,
+        vm_ip: int,
+        version: int,
+        new_binding: NcBinding,
+        new_vm_ip: Optional[int] = None,
+        start: Optional[float] = None,
+    ) -> str:
+        """Schedule one VM's migration to *new_binding*; returns its id.
+
+        The move begins at *start* (default: now). *new_vm_ip* re-keys
+        the endpoint (a re-addressing move); SNAT sessions are rewritten
+        inside the commit transaction so their public tuples survive.
+        """
+        old_binding = self._desired_binding(vni, vm_ip, version)
+        if old_binding is None:
+            raise ValueError(f"vm ({vni}, {vm_ip:#x}, v{version}) is not "
+                             f"in {self.cluster_id}'s desired state")
+        migration_id = f"mig-{self._sequence:04d}"
+        self._sequence += 1
+        at = self.engine.now if start is None else start
+        record = MigrationRecord(
+            migration_id, vni, vm_ip, version, old_binding, new_binding,
+            new_vm_ip, started_at=at, deadline=at + self.blackout_budget,
+        )
+        self.records[migration_id] = record
+        self.engine.schedule(at, lambda: self._begin(migration_id))
+        return migration_id
+
+    def drain_nc(self, nc_ip: int, dest_nc_ip: int,
+                 start: Optional[float] = None) -> List[str]:
+        """Migrate every VM hosted on *nc_ip* to *dest_nc_ip* (the batch
+        variant: draining a whole NC for maintenance).
+
+        Migrations are staggered one full window apart so the shared
+        per-gateway buffer serves one freeze at a time.
+        """
+        at = self.engine.now if start is None else start
+        spacing = self.copy_time + self.blackout_budget
+        ids = []
+        for index, entry in enumerate(e for e in
+                                      self.controller.vm_entries(self.cluster_id)
+                                      if e.binding.nc_ip == nc_ip):
+            ids.append(self.migrate_vm(
+                entry.vni, entry.vm_ip, entry.version,
+                NcBinding(nc_ip=dest_nc_ip,
+                          nc_version=entry.binding.nc_version),
+                start=at + index * spacing,
+            ))
+        return ids
+
+    def summary(self) -> Dict[str, int]:
+        """Migration counts by terminal/live status."""
+        out: Dict[str, int] = {}
+        for record in self.records.values():
+            out[record.status] = out.get(record.status, 0) + 1
+        return out
+
+    def dump_events(self) -> bytes:
+        """The journal-framed event log (``seq|migration|phase|payload|crc``
+        lines over canonical JSON). Byte-stable: the same seeded run
+        always produces identical bytes — the replayability property the
+        bench pins."""
+        lines = []
+        for seq, event in enumerate(self.events):
+            body = (f"{seq}|{event.migration_id}|{event.phase}|"
+                    f"{canonical_json(event.to_payload())}")
+            crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+            lines.append(f"{body}|{crc:08x}\n")
+        return "".join(lines).encode("utf-8")
+
+    # -- internals -----------------------------------------------------
+
+    def _desired_binding(self, vni: int, vm_ip: int,
+                         version: int) -> Optional[NcBinding]:
+        for entry in self.controller.vm_entries(self.cluster_id):
+            if (entry.vni, entry.vm_ip, entry.version) == (vni, vm_ip, version):
+                return entry.binding
+        return None
+
+    def _log(self, migration_id: str, phase: str, detail: str = "") -> None:
+        self.events.append(MigrationEvent(migration_id, phase,
+                                          self.engine.now, detail))
+
+    def _members(self):
+        return self.controller.clusters[self.cluster_id].all_members()
+
+    def _states(self) -> List[Tuple[str, MigrationState]]:
+        return [(m.name, ensure_migration_state(m.gateway, self.buffer_capacity))
+                for m in self._members()]
+
+    def _stall(self, record: MigrationRecord, phase: str,
+               resume: Callable[[], None]) -> bool:
+        """Consult the fault gate once per phase; True when stalled (the
+        phase re-runs after the stall)."""
+        if self.fault_gate is None or phase in record.stalled_phases:
+            return False
+        stall = self.fault_gate(phase, self.cluster_id)
+        if stall is None:
+            return False
+        record.stalled_phases.add(phase)
+        self._log(record.migration_id, "stalled", f"{phase}+{stall:g}s")
+        self.counters.add("stalls")
+        self.engine.schedule_in(stall, resume)
+        return True
+
+    def _begin(self, migration_id: str) -> None:
+        """Phase 1+2: install shadows, open the freeze window."""
+        record = self.records[migration_id]
+        if self._stall(record, "pre-copy",
+                       lambda: self._begin(migration_id)):
+            # The whole window shifts with a pre-copy stall: nothing is
+            # frozen yet, so flows keep forwarding on the source binding.
+            return
+        record.started_at = self.engine.now
+        record.deadline = self.engine.now + self.blackout_budget
+        self.controller.active_migrations.add(migration_id)
+        for name, state in self._states():
+            state.install_shadow(record.key, migration_id,
+                                 record.new_binding.nc_ip)
+            record.overflow_baseline[name] = state.buffer.overflowed
+            state.freeze(record.key, migration_id, self.engine.now,
+                         record.deadline)
+        record.status = MigrationStatus.FROZEN
+        self._log(migration_id, "pre-copy",
+                  f"vni={record.vni} vm={record.vm_ip:#x} "
+                  f"nc={record.old_binding.nc_ip:#x}->{record.new_binding.nc_ip:#x}")
+        self._log(migration_id, "freeze",
+                  f"deadline={record.deadline:g}")
+        self.counters.add("started")
+        self.engine.schedule_in(self.copy_time,
+                                lambda: self._commit(migration_id))
+
+    def _overflowed(self, record: MigrationRecord) -> int:
+        total = 0
+        for name, state in self._states():
+            total += state.buffer.overflowed - \
+                record.overflow_baseline.get(name, 0)
+        return total
+
+    def _commit(self, migration_id: str) -> None:
+        """Phase 3: the atomic flip, inside the abort envelope."""
+        record = self.records[migration_id]
+        if self.engine.now > record.deadline:
+            self._rollback(migration_id, "blackout-budget-exceeded")
+            return
+        if self._stall(record, "commit",
+                       lambda: self._commit(migration_id)):
+            return
+        if self.abort_on_overflow and self._overflowed(record):
+            self._rollback(migration_id, "buffer-overflow")
+            return
+        target_ip = record.new_vm_ip if record.new_vm_ip is not None \
+            else record.vm_ip
+        try:
+            with self.controller.transaction(self.cluster_id,
+                                             time=self.engine.now) as txn:
+                if record.new_vm_ip is not None:
+                    txn.remove_vm(record.vni, record.vm_ip, record.version)
+                txn.install_vm(VmEntry(record.vni, target_ip, record.version,
+                                       record.new_binding))
+                for member in self._members():
+                    service = getattr(member.gateway, "snat_service", None)
+                    if service is None or record.new_vm_ip is None:
+                        continue
+                    txn.stage_side_effect(
+                        f"snat-rewrite:{member.name}",
+                        lambda s=service: s.rewrite_endpoint(
+                            record.vm_ip, record.new_vm_ip),
+                        lambda s=service: s.rewrite_endpoint(
+                            record.new_vm_ip, record.vm_ip),
+                    )
+        except ControllerCrash as crash:
+            # The controller died between the journal append and the
+            # first member push: no member saw the flip, and nobody is
+            # left to unfreeze — the residue on the gateways is exactly
+            # what the MigrationResidue invariant exists to find.
+            record.status = MigrationStatus.CRASHED
+            record.reason = str(crash)
+            self._log(migration_id, "crashed", record.reason)
+            self.counters.add("crashed")
+            return
+        except TransactionAborted as abort:
+            self._rollback(migration_id, f"txn-aborted: {abort}")
+            return
+        self._log(migration_id, "commit",
+                  f"binding flipped to {record.new_binding.nc_ip:#x}")
+        self._replay(migration_id, committed=True)
+
+    def _replay(self, migration_id: str, committed: bool) -> None:
+        """Phase 4: drain buffers through the surviving path, unfreeze."""
+        record = self.records[migration_id]
+        if committed and self._stall(record, "replay",
+                                     lambda: self._replay(migration_id, True)):
+            return
+        fallback = None
+        for member in self._members():
+            if member.state is NodeState.ACTIVE:
+                fallback = member
+                break
+        # Tear down every member's freeze *before* forwarding anything:
+        # a packet replayed through a sibling that is still frozen would
+        # be intercepted and buffered a second time.
+        drained = [(member, ensure_migration_state(
+                        member.gateway, self.buffer_capacity).abort(migration_id))
+                   for member in self._members()]
+        for member, buffered in drained:
+            if not buffered:
+                continue
+            # Replay through the member that buffered, unless it died
+            # during the freeze (member crash fault) — then any active
+            # sibling holds the same committed tables.
+            target = member if member.state is NodeState.ACTIVE else fallback
+            if target is None:
+                record.replay_lost += len(buffered)
+                continue
+            for item in buffered:
+                packet = item.packet
+                if committed and record.new_vm_ip is not None:
+                    packet = dc_replace(
+                        packet,
+                        inner=dc_replace(
+                            packet.inner,
+                            ip=packet.inner.ip.replace_dst(record.new_vm_ip)),
+                    )
+                result = target.gateway.forward(packet, self.engine.now)
+                record.replayed += 1
+                record.replay_latencies.append(
+                    self.engine.now - item.buffered_at)
+                if result.action is ForwardAction.DROP:
+                    record.replay_lost += 1
+        self.controller.active_migrations.discard(migration_id)
+        if committed:
+            record.status = MigrationStatus.COMMITTED
+            self.counters.add("committed")
+        self._log(migration_id, "replay",
+                  f"replayed={record.replayed} lost={record.replay_lost}")
+        if committed:
+            self._log(migration_id, "committed", "")
+
+    def _rollback(self, migration_id: str, reason: str) -> None:
+        """Abort back to the source binding: no table was flipped, so
+        draining the buffer through any member completes the in-flight
+        flows on the old path — zero connection loss, just no move."""
+        record = self.records[migration_id]
+        record.reason = reason
+        self._log(migration_id, "rollback", reason)
+        self._replay(migration_id, committed=False)
+        record.status = MigrationStatus.ROLLED_BACK
+        self.counters.add("rolled_back")
+        self._log(migration_id, "rolled-back", reason)

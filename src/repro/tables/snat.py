@@ -11,11 +11,11 @@ pool, forward and reverse translation, idle expiry, and pool exhaustion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..net.flow import FlowKey
-from .errors import TableFullError
+from .errors import TableError, TableFullError
 
 EPHEMERAL_LOW = 1024
 EPHEMERAL_HIGH = 65535
@@ -146,3 +146,57 @@ class SnatTable:
     def available_ports(self) -> int:
         """Total unallocated (IP, port) pairs."""
         return sum(pool.available() for pool in self._pools.values())
+
+    # -- readback (audit + migration) ---------------------------------
+
+    def items(self) -> Iterator[Tuple[FlowKey, SnatSession]]:
+        """Every (flow, session) pair in deterministic (flow) order —
+        parity with :meth:`VmNcTable.items`, so audit invariants and the
+        endpoint migrator can enumerate sessions reproducibly.
+
+        >>> table = SnatTable(public_ips=[0x01020304])
+        >>> f = lambda p: FlowKey(0x0A000001, 0x08080808, 6, p, 80)
+        >>> _ = table.translate(f(7000), 0.0); _ = table.translate(f(5000), 0.0)
+        >>> [flow.src_port for flow, _s in table.items()]
+        [5000, 7000]
+        """
+        for flow in sorted(self._by_flow):
+            yield flow, self._by_flow[flow]
+
+    def sessions_for_ip(self, src_ip: int) -> List[SnatSession]:
+        """The sessions whose inner source is *src_ip*, flow-ordered."""
+        return [s for f, s in self.items() if f.src_ip == src_ip]
+
+    def rewrite_source(self, old_ip: int, new_ip: int) -> List[Tuple[FlowKey, FlowKey]]:
+        """Re-key every session of inner source *old_ip* to *new_ip*,
+        preserving the allocated (public IP, public port) — the remote
+        peer keeps talking to the same public tuple, so established
+        connections survive an endpoint re-addressing.
+
+        All-or-nothing: raises :class:`TableError` (mutating nothing) if
+        any rewritten flow would collide with an existing session.
+        Returns the ``(old_flow, new_flow)`` pairs, flow-ordered.
+
+        >>> table = SnatTable(public_ips=[0x01020304])
+        >>> flow = FlowKey(0x0A000001, 0x08080808, 6, 5555, 80)
+        >>> s = table.translate(flow, 0.0)
+        >>> pairs = table.rewrite_source(0x0A000001, 0x0A000002)
+        >>> table.lookup(pairs[0][1]) is s
+        True
+        >>> s.public_port == table.reverse(s.public_ip, s.public_port,
+        ...                                0x08080808, 80, 6).public_port
+        True
+        """
+        if old_ip == new_ip:
+            return []
+        moves = [(flow, replace(flow, src_ip=new_ip))
+                 for flow, _s in self.items() if flow.src_ip == old_ip]
+        moving = {old for old, _new in moves}
+        for _old, new_flow in moves:
+            if new_flow in self._by_flow and new_flow not in moving:
+                raise TableError(f"SNAT rewrite collision on {new_flow}")
+        for old_flow, new_flow in moves:
+            session = self._by_flow.pop(old_flow)
+            session.flow = new_flow
+            self._by_flow[new_flow] = session
+        return moves

@@ -28,6 +28,7 @@ from ..dataplane.gateway_logic import (
     count_drop,
     forward,
 )
+from ..dataplane.migration import MigrationState
 from ..dataplane.services import SnatService
 from ..net.addr import Prefix
 from ..net.flow import FlowKey
@@ -129,6 +130,9 @@ class XgwX86:
             FlowCache(cache_entries) if cache_entries > 0 else None
         )
         self._published_cache_counters: Dict[str, int] = {}
+        #: Live-migration freeze state, attached lazily by
+        #: :func:`repro.dataplane.migration.ensure_migration_state`.
+        self.migration: Optional[MigrationState] = None
 
     # -- functional path ----------------------------------------------------
 
@@ -136,18 +140,21 @@ class XgwX86:
         """Forward one packet, consulting the flow cache before the slow
         path (results are identical either way; only the cost differs)."""
         self.counters.add("rx_packets")
-        if self.flow_cache is not None:
-            result = forward_cached(self.tables, self.flow_cache, packet,
-                                    self.gateway_ip, now)
-        else:
-            result = forward(self.tables, packet, self.gateway_ip, now)
-        if (
-            result.action is ForwardAction.REDIRECT_X86
-            and self.snat_service is not None
-            and result.detail == "snat"
-        ):
-            # We *are* the software gateway: run the service locally.
-            result = self.snat_service.handle_request(packet, now)
+        result = (self.migration.intercept(packet, now)
+                  if self.migration is not None else None)
+        if result is None:
+            if self.flow_cache is not None:
+                result = forward_cached(self.tables, self.flow_cache, packet,
+                                        self.gateway_ip, now)
+            else:
+                result = forward(self.tables, packet, self.gateway_ip, now)
+            if (
+                result.action is ForwardAction.REDIRECT_X86
+                and self.snat_service is not None
+                and result.detail == "snat"
+            ):
+                # We *are* the software gateway: run the service locally.
+                result = self.snat_service.handle_request(packet, now)
         self.counters.add(f"action_{result.action.value.replace('-', '_')}")
         if result.action is ForwardAction.DROP:
             count_drop(self.counters, result.detail)
@@ -161,6 +168,11 @@ class XgwX86:
         per-action counters are tallied once per batch instead of one
         f-string per packet.
         """
+        migration = self.migration
+        if migration is not None and migration.frozen:
+            # Freeze windows are rare and short: fall back to the
+            # per-packet path so every packet consults the freeze set.
+            return [self.forward(packet, now) for packet in packets]
         tables = self.tables
         cache = self.flow_cache
         gateway_ip = self.gateway_ip

@@ -142,13 +142,52 @@ class TestHitlessRoll:
         assert orch.counters["drains_started"] == 1
         assert orch.counters["probes_failed"] == 1
         assert orch.counters["readmits"] == 0
-        assert orch.events[-1].action == "probe-failed"
+        assert orch.events[-2].action == "probe-failed"
+        assert orch.events[-1].action == "halted"
         # The suspect member never rejoined steering or the cluster.
         suspect = order[0]
         assert suspect not in group.next_hops
         assert ctrl.clusters[cluster_id].member(suspect).state is NodeState.OFFLINE
         # Survivors absorbed all traffic — still zero drops.
         assert stats["drops"] == []
+
+    def test_aborted_roll_ends_with_terminal_halted_event(self):
+        """An aborted roll's event log must terminate explicitly: exactly
+        one "halted" event, last in the log, with the roll accounting in
+        its detail — consumers never infer an abort from silence."""
+        ctrl, cluster_id, names, _vms = onboarded()
+        group = ResilientEcmpGroup(next_hops=list(names))
+        engine = Engine()
+        # Break resync after the second member so the roll dies mid-pass.
+        real_resync = ctrl.resync_member
+        resyncs = {"n": 0}
+
+        def flaky_resync(cid, name):
+            resyncs["n"] += 1
+            if resyncs["n"] >= 3:
+                return 0
+            return real_resync(cid, name)
+
+        ctrl.resync_member = flaky_resync
+        orch = UpgradeOrchestrator(
+            ctrl, cluster_id, group, engine, drain_wait=0.5,
+            upgrade_fn=lambda m: setattr(m, "gateway",
+                                         XgwH(gateway_ip=m.gateway.gateway_ip)))
+        order = orch.roll()
+        engine.run()
+
+        assert orch.aborted and not orch.done
+        actions = Counter(e.action for e in orch.events)
+        assert actions["halted"] == 1 and actions["complete"] == 0
+        assert orch.events[-1].action == "halted"
+        assert orch.counters["halts"] == 1
+        halted = orch.events[-1]
+        assert halted.member == "-"
+        assert "2/4 members rolled" in halted.detail
+        assert "2 abandoned" in halted.detail
+        assert order[2] in halted.detail  # the suspect is named
+        summary = orch.summary()
+        assert summary["aborted"] == 1 and summary["halts"] == 1
 
     def test_partial_roll_targets_only_named_members(self):
         ctrl, cluster_id, names, _vms = onboarded()

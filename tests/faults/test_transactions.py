@@ -152,6 +152,82 @@ class TestAbort:
         assert gw.split_vm_nc.lookup(100, vms[0].vm_ip, 4) == vms[0].binding
 
 
+class TestFailingUndo:
+    def test_undo_failure_reports_original_cause_and_leaves_repairable_residue(self):
+        # gw0 prepares writes 0-2; gw1's first write (3) fails — the
+        # original cause. Rollback then runs gw0's undos as writes 4-6,
+        # and write 4 (removing batch[2]) fails too: one undo is lost.
+        ctrl, plan, cluster_id, onboarded_routes, _vms = arm_after_onboard(
+            FaultSpec(FaultKind.FAIL_ROUTE_WRITE, at_writes=(3, 4)))
+        pre_txn = {m.name: installed_prefixes(m.gateway)
+                   for m in ctrl.clusters[cluster_id].all_members()}
+        batch = batch_routes(3)
+        with pytest.raises(TransactionAborted) as excinfo:
+            with ctrl.transaction(cluster_id) as txn:
+                for route in batch:
+                    txn.install_route(route)
+        # The abort names the *prepare* failure, not the undo failure.
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, TableError)
+        assert "gw1" in str(cause) and "10.0.0.0/16" in str(cause)
+        assert plan.injected(FaultKind.FAIL_ROUTE_WRITE) == 2
+        assert ctrl.counters["txn_rollback_failures"] == 1
+        # Desired state never changed; gw0 kept the entry whose undo
+        # failed — visible residue, not silent corruption.
+        assert ctrl.route_count(cluster_id) == 1
+        gw0 = ctrl.clusters[cluster_id].members()[0].gateway
+        assert batch[2].prefix in installed_prefixes(gw0)
+        findings = ctrl.consistency_check(cluster_id)
+        assert [f.kind for f in findings] == ["extra-route"]
+        # Targeted repair restores the pre-transaction fabric exactly.
+        applied, failed = ctrl.targeted_repair(cluster_id, findings)
+        assert applied == 1 and failed == []
+        assert {m.name: installed_prefixes(m.gateway)
+                for m in ctrl.clusters[cluster_id].all_members()} == pre_txn
+        assert ctrl.consistency_check(cluster_id) == []
+
+
+class TestSideEffects:
+    def test_failing_side_effect_unwinds_members_and_prior_effects(self):
+        ctrl, _plan, cluster_id, onboarded_routes, _vms = arm_after_onboard()
+        journal = []
+
+        def effect(tag):
+            journal.append(tag)
+
+        def failing():
+            raise TableError("side effect refused")
+
+        with pytest.raises(TransactionAborted, match="side effect refused"):
+            with ctrl.transaction(cluster_id) as txn:
+                txn.install_route(batch_routes(1)[0])
+                txn.stage_side_effect("first", lambda: effect("apply-1"),
+                                      lambda: effect("undo-1"))
+                txn.stage_side_effect("second", failing,
+                                      lambda: effect("undo-2"))
+        # The first effect applied, then unwound; the failing one never
+        # needed (and never got) an undo.
+        assert journal == ["apply-1", "undo-1"]
+        # Every member rolled the route batch back too.
+        for member in ctrl.clusters[cluster_id].all_members():
+            assert installed_prefixes(member.gateway) == \
+                {onboarded_routes[0].prefix}
+        assert ctrl.counters["txns_aborted"] == 1
+
+    def test_side_effect_only_transaction_is_not_journalled(self):
+        ctrl, plan, cluster_id, _routes, _vms = arm_after_onboard()
+        appends_before = ctrl.journal.appends
+        ran = []
+        with ctrl.transaction(cluster_id) as txn:
+            txn.stage_side_effect("only", lambda: ran.append("apply"),
+                                  lambda: ran.append("undo"))
+        assert ran == ["apply"]
+        # Non-journalled by design: a crash-recovered controller simply
+        # never ran the effect, so nothing replays it.
+        assert ctrl.journal.appends == appends_before
+        assert plan.write_index == 0
+
+
 class TestCrashDuringTransaction:
     def test_crash_between_txn_append_and_push_aborts_on_replay(self):
         ctrl, plan, cluster_id, _routes, _vms = arm_after_onboard(

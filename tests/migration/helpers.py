@@ -1,0 +1,81 @@
+"""Shared builders for the live-migration suite: a journaled two-member
+cluster (XGW-H by default, XGW-x86 with SNAT on demand) carrying one
+LOCAL-subnet tenant, plus a traffic driver that records every forward
+outcome with its timestamp."""
+
+import ipaddress
+
+from repro.cluster.cluster import GatewayCluster
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.controller import (
+    Controller,
+    RouteEntry,
+    VmEntry,
+    build_probe_packet,
+)
+from repro.core.journal import Journal
+from repro.core.splitting import ClusterCapacity, TableSplitter, TenantProfile
+from repro.core.xgw_h import XgwH
+from repro.net.addr import Prefix
+from repro.tables.snat import SnatTable
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.x86.gateway import XgwX86
+
+
+def ip(text):
+    return int(ipaddress.ip_address(text))
+
+
+VNI = 100
+VM_IP = ip("192.168.10.2")
+NEW_VM_IP = ip("192.168.10.3")
+OLD_NC = ip("10.1.1.11")
+NEW_NC = ip("10.1.1.99")
+PUBLIC_IP = ip("203.0.113.1")
+
+
+def make_controller(x86=False, snat=False, members=2):
+    ctrl = Controller(
+        TableSplitter(ClusterCapacity(routes=50, vms=500, traffic_bps=1e13)),
+        VniSteeredBalancer(),
+        journal=Journal(),
+    )
+
+    def factory(cluster_id):
+        nodes = []
+        for i in range(members):
+            if x86:
+                table = SnatTable(public_ips=[PUBLIC_IP]) if snat else None
+                gw = XgwX86(gateway_ip=0x0AC00000 + i, snat=table)
+            else:
+                gw = XgwH(gateway_ip=0x0AC00000 + i)
+            nodes.append((f"{cluster_id}-gw{i}", gw))
+        return GatewayCluster(cluster_id, nodes)
+
+    ctrl.set_cluster_factory(factory)
+    return ctrl
+
+
+def onboard(ctrl, vni=VNI, subnet="192.168.10.0/24", vm_ip=VM_IP,
+            nc_ip=OLD_NC):
+    routes = [RouteEntry(vni, Prefix.parse(subnet), RouteAction(Scope.LOCAL))]
+    vms = [VmEntry(vni, vm_ip, 4, NcBinding(nc_ip))]
+    cluster_id = ctrl.add_tenant(
+        TenantProfile(vni, len(routes), len(vms), 1e9), routes, vms)
+    return cluster_id, vms
+
+
+def drive(engine, ctrl, cluster_id, vni=VNI, vm_ip=VM_IP, interval=0.1,
+          until=3.0, member_index=0):
+    """Forward one probe towards *vm_ip* every *interval* through one
+    member; returns the growing ``(time, ForwardResult)`` log."""
+    packet = build_probe_packet(vni, vm_ip)
+    log = []
+
+    def tick():
+        member = ctrl.clusters[cluster_id].members()[member_index]
+        log.append((engine.now, member.gateway.forward(packet, engine.now)))
+
+    engine.schedule_every(interval, tick, until=until)
+    return log

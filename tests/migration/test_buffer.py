@@ -1,0 +1,122 @@
+"""The gateway-side freeze machinery: the bounded MigrationBuffer and
+the per-gateway MigrationState intercept."""
+
+from tests.migration.helpers import VM_IP, VNI
+
+from repro.core.controller import build_probe_packet
+from repro.dataplane.gateway_logic import DropReason, ForwardAction
+from repro.dataplane.migration import (
+    BufferedPacket,
+    MigrationBuffer,
+    MigrationState,
+    ensure_migration_state,
+)
+from repro.faults import FaultPlan, FaultyGateway
+
+KEY = (VNI, VM_IP, 4)
+PACKET = build_probe_packet(VNI, VM_IP)
+
+
+def parked(migration_id, n):
+    return [BufferedPacket(migration_id, KEY, PACKET, float(i))
+            for i in range(n)]
+
+
+class TestMigrationBuffer:
+    def test_drain_is_fifo_and_per_migration(self):
+        buf = MigrationBuffer(capacity=8)
+        items = parked("a", 3) + parked("b", 2)
+        for item in items:
+            assert buf.push(item)
+        drained = buf.drain("a")
+        assert drained == items[:3]  # FIFO, only migration "a"
+        assert len(buf) == 2 and buf.drain("b") == items[3:]
+        assert buf.drain("a") == []
+
+    def test_capacity_bound_counts_overflow(self):
+        buf = MigrationBuffer(capacity=2)
+        a, b, c = parked("a", 3)
+        assert buf.push(a) and buf.push(b)
+        assert buf.full
+        assert not buf.push(c)
+        assert buf.overflowed == 1 and buf.buffered == 2
+        # The rejected packet is not silently queued.
+        assert buf.drain("a") == [a, b]
+
+    def test_capacity_is_shared_across_migrations(self):
+        buf = MigrationBuffer(capacity=1)
+        assert buf.push(parked("a", 1)[0])
+        assert not buf.push(parked("b", 1)[0])
+        assert buf.overflowed == 1
+
+
+class TestIntercept:
+    def test_unfrozen_endpoint_passes_through(self):
+        state = MigrationState()
+        assert state.intercept(PACKET, now=0.0) is None
+        state.freeze((VNI, VM_IP + 1, 4), "m1", now=0.0, deadline=1.0)
+        assert state.intercept(PACKET, now=0.5) is None  # other endpoint
+
+    def test_frozen_endpoint_buffers(self):
+        state = MigrationState()
+        state.freeze(KEY, "m1", now=0.0, deadline=1.0)
+        result = state.intercept(PACKET, now=0.5)
+        assert result.action is ForwardAction.BUFFERED
+        assert result.detail == "migration-freeze"
+        assert [p.packet for p in state.drain("m1")] == [PACKET]
+
+    def test_past_deadline_drops_under_blackout(self):
+        state = MigrationState()
+        state.freeze(KEY, "m1", now=0.0, deadline=1.0)
+        result = state.intercept(PACKET, now=1.5)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == DropReason.MIGRATION_BLACKOUT.value
+        assert len(state.buffer) == 0
+
+    def test_full_buffer_drops_under_overflow(self):
+        state = MigrationState(capacity=1)
+        state.freeze(KEY, "m1", now=0.0, deadline=9.0)
+        assert state.intercept(PACKET, now=0.1).action is ForwardAction.BUFFERED
+        result = state.intercept(PACKET, now=0.2)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == DropReason.MIGRATION_BUFFER_OVERFLOW.value
+        assert state.buffer.overflowed == 1
+
+    def test_non_vxlan_never_intercepted(self):
+        state = MigrationState()
+        state.freeze(KEY, "m1", now=0.0, deadline=1.0)
+        assert state.intercept(PACKET.decap(), now=0.5) is None
+
+    def test_abort_tears_down_everything(self):
+        state = MigrationState()
+        state.freeze(KEY, "m1", now=0.0, deadline=1.0)
+        state.install_shadow(KEY, "m1", 0x0A010163)
+        state.intercept(PACKET, now=0.5)
+        assert state.active()
+        drained = state.abort("m1")
+        assert [p.packet for p in drained] == [PACKET]
+        assert not state.active()
+        assert state.intercept(PACKET, now=0.6) is None
+
+
+class TestEnsureMigrationState:
+    def test_idempotent_per_gateway(self):
+        class Gw:
+            pass
+
+        gw = Gw()
+        state = ensure_migration_state(gw, capacity=4)
+        assert ensure_migration_state(gw) is state
+        assert gw.migration is state
+        assert state.buffer.capacity == 4
+
+    def test_unwraps_fault_proxy_to_inner_gateway(self):
+        class Gw:
+            pass
+
+        inner = Gw()
+        proxy = FaultyGateway(inner, FaultPlan(seed=1), "c0", "gw0")
+        state = ensure_migration_state(proxy)
+        assert inner.migration is state
+        # The proxy delegates the attribute, so both views agree.
+        assert proxy.migration is state

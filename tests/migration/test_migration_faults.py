@@ -1,0 +1,212 @@
+"""Migration under injected faults: every phase either completes or
+rolls back to the source binding, and a controller crash mid-commit
+leaves residue the audit detects and the repair bridge clears."""
+
+from tests.migration.helpers import (
+    NEW_NC,
+    OLD_NC,
+    VM_IP,
+    VNI,
+    drive,
+    make_controller,
+    onboard,
+)
+
+from repro.audit import AuditScanner, RepairBridge
+from repro.cluster.cluster import NodeState
+from repro.cluster.ecmp import VniSteeredBalancer
+from repro.core.controller import Controller
+from repro.core.splitting import ClusterCapacity, TableSplitter
+from repro.dataplane.gateway_logic import DropReason, ForwardAction
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.migration import EndpointMigrator, MigrationStatus
+from repro.sim.engine import Engine
+from repro.tables.vm_nc import NcBinding
+
+
+def armed_setup(*specs, seed=7, x86=False, buffer_capacity=256):
+    ctrl = make_controller(x86=x86)
+    cluster_id, _vms = onboard(ctrl)
+    plan = FaultPlan(seed=seed, specs=list(specs))
+    injector = FaultInjector(plan)
+    injector.arm_controller(ctrl)
+    engine = Engine()
+    migrator = EndpointMigrator(ctrl, cluster_id, engine,
+                                blackout_budget=1.0, copy_time=0.5,
+                                buffer_capacity=buffer_capacity)
+    injector.arm_migrator(migrator)
+    return ctrl, cluster_id, engine, migrator, plan, injector
+
+
+def recover_into_new_controller(crashed):
+    """Stand up a fresh controller over the survivors' clusters (only
+    the controller process died; the gateways kept their state)."""
+    ctrl = Controller(
+        TableSplitter(ClusterCapacity(routes=50, vms=500, traffic_bps=1e13)),
+        VniSteeredBalancer(),
+        clusters=crashed.clusters,
+    )
+    ctrl.recover(crashed.journal)
+    return ctrl
+
+
+def residue_findings(findings):
+    return [f for f in findings if f.invariant == "migration-residue"]
+
+
+class TestControllerCrashMidCommit:
+    def run_crash(self):
+        ctrl, cluster_id, engine, migrator, plan, _inj = armed_setup(
+            FaultSpec(FaultKind.CONTROLLER_CRASH, at_mutations=(0,)))
+        log = drive(engine, ctrl, cluster_id, until=1.4)
+        mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC),
+                                  start=1.0)
+        engine.run()
+        return ctrl, cluster_id, migrator, migrator.records[mid], plan, log
+
+    def test_crash_leaves_detectable_residue(self):
+        ctrl, cluster_id, _migrator, record, plan, _log = self.run_crash()
+        assert plan.injected(FaultKind.CONTROLLER_CRASH) == 1
+        assert record.status == MigrationStatus.CRASHED
+        # No member saw the flip; the freeze/shadow state is stranded.
+        for member in ctrl.clusters[cluster_id].members():
+            assert member.gateway.split_vm_nc.lookup(VNI, VM_IP, 4).nc_ip \
+                == OLD_NC
+            assert member.gateway.migration.active()
+        recovered = recover_into_new_controller(ctrl)
+        assert recovered.active_migrations == set()  # not journalled
+        findings = AuditScanner(recovered).full_scan()
+        residue = residue_findings(findings)
+        kinds = sorted(f.kind for f in residue)
+        # One orphaned freeze and one shadow binding per member.
+        assert kinds == ["orphaned-freeze", "orphaned-freeze",
+                         "shadow-binding", "shadow-binding"]
+        assert all(record.migration_id in f.detail for f in residue)
+
+    def test_repair_clears_residue_with_zero_connection_loss(self):
+        ctrl, cluster_id, _migrator, record, _plan, log = self.run_crash()
+        buffered = [r for _t, r in log if r.action is ForwardAction.BUFFERED]
+        assert buffered  # packets really were stranded in the freeze
+        recovered = recover_into_new_controller(ctrl)
+        scanner = AuditScanner(recovered)
+        bridge = RepairBridge(recovered).attach(scanner)
+        scanner.full_scan()  # detect + repair via the cycle hook
+        assert bridge.counters["residue_cleared"] == 2  # one per member
+        assert bridge.counters["residue_replayed"] == len(buffered)
+        # One audit cycle later: zero residue, nothing frozen anywhere.
+        assert residue_findings(scanner.full_scan()) == []
+        for member in recovered.clusters[cluster_id].members():
+            assert not member.gateway.migration.active()
+        # The endpoint still forwards on the source binding.
+        engine = Engine()
+        post = drive(engine, recovered, cluster_id, until=0.3)
+        engine.run()
+        assert post and all(r.action is ForwardAction.DELIVER_NC
+                            and r.nc_ip == OLD_NC for _t, r in post)
+        assert record.status == MigrationStatus.CRASHED
+
+
+class TestMemberCrashDuringFreeze:
+    def test_replay_moves_to_a_surviving_member(self):
+        ctrl, cluster_id, engine, migrator, plan, injector = armed_setup(
+            FaultSpec(FaultKind.MEMBER_CRASH, node="*gw0", at_time=1.3))
+        injector.schedule(engine, ctrl.clusters)
+        log = drive(engine, ctrl, cluster_id, until=1.25)
+        mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC),
+                                  start=1.0)
+        engine.run()
+        record = migrator.records[mid]
+        assert plan.injected(FaultKind.MEMBER_CRASH) == 1
+        assert ctrl.clusters[cluster_id].member(f"{cluster_id}-gw0").state \
+            is NodeState.OFFLINE
+        # The packets gw0 buffered replayed through the surviving member
+        # against the committed tables: zero loss.
+        assert record.status == MigrationStatus.COMMITTED
+        buffered = sum(1 for _t, r in log
+                       if r.action is ForwardAction.BUFFERED)
+        assert buffered > 0
+        assert record.replayed == buffered and record.replay_lost == 0
+        survivor = ctrl.clusters[cluster_id].member(f"{cluster_id}-gw1")
+        assert survivor.gateway.split_vm_nc.lookup(VNI, VM_IP, 4).nc_ip \
+            == NEW_NC
+
+
+class TestBufferOverflow:
+    def test_overflow_rolls_back_to_source_binding(self):
+        ctrl, cluster_id, engine, migrator, _plan, _inj = armed_setup(
+            buffer_capacity=2, x86=True)
+        log = drive(engine, ctrl, cluster_id, until=3.0, interval=0.05)
+        mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC),
+                                  start=1.0)
+        engine.run()
+        record = migrator.records[mid]
+        assert record.status == MigrationStatus.ROLLED_BACK
+        assert record.reason == "buffer-overflow"
+        overflow = [r for _t, r in log
+                    if r.detail == DropReason.MIGRATION_BUFFER_OVERFLOW.value]
+        assert overflow and all(r.action is ForwardAction.DROP
+                                for r in overflow)
+        # The two parked packets came back out; the binding never moved.
+        assert record.replayed == 2 and record.replay_lost == 0
+        after = [r for t, r in log if t >= 1.6]
+        assert after and all(r.action is ForwardAction.DELIVER_NC
+                             and r.nc_ip == OLD_NC for r in after)
+
+    def test_per_reason_drop_counters_conserve(self):
+        ctrl, cluster_id, engine, migrator, _plan, _inj = armed_setup(
+            buffer_capacity=2, x86=True)
+        drive(engine, ctrl, cluster_id, until=3.0, interval=0.05)
+        migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC), start=1.0)
+        engine.run()
+        gw = ctrl.clusters[cluster_id].members()[0].gateway
+        assert gw.counters[DropReason.MIGRATION_BUFFER_OVERFLOW.counter] > 0
+        assert gw.counters["action_buffered"] == 2
+        # The audit's counter-conservation identity still holds with
+        # buffered and migration-dropped packets in the mix.
+        findings = AuditScanner(ctrl).full_scan()
+        assert [f for f in findings
+                if f.invariant == "counter-conservation"] == []
+
+
+class TestMigrationStalls:
+    def test_commit_stall_past_deadline_rolls_back(self):
+        ctrl, cluster_id, engine, migrator, plan, _inj = armed_setup(
+            FaultSpec(FaultKind.MIGRATION_STALL, at_phase="commit",
+                      stall_for=2.0))
+        log = drive(engine, ctrl, cluster_id, until=5.0)
+        mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC),
+                                  start=1.0)
+        engine.run()
+        record = migrator.records[mid]
+        assert plan.injected(FaultKind.MIGRATION_STALL) == 1
+        assert record.status == MigrationStatus.ROLLED_BACK
+        assert record.reason == "blackout-budget-exceeded"
+        # Arrivals past the deadline were dropped under the blackout
+        # reason while the stall hung the commit.
+        blackout = [r for _t, r in log
+                    if r.detail == DropReason.MIGRATION_BLACKOUT.value]
+        assert blackout
+        # After the rollback the source binding serves again.
+        after = [r for t, r in log if t >= 3.6]
+        assert after and all(r.nc_ip == OLD_NC for r in after)
+        assert "stalled" in [e.phase for e in migrator.events]
+
+    def test_precopy_stall_shifts_the_window_and_commits(self):
+        ctrl, cluster_id, engine, migrator, plan, _inj = armed_setup(
+            FaultSpec(FaultKind.MIGRATION_STALL, at_phase="pre-copy",
+                      stall_for=0.7))
+        log = drive(engine, ctrl, cluster_id, until=4.0)
+        mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC),
+                                  start=1.0)
+        engine.run()
+        record = migrator.records[mid]
+        assert plan.injected(FaultKind.MIGRATION_STALL) == 1
+        assert record.status == MigrationStatus.COMMITTED
+        # Nothing was frozen during the stall: the window simply shifted.
+        assert record.started_at == 1.7
+        stalled_span = [r for t, r in log if 1.0 <= t < 1.7]
+        assert all(r.action is ForwardAction.DELIVER_NC
+                   for r in stalled_span)
+        assert record.replay_lost == 0
+        after = [r for t, r in log if t >= 2.3]
+        assert after and all(r.nc_ip == NEW_NC for r in after)

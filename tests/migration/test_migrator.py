@@ -1,0 +1,219 @@
+"""The migration protocol's happy paths: hitless single-VM moves, batch
+NC drains, SNAT connection preservation, and the byte-stable event log."""
+
+from dataclasses import replace
+
+import pytest
+
+from tests.migration.helpers import (
+    NEW_NC,
+    NEW_VM_IP,
+    OLD_NC,
+    PUBLIC_IP,
+    VM_IP,
+    VNI,
+    drive,
+    ip,
+    make_controller,
+    onboard,
+)
+
+from repro.core.controller import VmEntry
+from repro.dataplane.gateway_logic import ForwardAction
+from repro.migration import EndpointMigrator, MigrationStatus
+from repro.net.headers import UDP
+from repro.sim.engine import Engine
+from repro.tables.vm_nc import NcBinding
+from repro.workloads.traffic import build_vxlan_packet
+
+
+def run_clean_migration(start=1.0, until=3.0, interval=0.1):
+    ctrl = make_controller()
+    cluster_id, _vms = onboard(ctrl)
+    engine = Engine()
+    log = drive(engine, ctrl, cluster_id, until=until, interval=interval)
+    migrator = EndpointMigrator(ctrl, cluster_id, engine,
+                                blackout_budget=1.0, copy_time=0.5)
+    mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC), start=start)
+    engine.run()
+    return ctrl, migrator, migrator.records[mid], log
+
+
+class TestCleanMigration:
+    def test_phases_and_zero_loss(self):
+        ctrl, migrator, record, log = run_clean_migration()
+        assert record.status == MigrationStatus.COMMITTED
+        assert record.replay_lost == 0
+        # Before the freeze: delivered on the source binding.
+        before = [r for t, r in log if t < 1.0]
+        assert before and all(r.action is ForwardAction.DELIVER_NC
+                              and r.nc_ip == OLD_NC for r in before)
+        # Inside the freeze window: parked, never dropped.
+        during = [r for t, r in log if 1.0 <= t < 1.5]
+        assert during and all(r.action is ForwardAction.BUFFERED
+                              for r in during)
+        # After commit: delivered on the destination binding.
+        after = [r for t, r in log if t >= 1.5]
+        assert after and all(r.action is ForwardAction.DELIVER_NC
+                             and r.nc_ip == NEW_NC for r in after)
+        # Every parked packet was replayed, none lost.
+        assert record.replayed == len(during)
+        assert migrator.summary() == {MigrationStatus.COMMITTED: 1}
+        assert ctrl.active_migrations == set()
+        assert ctrl.consistency_check(next(iter(ctrl.clusters))) == []
+
+    def test_added_latency_bounded_by_blackout_budget(self):
+        _ctrl, migrator, record, _log = run_clean_migration()
+        assert record.replay_latencies
+        assert record.added_p99_latency <= migrator.blackout_budget
+        assert max(record.replay_latencies) <= migrator.blackout_budget
+
+    def test_no_residue_on_any_member(self):
+        ctrl, _migrator, _record, _log = run_clean_migration()
+        for cluster in ctrl.clusters.values():
+            for member in cluster.all_members():
+                state = member.gateway.migration
+                assert state is not None and not state.active()
+                assert len(state.buffer) == 0
+
+    def test_event_log_is_byte_identical_across_runs(self):
+        _ctrl, first, _r, _l = run_clean_migration()
+        _ctrl, second, _r, _l = run_clean_migration()
+        dump = first.dump_events()
+        assert dump == second.dump_events()
+        phases = [line.split(b"|")[2] for line in dump.splitlines()]
+        assert phases == [b"pre-copy", b"freeze", b"commit", b"replay",
+                          b"committed"]
+
+
+class TestDrainNc:
+    def test_drains_every_vm_on_the_nc_staggered(self):
+        ctrl = make_controller()
+        cluster_id, _vms = onboard(ctrl)
+        other_vm = ip("192.168.10.7")
+        ctrl.install_vm(cluster_id, VmEntry(VNI, other_vm, 4,
+                                            NcBinding(OLD_NC)))
+        bystander = ip("192.168.10.8")
+        ctrl.install_vm(cluster_id, VmEntry(VNI, bystander, 4,
+                                            NcBinding(ip("10.1.1.12"))))
+        engine = Engine()
+        migrator = EndpointMigrator(ctrl, cluster_id, engine,
+                                    blackout_budget=1.0, copy_time=0.5)
+        ids = migrator.drain_nc(OLD_NC, NEW_NC)
+        assert len(ids) == 2
+        engine.run()
+        assert migrator.summary() == {MigrationStatus.COMMITTED: 2}
+        # Both endpoints left the drained NC; the bystander stayed put.
+        bindings = {e.vm_ip: e.binding.nc_ip
+                    for e in ctrl.vm_entries(cluster_id)}
+        assert bindings[VM_IP] == NEW_NC and bindings[other_vm] == NEW_NC
+        assert bindings[bystander] == ip("10.1.1.12")
+        # Staggered: freeze windows never overlap.
+        windows = sorted((r.started_at, r.deadline)
+                         for r in migrator.records.values())
+        assert windows[0][1] <= windows[1][0]
+
+    def test_drain_of_empty_nc_is_a_noop(self):
+        ctrl = make_controller()
+        cluster_id, _vms = onboard(ctrl)
+        engine = Engine()
+        migrator = EndpointMigrator(ctrl, cluster_id, engine)
+        assert migrator.drain_nc(ip("10.9.9.9"), NEW_NC) == []
+
+
+class TestSnatPreservation:
+    def request_packet(self, src=VM_IP, sport=5555):
+        return build_vxlan_packet(vni=VNI, src_ip=src,
+                                  dst_ip=ip("93.184.216.34"),
+                                  src_port=sport, dst_port=80,
+                                  payload=b"GET /")
+
+    def response_to(self, out):
+        return replace(
+            out,
+            ip=type(out.ip)(src=out.ip.dst, dst=out.ip.src,
+                            proto=out.ip.proto),
+            l4=UDP(src_port=out.l4.dst_port, dst_port=out.l4.src_port),
+            payload=b"200 OK",
+        )
+
+    def test_readdressing_move_preserves_public_tuples(self):
+        ctrl = make_controller(x86=True, snat=True)
+        cluster_id, _vms = onboard(ctrl)
+        engine = Engine()
+        services = [m.gateway.snat_service
+                    for m in ctrl.clusters[cluster_id].members()]
+        # Establish a session on every member before the move.
+        outs = [svc.handle_request(self.request_packet(), now=0.0).packet
+                for svc in services]
+        assert all(out.ip.src == PUBLIC_IP for out in outs)
+        migrator = EndpointMigrator(ctrl, cluster_id, engine,
+                                    blackout_budget=1.0, copy_time=0.5)
+        mid = migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC),
+                                  new_vm_ip=NEW_VM_IP)
+        engine.run()
+        assert migrator.records[mid].status == MigrationStatus.COMMITTED
+        for svc, out in zip(services, outs):
+            # The public tuple survived the re-key: the Internet's
+            # response still reverse-translates...
+            result = svc.handle_response(self.response_to(out), now=2.0)
+            assert result.action is ForwardAction.DELIVER_NC
+            # ...and lands on the endpoint's new address and host.
+            assert result.nc_ip == NEW_NC
+            assert result.packet.inner.ip.dst == NEW_VM_IP
+            assert result.packet.inner.l4.dst_port == 5555
+        entries = {(e.vm_ip, e.binding.nc_ip)
+                   for e in ctrl.vm_entries(cluster_id)}
+        assert (NEW_VM_IP, NEW_NC) in entries
+        assert all(vm != VM_IP for vm, _nc in entries)
+
+    def test_same_ip_move_needs_no_rewrite(self):
+        ctrl = make_controller(x86=True, snat=True)
+        cluster_id, _vms = onboard(ctrl)
+        engine = Engine()
+        svc = ctrl.clusters[cluster_id].members()[0].gateway.snat_service
+        out = svc.handle_request(self.request_packet(), now=0.0).packet
+        migrator = EndpointMigrator(ctrl, cluster_id, engine)
+        migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC))
+        engine.run()
+        result = svc.handle_response(self.response_to(out), now=2.0)
+        # The response path resolves vm_nc live, so the session follows
+        # the binding without any rewrite.
+        assert result.action is ForwardAction.DELIVER_NC
+        assert result.nc_ip == NEW_NC
+        assert result.packet.inner.ip.dst == VM_IP
+
+
+class TestFlowCacheCoherence:
+    def test_cached_fast_path_follows_the_commit(self):
+        ctrl = make_controller(x86=True)
+        cluster_id, _vms = onboard(ctrl)
+        engine = Engine()
+        gw = ctrl.clusters[cluster_id].members()[0].gateway
+        log = drive(engine, ctrl, cluster_id, until=3.0)
+        migrator = EndpointMigrator(ctrl, cluster_id, engine,
+                                    blackout_budget=1.0, copy_time=0.5)
+        migrator.migrate_vm(VNI, VM_IP, 4, NcBinding(NEW_NC), start=1.0)
+        engine.run()
+        # The fast path was warm before the move (hits on the old NC)...
+        assert gw.flow_cache is not None and gw.flow_cache.hits > 0
+        # ...and no post-commit packet was served the stale decision.
+        after = [r for t, r in log if t >= 1.5]
+        assert after and all(r.nc_ip == NEW_NC for r in after)
+
+
+class TestValidation:
+    def test_unknown_vm_rejected(self):
+        ctrl = make_controller()
+        cluster_id, _vms = onboard(ctrl)
+        migrator = EndpointMigrator(ctrl, cluster_id, Engine())
+        with pytest.raises(ValueError, match="not in"):
+            migrator.migrate_vm(VNI, ip("192.168.10.250"), 4,
+                                NcBinding(NEW_NC))
+
+    def test_copy_time_beyond_budget_rejected(self):
+        ctrl = make_controller()
+        cluster_id, _vms = onboard(ctrl)
+        with pytest.raises(ValueError, match="blackout budget"):
+            EndpointMigrator(ctrl, cluster_id, Engine(),
+                             blackout_budget=0.5, copy_time=1.0)

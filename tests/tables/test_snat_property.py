@@ -1,0 +1,108 @@
+"""Property test: the SNAT table's allocate/release/rewrite lifecycle
+and its ``items()`` readback against a plain dict oracle.
+
+The oracle maps each live flow to its allocated public tuple; every
+operation is mirrored onto both, and after each step the table's
+readback must agree with the oracle exactly — including the
+all-or-nothing collision semantics of ``rewrite_source``."""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import FlowKey
+from repro.tables.errors import TableError
+from repro.tables.snat import SnatTable
+
+PUBLIC_IPS = [0xCB007101, 0xCB007102]
+# Small universes force port reuse, rewrite collisions and repeated
+# translates of the same flow.
+SRC_IPS = [0x0A000001, 0x0A000002, 0x0A000003]
+SRC_PORTS = [1000, 1001, 1002]
+
+flows = st.builds(
+    FlowKey,
+    src_ip=st.sampled_from(SRC_IPS),
+    dst_ip=st.just(0x08080808),
+    proto=st.just(6),
+    src_port=st.sampled_from(SRC_PORTS),
+    dst_port=st.just(80),
+)
+
+operations = st.one_of(
+    st.tuples(st.just("translate"), flows),
+    st.tuples(st.just("release"), flows),
+    st.tuples(st.just("rewrite"), st.sampled_from(SRC_IPS),
+              st.sampled_from(SRC_IPS)),
+)
+
+
+def check_readback(table, oracle):
+    """items()/lookup()/reverse() must agree with the oracle exactly."""
+    read = {flow: (s.public_ip, s.public_port) for flow, s in table.items()}
+    assert read == oracle
+    assert len(table) == len(oracle)
+    assert [flow for flow, _s in table.items()] == sorted(oracle)
+    for flow, (public_ip, public_port) in oracle.items():
+        session = table.reverse(public_ip, public_port, flow.dst_ip,
+                                flow.dst_port, flow.proto)
+        assert session is not None and session.flow == flow
+    # Every public tuple is unique — no two flows share an allocation.
+    assert len(set(oracle.values())) == len(oracle)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(operations, max_size=40))
+def test_snat_table_matches_dict_oracle(ops):
+    table = SnatTable(public_ips=list(PUBLIC_IPS))
+    oracle = {}
+    for op in ops:
+        if op[0] == "translate":
+            _verb, flow = op
+            session = table.translate(flow, now=0.0)
+            if flow in oracle:
+                # Idempotent: the existing allocation is reused.
+                assert (session.public_ip, session.public_port) == oracle[flow]
+            else:
+                oracle[flow] = (session.public_ip, session.public_port)
+        elif op[0] == "release":
+            _verb, flow = op
+            table.release(flow)
+            oracle.pop(flow, None)
+        else:
+            _verb, old_ip, new_ip = op
+            # A same-address rewrite is a declared no-op.
+            moving = (set() if old_ip == new_ip
+                      else {f for f in oracle if f.src_ip == old_ip})
+            collides = old_ip != new_ip and any(
+                replace(f, src_ip=new_ip) in oracle
+                and replace(f, src_ip=new_ip) not in moving
+                for f in moving)
+            if collides:
+                try:
+                    table.rewrite_source(old_ip, new_ip)
+                    raise AssertionError("collision not detected")
+                except TableError:
+                    pass  # all-or-nothing: oracle unchanged
+            else:
+                pairs = table.rewrite_source(old_ip, new_ip)
+                assert sorted(old for old, _new in pairs) == sorted(moving)
+                for old_flow, new_flow in pairs:
+                    # The public tuple rides along with the re-key.
+                    oracle[new_flow] = oracle.pop(old_flow)
+        check_readback(table, oracle)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(flows, min_size=1, max_size=10, unique=True))
+def test_release_returns_every_port(batch):
+    table = SnatTable(public_ips=list(PUBLIC_IPS))
+    before = table.available_ports()
+    for flow in batch:
+        table.translate(flow, now=0.0)
+    assert table.available_ports() == before - len(batch)
+    for flow in batch:
+        table.release(flow)
+    assert table.available_ports() == before
+    assert list(table.items()) == []

@@ -15,6 +15,7 @@ import repro.audit.scanner
 import repro.cluster.ecmp
 import repro.core.compression
 import repro.dataplane.flowcache
+import repro.dataplane.migration
 import repro.core.economics
 import repro.fuzz.corpus
 import repro.fuzz.generator
@@ -65,6 +66,7 @@ MODULES = [
     repro.tables.vm_nc,
     repro.tables.vxlan_routing,
     repro.dataplane.flowcache,
+    repro.dataplane.migration,
     repro.fuzz.generator,
     repro.fuzz.minimizer,
     repro.fuzz.corpus,
