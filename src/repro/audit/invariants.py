@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..dataplane.gateway_logic import ForwardAction
+from ..net.addr import Prefix
 from ..tables.alpm import AlpmTable, oracle_lookup
 from ..tables.errors import MissingEntryError
 from ..tables.vxlan_routing import RoutingLoopError, Scope, VxlanRoutingTable
@@ -430,6 +431,68 @@ class MigrationResidue(Invariant):
         return findings
 
 
+class TierResidue(Invariant):
+    """Three-tier placement residue: every tier holds exactly what the
+    intent steers to it, and no VIP is steered to two tiers at once.
+
+    The :class:`~repro.dpu.planner.TierPlanner` moves a VIP with two
+    transactions (withdraw source, install target) and reaps the source
+    DPU's session contexts only after both commit. Sessions are
+    dataplane state with no journal copy — a ``CONTROLLER_CRASH``
+    between the withdraw and the reap strands them with nobody left to
+    tear them down:
+
+    * ``orphaned-dpu-session`` — a DPU member holds session contexts for
+      a VIP the intent no longer steers to that device; the repair
+      bridge reaps them;
+    * ``multi-tier-steering`` — a steering route installed on this
+      member is *also* steered by another cluster's intent, i.e. one VIP
+      is claimed by two tiers — packets would be double-served or the
+      colder copy would silently shadow the hotter one.
+    """
+
+    name = "tier-residue"
+
+    STEERING_TARGETS = ("offload", "dpu")
+
+    def check(self, ctx: AuditContext, member) -> List[Finding]:
+        gw = member.gateway
+        findings: List[Finding] = []
+        sessions = getattr(gw, "sessions", None)
+        if sessions is not None and hasattr(sessions, "vips"):
+            desired = ctx.intent.routes_for(ctx.cluster_id)
+            steered = {key for key, action in desired.items()
+                       if action.target == "dpu"}
+            for vip in sessions.vips():
+                vni, dst_ip, version = vip
+                bits = 32 if version == 4 else 128
+                if (vni, Prefix.of(dst_ip, bits, version)) not in steered:
+                    findings.append(Finding(
+                        self.name, "orphaned-dpu-session", ctx.cluster_id,
+                        member.name,
+                        f"vni={vni} vip={dst_ip:#x}/v{version} holds "
+                        f"{sessions.count_for(vip)} sessions with no dpu "
+                        f"steering intent", key=vip))
+        installed = {(vni, prefix)
+                     for vni, prefix, action in gw.tables.routing.items()
+                     if action.target in self.STEERING_TARGETS}
+        if installed:
+            for other_cid in ctx.intent.cluster_ids():
+                if other_cid == ctx.cluster_id:
+                    continue
+                other = ctx.intent.routes_for(other_cid)
+                for key in sorted(installed,
+                                  key=lambda k: (k[0], k[1].network)):
+                    action = other.get(key)
+                    if action is not None and action.target in self.STEERING_TARGETS:
+                        findings.append(Finding(
+                            self.name, "multi-tier-steering", ctx.cluster_id,
+                            member.name,
+                            f"vni={key[0]} {key[1]} steered here and in "
+                            f"{other_cid}'s intent", key=(key[0], key[1], other_cid)))
+        return findings
+
+
 #: The full sweep, in the order the scanner schedules per member.
 ALL_INVARIANTS: Tuple[Invariant, ...] = (
     RouteEquivalence(),
@@ -441,4 +504,5 @@ ALL_INVARIANTS: Tuple[Invariant, ...] = (
     CounterConservation(),
     FlowCacheCoherence(),
     MigrationResidue(),
+    TierResidue(),
 )

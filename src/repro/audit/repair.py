@@ -42,6 +42,13 @@ CACHE_KINDS = frozenset({"stale-cache-entry"})
 #: operator-facing.
 MIGRATION_KINDS = frozenset({"orphaned-freeze", "shadow-binding"})
 
+#: Tier-placement residue (see :class:`~repro.audit.invariants.TierResidue`).
+#: ``orphaned-dpu-session`` is repaired by reaping the stranded contexts
+#: on the device — the crash happened after the steering withdrew, so no
+#: traffic references them; ``multi-tier-steering`` by withdrawing the
+#: duplicate claim (intent first, installed-only second).
+DPU_KINDS = frozenset({"orphaned-dpu-session", "multi-tier-steering"})
+
 
 class RepairBridge:
     """Subscribes to an :class:`~repro.audit.scanner.AuditScanner`'s
@@ -68,6 +75,8 @@ class RepairBridge:
         per_cluster: Dict[str, List[Inconsistency]] = {}
         cache_flushes: Set[Tuple[str, str]] = set()
         residue_aborts: Set[Tuple[str, str, str]] = set()
+        session_reaps: Set[Tuple[str, str, Tuple[int, int, int]]] = set()
+        steer_dupes: Set[Tuple[str, str, Tuple]] = set()
         for finding in findings:
             if (finding.kind in REPAIRABLE_KINDS
                     and finding.key is not None
@@ -84,6 +93,15 @@ class RepairBridge:
                     and finding.cluster_id in self.controller.clusters):
                 residue_aborts.add((finding.cluster_id, finding.node,
                                     finding.key[-1]))
+            elif (finding.kind in DPU_KINDS
+                    and finding.key is not None
+                    and finding.cluster_id in self.controller.clusters):
+                if finding.kind == "orphaned-dpu-session":
+                    session_reaps.add((finding.cluster_id, finding.node,
+                                       finding.key))
+                else:
+                    steer_dupes.add((finding.cluster_id, finding.node,
+                                     finding.key))
             else:
                 self.counters.add("repairs_skipped")
         applied_total = 0
@@ -119,9 +137,39 @@ class RepairBridge:
             if stranded:
                 self.counters.add("residue_replayed", len(stranded))
             applied_total += 1
+        for cluster_id, node, vip in sorted(session_reaps):
+            member = self.controller.clusters[cluster_id].find_member(node)
+            sessions = getattr(member.gateway, "sessions", None)
+            if sessions is None:
+                continue
+            reaped = sessions.drop_vip(vip)
+            self.counters.add("dpu_sessions_cleared", reaped)
+            applied_total += 1
+        cleared: Set[Tuple[str, int, object]] = set()
+        for cluster_id, _node, key in sorted(
+                steer_dupes, key=lambda item: (item[0], item[1], str(item[2]))):
+            vni, prefix = key[0], key[1]
+            if (cluster_id, vni, prefix) in cleared:
+                continue  # an earlier finding already withdrew cluster-wide
+            cleared.add((cluster_id, vni, prefix))
+            if (vni, prefix) in self.controller.desired_routes(cluster_id):
+                # The withdraw must not step the table-size series
+                # backwards: reuse the cluster's last recorded instant.
+                sizes = self.controller.table_size_series.series(cluster_id)
+                last = sizes.times[-1] if len(sizes) else 0.0
+                self.controller.remove_route(cluster_id, vni, prefix, time=last)
+            else:
+                # Installed on the member but not in this cluster's
+                # intent: withdraw the stray copy directly.
+                member = self.controller.clusters[cluster_id].find_member(_node)
+                member.gateway.remove_route(vni, prefix)
+            self.counters.add("tier_duplicates_cleared")
+            applied_total += 1
         # Probe-before-readmit for every cluster the cycle touched.
         for cluster_id in sorted(set(per_cluster)
                                  | {c for c, _n in cache_flushes}
-                                 | {c for c, _n, _m in residue_aborts}):
+                                 | {c for c, _n, _m in residue_aborts}
+                                 | {c for c, _n, _v in session_reaps}
+                                 | {c for c, _n, _k in steer_dupes}):
             self.controller._probe_gate(cluster_id)
         return applied_total

@@ -358,6 +358,33 @@ class Controller:
         self._vms.setdefault(cluster_id, {})
         return self.clusters[cluster_id]
 
+    def adopt_cluster(self, cluster_id: str,
+                      cluster: GatewayCluster) -> GatewayCluster:
+        """Register an externally assembled cluster under this controller.
+
+        The placement path allocates clusters through the factory; tiers
+        whose membership is fixed by hardware inventory — one
+        single-device cluster per DPU, in the three-tier offload layout —
+        are built by their owner and adopted here instead. The cluster
+        gets a steering group, empty desired state, and from then on the
+        full transaction/consistency/repair machinery applies to it.
+        """
+        if cluster_id in self.clusters:
+            raise TableError(f"cluster {cluster_id} already registered")
+        self.clusters[cluster_id] = cluster
+        self.balancer.register_cluster(
+            cluster_id, [m.name for m in cluster.active_members()]
+        )
+        self._routes.setdefault(cluster_id, {})
+        self._vms.setdefault(cluster_id, {})
+        return cluster
+
+    def desired_routes(self, cluster_id: str) -> Dict[Tuple[int, Prefix], RouteAction]:
+        """A copy of one cluster's desired routing state (committed
+        transactions only) — what a tier planner rebuilds its placement
+        map from after a controller recovery."""
+        return dict(self._routes.get(cluster_id, {}))
+
     # -- tenant onboarding --------------------------------------------------
 
     def add_tenant(

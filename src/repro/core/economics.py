@@ -29,6 +29,44 @@ class GatewayKind:
 
 XGW_X86 = GatewayKind("XGW-x86", throughput_bps=100e9)
 XGW_H = GatewayKind("XGW-H", throughput_bps=3.2e12)
+#: The middle tier (Gryphon's hierarchical co-offloading): a SmartNIC/DPU
+#: carries ~4x an x86 box at a fraction of its price — tables far larger
+#: than the chip's SRAM/TCAM, per-packet cost far below a CPU core.
+XGW_DPU = GatewayKind("XGW-DPU", throughput_bps=400e9, unit_price_usd=2_500.0)
+
+
+@dataclass(frozen=True)
+class TierCostModel:
+    """Relative per-packet serving cost of the three offload tiers.
+
+    Normalised to USD per million packets served: the switch ASIC
+    forwards at line rate for watts, the DPU burns embedded cores, the
+    x86 box burns Xeon cores — the ordering (chip « dpu « x86) is what
+    makes hierarchical co-offloading pay, and the frontier bench prices
+    each tier's served traffic with exactly these constants.
+
+    >>> m = TierCostModel()
+    >>> m.usd_per_mpkt("chip") < m.usd_per_mpkt("dpu") < m.usd_per_mpkt("x86")
+    True
+    >>> m.cost_usd("x86", 2_000_000)
+    2.0
+    """
+
+    chip_usd_per_mpkt: float = 0.02
+    dpu_usd_per_mpkt: float = 0.12
+    x86_usd_per_mpkt: float = 1.00
+
+    def usd_per_mpkt(self, tier: str) -> float:
+        try:
+            return {"chip": self.chip_usd_per_mpkt,
+                    "dpu": self.dpu_usd_per_mpkt,
+                    "x86": self.x86_usd_per_mpkt}[tier]
+        except KeyError:
+            raise ValueError(f"unknown tier {tier!r}") from None
+
+    def cost_usd(self, tier: str, packets: float) -> float:
+        """Price *packets* served on *tier*."""
+        return self.usd_per_mpkt(tier) * packets / 1e6
 
 
 @dataclass(frozen=True)

@@ -80,6 +80,11 @@ class DropReason(Enum):
     # Live endpoint migration (freeze window, §DESIGN 11).
     MIGRATION_BUFFER_OVERFLOW = "migration-buffer-overflow"
     MIGRATION_BLACKOUT = "migration-blackout"
+    # DPU tier (§DESIGN 12): the device holds no state for the packet —
+    # a steering miss or a full session table. Counted as a drop *at the
+    # DPU* (so per-device conservation holds); the steering layer
+    # re-offers the packet to x86, the universal fallback tier.
+    DPU_TABLE_MISS = "dpu-table-miss"
 
     @classmethod
     def from_detail(cls, detail: str) -> Optional["DropReason"]:

@@ -1,0 +1,41 @@
+"""repro.dpu — the middle tier of hierarchical three-tier co-offloading.
+
+A simulated DPU device model (bounded flow/session tables, pps capacity,
+latency and per-packet cost between the switch ASIC's and x86's) plus
+the :class:`~repro.dpu.planner.TierPlanner` that places VIPs across
+chip / DPU / x86 through controller transactions.
+"""
+
+from .budget import DpuBudget
+from .device import (
+    DpuDevice,
+    DpuIntervalReport,
+    DpuProfile,
+    DpuSessionTable,
+    SessionContext,
+)
+from .planner import (
+    Tier,
+    TIER_RANK,
+    TierDecision,
+    TierDetector,
+    TierPlacement,
+    TierPlanner,
+    dpu_route,
+)
+
+__all__ = [
+    "DpuBudget",
+    "DpuDevice",
+    "DpuIntervalReport",
+    "DpuProfile",
+    "DpuSessionTable",
+    "SessionContext",
+    "Tier",
+    "TIER_RANK",
+    "TierDecision",
+    "TierDetector",
+    "TierPlacement",
+    "TierPlanner",
+    "dpu_route",
+]

@@ -264,9 +264,18 @@ class FaultInjector:
     def _schedule_outage(self, engine, index, spec, cluster, cid, name, monitor):
         def down():
             cluster.take_offline(name)
+            detail = "offline"
+            if spec.kind is FaultKind.DPU_DEVICE_FAIL:
+                # Device death loses the on-device session state too; the
+                # planner's drain then moves the steering to x86.
+                member = cluster.find_member(name)
+                device = getattr(member.gateway, "wrapped", member.gateway)
+                if hasattr(device, "fail"):
+                    device.fail()
+                    detail = "offline+sessions-lost"
             self.plan.mark_fired(index)
             self.plan.record(InjectedFault(
-                spec.kind, cid, name, time=engine.now, detail="offline",
+                spec.kind, cid, name, time=engine.now, detail=detail,
             ))
             if monitor is not None:
                 monitor.observe(f"{cid}/{name}", Signal.NODE_DOWN, 1.0,

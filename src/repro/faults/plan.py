@@ -47,6 +47,11 @@ class FaultKind(Enum):
     MEMBER_CRASH = "member-crash"
     #: A member goes offline at a scheduled time and returns later.
     MEMBER_FLAP = "member-flap"
+    #: A DPU device dies at a scheduled time: the member goes offline
+    #: AND its on-device session table is wiped (dataplane state is
+    #: lost, unlike a plain member crash). The tier planner must drain
+    #: the device's placements to x86 through ``Controller.transaction``.
+    DPU_DEVICE_FAIL = "dpu-device-fail"
     #: The hot backup stops receiving replication (stale standby state).
     STALE_BACKUP = "stale-backup"
     #: The controller dies between the journal append and the cluster
@@ -76,7 +81,8 @@ WRITE_KINDS = {
 }
 
 #: Kinds fired from the event engine at a scheduled time.
-SCHEDULED_KINDS = {FaultKind.MEMBER_CRASH, FaultKind.MEMBER_FLAP}
+SCHEDULED_KINDS = {FaultKind.MEMBER_CRASH, FaultKind.MEMBER_FLAP,
+                   FaultKind.DPU_DEVICE_FAIL}
 
 #: Kinds evaluated on every *controller* mutation (not per gateway write).
 MUTATION_KINDS = {FaultKind.CONTROLLER_CRASH}

@@ -14,6 +14,7 @@ from .detector import (
     sweep_counter_rates,
 )
 from .loop import IntervalSnapshot, OffloadLoop, vip_of
+from .parity import budget_state, decision_state_dump
 from .scheduler import (
     ChipBudget,
     OffloadedEntry,
@@ -35,6 +36,8 @@ __all__ = [
     "OffloadedEntry",
     "SpaceSaving",
     "VipKey",
+    "budget_state",
+    "decision_state_dump",
     "entry_footprint",
     "sweep_counter_rates",
     "vip_of",

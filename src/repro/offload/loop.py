@@ -8,16 +8,39 @@ steered onto the XGW-H cluster, whose counter sweeps then keep feeding
 the same detector so cooled VIPs migrate back. One
 :class:`~repro.sim.engine.Engine` periodic task drives the whole cycle.
 
+The loop runs in one of two modes:
+
+* **two-tier** — an :class:`~.scheduler.OffloadScheduler` +
+  :class:`~.detector.HeavyHitterDetector` pair splits traffic between
+  the chip and x86 (the original Sailfish deployment);
+* **three-tier** — a ``TierPlanner`` (see :mod:`repro.dpu.planner`;
+  duck-typed here, ``repro.offload`` never imports ``repro.dpu``)
+  additionally steers warm stateful flows onto DPU devices. Each DPU
+  serves its steered flows through its bounded session table; whatever
+  it cannot serve — steering miss, session overflow, capacity punt,
+  failed device — falls back to the x86 side *within the same interval*
+  (nothing is silently lost), and failed devices are drained through
+  controller transactions at the top of every tick.
+
 Traffic accounting per interval:
 
 * flows whose :class:`~.scheduler.VipKey` is offloaded are served by the
   XGW-H side — charged into a hardware :class:`CounterTable` (the
   per-stage counters a Tofino sweep would read) and clipped at the
   chip's packet budget;
-* the rest is RSS-sprayed over the x86 cluster's cores exactly as in the
-  Fig. 4/5 experiments, producing per-flow offered/processed/dropped
-  attribution;
-* both sides' rates merge into one observation for the detector.
+* DPU-placed flows go through each device's rate model
+  (``serve_interval``), whose per-VIP sweep counters attribute the
+  served rates;
+* the rest (plus DPU fallback) is RSS-sprayed over the x86 cluster's
+  cores exactly as in the Fig. 4/5 experiments, producing per-flow
+  offered/processed/dropped attribution;
+* all sides' rates merge into one observation for the detector.
+
+Telemetry is tier-labelled (``tier/chip/...``, ``tier/dpu/...``,
+``tier/x86/...``, including per-tier ``cost-usd`` priced by
+:class:`~repro.core.economics.TierCostModel`); the original two-tier
+series names are kept as aliases so existing benches and dashboards
+stay green.
 """
 
 from __future__ import annotations
@@ -25,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core.economics import TierCostModel
 from ..sim.engine import Engine, PeriodicTask
 from ..tables.counter import CounterTable
 from ..workloads.flows import FlowSpec, split_flows_over_gateways
@@ -48,6 +72,11 @@ class IntervalSnapshot:
     x86_max_core_util: float
     offloaded_pps: float
     hw_dropped_pps: float
+    # Three-tier extras; zero in two-tier mode, so every derived figure
+    # reduces to the original two-tier arithmetic there.
+    dpu_offered_pps: float = 0.0
+    dpu_served_pps: float = 0.0
+    dpu_fallback_pps: float = 0.0
 
     @property
     def x86_loss(self) -> float:
@@ -56,42 +85,64 @@ class IntervalSnapshot:
 
     @property
     def total_loss(self) -> float:
-        offered = self.x86_offered_pps + self.offloaded_pps
+        # x86_offered already includes the DPU fallback re-offer, so the
+        # DPU contributes only what it actually served.
+        offered = self.x86_offered_pps + self.offloaded_pps + self.dpu_served_pps
         dropped = self.x86_dropped_pps + self.hw_dropped_pps
         return dropped / offered if offered else 0.0
 
 
 class OffloadLoop:
-    """Wires detector + scheduler + both gateway substrates to an engine.
+    """Wires detector + placement actor + gateway substrates to an engine.
 
     *workload* is called once per interval with the current engine time
     and returns the interval's offered :class:`FlowSpec` population.
+
+    Pass either ``scheduler`` + ``detector`` (two-tier) or ``planner``
+    (three-tier) — never both.
     """
 
     def __init__(
         self,
         engine: Engine,
         x86_gateways: Sequence[XgwX86],
-        scheduler: OffloadScheduler,
-        detector: HeavyHitterDetector,
-        workload: Callable[[float], List[FlowSpec]],
+        scheduler: Optional[OffloadScheduler] = None,
+        detector: Optional[HeavyHitterDetector] = None,
+        workload: Optional[Callable[[float], List[FlowSpec]]] = None,
         interval: float = 1.0,
+        planner=None,
+        cost_model: Optional[TierCostModel] = None,
     ):
         if not x86_gateways:
             raise ValueError("need at least one XGW-x86 box")
+        if workload is None:
+            raise ValueError("workload is required")
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if planner is None:
+            if scheduler is None or detector is None:
+                raise ValueError(
+                    "need scheduler+detector (two-tier) or planner (three-tier)")
+        elif scheduler is not None or detector is not None:
+            raise ValueError("pass scheduler+detector or planner, not both")
         self.engine = engine
         self.x86_gateways = list(x86_gateways)
         self.scheduler = scheduler
         self.detector = detector
+        self.planner = planner
         self.workload = workload
         self.interval = interval
+        self._actor = planner if planner is not None else scheduler
+        if cost_model is not None:
+            self.cost_model = cost_model
+        else:
+            self.cost_model = getattr(self._actor, "cost_model", None) \
+                or TierCostModel()
         #: Per-stage hardware counters the XGW-H side sweeps each interval.
         self.hw_counters = CounterTable("offload-hw")
         self.snapshots: List[IntervalSnapshot] = []
         #: Per-core utilisation (Fig. 4 style), "gw<i>/core-<j>" series.
-        self.core_series = self.scheduler.series  # one bundle for the run
+        self.core_series = self._actor.series  # one bundle for the run
 
     # -- one interval -------------------------------------------------------
 
@@ -116,10 +167,25 @@ class OffloadLoop:
         return max(0.0, offered - capacity)
 
     def _hw_gateways(self):
-        cluster = self.scheduler.controller.clusters[self.scheduler.cluster_id]
+        cluster = self._actor.controller.clusters[self._actor.cluster_id]
         return [m.gateway for m in cluster.active_members()]
 
+    def _x86_rates(self, reports: Sequence[IntervalReport],
+                   flows: Sequence[FlowSpec]) -> Dict[VipKey, float]:
+        rates: Dict[VipKey, float] = {}
+        flow_to_vip = {f.flow: vip_of(f) for f in flows}
+        for report in reports:
+            for flow, pps in report.flow_offered_pps().items():
+                key = flow_to_vip[flow]
+                rates[key] = rates.get(key, 0.0) + pps
+        return rates
+
     def tick(self) -> IntervalSnapshot:
+        if self.planner is not None:
+            return self._tick_three_tier()
+        return self._tick_two_tier()
+
+    def _tick_two_tier(self) -> IntervalSnapshot:
         now = self.engine.now
         flows = self.workload(now)
         offloaded = [f for f in flows if self.scheduler.is_offloaded(vip_of(f))]
@@ -130,12 +196,7 @@ class OffloadLoop:
 
         # Per-VIP rates: x86 attribution from the interval reports,
         # hardware attribution from the counter sweep.
-        rates: Dict[VipKey, float] = {}
-        flow_to_vip = {f.flow: vip_of(f) for f in residual}
-        for report in reports:
-            for flow, pps in report.flow_offered_pps().items():
-                key = flow_to_vip[flow]
-                rates[key] = rates.get(key, 0.0) + pps
+        rates = self._x86_rates(reports, residual)
         for key, pps in sweep_counter_rates(self.hw_counters, self.interval).items():
             rates[key] = rates.get(key, 0.0) + pps
 
@@ -152,8 +213,94 @@ class OffloadLoop:
             offloaded_pps=sum(f.pps for f in offloaded),
             hw_dropped_pps=hw_dropped,
         )
+        self._record_interval(snapshot, reports)
+        return snapshot
+
+    def _tick_three_tier(self) -> IntervalSnapshot:
+        now = self.engine.now
+        # Failed devices first: their VIPs must be re-steered before this
+        # interval's traffic is partitioned.
+        self.planner.drain_failed(now)
+        flows = self.workload(now)
+        chip_flows: List[FlowSpec] = []
+        dpu_flows: Dict[str, List[FlowSpec]] = {
+            name: [] for name in self.planner.devices}
+        x86_flows: List[FlowSpec] = []
+        for spec in flows:
+            tier, device = self.planner.place_of(vip_of(spec))
+            if tier == "chip":
+                chip_flows.append(spec)
+            elif tier == "dpu":
+                dpu_flows[device].append(spec)
+            else:
+                x86_flows.append(spec)
+
+        hw_dropped = self._serve_hw(chip_flows)
+        fallback: List[FlowSpec] = []
+        dpu_offered = dpu_served = 0.0
+        for name in sorted(self.planner.devices):
+            report = self.planner.devices[name].serve_interval(
+                dpu_flows[name], self.interval, now)
+            dpu_offered += report.offered_pps
+            dpu_served += report.served_pps
+            fallback.extend(report.fallback_specs)
+        # The DPU-miss path: whatever a device punted is re-offered to
+        # x86, the universal fallback tier, inside the same interval.
+        reports = self._serve_x86(x86_flows + fallback)
+
+        rates = self._x86_rates(reports, x86_flows + fallback)
+        for key, pps in sweep_counter_rates(self.hw_counters, self.interval).items():
+            rates[key] = rates.get(key, 0.0) + pps
+        for name in sorted(self.planner.devices):
+            sweeps = sweep_counter_rates(
+                self.planner.devices[name].sweep_counters, self.interval)
+            for key, pps in sweeps.items():
+                rates[key] = rates.get(key, 0.0) + pps
+
+        self.planner.observe_and_apply(rates, now)
+
+        snapshot = IntervalSnapshot(
+            time=now,
+            x86_offered_pps=sum(r.offered_pps for r in reports),
+            x86_dropped_pps=sum(r.dropped_pps for r in reports),
+            x86_max_core_util=max(
+                (u for r in reports for u in r.utilizations()), default=0.0),
+            offloaded_pps=sum(f.pps for f in chip_flows),
+            hw_dropped_pps=hw_dropped,
+            dpu_offered_pps=dpu_offered,
+            dpu_served_pps=dpu_served,
+            dpu_fallback_pps=sum(f.pps for f in fallback),
+        )
+        self._record_interval(snapshot, reports)
+        return snapshot
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _record_interval(self, snapshot: IntervalSnapshot,
+                         reports: Sequence[IntervalReport]) -> None:
         self.snapshots.append(snapshot)
-        series = self.scheduler.series
+        now = snapshot.time
+        series = self._actor.series
+        # Tier-labelled series (canonical names).
+        chip_served = snapshot.offloaded_pps - snapshot.hw_dropped_pps
+        x86_served = snapshot.x86_offered_pps - snapshot.x86_dropped_pps
+        series.record("tier/chip/offered-pps", now, snapshot.offloaded_pps)
+        series.record("tier/chip/dropped-pps", now, snapshot.hw_dropped_pps)
+        series.record("tier/chip/cost-usd", now, self.cost_model.cost_usd(
+            "chip", chip_served * self.interval))
+        series.record("tier/x86/offered-pps", now, snapshot.x86_offered_pps)
+        series.record("tier/x86/dropped-pps", now, snapshot.x86_dropped_pps)
+        series.record("tier/x86/max-core-util", now, snapshot.x86_max_core_util)
+        series.record("tier/x86/cost-usd", now, self.cost_model.cost_usd(
+            "x86", x86_served * self.interval))
+        if self.planner is not None:
+            series.record("tier/dpu/offered-pps", now, snapshot.dpu_offered_pps)
+            series.record("tier/dpu/served-pps", now, snapshot.dpu_served_pps)
+            series.record("tier/dpu/fallback-pps", now, snapshot.dpu_fallback_pps)
+            series.record("tier/dpu/cost-usd", now, self.cost_model.cost_usd(
+                "dpu", snapshot.dpu_served_pps * self.interval))
+        # Legacy aliases (pre-tier names), kept so existing benches and
+        # dashboards — bench_offload_relief in particular — stay green.
         series.record("x86-offered-pps", now, snapshot.x86_offered_pps)
         series.record("x86-loss", now, snapshot.x86_loss)
         series.record("x86-max-core-util", now, snapshot.x86_max_core_util)
@@ -168,7 +315,6 @@ class OffloadLoop:
                 gw.publish_cache_counters()
                 series.record(f"gw{gw_index}/flowcache-hit-rate", now,
                               gw.flow_cache.hit_rate)
-        return snapshot
 
     # -- engine integration -------------------------------------------------
 

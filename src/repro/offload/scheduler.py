@@ -169,6 +169,20 @@ class ChipBudget:
             "tcam": self.used.tcam_slices / cap.tcam_slices if cap.tcam_slices else 0.0,
         }
 
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical used/capacity view, shaped exactly like
+        :meth:`repro.dpu.budget.DpuBudget.snapshot` so the cross-tier
+        parity helper (:func:`~repro.offload.parity.decision_state_dump`)
+        serialises every tier's budget from one code path."""
+        cap = self.capacity()
+        return {
+            "kind": "chip",
+            "used": {"sram_words": self.used.sram_words,
+                     "tcam_slices": self.used.tcam_slices},
+            "capacity": {"sram_words": cap.sram_words,
+                         "tcam_slices": cap.tcam_slices},
+        }
+
 
 @dataclass
 class OffloadedEntry:
@@ -215,6 +229,11 @@ class OffloadScheduler:
     def decision_log_text(self) -> str:
         """The canonical, byte-stable decision log."""
         return "\n".join(self.decision_log) + ("\n" if self.decision_log else "")
+
+    def budgets(self) -> Dict[str, ChipBudget]:
+        """The budgets this actor places against, by tier/device name —
+        the two-tier half of the protocol shared with ``TierPlanner``."""
+        return {"chip": self.budget}
 
     def _log(self, now: float, verb: str, key: VipKey, rate: float,
              detail: str = "") -> None:

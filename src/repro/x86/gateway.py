@@ -217,6 +217,17 @@ class XgwX86:
                               count)
         return results
 
+    def forward_dpu_miss(self, packet: Packet, now: float = 0.0) -> ForwardResult:
+        """Serve a packet the DPU tier punted (``DropReason.DPU_TABLE_MISS``).
+
+        x86 is the universal fallback: it holds the full tables, so a
+        steering miss or session overflow on a DPU device re-offers the
+        packet here. ``dpu_fallback_packets`` tallies the punt volume
+        (it is neither an ``action_*`` nor a ``drop_*`` counter, so the
+        conservation identities are untouched)."""
+        self.counters.add("dpu_fallback_packets")
+        return self.forward(packet, now)
+
     def forward_response(self, packet: Packet, now: float = 0.0) -> ForwardResult:
         """Handle an Internet-side response (SNAT reverse path)."""
         if self.snat_service is None:

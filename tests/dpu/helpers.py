@@ -1,0 +1,48 @@
+"""Shared builders for the three-tier suite: a chip cluster from the
+fault-suite factory plus two DPU devices adopted by the planner."""
+
+from tests.faults.helpers import ip, make_controller, onboard
+
+from repro.dpu import DpuBudget, DpuDevice, DpuProfile, TierDetector, TierPlanner
+from repro.offload import ChipBudget, HeavyHitterDetector
+
+
+def make_detector(chip_hi=1000.0, chip_lo=400.0, dpu_hi=100.0, dpu_lo=40.0,
+                  promote_after=1, demote_after=1, ewma_alpha=1.0, seed=0):
+    """Instant-reaction thresholds for direct planner tests (the loop
+    tests use paced EWMA/hysteresis settings instead)."""
+    return TierDetector(
+        chip=HeavyHitterDetector(theta_hi=chip_hi, theta_lo=chip_lo,
+                                 promote_after=promote_after,
+                                 demote_after=demote_after,
+                                 ewma_alpha=ewma_alpha, seed=seed),
+        dpu=HeavyHitterDetector(theta_hi=dpu_hi, theta_lo=dpu_lo,
+                                promote_after=promote_after,
+                                demote_after=demote_after,
+                                ewma_alpha=ewma_alpha, seed=seed + 1),
+    )
+
+
+def make_env(detector=None, sram=64, num_devices=2, entry_budget=8,
+             session_budget=64, sessions_per_vip=4, vni=1000):
+    """Controller + chip cluster + DPU devices + planner, ready to place."""
+    ctrl = make_controller()
+    cluster_id, _routes, _vms = onboard(ctrl, vni=vni)
+    chip_budget = ChipBudget(ctrl.clusters[cluster_id],
+                             sram_budget_words=sram,
+                             tcam_budget_slices=2 * sram)
+    devices = [
+        DpuDevice(f"dpu-{i}", gateway_ip=0x0A00F000 + i,
+                  profile=DpuProfile(flow_table_entries=256,
+                                     session_capacity=1024))
+        for i in range(num_devices)
+    ]
+    budgets = {d.name: DpuBudget(d, entry_budget=entry_budget,
+                                 session_budget=session_budget)
+               for d in devices}
+    planner = TierPlanner(
+        ctrl, cluster_id, chip_budget, devices,
+        detector if detector is not None else make_detector(),
+        dpu_budgets=budgets, sessions_per_vip=sessions_per_vip,
+    )
+    return ctrl, cluster_id, planner, devices

@@ -1,0 +1,157 @@
+"""The DPU device model: tables between chip and x86, bounded sessions,
+miss-to-x86 fallback, per-device counter conservation."""
+
+import pytest
+
+from tests.faults.helpers import ip
+
+from repro.core.controller import build_probe_packet
+from repro.dataplane.gateway_logic import DropReason, ForwardAction
+from repro.dpu import DpuDevice, DpuProfile, DpuSessionTable
+from repro.net.addr import Prefix
+from repro.net.flow import FlowKey
+from repro.tables.vm_nc import NcBinding
+from repro.tables.vxlan_routing import RouteAction, Scope
+from repro.workloads.flows import FlowSpec
+from repro.x86.gateway import XgwX86
+
+VNI = 100
+
+
+def tenant_tables(gw):
+    gw.install_route(VNI, Prefix.parse("192.168.10.0/24"),
+                     RouteAction(Scope.LOCAL))
+    gw.install_vm(VNI, ip("192.168.10.2"), 4, NcBinding(ip("10.1.1.11")))
+
+
+def flow_spec(dst="192.168.10.2", pps=100.0, src_port=40000):
+    flow = FlowKey(ip("10.8.0.1"), ip(dst), 17, src_port, 4789)
+    return FlowSpec(flow=flow, pps=pps, vni=VNI)
+
+
+class TestProfileAndSessions:
+    def test_profile_sits_between_chip_and_x86(self):
+        profile = DpuProfile()
+        assert 1_000 < profile.flow_table_entries < 10**6
+        assert 1.0 < profile.latency_us < 40.0  # chip ~1us, x86 40us
+
+    def test_profile_validation(self):
+        for bad in (dict(flow_table_entries=0), dict(session_capacity=-1),
+                    dict(max_pps=0.0), dict(latency_us=0.0)):
+            with pytest.raises(ValueError):
+                DpuProfile(**bad)
+
+    def test_session_table_bounds_and_reap(self):
+        table = DpuSessionTable(capacity=2)
+        vip = (VNI, ip("192.168.10.2"), 4)
+        f1 = FlowKey(1, 2, 6, 10, 20)
+        f2 = FlowKey(3, 2, 6, 11, 20)
+        f3 = FlowKey(5, 2, 6, 12, 20)
+        assert table.ensure(f1, vip, 0.0) and table.ensure(f2, vip, 0.0)
+        assert not table.ensure(f3, vip, 0.0)  # full: new flow misses
+        assert table.ensure(f1, vip, 1.0)  # resident flows always hit
+        assert table.count_for(vip) == 2
+        assert table.drop_vip(vip) == 2
+        assert len(table) == 0
+
+
+class TestFunctionalPath:
+    def test_forward_hit_creates_session(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)
+        tenant_tables(dev)
+        result = dev.forward(build_probe_packet(VNI, ip("192.168.10.2")))
+        assert result.action is ForwardAction.DELIVER_NC
+        assert len(dev.sessions) == 1
+
+    def test_miss_is_dpu_table_miss_and_x86_serves_the_fallback(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)  # no tables pushed
+        packet = build_probe_packet(VNI, ip("192.168.10.2"))
+        result = dev.forward(packet)
+        assert result.action is ForwardAction.DROP
+        assert result.detail == DropReason.DPU_TABLE_MISS.value
+        assert dev.counters["drop_dpu_table_miss"] == 1
+        # The steering layer re-offers the packet to x86, which holds
+        # the full tables and delivers it.
+        x86 = XgwX86(gateway_ip=0x0A000001)
+        tenant_tables(x86)
+        relay = x86.forward_dpu_miss(packet)
+        assert relay.action is ForwardAction.DELIVER_NC
+        assert x86.counters["dpu_fallback_packets"] == 1
+
+    def test_session_overflow_misses(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE,
+                        profile=DpuProfile(session_capacity=1))
+        tenant_tables(dev)
+        first = dev.forward(build_probe_packet(VNI, ip("192.168.10.2"),
+                                               src_ip=0x0A0A0A0A))
+        second = dev.forward(build_probe_packet(VNI, ip("192.168.10.2"),
+                                                src_ip=0x0A0A0A0B))
+        assert first.action is ForwardAction.DELIVER_NC
+        assert second.action is ForwardAction.DROP
+        assert second.detail == DropReason.DPU_TABLE_MISS.value
+
+    def test_failed_device_drops_everything(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)
+        tenant_tables(dev)
+        dev.forward(build_probe_packet(VNI, ip("192.168.10.2")))
+        lost = dev.fail()
+        assert lost == 1 and len(dev.sessions) == 0
+        result = dev.forward(build_probe_packet(VNI, ip("192.168.10.2")))
+        assert result.detail == DropReason.DPU_TABLE_MISS.value
+
+    def test_counter_conservation_holds(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)
+        tenant_tables(dev)
+        dev.forward(build_probe_packet(VNI, ip("192.168.10.2")))
+        dev.forward(build_probe_packet(VNI, ip("192.168.99.9")))  # miss
+        counts = dev.counters.snapshot()
+        actions = sum(v for k, v in counts.items() if k.startswith("action_"))
+        drops = sum(v for k, v in counts.items() if k.startswith("drop_"))
+        assert counts["rx_packets"] == actions
+        assert drops == counts["action_drop"]
+
+
+class TestRateModel:
+    def test_serves_steered_flows_and_punts_the_rest(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)
+        tenant_tables(dev)
+        steered = flow_spec(pps=500.0)
+        unsteered = FlowSpec(
+            flow=FlowKey(ip("10.8.0.1"), ip("172.16.0.1"), 17, 40001, 4789),
+            pps=300.0, vni=VNI)
+        report = dev.serve_interval([steered, unsteered], interval=1.0)
+        assert report.offered_pps == 800.0
+        assert report.served_pps == 500.0
+        assert report.miss_pps == 300.0
+        assert report.fallback_specs == [unsteered]
+        assert report.fallback_pps == 300.0
+
+    def test_capacity_punts_hottest_first_service(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE,
+                        profile=DpuProfile(max_pps=600.0))
+        tenant_tables(dev)
+        hot = flow_spec(pps=500.0, src_port=40000)
+        warm = flow_spec(pps=200.0, src_port=40001)
+        report = dev.serve_interval([warm, hot], interval=1.0)
+        # Hottest-first: the 500pps flow fits, the 200pps one is punted.
+        assert report.served_pps == 500.0
+        assert report.punt_pps == 200.0
+        assert report.fallback_specs == [warm]
+
+    def test_sweep_counters_attribute_served_rates(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)
+        tenant_tables(dev)
+        dev.serve_interval([flow_spec(pps=250.0)], interval=2.0)
+        cells = dict(dev.sweep_counters.items())
+        assert len(cells) == 1
+        (key, cell), = cells.items()
+        assert key.vni == VNI and key.dst_ip == ip("192.168.10.2")
+        assert cell.packets == 500
+
+    def test_failed_device_punts_everything(self):
+        dev = DpuDevice("dpu-0", gateway_ip=0x0A0000FE)
+        tenant_tables(dev)
+        dev.fail()
+        report = dev.serve_interval([flow_spec(pps=100.0)], interval=1.0)
+        assert report.served_pps == 0.0
+        assert report.punt_pps == 100.0

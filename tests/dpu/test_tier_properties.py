@@ -1,0 +1,116 @@
+"""Property suite: the sketch's error bound and the tier detector's
+hysteresis hold for *every* input, not just the crafted fixtures."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from tests.dpu.helpers import make_detector
+
+from repro.dpu import TIER_RANK, Tier
+from repro.offload import SpaceSaving
+
+KEYS = st.integers(min_value=0, max_value=19)
+BATCHES = st.lists(st.tuples(KEYS, st.integers(min_value=1, max_value=100)),
+                   min_size=1, max_size=200)
+
+
+class TestSpaceSavingBounds:
+    @given(batches=BATCHES, capacity=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_count_minus_error_brackets_the_truth(self, batches, capacity):
+        truth = Counter()
+        sketch = SpaceSaving(capacity=capacity)
+        for key, n in batches:
+            truth[key] += n
+            sketch.update(key, n)
+        assert sketch.total == sum(truth.values())
+        assert len(sketch) <= capacity
+        for key, est, err in sketch.top(capacity):
+            assert est - err <= truth[key] <= est
+
+    @given(batches=BATCHES)
+    @settings(max_examples=50, deadline=None)
+    def test_uncapped_sketch_is_exact(self, batches):
+        truth = Counter()
+        sketch = SpaceSaving(capacity=64)  # > key universe: never recycles
+        for key, n in batches:
+            truth[key] += n
+            sketch.update(key, n)
+        for key, est, err in sketch.top(64):
+            assert err == 0 and est == truth[key]
+
+
+RATE_SEQS = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=10000.0,
+                       allow_nan=False, allow_infinity=False),
+             min_size=3, max_size=3),
+    min_size=1, max_size=25)
+
+
+class TestDetectorChurn:
+    @given(seq=RATE_SEQS, seed=st.integers(min_value=0, max_value=7),
+           promote_after=st.integers(min_value=1, max_value=3),
+           demote_after=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_at_most_one_migration_per_key_per_interval(
+            self, seq, seed, promote_after, demote_after):
+        """Under arbitrary three-key churn no key is asked to migrate
+        more than once per observe, and never twice in the same
+        direction without crossing back in between."""
+        det = make_detector(promote_after=promote_after,
+                            demote_after=demote_after, seed=seed)
+        keys = ("a", "b", "c")
+        tier_of = {k: Tier.X86 for k in keys}
+        last_cross = {}  # (key, boundary) -> "up" | "down"
+        for rates in seq:
+            decisions = det.observe(dict(zip(keys, rates)))
+            seen = Counter(d.key for d in decisions)
+            assert all(count == 1 for count in seen.values())
+            for decision in decisions:
+                frm, to = tier_of[decision.key], decision.target
+                assert frm is not to  # a decision is always a move
+                lo, hi = sorted((TIER_RANK[frm], TIER_RANK[to]))
+                direction = "up" if TIER_RANK[to] > TIER_RANK[frm] else "down"
+                # Hysteresis: a tier boundary is never crossed twice in
+                # the same direction without an opposite crossing in
+                # between (that would be ratcheting through the
+                # deadband).
+                for boundary in range(lo + 1, hi + 1):
+                    assert last_cross.get((decision.key, boundary)) != \
+                        direction, (
+                            f"{decision.key} crossed boundary {boundary} "
+                            f"{direction} twice in a row")
+                    last_cross[(decision.key, boundary)] = direction
+                tier_of[decision.key] = to
+                det.mark_placed(decision.key, to)
+
+    @given(rate=st.floats(min_value=0.0, max_value=10000.0,
+                          allow_nan=False),
+           seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_constant_rate_settles(self, rate, seed):
+        """A steady rate produces at most one placement then silence —
+        the detector never flaps on a non-changing input."""
+        det = make_detector(seed=seed)
+        moved = 0
+        for _ in range(8):
+            decisions = det.observe({"k": rate})
+            for decision in decisions:
+                det.mark_placed(decision.key, decision.target)
+                moved += 1
+        assert moved <= 1
+
+    @given(seed=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=32, deadline=None)
+    def test_boundary_oscillation_is_damped_by_hysteresis(self, seed):
+        """A rate that straddles the dpu promote threshold (above hi,
+        then between lo and hi) must not demote: inside the deadband the
+        placement sticks."""
+        det = make_detector(dpu_hi=100.0, dpu_lo=40.0)
+        decisions = det.observe({"k": 150.0})
+        assert [d.target for d in decisions] == [Tier.DPU]
+        det.mark_placed("k", Tier.DPU)
+        for _ in range(6):
+            assert det.observe({"k": 70.0}) == []  # in the deadband
+        assert det.target_tier("k") is Tier.DPU

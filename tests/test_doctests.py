@@ -36,7 +36,11 @@ import repro.tables.counter
 import repro.tables.snat
 import repro.tables.vm_nc
 import repro.tables.vxlan_routing
+import repro.dpu.budget
+import repro.dpu.device
+import repro.dpu.planner
 import repro.offload.detector
+import repro.offload.parity
 import repro.offload.scheduler
 import repro.offload.sketch
 import repro.telemetry.stats
@@ -71,8 +75,12 @@ MODULES = [
     repro.fuzz.minimizer,
     repro.fuzz.corpus,
     repro.offload.detector,
+    repro.offload.parity,
     repro.offload.scheduler,
     repro.offload.sketch,
+    repro.dpu.budget,
+    repro.dpu.device,
+    repro.dpu.planner,
     repro.telemetry.stats,
     repro.telemetry.timeseries,
     repro.tofino.chip,
