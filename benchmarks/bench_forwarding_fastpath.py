@@ -99,9 +99,13 @@ def save_artifact(payload):
 
 def test_fastpath_speedup(benchmark):
     packets = build_workload()
-    cached = XgwX86(gateway_ip=GATEWAY_IP, tables=build_tables())
+    # This bench measures the *flow-cache* fast path specifically, so
+    # both boxes pin columnar=False (the columnar batch path has its own
+    # bench: bench_columnar_fastpath.py).
+    cached = XgwX86(gateway_ip=GATEWAY_IP, tables=build_tables(),
+                    columnar=False)
     uncached = XgwX86(gateway_ip=GATEWAY_IP, tables=build_tables(),
-                      cache_entries=0)
+                      cache_entries=0, columnar=False)
 
     # Cold pass doubles as the equivalence check: the fast path must be
     # byte-identical to the slow path, packet for packet, and leave the

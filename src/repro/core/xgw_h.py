@@ -11,11 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..dataplane.columnar import BatchCompiler, PacketBatch
 from ..dataplane.gateway_logic import (
     ForwardAction,
     ForwardResult,
     GatewayTables,
     count_drop,
+    count_drops,
 )
 from ..dataplane.migration import MigrationState
 from ..dataplane.pipeline_program import SplitVmNc, XgwHProgram, parity_pipeline
@@ -67,7 +69,7 @@ class XgwH:
     """
 
     def __init__(self, gateway_ip: int, tables: Optional[GatewayTables] = None,
-                 folded: bool = True):
+                 folded: bool = True, columnar: bool = True):
         self.gateway_ip = gateway_ip
         self.tables = tables if tables is not None else GatewayTables()
         self.split_vm_nc = SplitVmNc.empty()
@@ -78,6 +80,17 @@ class XgwH:
         self.chip.attach_symmetric(self.program.programs())
         self.stats = XgwHStats()
         self.counters = CounterSet()
+        #: Columnar batch path (DESIGN §13): ``forward_batch`` executes a
+        #: compiled program over struct-of-arrays bursts instead of
+        #: simulating every fabric traversal, reproducing the per-packet
+        #: stats/pipe/bridge bookkeeping in aggregate. Only the folded
+        #: layout is compiled (it is the deployed one).
+        self._batch_compiler: Optional[BatchCompiler] = (
+            BatchCompiler(self.tables, gateway_ip, split_vm_nc=self.split_vm_nc)
+            if columnar and folded else None
+        )
+        self._compiled = None
+        self._last_traversal = None
         #: Live-migration freeze state, attached lazily by
         #: :func:`repro.dataplane.migration.ensure_migration_state`.
         self.migration: Optional[MigrationState] = None
@@ -179,18 +192,48 @@ class XgwH:
 
     def forward_batch(self, packets: Sequence[Packet],
                       now: Optional[float] = None) -> List[ForwardResult]:
-        """Forward a burst through the chip.
+        """Forward a burst through the columnar compiled program.
 
-        The chip model stays per-packet (each traversal is simulated in
-        full); the batch form only amortises the Python-level dispatch,
-        mirroring :meth:`repro.x86.gateway.XgwX86.forward_batch` so
-        callers can drive both substrates with one shape. *now* advances
-        the data-plane clock once for the whole burst.
+        Results and every observable side effect — stats, drop counters,
+        chip packet counts, per-pipe tallies, bridge bytes, table
+        counters/meters — are identical to per-packet :meth:`forward`
+        calls (differentially tested). The program recompiles whenever
+        the table generation vector moves; freeze windows and unfolded
+        chips fall back to the per-packet loop. *now* advances the
+        data-plane clock once for the whole burst.
         """
         if now is not None:
             self.clock = now
-        fwd = self.forward
-        return [fwd(packet) for packet in packets]
+        compiler = self._batch_compiler
+        if compiler is None or (self.migration is not None and self.migration.frozen):
+            fwd = self.forward
+            return [fwd(packet) for packet in packets]
+        program = self._compiled
+        if program is None or program.generations != compiler.generations():
+            program = self._compiled = compiler.compile()
+        batch = (packets if isinstance(packets, PacketBatch)
+                 else PacketBatch.from_packets(packets))
+        results, tally = program.execute(batch, self.clock)
+        actions = tally.actions
+        stats = self.stats
+        stats.packets += batch.n
+        stats.delivered += actions.get(ForwardAction.DELIVER_NC, 0)
+        stats.uplinked += actions.get(ForwardAction.UPLINK, 0)
+        stats.redirected += actions.get(ForwardAction.REDIRECT_X86, 0)
+        dropped = actions.get(ForwardAction.DROP, 0)
+        stats.dropped += dropped
+        stats.bridged_bytes += tally.bridged_bytes
+        if tally.drop_details:
+            count_drops(self.counters, tally.drop_details)
+        chip = self.chip
+        chip.packets_in += batch.n
+        chip.packets_dropped += dropped
+        if tally.pipe_packets:
+            pipe_packets = chip.fabric.pipe_packets
+            for ref, count in tally.pipe_packets.items():
+                pipe_packets[ref] = pipe_packets.get(ref, 0) + count
+        self._last_traversal = None
+        return results
 
     # -- performance ---------------------------------------------------------
 

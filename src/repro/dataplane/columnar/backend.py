@@ -1,0 +1,107 @@
+"""Column backends for the batch data plane: numpy or pure-python.
+
+The columnar executor stores packet fields in struct-of-arrays columns
+(:mod:`repro.dataplane.columnar.batch`). Two interchangeable backends
+provide the storage:
+
+* ``numpy`` — 64-bit numpy arrays; the compiled ACL classifier runs as
+  vectorized predicate masks over whole columns;
+* ``python`` — the stdlib :mod:`array` module; no third-party
+  dependency, same semantics, with the ACL classifier falling back to a
+  per-lane scan.
+
+numpy is an *optional* extra (``pip install repro[fast]``). Selection
+order: an explicit ``backend=`` argument, then the
+``REPRO_COLUMNAR_BACKEND`` environment variable (``numpy`` or
+``python``), then numpy when importable, else pure python.
+
+>>> b = resolve_backend("python")
+>>> b.name
+'python'
+>>> list(b.u64([1, 2, 3]))
+[1, 2, 3]
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Optional
+
+#: Environment override consumed by :func:`resolve_backend`.
+BACKEND_ENV = "REPRO_COLUMNAR_BACKEND"
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+class PythonBackend:
+    """Pure-python columns backed by :mod:`array` (no dependencies)."""
+
+    name = "python"
+    #: The ACL classifier cannot mask whole columns without numpy.
+    vectorized = False
+    np = None
+
+    @staticmethod
+    def u64(values) -> array:
+        """An unsigned 64-bit column."""
+        return array("Q", values)
+
+    @staticmethod
+    def i64(values) -> array:
+        """A signed 64-bit column."""
+        return array("q", values)
+
+    @staticmethod
+    def lane_index(values) -> array:
+        """A lane-index column (signed; -1 marks "no entry")."""
+        return array("l", values)
+
+
+class NumpyBackend:
+    """numpy-backed columns; enables the vectorized ACL classifier."""
+
+    name = "numpy"
+    vectorized = True
+
+    def __init__(self):
+        if _np is None:
+            raise RuntimeError(
+                "numpy backend requested but numpy is not installed "
+                "(install the 'fast' extra or use REPRO_COLUMNAR_BACKEND=python)"
+            )
+        self.np = _np
+
+    def u64(self, values):
+        return self.np.array(values, dtype=self.np.uint64)
+
+    def i64(self, values):
+        return self.np.array(values, dtype=self.np.int64)
+
+    def lane_index(self, values):
+        return self.np.array(values, dtype=self.np.int64)
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be constructed."""
+    return _np is not None
+
+
+def resolve_backend(name: Optional[str] = None):
+    """The backend instance for *name* (or the environment/default pick).
+
+    >>> resolve_backend("python").vectorized
+    False
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV)
+    if name is None:
+        return NumpyBackend() if _np is not None else PythonBackend()
+    if name == "numpy":
+        return NumpyBackend()
+    if name == "python":
+        return PythonBackend()
+    raise ValueError(f"unknown columnar backend {name!r} (numpy|python)")

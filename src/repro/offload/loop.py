@@ -162,8 +162,17 @@ class OffloadLoop:
         offered = sum(f.pps for f in flows)
         capacity = min((gw.max_pps() for gw in self._hw_gateways()),
                        default=float("inf"))
+        charges: Dict[VipKey, list] = {}
         for spec in flows:
-            self.hw_counters.count_batch(vip_of(spec), int(spec.pps * self.interval))
+            packets = int(spec.pps * self.interval)
+            acc = charges.get(vip_of(spec))
+            if acc is None:
+                charges[vip_of(spec)] = [packets, 0]
+            else:
+                acc[0] += packets
+        if charges:
+            self.hw_counters.count_batch_many(
+                {vip: (acc[0], acc[1]) for vip, acc in charges.items()})
         return max(0.0, offered - capacity)
 
     def _hw_gateways(self):

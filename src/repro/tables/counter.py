@@ -62,6 +62,27 @@ class CounterTable:
         cell.packets += packets
         cell.bytes += total_bytes
 
+    def count_batch_many(self, charges: Dict[Hashable, Tuple[int, int]]) -> None:
+        """Apply per-key ``(packets, bytes)`` charges in iteration order
+        — one flush for a whole burst's per-VNI aggregates. Cells are
+        created in the dict's order, so a first-touch-ordered dict
+        reproduces the per-packet walk's cell-creation order exactly.
+
+        >>> counters = CounterTable()
+        >>> counters.count_batch_many({"a": (2, 256), "b": (1, 64)})
+        >>> counters.read("a").bytes, counters.read("b").packets
+        (256, 1)
+        """
+        cells = self._cells
+        for key, (packets, total_bytes) in charges.items():
+            if packets < 0 or total_bytes < 0:
+                raise ValueError("packets and bytes must be non-negative")
+            cell = cells.get(key)
+            if cell is None:
+                cell = cells[key] = CounterCell()
+            cell.packets += packets
+            cell.bytes += total_bytes
+
     def read(self, key: Hashable) -> CounterCell:
         """Read (a live reference to) the cell for *key*; zeros if unseen."""
         return self._cells.get(key, CounterCell())

@@ -100,6 +100,53 @@ class MeterTable:
             self.red += 1
         return color
 
+    def has_meter(self, key: Hashable) -> bool:
+        """True when *key* has a configured bucket (a charge on any
+        other key is a dict miss passing GREEN — batch callers settle
+        those in bulk via :meth:`pass_unmetered`)."""
+        return key in self._meters
+
+    def charge_run(self, key: Hashable, now: float, sizes) -> Optional[list]:
+        """Charge a run of packet *sizes* against one key, in order.
+
+        Bucket state after the run is identical to the same sequence of
+        :meth:`charge` calls (token-bucket state depends only on its own
+        ordered charge sequence). Returns the per-packet colors, or
+        ``None`` when *key* has no bucket (every packet passed GREEN).
+
+        >>> meters = MeterTable()
+        >>> meters.configure("t", TokenBucket(committed_rate=1.0, committed_burst=150.0))
+        >>> [c.value for c in meters.charge_run("t", 0.0, [100, 100])]
+        ['green', 'red']
+        >>> meters.charge_run("other", 0.0, [100]) is None
+        True
+        >>> meters.green, meters.red
+        (2, 1)
+        """
+        bucket = self._meters.get(key)
+        if bucket is None:
+            self.green += len(sizes)
+            return None
+        update = bucket.update
+        colors = []
+        append = colors.append
+        green = yellow = red = 0
+        green_color = MeterColor.GREEN
+        yellow_color = MeterColor.YELLOW
+        for size in sizes:
+            color = update(now, size)
+            if color is green_color:
+                green += 1
+            elif color is yellow_color:
+                yellow += 1
+            else:
+                red += 1
+            append(color)
+        self.green += green
+        self.yellow += yellow
+        self.red += red
+        return colors
+
     def pass_unmetered(self, count: int = 1) -> None:
         """Record *count* packets that passed with no meter configured.
 

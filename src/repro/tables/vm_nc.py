@@ -69,6 +69,18 @@ class VmNcTable:
         """Find the NC for a VM, or None if unknown."""
         return self._table.lookup(vni, vm_ip, version)
 
+    def lookup_many(self, queries) -> list:
+        """Bindings (or None) for a burst of ``(vni, vm_ip, version)``
+        queries — the batch compiler's one-call VM-NC stage.
+
+        >>> table = VmNcTable()
+        >>> table.insert(10, 2, 4, NcBinding(nc_ip=0x0A010101))
+        >>> [b.nc_ip if b else None for b in table.lookup_many([(10, 2, 4), (10, 3, 4)])]
+        [167837953, None]
+        """
+        lookup = self._table.lookup
+        return [lookup(vni, vm_ip, version) for vni, vm_ip, version in queries]
+
     def __len__(self) -> int:
         return len(self._table)
 

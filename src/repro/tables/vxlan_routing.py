@@ -143,6 +143,29 @@ class VxlanRoutingTable:
             current = action.next_hop_vni
             hops += 1
 
+    def resolve_many(self, queries, max_hops: int = 8) -> list:
+        """Resolve each ``(vni, address, version)`` query, returning
+        :class:`Resolution` objects with failures returned *in place* as
+        the exception instances :meth:`resolve` would raise — the batch
+        compiler memoizes negative decisions too, so a missing route
+        must not abort the rest of the burst.
+
+        >>> table = VxlanRoutingTable()
+        >>> table.insert(10, Prefix.parse("10.0.0.0/8"), RouteAction(Scope.LOCAL))
+        >>> done = table.resolve_many([(10, 0x0A000001, 4), (11, 0x0A000001, 4)])
+        >>> done[0].action.scope.value, type(done[1]).__name__
+        ('local', 'MissingEntryError')
+        """
+        resolve = self.resolve
+        out = []
+        append = out.append
+        for vni, address, version in queries:
+            try:
+                append(resolve(vni, address, version, max_hops))
+            except (MissingEntryError, RoutingLoopError) as exc:
+                append(exc)
+        return out
+
     # -- bulk access ------------------------------------------------------
 
     def __len__(self) -> int:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..dataplane.columnar import BatchCompiler, PacketBatch
 from ..dataplane.flowcache import (
     DEFAULT_CAPACITY,
     FlowCache,
@@ -26,6 +27,7 @@ from ..dataplane.gateway_logic import (
     ForwardResult,
     GatewayTables,
     count_drop,
+    count_drops,
     forward,
 )
 from ..dataplane.migration import MigrationState
@@ -113,6 +115,7 @@ class XgwX86:
         nic_bps: float = DEFAULT_NIC_BPS,
         burstiness: float = 0.0,
         cache_entries: int = DEFAULT_CAPACITY,
+        columnar: bool = True,
     ):
         self.gateway_ip = gateway_ip
         self.tables = tables if tables is not None else GatewayTables()
@@ -130,6 +133,16 @@ class XgwX86:
             FlowCache(cache_entries) if cache_entries > 0 else None
         )
         self._published_cache_counters: Dict[str, int] = {}
+        #: The columnar batch path (DESIGN §13): ``forward_batch`` compiles
+        #: the placed program once per table-generation vector and executes
+        #: it over struct-of-arrays bursts. ``columnar=False`` keeps the
+        #: flow-cache per-packet batch loop (the differential oracle's
+        #: shape, and the path cache-telemetry consumers rely on).
+        self._batch_compiler: Optional[BatchCompiler] = (
+            BatchCompiler(self.tables, gateway_ip, watch_snat=snat is not None)
+            if columnar else None
+        )
+        self._compiled = None
         #: Live-migration freeze state, attached lazily by
         #: :func:`repro.dataplane.migration.ensure_migration_state`.
         self.migration: Optional[MigrationState] = None
@@ -173,6 +186,8 @@ class XgwX86:
             # Freeze windows are rare and short: fall back to the
             # per-packet path so every packet consults the freeze set.
             return [self.forward(packet, now) for packet in packets]
+        if self._batch_compiler is not None:
+            return self._forward_batch_columnar(packets, now)
         tables = self.tables
         cache = self.flow_cache
         gateway_ip = self.gateway_ip
@@ -211,10 +226,43 @@ class XgwX86:
         self.counters.add("rx_packets", len(results))
         for action, count in actions.items():
             self.counters.add(f"action_{action.value.replace('-', '_')}", count)
-        for detail, count in drop_details.items():
-            reason = DropReason.from_detail(detail)
-            self.counters.add(reason.counter if reason is not None else "drop_other",
-                              count)
+        count_drops(self.counters, drop_details)
+        return results
+
+    def _forward_batch_columnar(self, packets, now: float) -> List[ForwardResult]:
+        """The compiled batch path: recompile on a generation-vector
+        change (same staleness rule as the flow cache), execute over the
+        struct-of-arrays burst, then settle counters in one flush."""
+        compiler = self._batch_compiler
+        program = self._compiled
+        if program is None or program.generations != compiler.generations():
+            program = self._compiled = compiler.compile()
+        batch = (packets if isinstance(packets, PacketBatch)
+                 else PacketBatch.from_packets(packets))
+        results, tally = program.execute(batch, now)
+        actions = tally.actions
+        drop_details = tally.drop_details
+        snat_service = self.snat_service
+        if snat_service is not None and tally.snat_lanes:
+            # We *are* the software gateway: run the SNAT service on the
+            # admitted redirect lanes, re-attributing their tallies.
+            redirect = ForwardAction.REDIRECT_X86
+            drop = ForwardAction.DROP
+            batch_packets = batch.packets
+            for i in tally.snat_lanes:
+                result = snat_service.handle_request(batch_packets[i], now)
+                results[i] = result
+                actions[redirect] -= 1
+                action = result.action
+                actions[action] = actions.get(action, 0) + 1
+                if action is drop:
+                    drop_details[result.detail] = drop_details.get(result.detail, 0) + 1
+        add = self.counters.add
+        add("rx_packets", batch.n)
+        for action, count in actions.items():
+            if count:
+                add(f"action_{action.value.replace('-', '_')}", count)
+        count_drops(self.counters, drop_details)
         return results
 
     def forward_dpu_miss(self, packet: Packet, now: float = 0.0) -> ForwardResult:

@@ -14,6 +14,9 @@ import repro.audit.sampling
 import repro.audit.scanner
 import repro.cluster.ecmp
 import repro.core.compression
+import repro.dataplane.columnar.backend
+import repro.dataplane.columnar.batch
+import repro.dataplane.columnar.compiler
 import repro.dataplane.flowcache
 import repro.dataplane.migration
 import repro.core.economics
@@ -69,6 +72,9 @@ MODULES = [
     repro.tables.snat,
     repro.tables.vm_nc,
     repro.tables.vxlan_routing,
+    repro.dataplane.columnar.backend,
+    repro.dataplane.columnar.batch,
+    repro.dataplane.columnar.compiler,
     repro.dataplane.flowcache,
     repro.dataplane.migration,
     repro.fuzz.generator,

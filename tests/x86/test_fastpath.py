@@ -61,8 +61,11 @@ class TestForwardBatch:
 
 
 class TestCacheTelemetry:
+    # The columnar path bypasses the flow cache entirely, so these
+    # gateways pin the flow-cache batch loop with columnar=False.
     def test_counters_flow_into_counterset(self):
-        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4))
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4),
+                    columnar=False)
         gw.forward_batch(burst(12, hosts=4))
         snap = gw.publish_cache_counters()
         assert snap["flowcache_misses"] == 4
@@ -71,7 +74,8 @@ class TestCacheTelemetry:
         assert gw.counters["flowcache_misses"] == 4
 
     def test_publish_is_idempotent_on_deltas(self):
-        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4))
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4),
+                    columnar=False)
         gw.forward_batch(burst(12, hosts=4))
         gw.publish_cache_counters()
         gw.publish_cache_counters()  # no new traffic: no double counting
@@ -83,6 +87,48 @@ class TestCacheTelemetry:
     def test_disabled_cache_publishes_nothing(self):
         gw = XgwX86(gateway_ip=0x0A0000FD, cache_entries=0)
         assert gw.publish_cache_counters() == {}
+
+
+class TestBatchCounterConservation:
+    """Regression for batch-path counter attribution: a mixed
+    accept/drop burst must keep the CounterConservation identities
+    (``rx_packets == Σ action_*``, ``Σ drop_* == action_drop``) on every
+    batch path — columnar, flow-cache and uncached — with drop reasons
+    now aggregated into one per-reason flush."""
+
+    @staticmethod
+    def mixed_burst():
+        packets = burst(10, hosts=4)
+        # no-vm: LOCAL route, host outside the installed bindings.
+        packets.append(build_vxlan_packet(vni=VNI, src_ip=ip("192.168.10.100"),
+                                          dst_ip=ip("192.168.10.200")))
+        # no-route: VNI with no routing entries at all.
+        packets.append(build_vxlan_packet(vni=VNI + 1, src_ip=ip("192.168.10.100"),
+                                          dst_ip=ip("192.168.10.1")))
+        return packets
+
+    @staticmethod
+    def assert_conserved(gw):
+        counts = gw.counters.snapshot()
+        actions = sum(v for k, v in counts.items() if k.startswith("action_"))
+        drops = sum(v for k, v in counts.items() if k.startswith("drop_"))
+        assert counts["rx_packets"] == actions
+        assert drops == counts.get("action_drop", 0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {},                                       # columnar path
+        {"columnar": False},                      # flow-cache batch path
+        {"columnar": False, "cache_entries": 0},  # uncached batch path
+    ])
+    def test_mixed_burst_conserves_counters(self, kwargs):
+        gw = XgwX86(gateway_ip=0x0A0000FD, tables=make_tables(hosts=4), **kwargs)
+        results = gw.forward_batch(self.mixed_burst() * 3)
+        seen = {r.detail for r in results if r.action is ForwardAction.DROP}
+        assert {"no-vm", "no-route"} <= seen
+        assert any(r.action is ForwardAction.DELIVER_NC for r in results)
+        self.assert_conserved(gw)
+        assert gw.counters["drop_no_vm"] == 3
+        assert gw.counters["drop_no_route"] == 3
 
 
 class TestMinLineRatePacket:
