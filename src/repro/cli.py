@@ -14,6 +14,9 @@ Commands:
   (optionally) inject a corruption first to watch detection + repair.
 * ``fuzz`` — differential placement-compiler fuzzing: a bounded corpus
   by default, an unbounded soak with ``--soak SECONDS``.
+* ``shard-status`` — build a sharded control plane, drive cross-shard
+  transactions (optionally crashing mid-protocol and recovering), and
+  print the per-shard topology/journal status table.
 """
 
 from __future__ import annotations
@@ -171,6 +174,90 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    from .cluster.cluster import GatewayCluster
+    from .core.controller import RouteEntry, VmEntry
+    from .core.journal import ControllerCrash
+    from .core.splitting import ClusterCapacity, TenantProfile
+    from .core.xgw_h import XgwH
+    from .faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+    from .net.addr import Prefix
+    from .shard import ShardedAuditDriver, ShardedController
+    from .tables.vm_nc import NcBinding
+    from .tables.vxlan_routing import RouteAction, Scope
+
+    counter = [0]
+
+    def factory(cluster_id):
+        counter[0] += 1
+        nodes = [(f"{cluster_id}-gw{i}", XgwH(gateway_ip=counter[0] * 10 + i))
+                 for i in range(2)]
+        return GatewayCluster(cluster_id, nodes)
+
+    sharded = ShardedController.build(
+        args.shards,
+        ClusterCapacity(routes=10_000, vms=10_000, traffic_bps=1e15),
+        cluster_factory=factory)
+    space = sharded.router.vni_space
+    vnis = [i * space // args.tenants for i in range(args.tenants)]
+    for vni in vnis:
+        subnet = Prefix.parse(f"10.{vni % 200}.0.0/16")
+        sharded.add_tenant(
+            TenantProfile(vni, 1, 1, 1e9),
+            [RouteEntry(vni, subnet, RouteAction(Scope.LOCAL))],
+            [VmEntry(vni, 0xC0A80A02, 4, NcBinding(0x0A010101))])
+
+    if args.crash:
+        stage = {"begin": "xtxn-begin", "prepare": "xtxn-prepare",
+                 "decide": "xtxn-decide", "complete": "xtxn-complete"}[args.crash]
+        plan = FaultPlan(seed=args.seed, specs=[
+            FaultSpec(FaultKind.CONTROLLER_CRASH, at_op=stage, max_fires=1)])
+        FaultInjector(plan).arm_sharded(sharded)
+
+    a, b = vnis[0], vnis[-1]
+    sub_a = Prefix.parse(f"10.{a % 200}.0.0/16")
+    sub_b = Prefix.parse(f"10.{b % 200}.0.0/16")
+    try:
+        with sharded.cross_transaction() as xtxn:
+            xtxn.install_route(RouteEntry(
+                a, sub_b, RouteAction(Scope.PEER, next_hop_vni=b)))
+            xtxn.install_route(RouteEntry(b, sub_b, RouteAction(Scope.LOCAL)),
+                               owner=a)
+            xtxn.install_route(RouteEntry(
+                b, sub_a, RouteAction(Scope.PEER, next_hop_vni=a)))
+            xtxn.install_route(RouteEntry(a, sub_a, RouteAction(Scope.LOCAL)),
+                               owner=b)
+    except ControllerCrash as exc:
+        print(f"crash injected: {exc}")
+        in_doubt = {sid: len(records)
+                    for sid, records in sharded.in_doubt().items()}
+        print(f"in doubt before recovery: {in_doubt or '{}'}")
+        sharded, writes = ShardedController.recover_from(sharded)
+        print(f"recovered: {writes} gateway writes, "
+              f"{sharded.counters['xtxn_resolved_commit']} resolved commit, "
+              f"{sharded.counters['xtxn_resolved_abort']} resolved abort")
+        driver = ShardedAuditDriver(sharded)
+        driver.full_scan()
+        rescan = driver.full_scan()
+        print(f"audit: {driver.repairs_applied()} repairs, "
+              f"rescan {'clean' if not rescan else rescan}")
+
+    print(f"\n{'shard':6s} {'vni range':>21s} {'tenants':>8s} {'clusters':>8s} "
+          f"{'routes':>7s} {'vms':>5s} {'appends':>8s} {'segs':>5s} "
+          f"{'tail':>5s} {'snap seq':>8s}")
+    for row in sharded.shard_status():
+        rng = f"[{row['vni_lo']}, {row['vni_hi']})"
+        print(f"{row['shard']:6s} {rng:>21s} {row['tenants']:8d} "
+              f"{row['clusters']:8d} {row['routes']:7d} {row['vms']:5d} "
+              f"{row['appends']:8d} {row['segments']:5d} "
+              f"{row['tail_records']:5d} {row['snapshot_seq']:8d}")
+    print(f"\nxtxns committed {sharded.counters['xtxns_committed']}, "
+          f"aborted {sharded.counters['xtxns_aborted']}")
+    bad = sharded.consistency_check()
+    print(f"consistency: {'clean' if not bad else bad}")
+    return 1 if bad or sharded.in_doubt() else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Sailfish (SIGCOMM 2021) reproduction toolkit"
@@ -225,6 +312,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--artifact-dir", default=None,
                       help="directory for minimized counterexample JSON")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    shard = sub.add_parser("shard-status",
+                           help="sharded control plane status / 2PC demo")
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--tenants", type=int, default=32)
+    shard.add_argument("--seed", type=int, default=7)
+    shard.add_argument("--crash", choices=("begin", "prepare", "decide",
+                                           "complete"), default=None,
+                       help="inject a controller crash at this 2PC stage, "
+                            "then recover")
+    shard.set_defaults(func=_cmd_shard_status)
     return parser
 
 

@@ -166,6 +166,11 @@ class Controller:
         # Desired state per cluster.
         self._routes: Dict[str, Dict[Tuple[int, Prefix], RouteAction]] = {}
         self._vms: Dict[str, Dict[Tuple[int, int, int], NcBinding]] = {}
+        # Per-tenant key index over the desired state, so offboarding a
+        # tenant is O(its entries) instead of a scan over the cluster's
+        # whole route/VM maps.
+        self._route_index: Dict[str, Dict[int, Set[Prefix]]] = {}
+        self._vm_index: Dict[str, Dict[int, Set[Tuple[int, int]]]] = {}
         self.version = 0
         self.table_size_series = SeriesBundle()
         self._cluster_factory = None
@@ -255,6 +260,8 @@ class Controller:
         self.journal = journal
         self._routes.clear()
         self._vms.clear()
+        self._route_index.clear()
+        self._vm_index.clear()
         self._profiles.clear()
         self.plan = SplitPlan(assignments={}, usage={})
         for vni_text in sorted(state["tenants"], key=int):
@@ -278,12 +285,18 @@ class Controller:
                 parse_route_key(key): decode_action(payload)
                 for key, payload in routes.items()
             }
+            index = self._route_index.setdefault(cluster_id, {})
+            for (vni, prefix) in self._routes[cluster_id]:
+                index.setdefault(vni, set()).add(prefix)
         for cluster_id, vms in state["vms"].items():
             self._ensure_cluster(cluster_id)
             self._vms[cluster_id] = {
                 parse_vm_key(key): decode_binding(payload)
                 for key, payload in vms.items()
             }
+            index = self._vm_index.setdefault(cluster_id, {})
+            for (vni, vm_ip, version) in self._vms[cluster_id]:
+                index.setdefault(vni, set()).add((vm_ip, version))
         self.version = state["version"]
         writes = 0
         for cluster_id in sorted(self.clusters):
@@ -356,6 +369,8 @@ class Controller:
             )
         self._routes.setdefault(cluster_id, {})
         self._vms.setdefault(cluster_id, {})
+        self._route_index.setdefault(cluster_id, {})
+        self._vm_index.setdefault(cluster_id, {})
         return self.clusters[cluster_id]
 
     def adopt_cluster(self, cluster_id: str,
@@ -377,6 +392,8 @@ class Controller:
         )
         self._routes.setdefault(cluster_id, {})
         self._vms.setdefault(cluster_id, {})
+        self._route_index.setdefault(cluster_id, {})
+        self._vm_index.setdefault(cluster_id, {})
         return cluster
 
     def desired_routes(self, cluster_id: str) -> Dict[Tuple[int, Prefix], RouteAction]:
@@ -419,6 +436,7 @@ class Controller:
         })
         self._crash_point("install-route", cluster_id)
         self._routes[cluster_id][(route.vni, route.prefix)] = route.action
+        self._route_index[cluster_id].setdefault(route.vni, set()).add(route.prefix)
         cluster.for_each_gateway(
             lambda gw: gw.install_route(route.vni, route.prefix, route.action, replace=True)
         )
@@ -432,6 +450,7 @@ class Controller:
         })
         self._crash_point("install-vm", cluster_id)
         self._vms[cluster_id][(vm.vni, vm.vm_ip, vm.version)] = vm.binding
+        self._vm_index[cluster_id].setdefault(vm.vni, set()).add((vm.vm_ip, vm.version))
         cluster.for_each_gateway(
             lambda gw: gw.install_vm(vm.vni, vm.vm_ip, vm.version, vm.binding, replace=True)
         )
@@ -448,6 +467,7 @@ class Controller:
         })
         self._crash_point("remove-route", cluster_id)
         del self._routes[cluster_id][(vni, prefix)]
+        self._index_discard(self._route_index, cluster_id, vni, prefix)
         cluster.for_each_gateway(lambda gw: gw.remove_route(vni, prefix))
         self._record_size(cluster_id, time)
 
@@ -464,6 +484,7 @@ class Controller:
         })
         self._crash_point("remove-vm", cluster_id)
         del self._vms[cluster_id][key]
+        self._index_discard(self._vm_index, cluster_id, vni, (vm_ip, version))
         cluster.for_each_gateway(lambda gw: gw.remove_vm(vni, vm_ip, version))
         self._record_size(cluster_id, time)
 
@@ -476,14 +497,16 @@ class Controller:
         # entries, so the per-entry remove records below replay as no-ops.
         self._journal_append("remove-tenant", {"vni": vni, "cluster": cluster_id})
         self._crash_point("remove-tenant", cluster_id)
+        # The owning cluster's per-tenant index gives exactly this VNI's
+        # keys — O(tenant), not a scan of the cluster's whole route map.
         removed = 0
-        for (route_vni, prefix) in [k for k in self._routes.get(cluster_id, {})
-                                    if k[0] == vni]:
-            self.remove_route(cluster_id, route_vni, prefix, time=time)
+        for prefix in sorted(
+                self._route_index.get(cluster_id, {}).get(vni, ()), key=str):
+            self.remove_route(cluster_id, vni, prefix, time=time)
             removed += 1
-        for (vm_vni, vm_ip, version) in [k for k in self._vms.get(cluster_id, {})
-                                         if k[0] == vni]:
-            self.remove_vm(cluster_id, vm_vni, vm_ip, version, time=time)
+        for (vm_ip, version) in sorted(
+                self._vm_index.get(cluster_id, {}).get(vni, ())):
+            self.remove_vm(cluster_id, vni, vm_ip, version, time=time)
             removed += 1
         # Release the placement reservation and the steering entry.
         profile = self._profiles.pop(vni, None)
@@ -527,6 +550,41 @@ class Controller:
         txn = Transaction(cluster_id)
         yield txn
         self._commit_transaction(cluster_id, txn, time)
+
+    @staticmethod
+    def _index_discard(index: Dict[str, Dict[int, set]], cluster_id: str,
+                       vni: int, key) -> None:
+        """Drop one key from the per-tenant index, pruning empty buckets."""
+        bucket = index.get(cluster_id, {}).get(vni)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del index[cluster_id][vni]
+
+    def _apply_committed_op(self, cluster_id: str, op: dict) -> None:
+        """Fold one prepared transaction op into the desired state (and
+        the per-tenant key index). Called once the op is safely on every
+        member — by the single-cluster commit path and by the cross-shard
+        completion path (``repro.shard``)."""
+        if op["op"] == "install-route":
+            vni, prefix = op["vni"], Prefix.parse(op["prefix"])
+            self._routes[cluster_id][(vni, prefix)] = decode_action(op["action"])
+            self._route_index[cluster_id].setdefault(vni, set()).add(prefix)
+        elif op["op"] == "remove-route":
+            vni, prefix = op["vni"], Prefix.parse(op["prefix"])
+            del self._routes[cluster_id][(vni, prefix)]
+            self._index_discard(self._route_index, cluster_id, vni, prefix)
+        elif op["op"] == "install-vm":
+            vni, vm_ip, version = op["vni"], op["vm_ip"], op["vm_version"]
+            self._vms[cluster_id][(vni, vm_ip, version)] = \
+                decode_binding(op["binding"])
+            self._vm_index[cluster_id].setdefault(vni, set()).add((vm_ip, version))
+        elif op["op"] == "remove-vm":
+            vni, vm_ip, version = op["vni"], op["vm_ip"], op["vm_version"]
+            del self._vms[cluster_id][(vni, vm_ip, version)]
+            self._index_discard(self._vm_index, cluster_id, vni, (vm_ip, version))
+        else:  # pragma: no cover - Transaction only stages the four ops
+            raise TableError(f"unknown transaction op {op['op']!r}")
 
     def _stage_prev(self, cluster_id: str, op: dict):
         """The desired-state value an op will overwrite/remove (for
@@ -648,16 +706,7 @@ class Controller:
         # Phase 2 — commit: the batch is on every member; make it the
         # desired state and mark the journal record committed.
         for op in txn.ops:
-            if op["op"] == "install-route":
-                self._routes[cluster_id][(op["vni"], Prefix.parse(op["prefix"]))] = \
-                    decode_action(op["action"])
-            elif op["op"] == "remove-route":
-                del self._routes[cluster_id][(op["vni"], Prefix.parse(op["prefix"]))]
-            elif op["op"] == "install-vm":
-                self._vms[cluster_id][(op["vni"], op["vm_ip"], op["vm_version"])] = \
-                    decode_binding(op["binding"])
-            elif op["op"] == "remove-vm":
-                del self._vms[cluster_id][(op["vni"], op["vm_ip"], op["vm_version"])]
+            self._apply_committed_op(cluster_id, op)
         if record is not None:
             self._journal_append("txn-commit", {"txn_seq": record.seq})
         self.counters.add("txns_committed")

@@ -227,6 +227,13 @@ class Journal:
     #: ``materialize`` — only the ops of a txn followed by txn-commit do.
     TXN_OPS = ("txn", "txn-commit", "txn-abort")
 
+    #: Cross-shard transaction markers (``repro.shard``): the coordinator
+    #: shard journals the begin/decision records, participants journal
+    #: ordinary ``txn`` records tagged with the same ``xid``. The markers
+    #: carry no intent of their own — they exist so a recovering region
+    #: can resolve another shard's in-doubt transactions.
+    XTXN_OPS = ("xtxn-begin", "xtxn-commit", "xtxn-abort")
+
     def __init__(self, segment_bytes: int = 16384):
         if segment_bytes <= 0:
             raise JournalError("segment_bytes must be positive")
@@ -238,6 +245,10 @@ class Journal:
         self.appends = 0
         self.rotations = 0
         self.snapshots = 0
+        #: Records the most recent :meth:`materialize` replayed (tail
+        #: records after the snapshot floor) — the operator-facing
+        #: "how much work would a recovery do right now" number.
+        self.last_replay_records = 0
 
     # -- writing ----------------------------------------------------------
 
@@ -296,7 +307,9 @@ class Journal:
         state = (json.loads(canonical_json(self.snapshot_state))
                  if self.snapshot_state is not None else empty_state())
         staged: Dict[int, JournalRecord] = {}
+        replayed = 0
         for record in self.records():
+            replayed += 1
             if record.op == "txn":
                 staged[record.seq] = record
             elif record.op == "txn-commit":
@@ -311,8 +324,12 @@ class Journal:
                 state["version"] += 1
             elif record.op == "txn-abort":
                 staged.pop(record.payload["txn_seq"], None)
+            elif record.op in self.XTXN_OPS:
+                # Cross-shard protocol markers: no intent of their own.
+                continue
             else:
                 _apply(state, record)
+        self.last_replay_records = replayed
         return state
 
     def verify(self) -> int:
@@ -345,6 +362,92 @@ class Journal:
                 verified += 1
         self.materialize()
         return verified
+
+    # -- telemetry --------------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        """Live (unpruned) segments — what compaction must keep bounded."""
+        return len(self.segments)
+
+    @property
+    def tail_bytes(self) -> int:
+        """Encoded bytes in the live segments (the replay tail)."""
+        return sum(len(s.data) for s in self.segments)
+
+    def tail_records(self) -> int:
+        """Records a recovery would replay on top of the snapshot."""
+        return sum(1 for _ in self.records())
+
+    @property
+    def snapshot_bytes(self) -> int:
+        """Canonical size of the latest snapshot (0 before the first one)
+        — the bytes a snapshot "covers" in place of pruned segments."""
+        if self.snapshot_state is None:
+            return 0
+        return len(canonical_json(self.snapshot_state).encode("utf-8"))
+
+    def telemetry(self) -> dict:
+        """The compaction counters an operator (or the shard bench)
+        watches: sustained churn with periodic snapshots must keep
+        ``segments``/``tail_records``/``tail_bytes`` bounded while
+        ``appends`` grows without bound.
+
+        >>> j = Journal(segment_bytes=64)
+        >>> for i in range(4):
+        ...     _ = j.append("install-route", {"cluster": "A", "vni": i,
+        ...         "prefix": "10.0.0.0/8",
+        ...         "action": {"scope": "local", "next_hop_vni": None,
+        ...                    "target": None}})
+        >>> j.snapshot(j.materialize())
+        >>> j.telemetry()["segments"]
+        1
+        >>> j.telemetry()["tail_records"]
+        0
+        """
+        return {
+            "appends": self.appends,
+            "rotations": self.rotations,
+            "snapshots": self.snapshots,
+            "segments": self.segment_count,
+            "tail_records": self.tail_records(),
+            "tail_bytes": self.tail_bytes,
+            "snapshot_seq": self.snapshot_seq,
+            "snapshot_bytes": self.snapshot_bytes,
+            "last_replay_records": self.last_replay_records,
+        }
+
+    # -- cross-shard resolution -------------------------------------------
+
+    def in_doubt(self) -> List[JournalRecord]:
+        """The prepared-but-unterminated ``txn`` records in the tail —
+        transactions whose outcome this journal alone cannot decide.
+
+        For single-shard transactions an unterminated record simply means
+        the controller died mid-push and the batch never committed
+        (``materialize`` skips it). Cross-shard prepares carry an ``xid``;
+        the sharded recovery resolves those against the coordinator
+        shard's :meth:`decisions` before replaying.
+        """
+        staged: Dict[int, JournalRecord] = {}
+        for record in self.records():
+            if record.op == "txn":
+                staged[record.seq] = record
+            elif record.op in ("txn-commit", "txn-abort"):
+                staged.pop(record.payload["txn_seq"], None)
+        return [staged[seq] for seq in sorted(staged)]
+
+    def decisions(self) -> Dict[str, str]:
+        """Cross-shard outcomes this journal has decided, ``xid`` ->
+        ``"commit"`` | ``"abort"``. Only ``xtxn-commit`` is a durable
+        commit; everything else is presumed abort."""
+        out: Dict[str, str] = {}
+        for record in self.records():
+            if record.op == "xtxn-commit":
+                out[record.payload["xid"]] = "commit"
+            elif record.op == "xtxn-abort":
+                out[record.payload["xid"]] = "abort"
+        return out
 
     # -- serialisation ----------------------------------------------------
 

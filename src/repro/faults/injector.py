@@ -194,6 +194,30 @@ class FaultInjector:
 
         controller.crash_gate = crash_gate
 
+    def arm_sharded(self, sharded) -> None:
+        """Arm a :class:`~repro.shard.ShardedController`: every shard's
+        controller (write faults, per-shard mutation crashes) plus the
+        sharded 2PC stage gate.
+
+        The 2PC stages route through ``decide_mutation`` with the stage
+        name as the op and the *shard id* as the cluster, so a spec like
+        ``FaultSpec(CONTROLLER_CRASH, cluster="s01", at_op="xtxn-prepare",
+        max_fires=1)`` kills a participant between prepares, and
+        ``at_op="xtxn-decide"`` kills the coordinator just before the
+        commit point becomes durable.
+        """
+        for sid in sorted(sharded.shards):
+            self.arm_controller(sharded.shards[sid].controller)
+
+        def crash_gate(stage, shard_id):
+            kind = self.plan.decide_mutation(stage, shard_id)
+            if kind is FaultKind.CONTROLLER_CRASH:
+                raise ControllerCrash(
+                    f"injected controller-crash at {stage} on {shard_id}"
+                )
+
+        sharded.crash_gate = crash_gate
+
     def arm_migrator(self, migrator) -> None:
         """Arm an :class:`~repro.migration.EndpointMigrator`'s phase gate
         so :data:`FaultKind.MIGRATION_STALL` specs can hang its phases."""

@@ -127,7 +127,13 @@ class FaultSpec:
     * ``at_mutations`` — for :data:`FaultKind.CONTROLLER_CRASH`, the
       0-based indices of the controller mutations (installs, removes,
       tenant ops, transactions — counted in arrival order) at which the
-      controller dies.
+      controller dies;
+    * ``at_op`` — for :data:`FaultKind.CONTROLLER_CRASH`, an ``fnmatch``
+      pattern over the mutation op name ("install-route", "txn",
+      "xtxn-decide", "xtxn-*", ...). Combined with ``cluster`` (which,
+      for sharded 2PC stages, matches the *shard id*) this targets the
+      coordinator or any participant at an exact protocol stage —
+      usually alongside ``max_fires=1``.
 
     ``max_fires`` bounds how often the spec fires (e.g. "the first two
     install attempts fail, the third succeeds" for retry testing).
@@ -147,6 +153,7 @@ class FaultSpec:
     down_for: float = 0.0
     max_fires: Optional[int] = None
     at_mutations: Tuple[int, ...] = ()
+    at_op: Optional[str] = None
     #: For :data:`FaultKind.MIGRATION_STALL`: the migration phase the
     #: stall hits ("pre-copy" | "commit" | "replay") and how long the
     #: phase hangs before proceeding.
@@ -169,10 +176,11 @@ class FaultSpec:
                 raise ValueError("partial-onboard requires after_onboard_writes")
         elif self.kind in MUTATION_KINDS:
             if (not self.at_mutations and self.probability is None
-                    and self.max_fires is None):
+                    and self.max_fires is None and self.at_op is None):
                 raise ValueError(
-                    f"{self.kind.value} requires at_mutations, probability "
-                    "or max_fires (it would otherwise kill every mutation)")
+                    f"{self.kind.value} requires at_mutations, at_op, "
+                    "probability or max_fires (it would otherwise kill "
+                    "every mutation)")
         if self.probability is not None and not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability {self.probability} not in [0, 1]")
 
@@ -299,6 +307,8 @@ class FaultPlan:
             if not fnmatchcase(cluster, spec.cluster):
                 continue
             if spec.at_mutations and index not in spec.at_mutations:
+                continue
+            if spec.at_op is not None and not fnmatchcase(op, spec.at_op):
                 continue
             if spec.max_fires is not None and self._fires[i] >= spec.max_fires:
                 continue

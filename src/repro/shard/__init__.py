@@ -1,0 +1,23 @@
+"""repro.shard — million-tenant sharded control plane (§7 scale goals).
+
+Partitions the control plane by VNI range into independent shards, each
+with its own journal segment stream, snapshot/compaction cadence, audit
+budget and recovery path; peer-VPC chains that span shards commit
+through a presumed-abort two-phase protocol over the per-shard journals.
+"""
+
+from .audit import ShardedAuditDriver
+from .router import DEFAULT_VNI_SPACE, ShardError, ShardRange, ShardRouter
+from .shard import ControllerShard
+from .sharded import CrossShardTransaction, ShardedController
+
+__all__ = [
+    "DEFAULT_VNI_SPACE",
+    "ControllerShard",
+    "CrossShardTransaction",
+    "ShardError",
+    "ShardRange",
+    "ShardRouter",
+    "ShardedAuditDriver",
+    "ShardedController",
+]

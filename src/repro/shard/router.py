@@ -1,0 +1,105 @@
+"""VNI-range shard routing: which shard owns a tenant.
+
+The horizontal splitter (§4.3, ``repro.core.splitting``) partitions VNIs
+across *clusters* inside one control plane; the :class:`ShardRouter`
+lifts the same idea one level up and partitions the VNI space across
+*control planes*. The contract mirrors ``SplitPlan.cluster_of``:
+
+* **total** — every VNI inside the configured space maps to exactly one
+  shard (out-of-space VNIs are a :class:`ShardError`, never a silent
+  mis-route);
+* **stable** — the mapping is a pure function of ``(num_shards,
+  vni_space)``; onboarding, churn and recovery never move a tenant
+  between shards;
+* **canonical** — equal configurations produce byte-identical
+  :meth:`describe` dumps, so two controllers built from the same spec
+  agree on ownership without talking to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.journal import canonical_json
+from ..tables.errors import TableError
+
+#: The VXLAN VNI field is 24 bits.
+DEFAULT_VNI_SPACE = 1 << 24
+
+
+class ShardError(TableError):
+    """Raised on shard-routing misuse (unknown shard, VNI out of space)."""
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One shard's contiguous, half-open slice ``[lo, hi)`` of VNI space."""
+
+    shard_id: str
+    lo: int
+    hi: int
+
+    def __contains__(self, vni: int) -> bool:
+        return self.lo <= vni < self.hi
+
+
+class ShardRouter:
+    """Deterministic VNI-range -> shard mapping.
+
+    >>> router = ShardRouter(num_shards=4, vni_space=1 << 24)
+    >>> router.shard_of(0), router.shard_of((1 << 24) - 1)
+    ('s00', 's03')
+    >>> [r.shard_id for r in router.ranges()]
+    ['s00', 's01', 's02', 's03']
+    """
+
+    def __init__(self, num_shards: int, vni_space: int = DEFAULT_VNI_SPACE,
+                 prefix: str = "s"):
+        if num_shards < 1:
+            raise ShardError("need at least one shard")
+        if vni_space < num_shards:
+            raise ShardError(
+                f"vni_space {vni_space} cannot cover {num_shards} shards")
+        self.num_shards = num_shards
+        self.vni_space = vni_space
+        self.prefix = prefix
+        self._ranges: List[ShardRange] = []
+        for i in range(num_shards):
+            # Ceil-division boundaries so ranges agree exactly with the
+            # multiplicative lookup in shard_of for any space/shard ratio.
+            lo = -(-i * vni_space // num_shards)
+            hi = -(-(i + 1) * vni_space // num_shards)
+            self._ranges.append(ShardRange(f"{prefix}{i:02d}", lo, hi))
+        self._by_id: Dict[str, ShardRange] = {
+            r.shard_id: r for r in self._ranges
+        }
+
+    def shard_of(self, vni: int) -> str:
+        """The owning shard of *vni* — total over the VNI space."""
+        if not 0 <= vni < self.vni_space:
+            raise ShardError(
+                f"VNI {vni} outside the sharded space [0, {self.vni_space})")
+        return self._ranges[vni * self.num_shards // self.vni_space].shard_id
+
+    def shard_ids(self) -> List[str]:
+        return [r.shard_id for r in self._ranges]
+
+    def ranges(self) -> List[ShardRange]:
+        return list(self._ranges)
+
+    def range_of(self, shard_id: str) -> Tuple[int, int]:
+        try:
+            r = self._by_id[shard_id]
+        except KeyError:
+            raise ShardError(f"unknown shard {shard_id}") from None
+        return (r.lo, r.hi)
+
+    def describe(self) -> str:
+        """Canonical byte-stable dump of the topology — equal configs
+        produce equal bytes."""
+        return canonical_json({
+            "num_shards": self.num_shards,
+            "vni_space": self.vni_space,
+            "ranges": {r.shard_id: [r.lo, r.hi] for r in self._ranges},
+        })

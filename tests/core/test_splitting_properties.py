@@ -1,0 +1,129 @@
+"""Property-based suite for the horizontal splitter (§4.3): the shard
+layer leans on SplitPlan/TableSplitter for ownership, so its contract —
+total, stable, capacity-safe, deterministic — is pinned with hypothesis."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.journal import canonical_json
+from repro.core.splitting import (ClusterCapacity, SplitError, TableSplitter,
+                                  TenantProfile)
+
+CAPACITY = ClusterCapacity(routes=100, vms=200, traffic_bps=1e10)
+
+tenant_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 24 - 1),  # vni
+        st.integers(min_value=0, max_value=100),          # routes
+        st.integers(min_value=0, max_value=200),          # vms
+        st.integers(min_value=0, max_value=int(1e10)),    # traffic
+    ),
+    min_size=1, max_size=40,
+    unique_by=lambda t: t[0],
+).map(lambda rows: [TenantProfile(v, r, m, float(b)) for v, r, m, b in rows])
+
+
+def usage_within_capacity(plan):
+    for cluster_id, used in plan.usage.items():
+        assert used.routes <= CAPACITY.routes, cluster_id
+        assert used.vms <= CAPACITY.vms, cluster_id
+        assert used.traffic_bps <= CAPACITY.traffic_bps, cluster_id
+
+
+def plan_fingerprint(plan):
+    return canonical_json({
+        "assignments": {str(v): c for v, c in plan.assignments.items()},
+        "usage": {
+            c: {"routes": u.routes, "vms": u.vms,
+                "traffic_bps": u.traffic_bps,
+                "tenants": sorted(u.tenants)}
+            for c, u in plan.usage.items()
+        },
+    })
+
+
+class TestClusterOfTotalAndStable:
+    @settings(max_examples=60, deadline=None)
+    @given(tenants=tenant_lists)
+    def test_every_tenant_is_placed_exactly_once(self, tenants):
+        plan = TableSplitter(CAPACITY).assign(tenants)
+        assert sorted(plan.assignments) == sorted(t.vni for t in tenants)
+        for tenant in tenants:
+            assert plan.cluster_of(tenant.vni) in plan.usage
+        # Usage back-references partition the tenant set.
+        members = [v for u in plan.usage.values() for v in u.tenants]
+        assert sorted(members) == sorted(plan.assignments)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tenants=tenant_lists, extra_vni=st.integers(min_value=1 << 24,
+                                                       max_value=1 << 25))
+    def test_placement_is_stable_under_unrelated_growth(self, tenants,
+                                                        extra_vni):
+        splitter = TableSplitter(CAPACITY)
+        plan = splitter.assign(tenants)
+        before = dict(plan.assignments)
+        try:
+            splitter.place(plan, TenantProfile(extra_vni, 1, 1, 1.0))
+        except SplitError:
+            pass
+        for vni, cluster_id in before.items():
+            assert plan.cluster_of(vni) == cluster_id
+
+    @settings(max_examples=60, deadline=None)
+    @given(tenants=tenant_lists)
+    def test_blast_radius_is_exactly_the_co_residents(self, tenants):
+        plan = TableSplitter(CAPACITY).assign(tenants)
+        for tenant in tenants:
+            radius = plan.blast_radius(tenant.vni)
+            assert tenant.vni in radius
+            cluster_id = plan.cluster_of(tenant.vni)
+            assert radius == sorted(plan.usage[cluster_id].tenants)
+
+
+class TestRebalancePreservesInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(tenants=tenant_lists, data=st.data())
+    def test_rebalance_never_violates_capacity(self, tenants, data):
+        splitter = TableSplitter(CAPACITY)
+        plan = splitter.assign(tenants)
+        usage_within_capacity(plan)
+        mover = data.draw(st.sampled_from(tenants))
+        target = data.draw(st.sampled_from(plan.clusters()))
+        try:
+            splitter.rebalance_tenant(plan, mover, target)
+        except SplitError:
+            pass  # refusing an unfit move is the invariant holding
+        usage_within_capacity(plan)
+        assert sorted(plan.assignments) == sorted(t.vni for t in tenants)
+        members = [v for u in plan.usage.values() for v in u.tenants]
+        assert sorted(members) == sorted(plan.assignments)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tenants=tenant_lists, data=st.data())
+    def test_rebalance_roundtrip_restores_usage(self, tenants, data):
+        splitter = TableSplitter(CAPACITY)
+        plan = splitter.assign(tenants)
+        mover = data.draw(st.sampled_from(tenants))
+        home = plan.cluster_of(mover.vni)
+        target = data.draw(st.sampled_from(plan.clusters()))
+        fingerprint = plan_fingerprint(plan)
+        try:
+            splitter.rebalance_tenant(plan, mover, target)
+        except SplitError:
+            return
+        splitter.rebalance_tenant(plan, mover, home)
+        assert plan_fingerprint(plan) == fingerprint
+
+
+class TestDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(tenants=tenant_lists)
+    def test_equal_inputs_produce_byte_identical_plans(self, tenants):
+        a = TableSplitter(CAPACITY).assign(list(tenants))
+        b = TableSplitter(CAPACITY).assign(list(reversed(tenants)))
+        # assign() orders tenants canonically, so even a permuted input
+        # yields the same bytes — the property the shard router's
+        # "agree without talking" contract rests on.
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+        json.loads(plan_fingerprint(a))  # stays valid JSON

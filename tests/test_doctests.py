@@ -27,6 +27,8 @@ import repro.core.occupancy
 import repro.net.addr
 import repro.net.checksum
 import repro.net.flow
+import repro.shard.router
+import repro.shard.shard
 import repro.sim.engine
 import repro.sim.rand
 import repro.tables.alpm
@@ -104,6 +106,8 @@ MODULES = [
     repro.audit.sampling,
     repro.audit.intent,
     repro.audit.scanner,
+    repro.shard.router,
+    repro.shard.shard,
 ]
 
 
